@@ -1,0 +1,472 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (there are no numeric tables) and runs ablations + bechamel
+   micro-benchmarks of the core algorithms.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig4b   # one experiment
+     dune exec bench/main.exe -- list    # available ids
+
+   Paper-vs-measured values are printed side by side; we reproduce shapes
+   and rough factors, not the authors' absolute hardware numbers (see
+   DESIGN.md §4 and EXPERIMENTS.md). *)
+
+module S = Cluster.Server
+module SS = Cluster.Steady_state
+module Series = Js_util.Stats.Series
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let sub title = Printf.printf "--- %s ---\n%!" title
+
+(* One macro application shared by the warmup figures. *)
+let macro_app = lazy (Workload.Macro_app.generate Workload.Macro_app.default_params)
+
+let consumer_package cfg app =
+  S.make_package cfg app ~coverage_target:cfg.S.profile_request_target ()
+
+let run_server ?discovery_seed cfg app role ~until =
+  let server = S.create ?discovery_seed cfg app role in
+  S.run server ~until ~dt:1.0;
+  server
+
+(* ---------------------------------------------------------------- fig1 -- *)
+
+let fig1 () =
+  section "Figure 1: JITed code size over time (no Jump-Start)";
+  Printf.printf "paper: ~500 MB total; A (profiling stops) ~4-6 min; B->C relocation;\n";
+  Printf.printf "       C (optimized live, ~90%% perf) ~10 min; D (JIT ceases) ~25 min\n\n";
+  let app = Lazy.force macro_app in
+  let server = run_server S.default_config app S.No_jumpstart ~until:1800. in
+  let code = S.code_series server in
+  Printf.printf "%8s %12s %14s\n" "min" "code (MB)" "rps/peak";
+  let rps = S.rps_series server and peak = S.peak_rps server in
+  for m = 0 to 30 do
+    let t = float_of_int (m * 60) in
+    Printf.printf "%8d %12.0f %14.2f\n" m
+      (Series.value_at code t /. 1e6)
+      (Series.value_at rps t /. peak)
+  done;
+  Printf.printf "\nfinal code size: %.0f MB (paper: ~500 MB)\n"
+    (float_of_int (S.code_bytes server) /. 1e6)
+
+(* ---------------------------------------------------------------- fig2 -- *)
+
+let fig2 () =
+  section "Figure 2: server capacity loss due to restart and warmup";
+  Printf.printf "paper: RPS ramps over ~25 min back to peak; area above = capacity loss\n\n";
+  let app = Lazy.force macro_app in
+  let server = run_server S.default_config app S.No_jumpstart ~until:1500. in
+  let rps = S.rps_series server and peak = S.peak_rps server in
+  Printf.printf "%8s %16s\n" "min" "normalized RPS";
+  for m = 0 to 25 do
+    let t = float_of_int (m * 60) in
+    Printf.printf "%8d %16.2f\n" m (Series.value_at rps t /. peak)
+  done;
+  Printf.printf "\ncapacity loss over 25 min: %.1f%%\n"
+    (100. *. Series.capacity_loss rps ~peak ~until:1500.)
+
+(* ---------------------------------------------------------------- fig4 -- *)
+
+let warmup_pair () =
+  let app = Lazy.force macro_app in
+  let cfg = S.default_config in
+  let nojs = run_server ~discovery_seed:11 cfg app S.No_jumpstart ~until:600. in
+  let pkg = consumer_package cfg app in
+  let js = run_server ~discovery_seed:12 cfg app (S.Consumer pkg) ~until:600. in
+  (nojs, js)
+
+let fig4a () =
+  section "Figure 4a: average wall time per request over uptime";
+  Printf.printf "paper: no-JS starts ~3500 ms, ~3x higher than JS before 250 s;\n";
+  Printf.printf "       JS converges near steady state by ~150-300 s\n\n";
+  let nojs, js = warmup_pair () in
+  Printf.printf "%8s %18s %18s %8s\n" "sec" "no-JS (ms)" "Jump-Start (ms)" "ratio";
+  List.iter
+    (fun t ->
+      let l_nojs = 1000. *. Series.value_at (S.latency_series nojs) t in
+      let l_js = 1000. *. Series.value_at (S.latency_series js) t in
+      Printf.printf "%8.0f %18.0f %18.0f %8s\n" t l_nojs l_js
+        (if l_js > 0. then Printf.sprintf "%.1fx" (l_nojs /. l_js) else "-"))
+    [ 100.; 150.; 200.; 250.; 300.; 350.; 400.; 450.; 500.; 550.; 600. ]
+
+let fig4b () =
+  section "Figure 4b: normalized RPS over uptime; 10-minute capacity loss";
+  Printf.printf "paper: capacity loss 78.3%% (no-JS) vs 35.3%% (JS) -> 54.9%% reduction\n\n";
+  let nojs, js = warmup_pair () in
+  Printf.printf "%8s %12s %12s\n" "sec" "no-JS" "Jump-Start";
+  List.iter
+    (fun t ->
+      Printf.printf "%8.0f %12.2f %12.2f\n" t
+        (Series.value_at (S.rps_series nojs) t /. S.peak_rps nojs)
+        (Series.value_at (S.rps_series js) t /. S.peak_rps js))
+    [ 50.; 100.; 150.; 200.; 250.; 300.; 350.; 400.; 450.; 500.; 550.; 600. ];
+  let loss srv = Series.capacity_loss (S.rps_series srv) ~peak:(S.peak_rps srv) ~until:600. in
+  let l_nojs = loss nojs and l_js = loss js in
+  Printf.printf "\n%-34s %10s %10s\n" "" "paper" "measured";
+  Printf.printf "%-34s %9.1f%% %9.1f%%\n" "capacity loss, no Jump-Start" 78.3 (100. *. l_nojs);
+  Printf.printf "%-34s %9.1f%% %9.1f%%\n" "capacity loss, Jump-Start" 35.3 (100. *. l_js);
+  Printf.printf "%-34s %9.1f%% %9.1f%%\n" "relative reduction" 54.9
+    (100. *. (1. -. (l_js /. l_nojs)))
+
+(* ------------------------------------------------------------- lifespan -- *)
+
+(* §II-B: with continuous deployment every ~75 minutes, "each HHVM server
+   was spending about 13% of its life span until optimized code was produced
+   and decent performance was reached, and 32% of its life span until
+   reaching peak performance". *)
+let lifespan () =
+  section "Lifespan under continuous deployment (paper §II-B)";
+  Printf.printf "push cadence 75 min; paper: 13%% of life until optimized code,
+";
+  Printf.printf "32%% until peak performance (no Jump-Start)
+
+";
+  let app = Lazy.force macro_app in
+  let lifespan_s = 75. *. 60. in
+  let measure role =
+    let server = run_server S.default_config app role ~until:lifespan_s in
+    let rps = S.rps_series server and peak = S.peak_rps server in
+    let first_time pred =
+      let rec scan t = if t > lifespan_s then lifespan_s else if pred t then t else scan (t +. 5.) in
+      scan 0.
+    in
+    let t_optimized = first_time (fun t -> Series.value_at rps t >= 0.85 *. peak) in
+    let t_peak = first_time (fun t -> Series.value_at rps t >= 0.97 *. peak) in
+    (t_optimized /. lifespan_s, t_peak /. lifespan_s)
+  in
+  let nojs_opt, nojs_peak = measure S.No_jumpstart in
+  let pkg = consumer_package S.default_config app in
+  let js_opt, js_peak = measure (S.Consumer pkg) in
+  Printf.printf "%-44s %8s %9s\n" "" "paper" "measured";
+  Printf.printf "%-44s %7.0f%% %8.1f%%\n" "no-JS: life until optimized code (~point C)" 13.
+    (100. *. nojs_opt);
+  Printf.printf "%-44s %7.0f%% %8.1f%%\n" "no-JS: life until peak performance" 32.
+    (100. *. nojs_peak);
+  Printf.printf "%-44s %8s %8.1f%%\n" "Jump-Start: life until optimized code" "-"
+    (100. *. js_opt);
+  Printf.printf "%-44s %8s %8.1f%%\n" "Jump-Start: life until peak performance" "-"
+    (100. *. js_peak);
+  (* §IV-A timing constraint: the seeder pipeline must fit inside the ~30
+     minute C2 phase, which is why only optimized-code profile data is
+     collected *)
+  let seeder = S.create S.default_config app S.Seeder in
+  while S.seeder_package seeder = None && S.time seeder < 3600. do
+    S.step seeder ~dt:1.0
+  done;
+  (match S.seeder_package seeder with
+  | Some _ ->
+    Printf.printf "\nseeder pipeline (profile + instrumented run + serialize): %.1f min\n"
+      (S.time seeder /. 60.);
+    Printf.printf "fits the ~30 min C2 phase (paper \xc2\xa7IV-A): %b\n" (S.time seeder <= 30. *. 60.)
+  | None -> print_endline "\nseeder did not finish within an hour (unexpected)")
+
+(* -------------------------------------------------------------- fig5/6 -- *)
+
+let metric_paper =
+  [ (SS.Branch, 6.8); (SS.L1I, 6.2); (SS.ITLB, 20.8); (SS.L1D, 1.4); (SS.DTLB, 12.1); (SS.LLC, 3.5) ]
+
+let fig5 () =
+  section "Figure 5: steady-state speedup and micro-architectural miss reductions";
+  Printf.printf "running the micro pipeline (profile -> package -> consumer replay)...\n\n";
+  match SS.run SS.default_config SS.fig5_variants with
+  | [ baseline; js ] ->
+    Printf.printf "%-26s %10s %10s\n" "metric" "paper" "measured";
+    Printf.printf "%-26s %9.1f%% %9.1f%%\n" "RPS speedup" 5.4
+      (100. *. (SS.speedup ~baseline js -. 1.));
+    List.iter
+      (fun (metric, paper) ->
+        Printf.printf "%-26s %9.1f%% %9.1f%%\n"
+          (SS.metric_name metric ^ " reduction")
+          paper
+          (100. *. SS.miss_reduction ~baseline ~metric js))
+      metric_paper;
+    Printf.printf "\n(absolute rates, no-JS -> JS)\n";
+    List.iter
+      (fun (metric, _) ->
+        Printf.printf "  %-14s %8.4f -> %8.4f\n" (SS.metric_name metric)
+          (SS.miss_rate_of baseline metric) (SS.miss_rate_of js metric))
+      metric_paper
+  | _ -> failwith "fig5: unexpected variant count"
+
+let fig6 () =
+  section "Figure 6: per-optimization speedup over Jump-Start without §V opts";
+  Printf.printf "running 5 consumer variants over one shared package...\n\n";
+  match SS.run SS.default_config SS.fig6_variants with
+  | baseline :: rest ->
+    let paper = [ ("no-jumpstart", -0.2); ("bb-layout", 3.8); ("func-sorting", 0.75); ("prop-reorder", 0.8) ] in
+    Printf.printf "%-20s %10s %10s\n" "variant" "paper" "measured";
+    List.iter
+      (fun m ->
+        let expected = List.assoc m.SS.m_name paper in
+        Printf.printf "%-20s %+9.2f%% %+9.2f%%\n" m.SS.m_name expected
+          (100. *. (SS.speedup ~baseline m -. 1.)))
+      rest;
+    Printf.printf "\nbaseline cycles/request: %.0f\n" baseline.SS.cycles_per_request
+  | [] -> failwith "fig6: no measurements"
+
+(* ----------------------------------------------------------- ablations -- *)
+
+let ablation_layout () =
+  section "Ablation: basic-block layout strategy (measured Vasm weights)";
+  let config = SS.default_config in
+  let app = Workload.Codegen.generate config.SS.spec in
+  let repo = app.Workload.Codegen.repo in
+  let mix = Workload.Request.mix app ~region:0 ~bucket:0 in
+  let drive seed n engine =
+    let rng = Js_util.Rng.create seed in
+    for _ = 1 to n do
+      ignore (Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+    done
+  in
+  let counters = Jit_profile.Counters.create repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine =
+    Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo
+      (Mh_runtime.Heap.create repo layouts)
+  in
+  drive 1 config.SS.profile_requests engine;
+  let base_cfg = { Jit.Compiler.default_config with Jit.Compiler.min_entries = 5 } in
+  let vfuncs = Jit.Compiler.lower_all repo counters base_cfg in
+  let measured = Jit.Vasm_profile.create () in
+  let probes =
+    Jit.Context.probes repo
+      ~lookup:(fun f -> List.assoc_opt f vfuncs)
+      (Jit.Vasm_profile.handler measured)
+  in
+  let engine2 = Interp.Engine.create ~probes repo (Mh_runtime.Heap.create repo layouts) in
+  drive 2 config.SS.optimized_requests engine2;
+  Printf.printf "%-16s %16s %14s\n" "strategy" "cycles/request" "vs exttsp";
+  let measure bb_layout =
+    let cfg = { base_cfg with Jit.Compiler.bb_layout } in
+    let compiled = Jit.Compiler.finish repo counters cfg ~measured:(Some measured) vfuncs in
+    let hier = Machine.Hierarchy.create Machine.Hierarchy.default_config in
+    let sink =
+      {
+        Jit.Trace_adapter.fetch = (fun ~addr ~size -> Machine.Hierarchy.fetch hier ~addr ~size);
+        branch = (fun ~pc ~target ~taken -> Machine.Hierarchy.branch hier ~pc ~target ~taken);
+        load = (fun ~addr -> Machine.Hierarchy.load hier ~addr);
+        store = (fun ~addr -> Machine.Hierarchy.store hier ~addr);
+      }
+    in
+    let probes =
+      Jit.Context.probes repo
+        ~lookup:(Jit.Compiler.lookup compiled)
+        (Jit.Trace_adapter.handler ~cache:compiled.Jit.Compiler.cache sink)
+    in
+    let engine = Interp.Engine.create ~probes repo (Mh_runtime.Heap.create repo layouts) in
+    drive 3 config.SS.warm_requests engine;
+    Machine.Hierarchy.reset_stats hier;
+    drive 4 config.SS.measure_requests engine;
+    (Machine.Hierarchy.snapshot hier).Machine.Hierarchy.cycles
+    /. float_of_int config.SS.measure_requests
+  in
+  let exttsp = measure Jit.Compiler.Exttsp in
+  let source = measure Jit.Compiler.Source_order in
+  let ph = measure Jit.Compiler.Pettis_hansen in
+  Printf.printf "%-16s %16.0f %13s\n" "exttsp" exttsp "-";
+  Printf.printf "%-16s %16.0f %+12.2f%%\n" "pettis-hansen" ph (100. *. ((ph /. exttsp) -. 1.));
+  Printf.printf "%-16s %16.0f %+12.2f%%\n" "source-order" source
+    (100. *. ((source /. exttsp) -. 1.))
+
+let fleet_app =
+  lazy
+    (Workload.Macro_app.generate
+       { Workload.Macro_app.default_params with
+         Workload.Macro_app.n_funcs = 6_000;
+         core_funcs = 600;
+         instrs_per_request = 30.0e6
+       })
+
+let fleet_base_cfg =
+  lazy
+    { Cluster.Fleet.default_config with
+      Cluster.Fleet.n_servers = 120;
+      n_buckets = 6;
+      server =
+        { S.default_config with
+          S.profile_request_target = 600;
+          init_seconds_sequential = 30.;
+          init_seconds_parallel = 12.;
+          traffic_ramp_seconds = 90.;
+          cold_decay_seconds = 40.
+        }
+    }
+
+let ablation_seeders () =
+  section "Ablation: randomized multiple seeders bound the crash blast radius (§VI-A.2)";
+  Printf.printf
+    "exactly ONE bad package slips into each bucket; more independent seeder\n\
+     packages mean each random pick is less likely to hit it and crashed\n\
+     servers recover faster on re-pick\n\n";
+  Printf.printf "%10s %12s %12s %12s\n" "seeders" "crashes" "fallbacks" "jumpstarted";
+  List.iter
+    (fun n ->
+      let cfg =
+        { (Lazy.force fleet_base_cfg) with
+          Cluster.Fleet.seeders_per_bucket = n;
+          validation_catch_rate = 0.;
+          max_boot_attempts = 6
+        }
+      in
+      let stats =
+        Cluster.Fleet.simulate_push cfg ~force_bad_per_bucket:1 (Lazy.force fleet_app)
+          ~seed:1000 ~bad_package_rate:0. ~thin_profile_rate:0. ~duration:900.
+      in
+      let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
+      Printf.printf "%10d %12d %12d %12d\n" n total_crashes stats.Cluster.Fleet.fallbacks
+        stats.Cluster.Fleet.jump_started)
+    [ 1; 2; 4; 8 ]
+
+let ablation_validation () =
+  section "Ablation: seeder self-validation (§VI-A.1)";
+  Printf.printf "bad-package rate 30%%, 3 seeders per bucket, varying catch rate\n\n";
+  Printf.printf "%12s %14s %12s %12s\n" "catch rate" "bad published" "crashes" "rejected";
+  List.iter
+    (fun rate ->
+      let cfg = { (Lazy.force fleet_base_cfg) with Cluster.Fleet.validation_catch_rate = rate } in
+      let stats =
+        Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:77 ~bad_package_rate:0.3
+          ~thin_profile_rate:0. ~duration:600.
+      in
+      let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
+      Printf.printf "%12.2f %14d %12d %12d\n" rate stats.Cluster.Fleet.bad_packages_published
+        total_crashes stats.Cluster.Fleet.packages_rejected)
+    [ 0.0; 0.5; 0.95; 1.0 ]
+
+let ablation_fallback () =
+  section "Ablation: automatic no-Jump-Start fallback (§VI-A.3)";
+  Printf.printf "every package bad, validation off: with fallback the fleet recovers\n\n";
+  Printf.printf "%10s %12s %12s %16s\n" "fallback" "crashes" "fallbacks" "final fleet RPS";
+  List.iter
+    (fun fallback ->
+      let cfg =
+        { (Lazy.force fleet_base_cfg) with
+          Cluster.Fleet.validation_catch_rate = 0.;
+          fallback_enabled = fallback;
+          max_boot_attempts = 2
+        }
+      in
+      let stats =
+        Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:5 ~bad_package_rate:1.0
+          ~thin_profile_rate:0. ~duration:1_500.
+      in
+      let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
+      Printf.printf "%10b %12d %12d %16.0f\n" fallback total_crashes stats.Cluster.Fleet.fallbacks
+        (Series.value_at stats.Cluster.Fleet.fleet_rps 1_499.))
+    [ true; false ]
+
+(* ------------------------------------------------------- bechamel micro -- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks of the core algorithms";
+  let open Bechamel in
+  let rng = Js_util.Rng.create 99 in
+  (* Ext-TSP on a 64-block CFG *)
+  let cfg64 =
+    Layout.Cfg.create
+      ~blocks:(Array.init 64 (fun i -> { Layout.Cfg.id = i; size = 16 + (i mod 7 * 8); weight = Js_util.Rng.float rng 100. }))
+      ~arcs:
+        (Array.init 128 (fun _ ->
+             { Layout.Cfg.src = Js_util.Rng.int rng 64; dst = Js_util.Rng.int rng 64;
+               weight = Js_util.Rng.float rng 50.
+             }))
+      ~entry:0
+  in
+  (* C3 over 2000 functions *)
+  let nodes = Array.init 2000 (fun i -> { Layout.C3.id = i; size = 256; samples = Js_util.Rng.float rng 1000. }) in
+  let call_arcs =
+    Array.init 6000 (fun _ ->
+        { Layout.C3.caller = Js_util.Rng.int rng 2000; callee = Js_util.Rng.int rng 2000;
+          weight = Js_util.Rng.float rng 10.
+        })
+  in
+  (* interpreter on fib *)
+  let fib_repo =
+    Minihack.Compile.compile_source ~path:"fib.mh"
+      "function fib($n) { if ($n < 2) { return $n; } return fib($n - 1) + fib($n - 2); }\n\
+       function main() { return fib(15); }"
+  in
+  let fib_layouts = Mh_runtime.Class_layout.build fib_repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  (* cache trace *)
+  let cache = Machine.Cache.create { Machine.Cache.name = "b"; sets = 64; ways = 8; line_bytes = 64 } in
+  (* serializer payload *)
+  let tiny = Workload.Codegen.generate Workload.App_spec.tiny in
+  let counters = Jit_profile.Counters.create tiny.Workload.Codegen.repo in
+  let cengine =
+    Interp.Engine.create
+      ~probes:(Jit_profile.Collector.probes counters)
+      tiny.Workload.Codegen.repo
+      (Mh_runtime.Heap.create tiny.Workload.Codegen.repo
+         (Mh_runtime.Class_layout.build tiny.Workload.Codegen.repo ~reorder:false
+            ~hotness:(fun _ _ -> 0)))
+  in
+  let crng = Js_util.Rng.create 3 in
+  let cmix = Workload.Request.uniform_mix tiny in
+  for _ = 1 to 50 do
+    ignore (Workload.Request.invoke cengine tiny (Workload.Request.sample crng cmix))
+  done;
+  let tests =
+    [ Test.make ~name:"exttsp-layout-64-blocks" (Staged.stage (fun () -> Layout.Exttsp.layout cfg64));
+      Test.make ~name:"c3-order-2000-funcs"
+        (Staged.stage (fun () -> Layout.C3.order ~nodes ~arcs:call_arcs ()));
+      Test.make ~name:"interp-fib-15"
+        (Staged.stage (fun () ->
+             let engine =
+               Interp.Engine.create fib_repo (Mh_runtime.Heap.create fib_repo fib_layouts)
+             in
+             Interp.Engine.run_main engine));
+      Test.make ~name:"cache-access-1k"
+        (Staged.stage (fun () ->
+             for i = 0 to 999 do
+               ignore (Machine.Cache.access cache ~addr:(i * 64) ~write:false)
+             done));
+      Test.make ~name:"counters-serialize"
+        (Staged.stage (fun () ->
+             let w = Js_util.Binio.Writer.create () in
+             Jit_profile.Counters.serialize counters w;
+             Js_util.Binio.Writer.contents w))
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" tests) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  Printf.printf "%-40s %16s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) -> Printf.printf "%-40s %16.0f\n" name t
+      | Some [] | None -> Printf.printf "%-40s %16s\n" name "n/a")
+    (List.sort compare rows)
+
+(* ----------------------------------------------------------------- cli -- *)
+
+let experiments =
+  [ ("fig1", fig1); ("fig2", fig2); ("fig4a", fig4a); ("fig4b", fig4b); ("lifespan", lifespan);
+    ("fig5", fig5);
+    ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
+    ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
+    ("micro", micro)
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] ->
+    sub "available experiments";
+    List.iter (fun (name, _) -> print_endline name) experiments
+  | [] ->
+    Printf.printf "HHVM Jump-Start reproduction benches (all experiments)\n";
+    List.iter (fun (_, f) -> f ()) experiments
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; try 'list'\n" name;
+          exit 1)
+      names

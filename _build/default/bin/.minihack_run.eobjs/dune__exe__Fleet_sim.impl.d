@@ -1,0 +1,1 @@
+bin/fleet_sim.ml: Arg Cluster Cmd Cmdliner Format Js_util Printf Term Workload

@@ -1,0 +1,1 @@
+bin/fleet_sim.mli:

@@ -1,0 +1,1 @@
+bin/jspkg.ml: Arg Array Cmd Cmdliner Format Fun Hashtbl Hhbc Interp Jit Jit_profile Jumpstart List Mh_runtime Minihack Printf String Term Vasm

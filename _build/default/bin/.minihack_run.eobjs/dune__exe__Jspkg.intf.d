@@ -1,0 +1,1 @@
+bin/jspkg.mli:

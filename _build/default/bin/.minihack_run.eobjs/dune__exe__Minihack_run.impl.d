@@ -1,0 +1,1 @@
+bin/minihack_run.ml: Arg Cmd Cmdliner Format Fun Hhbc Interp Jit_profile List Mh_runtime Minihack Printf Term

@@ -1,0 +1,1 @@
+bin/minihack_run.mli:

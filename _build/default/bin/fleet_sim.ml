@@ -1,0 +1,95 @@
+(* fleet_sim: drive the fleet/warmup simulators from the command line.
+
+     dune exec bin/fleet_sim.exe -- warmup [--no-jumpstart] [--minutes N]
+     dune exec bin/fleet_sim.exe -- push [--servers N] [--seeders N]
+         [--bad-rate P] [--validation P] [--minutes N]
+*)
+
+open Cmdliner
+
+module S = Cluster.Server
+module Series = Js_util.Stats.Series
+
+let minutes_arg =
+  Arg.(value & opt int 10 & info [ "minutes" ] ~docv:"N" ~doc:"simulated duration in minutes")
+
+let warmup_cmd =
+  let no_js = Arg.(value & flag & info [ "no-jumpstart" ] ~doc:"disable Jump-Start") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"discovery seed") in
+  let action no_js minutes seed =
+    let app = Workload.Macro_app.generate Workload.Macro_app.default_params in
+    let cfg = S.default_config in
+    let role =
+      if no_js then S.No_jumpstart
+      else S.Consumer (S.make_package cfg app ~coverage_target:cfg.S.profile_request_target ())
+    in
+    let server = S.create ~discovery_seed:seed cfg app role in
+    let until = float_of_int (minutes * 60) in
+    S.run server ~until ~dt:1.;
+    Printf.printf "%8s %10s %12s %12s\n" "sec" "rps/peak" "latency(ms)" "code(MB)";
+    let steps = max 1 (minutes * 60 / 20) in
+    let t = ref 0 in
+    while !t <= minutes * 60 do
+      let time = float_of_int !t in
+      Printf.printf "%8d %10.2f %12.0f %12.0f\n" !t
+        (Series.value_at (S.rps_series server) time /. S.peak_rps server)
+        (1000. *. Series.value_at (S.latency_series server) time)
+        (Series.value_at (S.code_series server) time /. 1e6);
+      t := !t + steps
+    done;
+    Printf.printf "\ncapacity loss: %.1f%%\n"
+      (100. *. Series.capacity_loss (S.rps_series server) ~peak:(S.peak_rps server) ~until)
+  in
+  Cmd.v
+    (Cmd.info "warmup" ~doc:"single-server warmup curve (paper Figs. 1, 2, 4)")
+    Term.(const action $ no_js $ minutes_arg $ seed)
+
+let push_cmd =
+  let servers = Arg.(value & opt int 120 & info [ "servers" ] ~docv:"N" ~doc:"fleet size") in
+  let seeders = Arg.(value & opt int 3 & info [ "seeders" ] ~docv:"N" ~doc:"seeders per bucket") in
+  let bad_rate =
+    Arg.(value & opt float 0. & info [ "bad-rate" ] ~docv:"P" ~doc:"bad-package probability")
+  in
+  let validation =
+    Arg.(value & opt float 0.95 & info [ "validation" ] ~docv:"P" ~doc:"validation catch rate")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed") in
+  let action servers seeders bad_rate validation minutes seed =
+    let app =
+      Workload.Macro_app.generate
+        { Workload.Macro_app.default_params with
+          Workload.Macro_app.n_funcs = 6_000;
+          core_funcs = 600;
+          instrs_per_request = 30.0e6
+        }
+    in
+    let cfg =
+      { Cluster.Fleet.default_config with
+        Cluster.Fleet.n_servers = servers;
+        seeders_per_bucket = seeders;
+        validation_catch_rate = validation
+      }
+    in
+    let stats =
+      Cluster.Fleet.simulate_push cfg app ~seed ~bad_package_rate:bad_rate ~thin_profile_rate:0.
+        ~duration:(float_of_int (minutes * 60))
+    in
+    Format.printf "%a@." Cluster.Fleet.pp_stats stats;
+    Printf.printf "\nfleet RPS (normalized to aggregate peak):\n";
+    let until = minutes * 60 in
+    let steps = max 1 (until / 15) in
+    let t = ref steps in
+    while !t <= until do
+      Printf.printf "  t=%5ds %6.2f\n" !t
+        (Series.value_at stats.Cluster.Fleet.fleet_rps (float_of_int !t)
+        /. stats.Cluster.Fleet.fleet_peak_rps);
+      t := !t + steps
+    done
+  in
+  Cmd.v
+    (Cmd.info "push" ~doc:"continuous-deployment push across a fleet (C2 seeding + C3 restart)")
+    Term.(const action $ servers $ seeders $ bad_rate $ validation $ minutes_arg $ seed)
+
+let () =
+  let info = Cmd.info "fleet_sim" ~doc:"fleet and warmup simulations of the Jump-Start reproduction" in
+  exit (Cmd.eval (Cmd.group info [ warmup_cmd; push_cmd ]))

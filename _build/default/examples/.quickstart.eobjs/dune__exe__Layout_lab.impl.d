@@ -1,0 +1,1 @@
+examples/layout_lab.ml: Array Hashtbl Hhbc Interp Jit Jit_profile Js_util Layout List Mh_runtime Printf Vasm Workload

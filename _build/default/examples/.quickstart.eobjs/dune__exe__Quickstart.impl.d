@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hashtbl Hhbc Interp Jit Jit_profile List Machine Mh_runtime Minihack Printf Vasm

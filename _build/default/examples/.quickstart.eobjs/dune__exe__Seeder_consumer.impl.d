@@ -1,0 +1,1 @@
+examples/seeder_consumer.ml: Format Hhbc Interp Jit Js_util Jumpstart Printf String Workload

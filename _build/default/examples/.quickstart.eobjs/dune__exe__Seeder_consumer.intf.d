@@ -1,0 +1,1 @@
+examples/seeder_consumer.mli:

@@ -1,0 +1,1 @@
+examples/warmup_curve.ml: Array Cluster Js_util List Printf String Workload

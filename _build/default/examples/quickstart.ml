@@ -1,0 +1,104 @@
+(* Quickstart: compile a minihack program, run it, profile it, and JIT it.
+
+     dune exec examples/quickstart.exe
+
+   This walks the whole VM substrate in one sitting: source -> bytecode ->
+   interpreter (tier 0/1 with profiling probes) -> inline planning ->
+   lowering to Vasm -> Ext-TSP layout -> code cache placement. *)
+
+let source =
+  {|// A toy "request handler" with a polymorphic hot loop.
+class Shape {
+  prop $tag = 0;
+  method area() { return 0; }
+}
+class Circle extends Shape {
+  prop $r = 2;
+  method __construct() { $this->tag = 1; }
+  method area() { return 3 * $this->r * $this->r; }
+}
+class Square extends Shape {
+  prop $side = 3;
+  method __construct() { $this->tag = 2; }
+  method area() { return $this->side * $this->side; }
+}
+
+function total_area($shapes) {
+  $acc = 0;
+  foreach ($shapes as $s) { $acc = $acc + $s->area(); }
+  return $acc;
+}
+
+function handle_request($n) {
+  $shapes = vec[];
+  for ($i = 0; $i < 20; $i = $i + 1) {
+    if ($i % 7 == 0) { $shapes[] = new Square(); }
+    else { $shapes[] = new Circle(); }
+  }
+  $acc = 0;
+  for ($r = 0; $r < $n; $r = $r + 1) { $acc = $acc + total_area($shapes); }
+  return $acc;
+}
+
+function main() {
+  echo "total: " . handle_request(25) . "\n";
+  return 0;
+}|}
+
+let () =
+  print_endline "== 1. compile minihack source to bytecode ==";
+  let repo = Minihack.Compile.compile_source ~path:"quickstart.mh" source in
+  Format.printf "%a@." Hhbc.Repo.pp_summary repo;
+  (match Hhbc.Repo.find_func_by_name repo "total_area" with
+  | Some f -> Format.printf "@.%a@." Hhbc.Func.pp f
+  | None -> ());
+
+  print_endline "\n== 2. run it in the interpreter with tier-1 profiling ==";
+  let counters = Jit_profile.Counters.create repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Mh_runtime.Heap.create repo layouts in
+  let engine = Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo heap in
+  ignore (Interp.Engine.run_main engine);
+  print_string (Interp.Engine.output engine);
+  Printf.printf "%d bytecode instructions executed\n" (Interp.Engine.steps engine);
+  Printf.printf "hottest functions (entries):\n";
+  List.iteri
+    (fun i fid ->
+      if i < 5 then
+        Printf.printf "  %-16s %6d entries\n" (Hhbc.Repo.func repo fid).Hhbc.Func.name
+          (Jit_profile.Counters.func_entries counters fid))
+    (Jit_profile.Counters.profiled_funcs counters);
+
+  print_endline "\n== 3. tier-2 region compilation (inlining + Vasm + Ext-TSP) ==";
+  let config = { Jit.Compiler.default_config with Jit.Compiler.min_entries = 2 } in
+  let compiled = Jit.Compiler.compile repo counters config ~measured:None in
+  Printf.printf "%d optimized translations, hot area %d B, cold area %d B\n"
+    compiled.Jit.Compiler.n_translations
+    (Jit.Code_cache.used_hot compiled.Jit.Compiler.cache)
+    (Jit.Code_cache.used_cold compiled.Jit.Compiler.cache);
+  Hashtbl.iter
+    (fun fid vf ->
+      Printf.printf "  %-16s %4d vasm blocks, %5d bytes, %d inlined bodies\n"
+        (Hhbc.Repo.func repo fid).Hhbc.Func.name (Vasm.Vfunc.n_blocks vf)
+        (Vasm.Vfunc.code_size vf)
+        (Vasm.Inline_tree.n_inlined vf.Vasm.Vfunc.tree))
+    compiled.Jit.Compiler.vfuncs;
+
+  print_endline "\n== 4. replay execution through the machine model ==";
+  let hier = Machine.Hierarchy.create Machine.Hierarchy.default_config in
+  let sink =
+    {
+      Jit.Trace_adapter.fetch = (fun ~addr ~size -> Machine.Hierarchy.fetch hier ~addr ~size);
+      branch = (fun ~pc ~target ~taken -> Machine.Hierarchy.branch hier ~pc ~target ~taken);
+      load = (fun ~addr -> Machine.Hierarchy.load hier ~addr);
+      store = (fun ~addr -> Machine.Hierarchy.store hier ~addr);
+    }
+  in
+  let probes =
+    Jit.Context.probes repo
+      ~lookup:(Jit.Compiler.lookup compiled)
+      (Jit.Trace_adapter.handler ~cache:compiled.Jit.Compiler.cache sink)
+  in
+  let engine2 = Interp.Engine.create ~probes repo (Mh_runtime.Heap.create repo layouts) in
+  ignore (Interp.Engine.run_main engine2);
+  Format.printf "%a@." Machine.Hierarchy.pp_snapshot (Machine.Hierarchy.snapshot hier)

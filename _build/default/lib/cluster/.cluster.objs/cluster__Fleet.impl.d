@@ -1,0 +1,1 @@
+lib/cluster/fleet.ml: Array Float Format Hashtbl Js_util List Server

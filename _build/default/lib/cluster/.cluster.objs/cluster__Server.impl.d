@@ -1,0 +1,1 @@
+lib/cluster/server.ml: Array Float Jit Js_util Workload

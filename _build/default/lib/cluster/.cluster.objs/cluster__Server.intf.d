@@ -1,0 +1,1 @@
+lib/cluster/server.mli: Js_util Workload

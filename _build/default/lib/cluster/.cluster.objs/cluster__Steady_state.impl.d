@@ -1,0 +1,1 @@
+lib/cluster/steady_state.ml: Interp Jit Js_util Jumpstart List Machine Workload

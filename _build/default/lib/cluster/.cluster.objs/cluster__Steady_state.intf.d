@@ -1,0 +1,1 @@
+lib/cluster/steady_state.mli: Jumpstart Machine Workload

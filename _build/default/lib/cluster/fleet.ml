@@ -1,0 +1,186 @@
+module R = Js_util.Rng
+
+type config = {
+  n_servers : int;
+  n_buckets : int;
+  seeders_per_bucket : int;
+  server : Server.config;
+  validation_catch_rate : float;
+  max_boot_attempts : int;
+  fallback_enabled : bool;
+  max_seeder_retries : int;
+}
+
+let default_config =
+  {
+    n_servers = 200;
+    n_buckets = 10;
+    seeders_per_bucket = 3;
+    server = Server.default_config;
+    validation_catch_rate = 0.95;
+    max_boot_attempts = 3;
+    fallback_enabled = true;
+    max_seeder_retries = 4;
+  }
+
+type stats = {
+  packages_published : int;
+  packages_rejected : int;
+  bad_packages_published : int;
+  crashes : (float * int) list;
+  fallbacks : int;
+  jump_started : int;
+  fleet_rps : Js_util.Stats.Series.t;
+  fleet_peak_rps : float;
+}
+
+(* One fleet member during C3. *)
+type member = {
+  bucket : int;
+  mutable server : Server.t;
+  mutable started_at : float;
+  mutable attempts : int;
+  mutable fell_back : bool;
+  mutable crash_count : int;
+  seed_base : int;
+}
+
+(* C2: run seeders, with fault injection and the §VI gates. *)
+let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
+  let published : (int, Server.package list ref) Hashtbl.t = Hashtbl.create 16 in
+  let n_published = ref 0 and n_rejected = ref 0 and n_bad_published = ref 0 in
+  for bucket = 0 to config.n_buckets - 1 do
+    let bucket_packages = ref [] in
+    Hashtbl.replace published bucket bucket_packages;
+    for s = 0 to config.seeders_per_bucket - 1 do
+      (* each seeder retries until it publishes or gives up *)
+      let rec attempt k =
+        if k > config.max_seeder_retries then ()
+        else begin
+          let bad = R.bool rng bad_package_rate in
+          let thin = R.bool rng thin_profile_rate in
+          let quality = if thin then 0.4 else 1.0 in
+          let pkg =
+            Server.make_package config.server app ~quality ~bad
+              ~coverage_target:config.server.Server.profile_request_target ()
+          in
+          (* §VI-B coverage gate: thin profiles are detectably small *)
+          let rejected_by_coverage = quality < 0.6 in
+          (* §VI-A.1 self-validation: bad packages are usually caught *)
+          let rejected_by_validation = bad && R.bool rng config.validation_catch_rate in
+          if rejected_by_coverage || rejected_by_validation then begin
+            incr n_rejected;
+            attempt (k + 1)
+          end
+          else begin
+            incr n_published;
+            if bad then incr n_bad_published;
+            bucket_packages := pkg :: !bucket_packages
+          end
+        end
+      in
+      ignore s;
+      attempt 0
+    done
+  done;
+  (published, !n_published, !n_rejected, !n_bad_published)
+
+let pick_package rng packages =
+  match !packages with
+  | [] -> None
+  | l -> Some (R.pick rng (Array.of_list l))
+
+let forced_seeding config app ~bad_per_bucket =
+  let published = Hashtbl.create 16 in
+  let n = config.seeders_per_bucket in
+  let bad_n = min bad_per_bucket n in
+  for bucket = 0 to config.n_buckets - 1 do
+    let packages =
+      List.init n (fun i ->
+          Server.make_package config.server app ~bad:(i < bad_n)
+            ~coverage_target:config.server.Server.profile_request_target ())
+    in
+    Hashtbl.replace published bucket (ref packages)
+  done;
+  (published, config.n_buckets * n, 0, config.n_buckets * bad_n)
+
+let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin_profile_rate
+    ~duration =
+  let rng = R.create seed in
+  let published, n_published, n_rejected, n_bad_published =
+    match force_bad_per_bucket with
+    | Some bad_per_bucket -> forced_seeding config app ~bad_per_bucket
+    | None -> run_seeders config app rng ~bad_package_rate ~thin_profile_rate
+  in
+  let fallbacks = ref 0 and jump_started = ref 0 in
+  let boot_member ~bucket ~seed_base ~attempts ~at =
+    let packages = Hashtbl.find published bucket in
+    let role =
+      if (not config.fallback_enabled) || attempts < config.max_boot_attempts then begin
+        match pick_package rng packages with
+        | Some pkg -> Server.Consumer pkg
+        | None -> Server.No_jumpstart
+      end
+      else Server.No_jumpstart
+    in
+    (match role with
+    | Server.No_jumpstart -> if attempts > 0 || !packages = [] then incr fallbacks
+    | Server.Consumer _ -> if attempts = 0 then incr jump_started
+    | Server.Seeder -> ());
+    let server = Server.create ~discovery_seed:(seed_base + (attempts * 7919)) config.server app role in
+    (server, at)
+  in
+  (* C3: the whole fleet restarts at t = 0 *)
+  let members =
+    Array.init config.n_servers (fun i ->
+        let bucket = i * config.n_buckets / config.n_servers in
+        let seed_base = seed + (i * 104729) in
+        let server, started_at = boot_member ~bucket ~seed_base ~attempts:0 ~at:0. in
+        { bucket; server; started_at; attempts = 0; fell_back = false; crash_count = 0; seed_base })
+  in
+  let crashes : (float, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let fleet_rps = Js_util.Stats.Series.create () in
+  let dt = 1.0 in
+  let time = ref 0. in
+  while !time < duration do
+    time := !time +. dt;
+    let total = ref 0. in
+    Array.iter
+      (fun m ->
+        Server.step m.server ~dt;
+        (match Server.crashed m.server with
+        | Some Server.Bad_package ->
+          m.crash_count <- m.crash_count + 1;
+          m.attempts <- m.attempts + 1;
+          let round = Float.round (!time /. 30.) *. 30. in
+          (match Hashtbl.find_opt crashes round with
+          | Some r -> incr r
+          | None -> Hashtbl.add crashes round (ref 1));
+          let server, _ = boot_member ~bucket:m.bucket ~seed_base:m.seed_base ~attempts:m.attempts ~at:!time in
+          m.server <- server;
+          m.started_at <- !time;
+          m.fell_back <- m.attempts >= config.max_boot_attempts && config.fallback_enabled
+        | None -> ());
+        total := !total +. Server.current_rps m.server)
+      members;
+    Js_util.Stats.Series.add fleet_rps ~time:!time ~value:!total
+  done;
+  let fleet_peak_rps = Array.fold_left (fun acc m -> acc +. Server.peak_rps m.server) 0. members in
+  {
+    packages_published = n_published;
+    packages_rejected = n_rejected;
+    bad_packages_published = n_bad_published;
+    crashes =
+      Hashtbl.fold (fun t r acc -> (t, !r) :: acc) crashes [] |> List.sort compare;
+    fallbacks = !fallbacks;
+    jump_started = !jump_started;
+    fleet_rps;
+    fleet_peak_rps;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>published=%d rejected=%d bad_published=%d jump_started=%d fallbacks=%d@,crash rounds:"
+    s.packages_published s.packages_rejected s.bad_packages_published s.jump_started s.fallbacks;
+  List.iter (fun (t, n) -> Format.fprintf fmt "@,  t=%5.0fs crashed=%d" t n) s.crashes;
+  Format.fprintf fmt "@]"

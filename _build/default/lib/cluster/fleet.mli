@@ -1,0 +1,65 @@
+(** Fleet-scale deployment simulation (paper §II-C, §VI).
+
+    Models one region's worth of web servers partitioned into semantic
+    buckets, going through a continuous-deployment push:
+
+    - {b C2}: a few servers per (region, bucket) run as Jump-Start seeders,
+      each independently collecting, validating and publishing its own
+      package (§VI-A.2 "multiple, randomized profiles").  Fault injection
+      can make a seeder produce a {e bad} package (a profile that triggers a
+      JIT bug on consumers) or a {e thin} one (drained data center, §VI-B);
+      seeder-side validation catches bad packages with a configurable
+      probability, and the coverage gate rejects thin ones;
+    - {b C3}: every server restarts as a consumer, picking a random package
+      for its bucket.  A consumer that got a bad package crashes and
+      restarts with a fresh random pick, so the number of affected servers
+      decays exponentially with each round; after [max_boot_attempts] it
+      falls back to no-Jump-Start (§VI-A.3).
+
+    The simulation produces aggregate fleet throughput over time and the
+    crash/fallback accounting used by the reliability benches. *)
+
+type config = {
+  n_servers : int;
+  n_buckets : int;
+  seeders_per_bucket : int;
+  server : Server.config;
+  validation_catch_rate : float;
+      (** probability seeder self-validation catches a bad package *)
+  max_boot_attempts : int;
+  fallback_enabled : bool;
+  max_seeder_retries : int;
+}
+
+val default_config : config
+
+type stats = {
+  packages_published : int;
+  packages_rejected : int;  (** caught by validation or the coverage gate *)
+  bad_packages_published : int;
+  crashes : (float * int) list;  (** (time, #servers crashed) per round *)
+  fallbacks : int;
+  jump_started : int;
+  fleet_rps : Js_util.Stats.Series.t;  (** aggregate over the C3 window *)
+  fleet_peak_rps : float;
+}
+
+(** [simulate_push config app ~seed ~bad_package_rate ~thin_profile_rate
+    ~duration] runs C2 (seeding) then C3 (fleet restart) and simulates
+    [duration] seconds of the C3 phase.
+
+    [force_bad_per_bucket], when given, bypasses random fault injection and
+    validation: each bucket gets exactly that many bad packages plus
+    good ones up to [seeders_per_bucket] — the controlled setting for the
+    §VI-A.2 blast-radius experiment. *)
+val simulate_push :
+  config ->
+  ?force_bad_per_bucket:int ->
+  Workload.Macro_app.t ->
+  seed:int ->
+  bad_package_rate:float ->
+  thin_profile_rate:float ->
+  duration:float ->
+  stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/core/consumer.ml: Hhbc Interp Jit Jit_profile Mh_runtime Options Package Printf Store Vasm

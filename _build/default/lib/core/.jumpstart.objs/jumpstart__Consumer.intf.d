@@ -1,0 +1,1 @@
+lib/core/consumer.mli: Hhbc Interp Jit Jit_profile Js_util Mh_runtime Options Package Store

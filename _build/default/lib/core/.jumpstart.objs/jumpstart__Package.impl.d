@@ -1,0 +1,1 @@
+lib/core/package.ml: Format Hhbc Jit Jit_profile Js_util Options Printf String

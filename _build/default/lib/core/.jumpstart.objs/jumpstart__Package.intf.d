@@ -1,0 +1,1 @@
+lib/core/package.mli: Format Hhbc Jit Jit_profile Options

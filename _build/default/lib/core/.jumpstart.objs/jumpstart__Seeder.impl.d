@@ -1,0 +1,1 @@
+lib/core/seeder.ml: Array Consumer Interp Jit Jit_profile List Mh_runtime Options Package Store Vasm

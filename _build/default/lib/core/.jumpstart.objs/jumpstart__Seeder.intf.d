@@ -1,0 +1,1 @@
+lib/core/seeder.mli: Consumer Hhbc Options Package Store

@@ -1,0 +1,1 @@
+lib/core/store.ml: Array Bytes Char Hashtbl Js_util List Package

@@ -1,0 +1,95 @@
+type traffic = Interp.Engine.t -> unit
+
+type vm = {
+  repo : Hhbc.Repo.t;
+  options : Options.t;
+  package : Package.t option;
+  counters : Jit_profile.Counters.t;
+  layouts : Mh_runtime.Class_layout.table;
+  compiled : Jit.Compiler.compiled;
+}
+
+let compile_config (options : Options.t) =
+  {
+    Jit.Compiler.default_config with
+    Jit.Compiler.use_measured_bb_weights = options.Options.bb_layout_opt;
+    (* the shipped order is passed explicitly; local recomputation (when
+       func_sort_opt is off) uses the tier-1 graph like pre-Jump-Start HHVM *)
+    func_order = Jit.Compiler.C3_tier1;
+    mode = Vasm.Lower.Optimized;
+  }
+
+let layouts_for repo (options : Options.t) counters =
+  let hotness cid nid = Jit_profile.Counters.prop_hotness counters cid nid in
+  Mh_runtime.Class_layout.build repo ~reorder:options.Options.prop_reorder_opt ~hotness
+
+let serving_engine vm ?probes () =
+  let heap = Mh_runtime.Heap.create vm.repo vm.layouts in
+  Interp.Engine.create ?probes vm.repo heap
+
+let boot_with_package repo options ?jit_bug (package : Package.t) =
+  match jit_bug with
+  | Some bug when bug package -> Error "JIT compiler crash triggered by profile data"
+  | Some _ | None ->
+    let counters = package.Package.counters in
+    let layouts = layouts_for repo options counters in
+    let config = compile_config options in
+    let vfuncs = Jit.Compiler.lower_all repo counters config in
+    let measured = if options.Options.bb_layout_opt then Some package.Package.vasm else None in
+    let order =
+      if options.Options.func_sort_opt then Some package.Package.func_order else None
+    in
+    let compiled = Jit.Compiler.finish repo counters config ~measured ?order vfuncs in
+    Ok { repo; options; package = Some package; counters; layouts; compiled }
+
+let boot_without_jumpstart repo options ~traffic =
+  let counters = Jit_profile.Counters.create repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Mh_runtime.Heap.create repo layouts in
+  let engine = Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo heap in
+  traffic engine;
+  let config = Jit.Compiler.no_jumpstart_config in
+  let compiled = Jit.Compiler.compile repo counters config ~measured:None in
+  { repo; options; package = None; counters; layouts; compiled }
+
+type outcome = Jump_started of vm | Fell_back of vm * string
+
+let health_check vm traffic =
+  match traffic with
+  | None -> Ok ()
+  | Some run -> (
+    let engine = serving_engine vm () in
+    try
+      run engine;
+      Ok ()
+    with
+    | Interp.Engine.Runtime_error msg -> Error ("unhealthy: " ^ msg)
+    | Failure msg -> Error ("unhealthy: " ^ msg))
+
+let boot repo (options : Options.t) store rng ~region ~bucket ?jit_bug ?health_traffic
+    ~fallback_traffic () =
+  let fall_back reason = Fell_back (boot_without_jumpstart repo options ~traffic:fallback_traffic, reason) in
+  if not options.Options.enabled then fall_back "Jump-Start disabled by configuration"
+  else begin
+    let rec attempt k last_error =
+      if k >= options.Options.max_boot_attempts then
+        fall_back (Printf.sprintf "exhausted %d boot attempts (%s)" k last_error)
+      else
+        match Store.pick_random store rng ~region ~bucket with
+        | None -> fall_back "no profile package available"
+        | Some (bytes, _meta) -> (
+          match Package.of_bytes repo bytes with
+          | Error msg -> attempt (k + 1) msg
+          | Ok package -> (
+            match Package.check_coverage package options with
+            | Error msg -> attempt (k + 1) msg
+            | Ok () -> (
+              match boot_with_package repo options ?jit_bug package with
+              | Error msg -> attempt (k + 1) msg
+              | Ok vm -> (
+                match health_check vm health_traffic with
+                | Ok () -> Jump_started vm
+                | Error msg -> attempt (k + 1) msg))))
+    in
+    attempt 0 "no attempts made"
+  end

@@ -1,0 +1,34 @@
+(** Jump-Start runtime options.
+
+    HHVM exposes every Jump-Start behaviour through runtime options
+    overridable via configuration files (paper §III item 2, §VI); this
+    module mirrors that: a typed record plus a key=value textual form so
+    configurations can be expressed per machine group in the fleet
+    simulator, including the "simple configuration option to disable
+    Jump-Start ... as a last resort" (§VI). *)
+
+type t = {
+  enabled : bool;  (** master switch *)
+  bb_layout_opt : bool;  (** §V-A: measured Vasm weights for Ext-TSP *)
+  func_sort_opt : bool;  (** §V-B: shipped C3 order from the tier-2 graph *)
+  prop_reorder_opt : bool;  (** §V-C: object property reordering *)
+  validate_packages : bool;  (** §VI-A.1: seeder self-validation *)
+  min_coverage_funcs : int;  (** §VI-B: coverage threshold before publish *)
+  min_coverage_entries : int;  (** §VI-B: total profiled entries threshold *)
+  max_boot_attempts : int;  (** §VI-A.3: retries before no-Jump-Start fallback *)
+}
+
+(** Everything on, production-like thresholds. *)
+val default : t
+
+(** Jump-Start disabled (the paper's baseline tier). *)
+val disabled : t
+
+(** Jump-Start on but all three steady-state optimizations off — the
+    baseline of paper Fig. 6. *)
+val no_steady_state_opts : t
+
+(** Textual round trip, ["key=value"] lines.  Unknown keys are rejected. *)
+val to_string : t -> string
+
+val of_string : string -> (t, string) result

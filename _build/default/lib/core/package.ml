@@ -1,0 +1,88 @@
+module B = Js_util.Binio
+module W = B.Writer
+module Rd = B.Reader
+
+type meta = {
+  region : int;
+  bucket : int;
+  seeder_id : int;
+  n_profiled_funcs : int;
+  total_entries : int;
+}
+
+type t = {
+  meta : meta;
+  counters : Jit_profile.Counters.t;
+  vasm : Jit.Vasm_profile.t;
+  func_order : int array;
+  preload_units : int array;
+}
+
+let magic = "JSPK"
+let version = 1
+
+let to_bytes t =
+  let w = W.create () in
+  W.varint w t.meta.region;
+  W.varint w t.meta.bucket;
+  W.varint w t.meta.seeder_id;
+  W.varint w t.meta.n_profiled_funcs;
+  W.varint w t.meta.total_entries;
+  W.array w (fun uid -> W.varint w uid) t.preload_units;
+  W.array w (fun fid -> W.varint w fid) t.func_order;
+  Jit_profile.Counters.serialize t.counters w;
+  Jit.Vasm_profile.serialize t.vasm w;
+  B.frame ~magic ~version (W.contents w)
+
+let of_bytes repo data =
+  try
+    let payload = B.unframe ~magic ~expected_version:version data in
+    let r = Rd.of_string payload in
+    let region = Rd.varint r in
+    let bucket = Rd.varint r in
+    let seeder_id = Rd.varint r in
+    let n_profiled_funcs = Rd.varint r in
+    let total_entries = Rd.varint r in
+    let n_funcs = Hhbc.Repo.n_funcs repo in
+    let n_units = Hhbc.Repo.n_units repo in
+    let preload_units =
+      Rd.array r (fun r ->
+          let uid = Rd.varint r in
+          if uid >= n_units then raise (B.Corrupt "preload unit out of range");
+          uid)
+    in
+    let func_order =
+      Rd.array r (fun r ->
+          let fid = Rd.varint r in
+          if fid >= n_funcs then raise (B.Corrupt "func order id out of range");
+          fid)
+    in
+    let counters = Jit_profile.Counters.deserialize repo r in
+    let vasm = Jit.Vasm_profile.deserialize r in
+    Rd.expect_end r;
+    Ok
+      {
+        meta = { region; bucket; seeder_id; n_profiled_funcs; total_entries };
+        counters;
+        vasm;
+        func_order;
+        preload_units;
+      }
+  with B.Corrupt msg -> Error ("corrupt package: " ^ msg)
+
+let check_coverage t (options : Options.t) =
+  if t.meta.n_profiled_funcs < options.Options.min_coverage_funcs then
+    Error
+      (Printf.sprintf "insufficient coverage: %d profiled functions < %d"
+         t.meta.n_profiled_funcs options.Options.min_coverage_funcs)
+  else if t.meta.total_entries < options.Options.min_coverage_entries then
+    Error
+      (Printf.sprintf "insufficient coverage: %d profiled entries < %d" t.meta.total_entries
+         options.Options.min_coverage_entries)
+  else Ok ()
+
+let payload_size t = String.length (to_bytes t)
+
+let pp_meta fmt m =
+  Format.fprintf fmt "package[region=%d bucket=%d seeder=%d funcs=%d entries=%d]" m.region
+    m.bucket m.seeder_id m.n_profiled_funcs m.total_entries

@@ -1,0 +1,49 @@
+(** The Jump-Start profile-data package (paper §IV-B).
+
+    Contents map to the paper's four data categories:
+    + {b repo global data}: the preload list of units first touched during
+      profiling (our repo keeps strings/arrays in memory, so the unit list
+      is the load-bearing part);
+    + {b JIT profile data}: the full tier-1 {!Jit_profile.Counters} —
+      bytecode block/arc counters, call-target profiles, entry counts — plus
+      the property-access table;
+    + {b profile data for optimized code}: the measured Vasm-level
+      {!Jit.Vasm_profile} collected from instrumented optimized code;
+    + {b intermediate JIT results}: the function placement order computed on
+      the seeder (C3 over the accurate tier-2 call graph).
+
+    The wire format is framed (magic, version, CRC32) so consumers detect
+    truncation/corruption before trusting any content, and every id is
+    re-validated against the consumer's repo during decode. *)
+
+type meta = {
+  region : int;
+  bucket : int;
+  seeder_id : int;
+  n_profiled_funcs : int;
+  total_entries : int;
+}
+
+type t = {
+  meta : meta;
+  counters : Jit_profile.Counters.t;
+  vasm : Jit.Vasm_profile.t;
+  func_order : int array;
+  preload_units : int array;
+}
+
+val magic : string
+val version : int
+
+val to_bytes : t -> string
+
+(** [of_bytes repo data] decodes and validates.  Returns [Error _] on bad
+    magic/version/CRC or any id out of range for [repo]. *)
+val of_bytes : Hhbc.Repo.t -> string -> (t, string) result
+
+(** [check_coverage t options] — the §VI-B publish gate: enough profiled
+    functions and enough total requests behind them. *)
+val check_coverage : t -> Options.t -> (unit, string) result
+
+val payload_size : t -> int
+val pp_meta : Format.formatter -> meta -> unit

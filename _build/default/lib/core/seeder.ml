@@ -1,0 +1,89 @@
+type outcome = {
+  package : Package.t;
+  bytes : string;
+  profile_requests_steps : int;
+}
+
+let run repo (options : Options.t) ~profile_traffic ~optimized_traffic ?validation_traffic
+    ?jit_bug ~region ~bucket ~seeder_id () =
+  (* Phase 1: serve requests, JIT profile code, collect tier-1 counters. *)
+  let counters = Jit_profile.Counters.create repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Mh_runtime.Heap.create repo layouts in
+  let engine = Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo heap in
+  profile_traffic engine;
+  let profile_steps = Interp.Engine.steps engine in
+  (* Phase 2: JIT instrumented optimized code. *)
+  let config =
+    { (Consumer.compile_config options) with Jit.Compiler.mode = Vasm.Lower.Instrumented }
+  in
+  let vfuncs = Jit.Compiler.lower_all repo counters config in
+  (* Phase 3: serve on instrumented optimized code; collect the Vasm-level
+     profile and the tier-2 call graph. *)
+  let measured = Jit.Vasm_profile.create () in
+  let lookup fid = List.assoc_opt fid vfuncs in
+  let probes = Jit.Context.probes repo ~lookup (Jit.Vasm_profile.handler measured) in
+  let heap2 = Mh_runtime.Heap.create repo layouts in
+  let engine2 = Interp.Engine.create ~probes repo heap2 in
+  optimized_traffic engine2;
+  (* Phase 4: compute the function order (intermediate JIT result). *)
+  let order_config = { config with Jit.Compiler.func_order = Jit.Compiler.C3_tier2 } in
+  let func_order =
+    Jit.Compiler.function_order counters order_config ~measured:(Some measured) vfuncs
+  in
+  (* Phase 5: serialize. *)
+  let profiled = Jit_profile.Counters.profiled_funcs counters in
+  let package =
+    {
+      Package.meta =
+        {
+          Package.region;
+          bucket;
+          seeder_id;
+          n_profiled_funcs = List.length profiled;
+          total_entries = Jit_profile.Counters.total_entries counters;
+        };
+      counters = Jit_profile.Counters.copy counters;
+      vasm = measured;
+      func_order;
+      preload_units = Array.of_list (Jit_profile.Counters.touched_units counters);
+    }
+  in
+  let bytes = Package.to_bytes package in
+  (* Phase 6: coverage gate (§VI-B). *)
+  match Package.check_coverage package options with
+  | Error msg -> Error ("coverage gate: " ^ msg)
+  | Ok () ->
+    (* Phase 7: self-validation — restart in consumer mode on the freshly
+       serialized bytes and require a healthy boot (§VI-A.1). *)
+    if not options.Options.validate_packages then
+      Ok { package; bytes; profile_requests_steps = profile_steps }
+    else begin
+      match Package.of_bytes repo bytes with
+      | Error msg -> Error ("validation: round-trip failed: " ^ msg)
+      | Ok reread -> (
+        match Consumer.boot_with_package repo options ?jit_bug reread with
+        | Error msg -> Error ("validation: consumer boot failed: " ^ msg)
+        | Ok vm -> (
+          match validation_traffic with
+          | None -> Ok { package; bytes; profile_requests_steps = profile_steps }
+          | Some traffic -> (
+            let check_engine = Consumer.serving_engine vm () in
+            try
+              traffic check_engine;
+              Ok { package; bytes; profile_requests_steps = profile_steps }
+            with
+            | Interp.Engine.Runtime_error msg -> Error ("validation: unhealthy: " ^ msg)
+            | Failure msg -> Error ("validation: unhealthy: " ^ msg))))
+    end
+
+let run_and_publish repo options store ~profile_traffic ~optimized_traffic ?validation_traffic
+    ?jit_bug ~region ~bucket ~seeder_id () =
+  match
+    run repo options ~profile_traffic ~optimized_traffic ?validation_traffic ?jit_bug ~region
+      ~bucket ~seeder_id ()
+  with
+  | Error _ as e -> e
+  | Ok result ->
+    Store.publish store ~region ~bucket result.bytes result.package.Package.meta;
+    Ok result

@@ -1,0 +1,55 @@
+(** Jump-Start seeder workflow (paper Fig. 3b and §VI).
+
+    A seeder runs during the deployment's C2 phase: it serves traffic while
+    profiling (tier 1), JITs the optimized code {e with instrumentation},
+    serves more traffic to collect the Vasm-level profile, computes the
+    function order, serializes everything into a package, self-validates by
+    restarting in consumer mode, and publishes only if healthy. *)
+
+type outcome = {
+  package : Package.t;
+  bytes : string;  (** the serialized, framed package *)
+  profile_requests_steps : int;  (** interpreter work during tier-1 phase *)
+}
+
+(** [run repo options ~profile_traffic ~optimized_traffic ...] executes the
+    whole seeder pipeline.
+
+    - [profile_traffic]: traffic served while collecting tier-1 counters;
+    - [optimized_traffic]: traffic served on the instrumented optimized
+      code (Vasm profile collection);
+    - [validation_traffic]: health-check load for self-validation (defaults
+      to skipping the run-traffic part of validation);
+    - [jit_bug]: fault injection passed through to validation (§VI-A.1).
+
+    Returns [Error reason] when the §VI-B coverage gate or §VI-A.1
+    validation rejects the package — a real seeder would then restart in
+    seeder mode and try again. *)
+val run :
+  Hhbc.Repo.t ->
+  Options.t ->
+  profile_traffic:Consumer.traffic ->
+  optimized_traffic:Consumer.traffic ->
+  ?validation_traffic:Consumer.traffic ->
+  ?jit_bug:(Package.t -> bool) ->
+  region:int ->
+  bucket:int ->
+  seeder_id:int ->
+  unit ->
+  (outcome, string) result
+
+(** [run_and_publish ... store ...] — [run], then {!Store.publish} on
+    success.  Returns the publish decision. *)
+val run_and_publish :
+  Hhbc.Repo.t ->
+  Options.t ->
+  Store.t ->
+  profile_traffic:Consumer.traffic ->
+  optimized_traffic:Consumer.traffic ->
+  ?validation_traffic:Consumer.traffic ->
+  ?jit_bug:(Package.t -> bool) ->
+  region:int ->
+  bucket:int ->
+  seeder_id:int ->
+  unit ->
+  (outcome, string) result

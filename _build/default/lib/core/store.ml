@@ -1,0 +1,44 @@
+type entry = { mutable bytes : string; meta : Package.meta }
+type t = { table : (int * int, entry list ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+let slot t ~region ~bucket =
+  match Hashtbl.find_opt t.table (region, bucket) with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.table (region, bucket) l;
+    l
+
+let publish t ~region ~bucket bytes meta =
+  let l = slot t ~region ~bucket in
+  l := { bytes; meta } :: !l
+
+let pick_random t rng ~region ~bucket =
+  match Hashtbl.find_opt t.table (region, bucket) with
+  | None -> None
+  | Some { contents = [] } -> None
+  | Some { contents = entries } ->
+    let arr = Array.of_list entries in
+    let e = Js_util.Rng.pick rng arr in
+    Some (e.bytes, e.meta)
+
+let count t ~region ~bucket =
+  match Hashtbl.find_opt t.table (region, bucket) with
+  | None -> 0
+  | Some l -> List.length !l
+
+let clear t ~region ~bucket = Hashtbl.remove t.table (region, bucket)
+
+let corrupt_one t rng ~region ~bucket =
+  match Hashtbl.find_opt t.table (region, bucket) with
+  | None | Some { contents = [] } -> false
+  | Some { contents = entries } ->
+    let arr = Array.of_list entries in
+    let e = Js_util.Rng.pick rng arr in
+    let b = Bytes.of_string e.bytes in
+    let pos = Bytes.length b / 2 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+    e.bytes <- Bytes.to_string b;
+    true

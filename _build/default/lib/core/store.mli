@@ -1,0 +1,29 @@
+(** Package store: the distribution channel between seeders and consumers.
+
+    Keyed by (data-center region, semantic bucket), holding the {e multiple
+    randomized profiles} of paper §VI-A.2: several seeders publish
+    independently collected packages, and each consumer picks one at random
+    on every (re)boot, bounding the blast radius of a bad package.
+
+    Packages are stored as serialized bytes — consumers must go through the
+    full decode/validate path, so corruption is exercised for real. *)
+
+type t
+
+val create : unit -> t
+
+(** [publish t ~region ~bucket bytes meta] adds a package. *)
+val publish : t -> region:int -> bucket:int -> string -> Package.meta -> unit
+
+(** [pick_random t rng ~region ~bucket] — a uniformly random package for the
+    key, or [None] if none published. *)
+val pick_random : t -> Js_util.Rng.t -> region:int -> bucket:int -> (string * Package.meta) option
+
+val count : t -> region:int -> bucket:int -> int
+
+(** Remove every package for a key (deployment rollover). *)
+val clear : t -> region:int -> bucket:int -> unit
+
+(** Test/fault-injection hook: corrupt one stored package by flipping a byte
+    mid-payload.  Returns [false] if the key holds no packages. *)
+val corrupt_one : t -> Js_util.Rng.t -> region:int -> bucket:int -> bool

@@ -1,0 +1,1 @@
+lib/hhbc/class_def.ml: Array Format Instr Printf Value

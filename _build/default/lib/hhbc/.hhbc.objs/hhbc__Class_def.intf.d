@@ -1,0 +1,1 @@
+lib/hhbc/class_def.mli: Format Instr Value

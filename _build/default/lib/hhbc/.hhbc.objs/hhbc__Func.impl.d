@@ -1,0 +1,1 @@
+lib/hhbc/func.ml: Array Format Instr List Printf

@@ -1,0 +1,1 @@
+lib/hhbc/func.mli: Format Instr

@@ -1,0 +1,1 @@
+lib/hhbc/instr.ml: Format Value

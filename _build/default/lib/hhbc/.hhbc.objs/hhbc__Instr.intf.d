@@ -1,0 +1,1 @@
+lib/hhbc/instr.mli: Format Value

@@ -1,0 +1,1 @@
+lib/hhbc/repo.ml: Array Class_def Format Func Hashtbl Instr List Option Printf String Unit_def Value

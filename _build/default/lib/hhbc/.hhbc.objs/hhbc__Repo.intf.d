@@ -1,0 +1,1 @@
+lib/hhbc/repo.mli: Class_def Format Func Instr Unit_def Value

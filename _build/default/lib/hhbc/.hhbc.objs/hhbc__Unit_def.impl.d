@@ -1,0 +1,1 @@
+lib/hhbc/unit_def.ml: Array Format Instr

@@ -1,0 +1,1 @@
+lib/hhbc/unit_def.mli: Format Instr

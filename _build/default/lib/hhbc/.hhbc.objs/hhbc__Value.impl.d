@@ -1,0 +1,1 @@
+lib/hhbc/value.ml: Array Float Format Hashtbl List Printf String

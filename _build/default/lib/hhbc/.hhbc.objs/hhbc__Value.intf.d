@@ -1,0 +1,1 @@
+lib/hhbc/value.mli: Format Hashtbl

@@ -1,0 +1,24 @@
+type prop = { prop_name : Instr.nid; default : Value.t }
+
+type t = {
+  id : Instr.cid;
+  name : string;
+  parent : Instr.cid option;
+  props : prop array;
+  methods : (Instr.nid * Instr.fid) array;
+  unit_id : int;
+}
+
+let find_method t name =
+  let rec scan i =
+    if i >= Array.length t.methods then None
+    else
+      let m_name, fid = t.methods.(i) in
+      if m_name = name then Some fid else scan (i + 1)
+  in
+  scan 0
+
+let pp fmt t =
+  Format.fprintf fmt "class %s (c%d%s): %d props, %d methods" t.name t.id
+    (match t.parent with None -> "" | Some p -> Printf.sprintf " extends c%d" p)
+    (Array.length t.props) (Array.length t.methods)

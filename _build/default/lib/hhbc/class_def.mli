@@ -1,0 +1,27 @@
+(** Class definitions.
+
+    Properties carry their source-declared order, which is observable in
+    minihack (like PHP/Hack, cf. paper §V-C), so the property-reordering
+    optimization must preserve an index map from declared order to physical
+    slot.  That map lives in {!Mh_runtime.Class_layout}; this module is the
+    static, repo-resident definition. *)
+
+type prop = {
+  prop_name : Instr.nid;
+  default : Value.t;  (** initial value on object construction *)
+}
+
+type t = {
+  id : Instr.cid;
+  name : string;
+  parent : Instr.cid option;
+  props : prop array;  (** own (non-inherited) properties, declared order *)
+  methods : (Instr.nid * Instr.fid) array;  (** own methods: name -> function *)
+  unit_id : int;
+}
+
+(** [find_method t name] looks up an own method (no inheritance walk; the
+    runtime resolves inherited methods via the class hierarchy). *)
+val find_method : t -> Instr.nid -> Instr.fid option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+type fid = int
+type cid = int
+type sid = int
+type nid = int
+type aid = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+
+type unop = Neg | Not | BitNot
+
+type t =
+  | Nop
+  | LitInt of int
+  | LitFloat of float
+  | LitBool of bool
+  | LitNull
+  | LitStr of sid
+  | LitArr of aid
+  | LoadLoc of int
+  | StoreLoc of int
+  | Pop
+  | Dup
+  | BinOp of binop
+  | UnOp of unop
+  | Jmp of int
+  | JmpZ of int
+  | JmpNZ of int
+  | Call of fid * int
+  | CallMethod of nid * int
+  | New of cid * int
+  | GetThis
+  | GetProp of nid
+  | SetProp of nid
+  | NewVec of int
+  | VecGet
+  | VecSet
+  | VecPush
+  | VecLen
+  | NewDict of int
+  | DictGet
+  | DictSet
+  | DictHas
+  | InstanceOf of cid
+  | Cast of Value.tag
+  | Print
+  | Ret
+
+let byte_size = function
+  | Nop -> 1
+  | LitInt _ -> 5
+  | LitFloat _ -> 9
+  | LitBool _ -> 2
+  | LitNull -> 1
+  | LitStr _ -> 5
+  | LitArr _ -> 5
+  | LoadLoc _ -> 3
+  | StoreLoc _ -> 3
+  | Pop -> 1
+  | Dup -> 1
+  | BinOp _ -> 2
+  | UnOp _ -> 2
+  | Jmp _ -> 5
+  | JmpZ _ -> 5
+  | JmpNZ _ -> 5
+  | Call _ -> 6
+  | CallMethod _ -> 6
+  | New _ -> 6
+  | GetThis -> 1
+  | GetProp _ -> 5
+  | SetProp _ -> 5
+  | NewVec _ -> 3
+  | VecGet -> 1
+  | VecSet -> 1
+  | VecPush -> 1
+  | VecLen -> 1
+  | NewDict _ -> 3
+  | DictGet -> 1
+  | DictSet -> 1
+  | DictHas -> 1
+  | InstanceOf _ -> 5
+  | Cast _ -> 2
+  | Print -> 1
+  | Ret -> 1
+
+let branch_targets = function
+  | Jmp target | JmpZ target | JmpNZ target -> [ target ]
+  | Nop | LitInt _ | LitFloat _ | LitBool _ | LitNull | LitStr _ | LitArr _
+  | LoadLoc _ | StoreLoc _ | Pop | Dup | BinOp _ | UnOp _ | Call _
+  | CallMethod _ | New _ | GetThis | GetProp _ | SetProp _ | NewVec _ | VecGet
+  | VecSet | VecPush | VecLen | NewDict _ | DictGet | DictSet | DictHas
+  | InstanceOf _ | Cast _ | Print | Ret ->
+    []
+
+let is_terminal = function
+  | Jmp _ | JmpZ _ | JmpNZ _ | Ret -> true
+  | Nop | LitInt _ | LitFloat _ | LitBool _ | LitNull | LitStr _ | LitArr _
+  | LoadLoc _ | StoreLoc _ | Pop | Dup | BinOp _ | UnOp _ | Call _
+  | CallMethod _ | New _ | GetThis | GetProp _ | SetProp _ | NewVec _ | VecGet
+  | VecSet | VecPush | VecLen | NewDict _ | DictGet | DictSet | DictHas
+  | InstanceOf _ | Cast _ | Print ->
+    false
+
+let binop_to_string = function
+  | Add -> "Add"
+  | Sub -> "Sub"
+  | Mul -> "Mul"
+  | Div -> "Div"
+  | Mod -> "Mod"
+  | Concat -> "Concat"
+  | Lt -> "Lt"
+  | Le -> "Le"
+  | Gt -> "Gt"
+  | Ge -> "Ge"
+  | Eq -> "Eq"
+  | Ne -> "Ne"
+  | BitAnd -> "BitAnd"
+  | BitOr -> "BitOr"
+  | BitXor -> "BitXor"
+  | Shl -> "Shl"
+  | Shr -> "Shr"
+
+let unop_to_string = function Neg -> "Neg" | Not -> "Not" | BitNot -> "BitNot"
+
+let pp fmt = function
+  | Nop -> Format.fprintf fmt "Nop"
+  | LitInt n -> Format.fprintf fmt "Int %d" n
+  | LitFloat f -> Format.fprintf fmt "Float %g" f
+  | LitBool b -> Format.fprintf fmt "Bool %b" b
+  | LitNull -> Format.fprintf fmt "Null"
+  | LitStr s -> Format.fprintf fmt "Str s%d" s
+  | LitArr a -> Format.fprintf fmt "Arr a%d" a
+  | LoadLoc i -> Format.fprintf fmt "LoadLoc %d" i
+  | StoreLoc i -> Format.fprintf fmt "StoreLoc %d" i
+  | Pop -> Format.fprintf fmt "Pop"
+  | Dup -> Format.fprintf fmt "Dup"
+  | BinOp op -> Format.fprintf fmt "BinOp %s" (binop_to_string op)
+  | UnOp op -> Format.fprintf fmt "UnOp %s" (unop_to_string op)
+  | Jmp l -> Format.fprintf fmt "Jmp %d" l
+  | JmpZ l -> Format.fprintf fmt "JmpZ %d" l
+  | JmpNZ l -> Format.fprintf fmt "JmpNZ %d" l
+  | Call (f, n) -> Format.fprintf fmt "Call f%d/%d" f n
+  | CallMethod (m, n) -> Format.fprintf fmt "CallMethod n%d/%d" m n
+  | New (c, n) -> Format.fprintf fmt "New c%d/%d" c n
+  | GetThis -> Format.fprintf fmt "GetThis"
+  | GetProp p -> Format.fprintf fmt "GetProp n%d" p
+  | SetProp p -> Format.fprintf fmt "SetProp n%d" p
+  | NewVec n -> Format.fprintf fmt "NewVec %d" n
+  | VecGet -> Format.fprintf fmt "VecGet"
+  | VecSet -> Format.fprintf fmt "VecSet"
+  | VecPush -> Format.fprintf fmt "VecPush"
+  | VecLen -> Format.fprintf fmt "VecLen"
+  | NewDict n -> Format.fprintf fmt "NewDict %d" n
+  | DictGet -> Format.fprintf fmt "DictGet"
+  | DictSet -> Format.fprintf fmt "DictSet"
+  | DictHas -> Format.fprintf fmt "DictHas"
+  | InstanceOf c -> Format.fprintf fmt "InstanceOf c%d" c
+  | Cast tg -> Format.fprintf fmt "Cast %s" (Value.tag_to_string tg)
+  | Print -> Format.fprintf fmt "Print"
+  | Ret -> Format.fprintf fmt "Ret"

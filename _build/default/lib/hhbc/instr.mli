@@ -1,0 +1,94 @@
+(** The minihack bytecode instruction set.
+
+    A stack-based, untyped ISA in the spirit of HHBC: the compiler produces it
+    offline ("repo authoritative" mode) and the VM executes it via the
+    interpreter or JIT translations.  Jump targets are absolute instruction
+    indices within the owning function body. *)
+
+(** Function id: index into the {!Repo.t} function table. *)
+type fid = int
+
+(** Class id: index into the {!Repo.t} class table. *)
+type cid = int
+
+(** Literal string id: index into the repo string table. *)
+type sid = int
+
+(** Interned name id (property and method names). *)
+type nid = int
+
+(** Static array id: index into the repo static-array table. *)
+type aid = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+
+type unop = Neg | Not | BitNot
+
+type t =
+  | Nop
+  | LitInt of int
+  | LitFloat of float
+  | LitBool of bool
+  | LitNull
+  | LitStr of sid  (** push literal string from the repo string table *)
+  | LitArr of aid  (** push (a fresh copy of) a static array *)
+  | LoadLoc of int
+  | StoreLoc of int
+  | Pop
+  | Dup
+  | BinOp of binop
+  | UnOp of unop
+  | Jmp of int
+  | JmpZ of int  (** pop; jump if falsy *)
+  | JmpNZ of int  (** pop; jump if truthy *)
+  | Call of fid * int  (** direct call: function id, arg count *)
+  | CallMethod of nid * int  (** dynamic dispatch: method name, arg count *)
+  | New of cid * int  (** allocate + run constructor with [n] args *)
+  | GetThis
+  | GetProp of nid  (** pop object; push property value *)
+  | SetProp of nid  (** pop value, pop object; store *)
+  | NewVec of int  (** pop [n] elements; push vec *)
+  | VecGet  (** pop index, pop vec; push element *)
+  | VecSet  (** pop value, index, vec; store *)
+  | VecPush  (** pop value, pop vec; append *)
+  | VecLen
+  | NewDict of int  (** pop [n] (key, value) pairs; push dict *)
+  | DictGet
+  | DictSet
+  | DictHas
+  | InstanceOf of cid
+  | Cast of Value.tag  (** dynamic cast/coercion for int/float/str/bool *)
+  | Print  (** pop; write to VM output *)
+  | Ret  (** pop return value; leave frame *)
+
+(** Simulated encoded size in bytes of one instruction; drives the
+    code-size model (profiling/optimized translations scale from it). *)
+val byte_size : t -> int
+
+(** [branch_targets i] lists jump targets if [i] is a control transfer. *)
+val branch_targets : t -> int list
+
+(** [is_terminal i] is true for instructions that end a basic block
+    ([Jmp], [JmpZ], [JmpNZ], [Ret]). *)
+val is_terminal : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string

@@ -1,0 +1,12 @@
+type t = {
+  id : int;
+  path : string;
+  funcs : Instr.fid array;
+  classes : Instr.cid array;
+  main : Instr.fid option;
+  load_cost_bytes : int;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "unit %s (u%d): %d funcs, %d classes" t.path t.id (Array.length t.funcs)
+    (Array.length t.classes)

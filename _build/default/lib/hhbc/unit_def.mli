@@ -1,0 +1,17 @@
+(** Compilation units.
+
+    A unit corresponds to one source file.  Without Jump-Start, the VM loads
+    units on demand (autoloading) when the first request touches them; with
+    Jump-Start the consumer preloads the unit list from the profile package
+    (paper §IV-B category 1). *)
+
+type t = {
+  id : int;
+  path : string;  (** source path, e.g. ["www/feed/render.mh"] *)
+  funcs : Instr.fid array;  (** top-level functions defined by this unit *)
+  classes : Instr.cid array;
+  main : Instr.fid option;  (** pseudo-main executed when the unit is an entry point *)
+  load_cost_bytes : int;  (** simulated metadata size, drives load-time model *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/interp/engine.ml: Array Buffer Format Hashtbl Hhbc Mh_runtime Option Probes String

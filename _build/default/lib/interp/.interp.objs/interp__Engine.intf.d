@@ -1,0 +1,1 @@
+lib/interp/engine.mli: Hhbc Mh_runtime Probes

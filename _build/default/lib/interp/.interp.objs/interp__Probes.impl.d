@@ -1,0 +1,1 @@
+lib/interp/probes.ml: Hhbc List

@@ -1,0 +1,1 @@
+lib/interp/probes.mli: Hhbc

@@ -1,0 +1,411 @@
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+module V = Hhbc.Value
+module I = Hhbc.Instr
+
+type t = {
+  repo : Hhbc.Repo.t;
+  heap : Mh_runtime.Heap.t;
+  probes : Probes.t;
+  out : Buffer.t;
+  mutable fuel : int;
+  mutable steps : int;
+  func_steps : int array;
+  mutable depth : int;
+  (* instruction index -> basic block id, per function, computed on demand *)
+  block_maps : int array option array;
+}
+
+let max_depth = 2000
+
+let create ?(probes = Probes.none) ?(fuel = 200_000_000) repo heap =
+  {
+    repo;
+    heap;
+    probes;
+    out = Buffer.create 256;
+    fuel;
+    steps = 0;
+    func_steps = Array.make (Hhbc.Repo.n_funcs repo) 0;
+    depth = 0;
+    block_maps = Array.make (Hhbc.Repo.n_funcs repo) None;
+  }
+
+let repo t = t.repo
+let heap t = t.heap
+let steps t = t.steps
+let func_steps t = t.func_steps
+let output t = Buffer.contents t.out
+let clear_output t = Buffer.clear t.out
+
+let block_map t fid =
+  match t.block_maps.(fid) with
+  | Some m -> m
+  | None ->
+    let f = Hhbc.Repo.func t.repo fid in
+    let blocks = Hhbc.Func.basic_blocks f in
+    let m = Array.make (Array.length f.Hhbc.Func.body) 0 in
+    Array.iter
+      (fun (b : Hhbc.Func.block) ->
+        for i = b.start to b.start + b.len - 1 do
+          m.(i) <- b.bb_id
+        done)
+      blocks;
+    t.block_maps.(fid) <- Some m;
+    m
+
+(* --- operator semantics --- *)
+
+let arith_binop op a b =
+  match (a, b) with
+  | V.Int x, V.Int y -> (
+    match op with
+    | I.Add -> V.Int (x + y)
+    | I.Sub -> V.Int (x - y)
+    | I.Mul -> V.Int (x * y)
+    | I.Div -> if y = 0 then error "division by zero" else V.Int (x / y)
+    | I.Mod -> if y = 0 then error "modulo by zero" else V.Int (x mod y)
+    | _ -> assert false)
+  | (V.Int _ | V.Float _ | V.Bool _ | V.Null), (V.Int _ | V.Float _ | V.Bool _ | V.Null) -> (
+    let x = V.to_float a and y = V.to_float b in
+    match op with
+    | I.Add -> V.Float (x +. y)
+    | I.Sub -> V.Float (x -. y)
+    | I.Mul -> V.Float (x *. y)
+    | I.Div -> if y = 0. then error "division by zero" else V.Float (x /. y)
+    | I.Mod -> error "modulo on non-integers"
+    | _ -> assert false)
+  | _ ->
+    error "arithmetic on non-numeric operands (%s, %s)" (V.tag_to_string (V.tag a))
+      (V.tag_to_string (V.tag b))
+
+let bit_binop op a b =
+  match (a, b) with
+  | V.Int x, V.Int y -> (
+    match op with
+    | I.BitAnd -> V.Int (x land y)
+    | I.BitOr -> V.Int (x lor y)
+    | I.BitXor -> V.Int (x lxor y)
+    | I.Shl -> V.Int (x lsl (y land 63))
+    | I.Shr -> V.Int (x asr (y land 63))
+    | _ -> assert false)
+  | _ -> error "bitwise operation on non-integers"
+
+let binop op a b =
+  match op with
+  | I.Add | I.Sub | I.Mul | I.Div | I.Mod -> arith_binop op a b
+  | I.BitAnd | I.BitOr | I.BitXor | I.Shl | I.Shr -> bit_binop op a b
+  | I.Concat -> V.Str (V.to_string a ^ V.to_string b)
+  | I.Eq -> V.Bool (V.equal a b)
+  | I.Ne -> V.Bool (not (V.equal a b))
+  | I.Lt | I.Le | I.Gt | I.Ge -> (
+    let c = try V.compare_values a b with Invalid_argument msg -> error "%s" msg in
+    match op with
+    | I.Lt -> V.Bool (c < 0)
+    | I.Le -> V.Bool (c <= 0)
+    | I.Gt -> V.Bool (c > 0)
+    | I.Ge -> V.Bool (c >= 0)
+    | _ -> assert false)
+
+let unop op a =
+  match (op, a) with
+  | I.Neg, V.Int n -> V.Int (-n)
+  | I.Neg, V.Float f -> V.Float (-.f)
+  | I.Neg, _ -> error "negation of non-number"
+  | I.Not, v -> V.Bool (not (V.truthy v))
+  | I.BitNot, V.Int n -> V.Int (lnot n)
+  | I.BitNot, _ -> error "bitwise not of non-integer"
+
+let cast tag v =
+  match tag with
+  | V.TBool -> V.Bool (V.truthy v)
+  | V.TStr -> V.Str (V.to_string v)
+  | V.TInt -> (
+    match v with
+    | V.Str s -> V.Int (match int_of_string_opt (String.trim s) with Some n -> n | None -> 0)
+    | V.Int _ | V.Float _ | V.Bool _ | V.Null -> V.Int (V.to_int v)
+    | V.Vec _ | V.Dict _ | V.Obj _ -> error "cannot cast %s to int" (V.tag_to_string (V.tag v)))
+  | V.TFloat -> (
+    match v with
+    | V.Str s -> V.Float (match float_of_string_opt (String.trim s) with Some f -> f | None -> 0.)
+    | V.Int _ | V.Float _ | V.Bool _ | V.Null -> V.Float (V.to_float v)
+    | V.Vec _ | V.Dict _ | V.Obj _ -> error "cannot cast %s to float" (V.tag_to_string (V.tag v)))
+  | V.TNull | V.TVec | V.TDict | V.TObj ->
+    error "unsupported cast to %s" (V.tag_to_string tag)
+
+let container_get t base key =
+  match base with
+  | V.Vec a -> (
+    match key with
+    | V.Int i ->
+      if i < 0 || i >= Array.length !a then error "vec index %d out of bounds (len %d)" i (Array.length !a)
+      else !a.(i)
+    | _ -> error "vec index must be int")
+  | V.Dict d -> (
+    let k = V.to_string key in
+    match Hashtbl.find_opt d k with Some v -> v | None -> V.Null)
+  | V.Str s -> (
+    match key with
+    | V.Int i ->
+      if i < 0 || i >= String.length s then error "string index %d out of bounds" i
+      else V.Str (String.make 1 s.[i])
+    | _ -> error "string index must be int")
+  | _ ->
+    ignore t;
+    error "cannot index into %s" (V.tag_to_string (V.tag base))
+
+let container_set base key v =
+  match base with
+  | V.Vec a -> (
+    match key with
+    | V.Int i ->
+      let len = Array.length !a in
+      if i >= 0 && i < len then !a.(i) <- v
+      else if i = len then a := Array.append !a [| v |]
+      else error "vec index %d out of bounds for write (len %d)" i len
+    | _ -> error "vec index must be int")
+  | V.Dict d -> Hashtbl.replace d (V.to_string key) v
+  | _ -> error "cannot index-assign into %s" (V.tag_to_string (V.tag base))
+
+let vec_len = function
+  | V.Vec a -> V.Int (Array.length !a)
+  | V.Dict d -> V.Int (Hashtbl.length d)
+  | V.Str s -> V.Int (String.length s)
+  | v -> error "len of %s" (V.tag_to_string (V.tag v))
+
+(* --- frame execution --- *)
+
+(* A simple growable operand stack per frame. *)
+type stack = { mutable data : V.t array; mutable sp : int }
+
+let stack_make () = { data = Array.make 16 V.Null; sp = 0 }
+
+let push st v =
+  if st.sp = Array.length st.data then begin
+    let grown = Array.make (2 * st.sp) V.Null in
+    Array.blit st.data 0 grown 0 st.sp;
+    st.data <- grown
+  end;
+  st.data.(st.sp) <- v;
+  st.sp <- st.sp + 1
+
+let pop st =
+  if st.sp = 0 then error "operand stack underflow";
+  st.sp <- st.sp - 1;
+  st.data.(st.sp)
+
+let pop_n st n =
+  let args = Array.make n V.Null in
+  for i = n - 1 downto 0 do
+    args.(i) <- pop st
+  done;
+  args
+
+(* Heap property errors surface as Failure; execution must report them as
+   ordinary runtime errors. *)
+let heap_op f = try f () with Failure msg -> error "%s" msg
+
+let rec exec_func t fid ~this args =
+  let f = Hhbc.Repo.func t.repo fid in
+  if Array.length args <> f.Hhbc.Func.n_params then
+    error "function %s expects %d arguments, got %d" f.Hhbc.Func.name f.Hhbc.Func.n_params
+      (Array.length args);
+  t.depth <- t.depth + 1;
+  if t.depth > max_depth then begin
+    t.depth <- t.depth - 1;
+    error "call stack overflow (depth > %d)" max_depth
+  end;
+  t.probes.Probes.on_func_entry fid;
+  let locals = Array.make (max 1 f.Hhbc.Func.n_locals) V.Null in
+  Array.blit args 0 locals 0 (Array.length args);
+  let st = stack_make () in
+  let body = f.Hhbc.Func.body in
+  let bmap = block_map t fid in
+  let result = ref V.Null in
+  let pc = ref 0 in
+  let prev_block = ref (-1) in
+  (* set when a taken backward jump re-enters a block, so self-loop arcs and
+     re-executions of the same block still fire the probes *)
+  let refire = ref false in
+  (try
+     let running = ref true in
+     while !running do
+       let i = !pc in
+       (* fire the block probes on every block boundary crossing *)
+       let bb = bmap.(i) in
+       if bb <> !prev_block || !refire then begin
+         if !prev_block >= 0 then t.probes.Probes.on_arc fid ~src:!prev_block ~dst:bb;
+         t.probes.Probes.on_block fid bb;
+         prev_block := bb;
+         refire := false
+       end;
+       if t.fuel <= 0 then error "interpreter fuel exhausted";
+       t.fuel <- t.fuel - 1;
+       t.steps <- t.steps + 1;
+       t.func_steps.(fid) <- t.func_steps.(fid) + 1;
+       pc := i + 1;
+       (match body.(i) with
+       | I.Nop -> ()
+       | I.LitInt n -> push st (V.Int n)
+       | I.LitFloat f -> push st (V.Float f)
+       | I.LitBool b -> push st (V.Bool b)
+       | I.LitNull -> push st V.Null
+       | I.LitStr sid -> push st (V.Str (Hhbc.Repo.string t.repo sid))
+       | I.LitArr aid -> push st (V.Vec (ref (Array.copy (Hhbc.Repo.static_array t.repo aid))))
+       | I.LoadLoc l -> push st locals.(l)
+       | I.StoreLoc l -> locals.(l) <- pop st
+       | I.Pop -> ignore (pop st)
+       | I.Dup ->
+         let v = pop st in
+         push st v;
+         push st v
+       | I.BinOp op ->
+         let b = pop st in
+         let a = pop st in
+         push st (binop op a b)
+       | I.UnOp op -> push st (unop op (pop st))
+       | I.Jmp target -> pc := target
+       | I.JmpZ target -> if not (V.truthy (pop st)) then pc := target
+       | I.JmpNZ target -> if V.truthy (pop st) then pc := target
+       | I.Call (callee, n) ->
+         let args = pop_n st n in
+         t.probes.Probes.on_call ~caller:fid ~site:i ~callee;
+         push st (exec_func t callee ~this:None args)
+       | I.CallMethod (nid, n) ->
+         let args = pop_n st n in
+         let recv = pop st in
+         (match recv with
+         | V.Obj handle -> (
+           let cid = Mh_runtime.Heap.class_of t.heap handle in
+           match Hhbc.Repo.resolve_method t.repo cid nid with
+           | None ->
+             error "call to undefined method %s::%s"
+               (Hhbc.Repo.cls t.repo cid).Hhbc.Class_def.name (Hhbc.Repo.name t.repo nid)
+           | Some callee ->
+             t.probes.Probes.on_call ~caller:fid ~site:i ~callee;
+             push st (exec_func t callee ~this:(Some handle) args))
+         | v -> error "method call on non-object (%s)" (V.tag_to_string (V.tag v)))
+       | I.New (cid, n) ->
+         let args = pop_n st n in
+         let handle = Mh_runtime.Heap.alloc t.heap cid in
+         let ctor_nid = Hhbc.Repo.find_name t.repo "__construct" in
+         (match Option.bind ctor_nid (Hhbc.Repo.resolve_method t.repo cid) with
+         | Some ctor ->
+           t.probes.Probes.on_call ~caller:fid ~site:i ~callee:ctor;
+           ignore (exec_func t ctor ~this:(Some handle) args)
+         | None ->
+           if n > 0 then
+             error "class %s has no constructor but %d arguments were given"
+               (Hhbc.Repo.cls t.repo cid).Hhbc.Class_def.name n);
+         push st (V.Obj handle)
+       | I.GetThis -> (
+         match this with
+         | Some handle -> push st (V.Obj handle)
+         | None -> error "$this used outside of a method call")
+       | I.GetProp nid -> (
+         match pop st with
+         | V.Obj handle ->
+           t.probes.Probes.on_prop_access
+             (Mh_runtime.Heap.class_of t.heap handle)
+             nid
+             ~addr:(heap_op (fun () -> Mh_runtime.Heap.prop_addr t.heap handle nid))
+             ~write:false;
+           push st (heap_op (fun () -> Mh_runtime.Heap.get_prop t.heap handle nid))
+         | v -> error "property access on non-object (%s)" (V.tag_to_string (V.tag v)))
+       | I.SetProp nid -> (
+         let v = pop st in
+         match pop st with
+         | V.Obj handle ->
+           t.probes.Probes.on_prop_access
+             (Mh_runtime.Heap.class_of t.heap handle)
+             nid
+             ~addr:(heap_op (fun () -> Mh_runtime.Heap.prop_addr t.heap handle nid))
+             ~write:true;
+           heap_op (fun () -> Mh_runtime.Heap.set_prop t.heap handle nid v)
+         | r -> error "property write on non-object (%s)" (V.tag_to_string (V.tag r)))
+       | I.NewVec n -> push st (V.Vec (ref (pop_n st n)))
+       | I.VecGet ->
+         let key = pop st in
+         let base = pop st in
+         push st (container_get t base key)
+       | I.VecSet ->
+         let v = pop st in
+         let key = pop st in
+         let base = pop st in
+         container_set base key v
+       | I.VecPush -> (
+         let v = pop st in
+         match pop st with
+         | V.Vec a -> a := Array.append !a [| v |]
+         | b -> error "push into non-vec (%s)" (V.tag_to_string (V.tag b)))
+       | I.VecLen -> push st (vec_len (pop st))
+       | I.NewDict n ->
+         let kvs = pop_n st (2 * n) in
+         let d = Hashtbl.create (max 4 n) in
+         for k = 0 to n - 1 do
+           Hashtbl.replace d (V.to_string kvs.(2 * k)) kvs.((2 * k) + 1)
+         done;
+         push st (V.Dict d)
+       | I.DictGet -> (
+         let key = pop st in
+         match pop st with
+         | V.Dict d ->
+           push st (match Hashtbl.find_opt d (V.to_string key) with Some v -> v | None -> V.Null)
+         | b -> error "DictGet on non-dict (%s)" (V.tag_to_string (V.tag b)))
+       | I.DictSet -> (
+         let v = pop st in
+         let key = pop st in
+         match pop st with
+         | V.Dict d -> Hashtbl.replace d (V.to_string key) v
+         | b -> error "DictSet on non-dict (%s)" (V.tag_to_string (V.tag b)))
+       | I.DictHas -> (
+         let key = pop st in
+         match pop st with
+         | V.Dict d -> push st (V.Bool (Hashtbl.mem d (V.to_string key)))
+         | b -> error "has() on non-dict (%s)" (V.tag_to_string (V.tag b)))
+       | I.InstanceOf cid -> (
+         match pop st with
+         | V.Obj handle ->
+           let actual = Mh_runtime.Heap.class_of t.heap handle in
+           push st (V.Bool (Hhbc.Repo.is_ancestor t.repo ~ancestor:cid ~cls:actual))
+         | _ -> push st (V.Bool false))
+       | I.Cast tag -> push st (cast tag (pop st))
+       | I.Print -> Buffer.add_string t.out (V.to_string (pop st))
+       | I.Ret ->
+         result := pop st;
+         running := false);
+       (* taken backward jumps re-enter a block; reset so the probe fires *)
+       if !pc < i then refire := true
+     done
+   with e ->
+     t.depth <- t.depth - 1;
+     t.probes.Probes.on_func_exit fid;
+     raise e);
+  t.depth <- t.depth - 1;
+  t.probes.Probes.on_func_exit fid;
+  !result
+
+let call t fid args = exec_func t fid ~this:None (Array.of_list args)
+
+let call_method t handle nid args =
+  let cid = Mh_runtime.Heap.class_of t.heap handle in
+  match Hhbc.Repo.resolve_method t.repo cid nid with
+  | None -> error "undefined method (n%d) on class c%d" nid cid
+  | Some fid -> exec_func t fid ~this:(Some handle) (Array.of_list args)
+
+let run_main t =
+  match Hhbc.Repo.find_func_by_name t.repo "main" with
+  | Some f -> call t f.Hhbc.Func.id []
+  | None -> (
+    let rec scan i =
+      if i >= Hhbc.Repo.n_units t.repo then None
+      else
+        match (Hhbc.Repo.unit_of t.repo i).Hhbc.Unit_def.main with
+        | Some fid -> Some fid
+        | None -> scan (i + 1)
+    in
+    match scan 0 with
+    | Some fid -> call t fid []
+    | None -> error "no entry point: no function named 'main'")

@@ -1,0 +1,47 @@
+(** The bytecode interpreter ("threaded interpreter", paper §II-A).
+
+    This is the VM's semantic ground truth: JIT translations in this
+    reproduction are performance/layout artifacts, while actual execution
+    always flows through here.  The interpreter counts executed instructions
+    per function so the VM layer can convert work into simulated cycles under
+    whichever execution mode (interp / live / profiling / optimized) covers
+    each function. *)
+
+(** Raised on dynamic errors: undefined method, bad operand types,
+    out-of-bounds vec access, stack overflow, fuel exhaustion. *)
+exception Runtime_error of string
+
+type t
+
+(** [create ?probes ?fuel repo heap] makes an interpreter.  [fuel] bounds
+    the total number of executed instructions (default: 200 million);
+    exceeding it raises {!Runtime_error}, protecting tests and simulations
+    against non-terminating generated programs. *)
+val create : ?probes:Probes.t -> ?fuel:int -> Hhbc.Repo.t -> Mh_runtime.Heap.t -> t
+
+val repo : t -> Hhbc.Repo.t
+val heap : t -> Mh_runtime.Heap.t
+
+(** Total instructions executed so far. *)
+val steps : t -> int
+
+(** Per-function executed-instruction counts (indexed by fid); shared array,
+    live-updated. *)
+val func_steps : t -> int array
+
+(** Everything printed by [echo] so far. *)
+val output : t -> string
+
+val clear_output : t -> unit
+
+(** [call t fid args] invokes a top-level function.
+    @raise Runtime_error on dynamic errors. *)
+val call : t -> Hhbc.Instr.fid -> Hhbc.Value.t list -> Hhbc.Value.t
+
+(** [call_method t handle name args] dispatches a method on an object. *)
+val call_method : t -> int -> Hhbc.Instr.nid -> Hhbc.Value.t list -> Hhbc.Value.t
+
+(** [run_main t] executes the program entry point: the function named
+    ["main"], or the first unit's main.
+    @raise Runtime_error if no entry point exists. *)
+val run_main : t -> Hhbc.Value.t

@@ -1,0 +1,1 @@
+lib/jit/code_cache.ml: Array Hashtbl List Vasm

@@ -1,0 +1,1 @@
+lib/jit/code_cache.mli: Hhbc Vasm

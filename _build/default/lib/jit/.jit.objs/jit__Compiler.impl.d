@@ -1,0 +1,1 @@
+lib/jit/compiler.ml: Array Code_cache Hashtbl Hhbc Inliner Jit_profile Layout List Vasm Vasm_profile Weights

@@ -1,0 +1,1 @@
+lib/jit/compiler.mli: Code_cache Hashtbl Hhbc Inliner Jit_profile Vasm Vasm_profile

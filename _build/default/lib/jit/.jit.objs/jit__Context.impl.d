@@ -1,0 +1,1 @@
+lib/jit/context.ml: Array Hashtbl Hhbc Interp List Option Vasm

@@ -1,0 +1,1 @@
+lib/jit/context.mli: Hhbc Interp Vasm

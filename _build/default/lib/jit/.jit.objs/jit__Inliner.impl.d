@@ -1,0 +1,1 @@
+lib/jit/inliner.ml: Array Hhbc Jit_profile List Vasm

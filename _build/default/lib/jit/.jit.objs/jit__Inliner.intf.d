@@ -1,0 +1,1 @@
+lib/jit/inliner.mli: Hhbc Jit_profile Vasm

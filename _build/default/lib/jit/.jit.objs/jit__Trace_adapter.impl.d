@@ -1,0 +1,1 @@
+lib/jit/trace_adapter.ml: Array Code_cache Context List Vasm

@@ -1,0 +1,1 @@
+lib/jit/trace_adapter.mli: Code_cache Context

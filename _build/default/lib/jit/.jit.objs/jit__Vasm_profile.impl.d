@@ -1,0 +1,1 @@
+lib/jit/vasm_profile.ml: Array Context Hashtbl Js_util Layout List Vasm

@@ -1,0 +1,1 @@
+lib/jit/vasm_profile.mli: Context Hhbc Js_util Layout Vasm

@@ -1,0 +1,1 @@
+lib/jit/weights.ml: Array Float Hashtbl Hhbc Jit_profile Layout List Vasm

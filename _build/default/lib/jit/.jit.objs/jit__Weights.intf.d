@@ -1,0 +1,1 @@
+lib/jit/weights.mli: Hhbc Jit_profile Layout Vasm

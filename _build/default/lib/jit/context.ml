@@ -1,0 +1,175 @@
+module IT = Vasm.Inline_tree
+module VF = Vasm.Vfunc
+
+type handler = {
+  on_vblock : VF.t -> int -> unit;
+  on_varc : VF.t -> src:int -> dst:int -> unit;
+  on_xcall : caller:Hhbc.Instr.fid option -> callee:Hhbc.Instr.fid -> unit;
+  on_untranslated : Hhbc.Instr.fid -> int -> unit;
+  on_prop : addr:int -> write:bool -> unit;
+}
+
+let null_handler =
+  {
+    on_vblock = (fun _ _ -> ());
+    on_varc = (fun _ ~src:_ ~dst:_ -> ());
+    on_xcall = (fun ~caller:_ ~callee:_ -> ());
+    on_untranslated = (fun _ _ -> ());
+    on_prop = (fun ~addr:_ ~write:_ -> ());
+  }
+
+type frame = {
+  f_fid : Hhbc.Instr.fid;
+  ctx : (VF.t * int) option;  (* translation and inline-tree node *)
+  inlined : bool;  (* ctx shared with the caller's translation *)
+  mutable last_block : int;  (* last vasm block executed in this frame *)
+}
+
+type state = {
+  repo : Hhbc.Repo.t;
+  lookup : Hhbc.Instr.fid -> VF.t option;
+  h : handler;
+  mutable stack : frame list;
+  mutable pending : (Hhbc.Instr.fid * int * Hhbc.Instr.fid) option;  (* caller, site, callee *)
+  (* instr index -> bb id, cached per function *)
+  bb_maps : (int, int array) Hashtbl.t;
+  (* polymorphic inline caches: per (caller fid, site), the first
+     [pic_entries] distinct callees dispatch on the fast path; anything else
+     executes the site's slow-path block (generic dispatch) *)
+  pics : (int * int, Hhbc.Instr.fid list ref) Hashtbl.t;
+}
+
+let pic_entries = 2
+
+(* [true] when this dynamic callee misses the site's inline cache. *)
+let pic_miss st ~caller ~site ~callee =
+  match Hashtbl.find_opt st.pics (caller, site) with
+  | None ->
+    Hashtbl.add st.pics (caller, site) (ref [ callee ]);
+    false
+  | Some entries ->
+    if List.mem callee !entries then false
+    else if List.length !entries < pic_entries then begin
+      entries := callee :: !entries;
+      false
+    end
+    else true
+
+let bb_map st fid =
+  match Hashtbl.find_opt st.bb_maps fid with
+  | Some m -> m
+  | None ->
+    let f = Hhbc.Repo.func st.repo fid in
+    let blocks = Hhbc.Func.basic_blocks f in
+    let m = Array.make (Array.length f.Hhbc.Func.body) 0 in
+    Array.iter
+      (fun (b : Hhbc.Func.block) ->
+        for i = b.start to b.start + b.len - 1 do
+          m.(i) <- b.bb_id
+        done)
+      blocks;
+    Hashtbl.add st.bb_maps fid m;
+    m
+
+let caller_root st =
+  match st.stack with
+  | [] -> None
+  | top :: _ -> (
+    match top.ctx with
+    | Some (vf, _) -> Some vf.VF.root_fid
+    | None -> Some top.f_fid)
+
+let enter st fid =
+  let frame =
+    match st.pending with
+    | Some (caller_fid, site, callee) when callee = fid -> (
+      st.pending <- None;
+      match st.stack with
+      | top :: _ when top.f_fid = caller_fid -> (
+        match top.ctx with
+        | Some (vf, node) -> (
+          let take_slow_path () =
+            let site_bb = (bb_map st caller_fid).(site) in
+            match VF.slow_block vf ~node ~bb:site_bb with
+            | Some slow ->
+              if top.last_block >= 0 then st.h.on_varc vf ~src:top.last_block ~dst:slow;
+              st.h.on_vblock vf slow;
+              top.last_block <- slow
+            | None -> ()
+          in
+          let is_method_site =
+            match (Hhbc.Repo.func st.repo caller_fid).Hhbc.Func.body.(site) with
+            | Hhbc.Instr.CallMethod _ | Hhbc.Instr.New _ -> true
+            | _ -> false
+          in
+          match IT.child_at vf.VF.tree node site with
+          | Some child when child.IT.fid = fid ->
+            (* inlined: stay inside the caller's translation *)
+            { f_fid = fid; ctx = Some (vf, child.IT.node_id); inlined = true; last_block = top.last_block }
+          | Some _ ->
+            (* inline guard failure: slow path, then an out-of-line call *)
+            take_slow_path ();
+            st.h.on_xcall ~caller:(Some vf.VF.root_fid) ~callee:fid;
+            { f_fid = fid; ctx = Option.map (fun v -> (v, 0)) (st.lookup fid); inlined = false; last_block = -1 }
+          | None ->
+            (* dynamic dispatch through a polymorphic inline cache: callees
+               beyond the cached set run the generic (slow) path *)
+            if is_method_site && pic_miss st ~caller:caller_fid ~site ~callee:fid then
+              take_slow_path ();
+            st.h.on_xcall ~caller:(Some vf.VF.root_fid) ~callee:fid;
+            { f_fid = fid; ctx = Option.map (fun v -> (v, 0)) (st.lookup fid); inlined = false; last_block = -1 })
+        | None ->
+          st.h.on_xcall ~caller:(caller_root st) ~callee:fid;
+          { f_fid = fid; ctx = Option.map (fun v -> (v, 0)) (st.lookup fid); inlined = false; last_block = -1 })
+      | _ ->
+        st.h.on_xcall ~caller:None ~callee:fid;
+        { f_fid = fid; ctx = Option.map (fun v -> (v, 0)) (st.lookup fid); inlined = false; last_block = -1 })
+    | Some _ | None ->
+      st.pending <- None;
+      st.h.on_xcall ~caller:None ~callee:fid;
+      { f_fid = fid; ctx = Option.map (fun v -> (v, 0)) (st.lookup fid); inlined = false; last_block = -1 }
+  in
+  st.stack <- frame :: st.stack
+
+let exit_frame st fid =
+  match st.stack with
+  | [] -> ()
+  | top :: rest ->
+    if top.f_fid = fid then begin
+      st.stack <- rest;
+      (* inlined return: arc back into the caller's current block *)
+      match (top.ctx, top.inlined, rest) with
+      | Some (vf, _), true, parent :: _ ->
+        if top.last_block >= 0 && parent.last_block >= 0 && parent.last_block <> top.last_block
+        then st.h.on_varc vf ~src:top.last_block ~dst:parent.last_block
+      | _, _, _ -> ()
+    end
+
+let block st fid bb =
+  match st.stack with
+  | top :: _ when top.f_fid = fid -> (
+    match top.ctx with
+    | Some (vf, node) -> (
+      match VF.main_block vf ~node ~bb with
+      | Some blk ->
+        if top.last_block >= 0 then st.h.on_varc vf ~src:top.last_block ~dst:blk;
+        st.h.on_vblock vf blk;
+        top.last_block <- blk
+      | None -> st.h.on_untranslated fid bb)
+    | None -> st.h.on_untranslated fid bb)
+  | _ -> ()
+
+let probes repo ~lookup handler =
+  let st =
+    { repo; lookup; h = handler; stack = []; pending = None; bb_maps = Hashtbl.create 64;
+      pics = Hashtbl.create 256
+    }
+  in
+  {
+    Interp.Probes.on_block = (fun fid bb -> block st fid bb);
+    on_arc = (fun _ ~src:_ ~dst:_ -> ());
+    on_call = (fun ~caller ~site ~callee -> st.pending <- Some (caller, site, callee));
+    on_func_entry = (fun fid -> enter st fid);
+    on_func_exit = (fun fid -> exit_frame st fid);
+    on_prop_access = (fun _ _ ~addr ~write -> handler.on_prop ~addr ~write);
+  }

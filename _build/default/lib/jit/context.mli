@@ -1,0 +1,39 @@
+(** Shadow-stack replay: maps interpreter execution events onto JIT
+    translations.
+
+    The interpreter is the semantic executor; this module reconstructs what
+    the machine would have been doing — which vasm block of which translation
+    each bytecode block corresponds to, honouring inlining:
+
+    - entering a callee that the enclosing translation inlined at that call
+      site continues {e inside} the same translation (the inlined body's
+      blocks);
+    - entering anything else transfers to the callee's own translation (or to
+      untranslated execution);
+    - a method call whose receiver defeats the inline guard (actual callee
+      differs from the speculated one) executes the slow-path block first —
+      a tier-2 side exit invisible to tier-1 profiling.
+
+    Consumers: {!Vasm_profile} (seeder instrumentation of optimized code,
+    §V-A/§V-B) and {!Trace_adapter} (machine-model replay for Fig. 5/6). *)
+
+type handler = {
+  on_vblock : Vasm.Vfunc.t -> int -> unit;  (** executed vasm block *)
+  on_varc : Vasm.Vfunc.t -> src:int -> dst:int -> unit;
+      (** control arc between two vasm blocks of one translation *)
+  on_xcall : caller:Hhbc.Instr.fid option -> callee:Hhbc.Instr.fid -> unit;
+      (** translation-to-translation (non-inlined) call; [caller = None] for
+          request entry or calls from untranslated code *)
+  on_untranslated : Hhbc.Instr.fid -> int -> unit;
+      (** a bytecode block ran without any translation *)
+  on_prop : addr:int -> write:bool -> unit;  (** data access *)
+}
+
+val null_handler : handler
+
+(** [probes repo ~lookup handler] builds interpreter probes implementing the
+    mapping.  [lookup fid] returns the translation covering [fid], if any.
+    [lookup] is consulted on every function entry, so changing its result
+    mid-run (new translations appearing) is supported. *)
+val probes :
+  Hhbc.Repo.t -> lookup:(Hhbc.Instr.fid -> Vasm.Vfunc.t option) -> handler -> Interp.Probes.t

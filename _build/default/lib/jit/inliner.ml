@@ -1,0 +1,61 @@
+type params = {
+  max_depth : int;
+  max_callee_bytecode : int;
+  max_total_bytecode : int;
+  min_site_calls : int;
+  min_dominant_fraction : float;
+}
+
+let default_params =
+  {
+    max_depth = 4;
+    max_callee_bytecode = 700;
+    max_total_bytecode = 5000;
+    min_site_calls = 10;
+    min_dominant_fraction = 0.85;
+  }
+
+let plan repo counters root params =
+  let builder = Vasm.Inline_tree.Build.start root in
+  let budget = ref params.max_total_bytecode in
+  (* [path] carries the fids currently being inlined, to cut recursion *)
+  let rec expand ~node ~fid ~depth ~path =
+    if depth < params.max_depth then begin
+      let f = Hhbc.Repo.func repo fid in
+      Array.iteri
+        (fun site instr ->
+          let candidate =
+            match instr with
+            | Hhbc.Instr.Call (callee, _) -> (
+              (* direct call: inline when hot enough, no guard needed *)
+              match Jit_profile.Counters.call_targets counters fid site with
+              | (c, count) :: _ when c = callee && count >= params.min_site_calls -> Some callee
+              | _ -> None)
+            | Hhbc.Instr.CallMethod (_, _) -> (
+              (* speculative: require a dominant receiver target *)
+              match Jit_profile.Counters.dominant_target counters fid site with
+              | Some (callee, fraction) when fraction >= params.min_dominant_fraction -> (
+                match Jit_profile.Counters.call_targets counters fid site with
+                | (_, count) :: _ when count >= params.min_site_calls -> Some callee
+                | _ -> None)
+              | Some _ | None -> None)
+            | _ -> None
+          in
+          match candidate with
+          | None -> ()
+          | Some callee ->
+            if not (List.mem callee path) then begin
+              let size = Hhbc.Func.bytecode_size (Hhbc.Repo.func repo callee) in
+              if size <= params.max_callee_bytecode && size <= !budget then begin
+                budget := !budget - size;
+                let child =
+                  Vasm.Inline_tree.Build.add_child builder ~parent:node ~site ~fid:callee
+                in
+                expand ~node:child ~fid:callee ~depth:(depth + 1) ~path:(callee :: path)
+              end
+            end)
+        f.Hhbc.Func.body
+    end
+  in
+  expand ~node:0 ~fid:root ~depth:0 ~path:[ root ];
+  Vasm.Inline_tree.Build.finish builder

@@ -1,0 +1,23 @@
+(** Profile-guided inlining decisions for tier-2 region compilation.
+
+    Inlining is what invalidates the tier-1 call graph (paper §V-B): tier-1
+    never inlines, tier-2 inlines aggressively using the call-target
+    profiles.  Direct calls inline when the callee is small and the site is
+    hot; dynamically-dispatched calls additionally require a dominant callee
+    (speculative inlining behind a class guard). *)
+
+type params = {
+  max_depth : int;
+  max_callee_bytecode : int;  (** bytecode bytes *)
+  max_total_bytecode : int;  (** per-translation inlining budget *)
+  min_site_calls : int;  (** sites colder than this are not considered *)
+  min_dominant_fraction : float;  (** for method calls: guard profitability *)
+}
+
+val default_params : params
+
+(** [plan repo counters fid params] decides the inline tree for one
+    optimized translation rooted at [fid].  Recursion along the current
+    inline path is never followed. *)
+val plan :
+  Hhbc.Repo.t -> Jit_profile.Counters.t -> Hhbc.Instr.fid -> params -> Vasm.Inline_tree.t

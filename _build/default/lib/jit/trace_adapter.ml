@@ -1,0 +1,51 @@
+module VF = Vasm.Vfunc
+
+type sink = {
+  fetch : addr:int -> size:int -> unit;
+  branch : pc:int -> target:int -> taken:bool -> unit;
+  load : addr:int -> unit;
+  store : addr:int -> unit;
+}
+
+let handler ~cache sink =
+  {
+    Context.on_vblock =
+      (fun vf blk ->
+        match Code_cache.lookup cache vf.VF.root_fid with
+        | None -> ()
+        | Some placed ->
+          sink.fetch ~addr:(Code_cache.block_addr placed blk) ~size:vf.VF.blocks.(blk).VF.size);
+    on_varc =
+      (fun vf ~src ~dst ->
+        match Code_cache.lookup cache vf.VF.root_fid with
+        | None -> ()
+        | Some placed ->
+          let src_block = vf.VF.blocks.(src) in
+          let src_end = Code_cache.block_addr placed src + src_block.VF.size in
+          let dst_addr = Code_cache.block_addr placed dst in
+          let conditional = List.length src_block.VF.succs > 1 in
+          (* Each distinct successor corresponds to a distinct branch
+             instruction within the block (calls, jumps, guards), so derive
+             a per-target pc; otherwise one pc would alternate targets and
+             the BTB would thrash artificially. *)
+          let pc_for target =
+            let slot =
+              match
+                List.mapi (fun i s -> (s, i)) src_block.VF.succs |> List.assoc_opt target
+              with
+              | Some i -> i
+              | None -> 0
+            in
+            src_end - 4 - (4 * slot)
+          in
+          if dst_addr = src_end then begin
+            (* fall-through; only a conditional not-taken consults the
+               predictor *)
+            if conditional then sink.branch ~pc:(pc_for dst) ~target:dst_addr ~taken:false
+          end
+          else sink.branch ~pc:(pc_for dst) ~target:dst_addr ~taken:true);
+    on_xcall = (fun ~caller:_ ~callee:_ -> ());
+    on_untranslated = (fun _ _ -> ());
+    on_prop =
+      (fun ~addr ~write -> if write then sink.store ~addr else sink.load ~addr);
+  }

@@ -1,0 +1,42 @@
+(** Measured Vasm-level profile: what the Jump-Start seeders collect by
+    instrumenting the optimized code (paper §V-A and §V-B).
+
+    Accumulates, while instrumented optimized code "runs" (replay through
+    {!Context}):
+    - true execution counts per vasm block, including slow paths and
+      per-inline-context callee behaviour;
+    - true arc counts between vasm blocks;
+    - the tier-2 call graph: calls between translations, i.e. with inlined
+      calls already folded away — the accurate C3 input. *)
+
+type t
+
+val create : unit -> t
+
+(** Handler to plug into {!Context.probes}. *)
+val handler : t -> Context.handler
+
+(** [block_weights t vfunc] — dense per-block measured counts (zeros for
+    never-executed blocks). *)
+val block_weights : t -> Vasm.Vfunc.t -> float array
+
+(** [arc_weight t vfunc (src, dst)]. *)
+val arc_weight : t -> Vasm.Vfunc.t -> int * int -> float
+
+(** [to_cfg t vfunc] — layout-ready CFG under measured weights. *)
+val to_cfg : t -> Vasm.Vfunc.t -> Layout.Cfg.t
+
+(** Measured tier-2 call graph: [(caller_root, callee_root, count)].
+    Entry calls (no caller translation) are excluded. *)
+val call_graph : t -> (int * int * int) list
+
+(** Function entry counts at tier 2 (translation entries, inlined bodies
+    excluded). *)
+val entry_count : t -> Hhbc.Instr.fid -> int
+
+(** Binary serialization (the §IV-B category-3 section of a Jump-Start
+    package).  Block indices are validated against nothing here — the
+    package layer checks them against re-lowered translations. *)
+val serialize : t -> Js_util.Binio.Writer.t -> unit
+
+val deserialize : Js_util.Binio.Reader.t -> t

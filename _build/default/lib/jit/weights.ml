@@ -1,0 +1,125 @@
+module C = Jit_profile.Counters
+module IT = Vasm.Inline_tree
+module VF = Vasm.Vfunc
+
+type t = { block_weights : float array; arc_weight : int * int -> float }
+
+(* Deterministic per-block drift factor in [0.55, 1.45]: models the weight
+   degradation through the optimization pipeline between the point where
+   profile data is injected (bytecode) and where layout consumes it (final
+   Vasm) — see the .mli. *)
+let drift ~fid ~block =
+  let h = ref (fid * 0x9E3779B1) in
+  h := !h lxor (block * 0x85EBCA6B);
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xC2B2AE35;
+  h := !h lxor (!h lsr 16);
+  let u = float_of_int (!h land 0xFFFF) /. 65535. in
+  0.55 +. (0.9 *. u)
+
+let estimate repo counters (vf : VF.t) =
+  let tree = vf.VF.tree in
+  let n_nodes = IT.n_nodes tree in
+  (* scale factor per inline node: how much of the callee's aggregate
+     profile is attributed to this call site *)
+  let scale = Array.make n_nodes 1. in
+  Array.iter
+    (fun (node : IT.node) ->
+      match node.IT.parent with
+      | None -> ()
+      | Some (parent_id, site) ->
+        let parent = IT.node tree parent_id in
+        let site_calls =
+          match
+            List.assoc_opt node.IT.fid
+              (C.call_targets counters parent.IT.fid site)
+          with
+          | Some c -> float_of_int c
+          | None -> 0.
+        in
+        let callee_entries = float_of_int (C.func_entries counters node.IT.fid) in
+        let ratio = if callee_entries > 0. then Float.min 1. (site_calls /. callee_entries) else 0. in
+        scale.(node.IT.node_id) <- scale.(parent_id) *. ratio)
+    (IT.nodes tree);
+  let block_weights = Array.make (VF.n_blocks vf) 0. in
+  let arcs : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let add_arc src dst w =
+    let cur = match Hashtbl.find_opt arcs (src, dst) with Some x -> x | None -> 0. in
+    Hashtbl.replace arcs (src, dst) (cur +. w)
+  in
+  Array.iter
+    (fun (node : IT.node) ->
+      let nid = node.IT.node_id in
+      let s = scale.(nid) in
+      let counts = C.block_counts counters node.IT.fid in
+      (* main block weights from bytecode bb counters *)
+      (match counts with
+      | None -> ()
+      | Some bb_counts ->
+        Array.iteri
+          (fun bb c ->
+            match VF.main_block vf ~node:nid ~bb with
+            | Some blk -> block_weights.(blk) <- float_of_int c *. s
+            | None -> ())
+          bb_counts);
+      (* cfg arcs from bytecode arc counters *)
+      List.iter
+        (fun (src_bb, dst_bb, c) ->
+          match (VF.main_block vf ~node:nid ~bb:src_bb, VF.main_block vf ~node:nid ~bb:dst_bb) with
+          | Some src, Some dst -> add_arc src dst (float_of_int c *. s)
+          | _, _ -> ())
+        (C.arc_counts counters node.IT.fid);
+      (* call-entry and return arcs for inlined children *)
+      List.iter
+        (fun (site, child_id) ->
+          let child = IT.node tree child_id in
+          let site_calls =
+            match List.assoc_opt child.IT.fid (C.call_targets counters node.IT.fid site) with
+            | Some c -> float_of_int c *. s
+            | None -> 0.
+          in
+          let f = Hhbc.Repo.func repo node.IT.fid in
+          let bbs = Hhbc.Func.basic_blocks f in
+          let site_bb = Hhbc.Func.block_of_instr bbs site in
+          match (VF.main_block vf ~node:nid ~bb:site_bb, VF.main_block vf ~node:child_id ~bb:0) with
+          | Some caller_blk, Some entry_blk ->
+            add_arc caller_blk entry_blk site_calls;
+            (* return arcs: every callee block ending in Ret flows back *)
+            let child_f = Hhbc.Repo.func repo child.IT.fid in
+            let child_bbs = Hhbc.Func.basic_blocks child_f in
+            Array.iter
+              (fun (cbb : Hhbc.Func.block) ->
+                let last = child_f.Hhbc.Func.body.(cbb.start + cbb.len - 1) in
+                if last = Hhbc.Instr.Ret then
+                  match VF.main_block vf ~node:child_id ~bb:cbb.Hhbc.Func.bb_id with
+                  | Some ret_blk ->
+                    add_arc ret_blk caller_blk block_weights.(ret_blk)
+                  | None -> ())
+              child_bbs
+          | _, _ -> ())
+        node.IT.children)
+    (IT.nodes tree);
+  (* slow paths: invisible to tier-1 -> estimated at zero (the point!) *)
+  (* apply the pipeline drift; arcs scale with the geometric mean of their
+     endpoints' factors so flow stays roughly conserved *)
+  let fid = vf.VF.root_fid in
+  Array.iteri (fun b w -> block_weights.(b) <- w *. drift ~fid ~block:b) block_weights;
+  let arc_weight (src, dst) =
+    match Hashtbl.find_opt arcs (src, dst) with
+    | None -> 0.
+    | Some w -> w *. sqrt (drift ~fid ~block:src *. drift ~fid ~block:dst)
+  in
+  { block_weights; arc_weight }
+
+let to_cfg (vf : VF.t) t =
+  let blocks =
+    Array.map
+      (fun (b : VF.block) -> { Layout.Cfg.id = b.VF.id; size = b.VF.size; weight = t.block_weights.(b.VF.id) })
+      vf.VF.blocks
+  in
+  let arcs =
+    Array.map
+      (fun (src, dst) -> { Layout.Cfg.src; dst; weight = t.arc_weight (src, dst) })
+      (VF.arcs vf)
+  in
+  Layout.Cfg.create ~blocks ~arcs ~entry:vf.VF.entry

@@ -1,0 +1,34 @@
+(** Estimated Vasm block/arc weights from tier-1 bytecode counters.
+
+    This is the pre-Jump-Start situation of paper §V-A: profile data is
+    collected at bytecode granularity, then pushed through lowering and
+    inlining to the bottom of the pipeline, picking up two systematic
+    inaccuracies on the way:
+
+    - {b context insensitivity}: an inlined callee's counters are aggregates
+      over {e all} its callers, apportioned to this call site by a uniform
+      scale factor [site_calls / callee_entries];
+    - {b invisible guard failures}: tier-1 cannot see tier-2 side exits, so
+      every slow-path block and arc is estimated at weight zero;
+    - {b pipeline drift}: in HHVM the weights degrade further through the
+      many optimization passes between bytecode and final Vasm (the
+      observation of Panchenko et al.'s BOLT, which the paper cites as the
+      motivation for §V-A).  Our lowering is single-step, so this drift is
+      modelled explicitly: each estimated block weight is scaled by a
+      deterministic per-block factor in [0.55, 1.45] (hash-seeded, so runs
+      are reproducible), with arcs scaled consistently by their endpoints.
+
+    The seeder's optimized-code instrumentation ({!Vasm_profile}) measures
+    the true values; Figure 6's basic-block-layout speedup is the gap
+    between layouts driven by these two weight sources. *)
+
+type t = {
+  block_weights : float array;  (** indexed by vasm block id *)
+  arc_weight : int * int -> float;  (** (src, dst) -> weight; 0 if unknown *)
+}
+
+val estimate : Hhbc.Repo.t -> Jit_profile.Counters.t -> Vasm.Vfunc.t -> t
+
+(** [to_cfg vfunc weights] packages a Vfunc plus weights as a layout-ready
+    {!Layout.Cfg.t} (block ids preserved). *)
+val to_cfg : Vasm.Vfunc.t -> t -> Layout.Cfg.t

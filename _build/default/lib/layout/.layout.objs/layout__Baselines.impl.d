@@ -1,0 +1,1 @@
+lib/layout/baselines.ml: Array C3 Cfg List

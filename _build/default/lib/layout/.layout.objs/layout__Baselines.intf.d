@@ -1,0 +1,1 @@
+lib/layout/baselines.mli: C3 Cfg

@@ -1,0 +1,1 @@
+lib/layout/c3.mli:

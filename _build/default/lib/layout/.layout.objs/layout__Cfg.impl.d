@@ -1,0 +1,1 @@
+lib/layout/cfg.ml: Array Format List

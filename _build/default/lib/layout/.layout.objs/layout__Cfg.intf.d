@@ -1,0 +1,1 @@
+lib/layout/cfg.mli: Format

@@ -1,0 +1,1 @@
+lib/layout/hotcold.ml: Array Cfg Float List

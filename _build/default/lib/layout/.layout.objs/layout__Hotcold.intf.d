@@ -1,0 +1,1 @@
+lib/layout/hotcold.mli: Cfg

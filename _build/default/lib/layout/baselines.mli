@@ -1,0 +1,20 @@
+(** Baseline layout strategies for ablation benches.
+
+    These give reference points for the Ext-TSP and C3 ablations: how much of
+    Figure 6's speedup comes from the algorithm itself vs merely having any
+    profile at all. *)
+
+(** Identity block order (source order). *)
+val source_order : Cfg.t -> int array
+
+(** Greedy fall-through chaining in the spirit of Pettis-Hansen "bottom-up
+    positioning": repeatedly commit the heaviest arc whose source has no
+    chosen successor and whose target has no chosen predecessor and is not
+    the entry; concatenates the resulting chains by weight. *)
+val pettis_hansen : Cfg.t -> int array
+
+(** Function order by decreasing hotness only (no call-graph affinity). *)
+val by_hotness : nodes:C3.node array -> int array
+
+(** Function order by id (deployment/source order). *)
+val by_id : nodes:C3.node array -> int array

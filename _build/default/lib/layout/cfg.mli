@@ -1,0 +1,38 @@
+(** Weighted control-flow graphs for code-layout optimizations.
+
+    This representation is deliberately independent of Vasm/bytecode: the
+    layout algorithms (Ext-TSP, hot/cold splitting) operate on any weighted
+    CFG, mirroring how HHVM applies them at the very end of its pipeline. *)
+
+type block = {
+  id : int;
+  size : int;  (** code bytes *)
+  weight : float;  (** execution count *)
+}
+
+type arc = {
+  src : int;
+  dst : int;
+  weight : float;  (** taken count of the jump [src -> dst] *)
+}
+
+type t
+
+(** [create ~blocks ~arcs ~entry] validates ids and builds the graph.
+    [blocks] must be indexed by id ([blocks.(i).id = i]).
+    @raise Invalid_argument on dangling arc endpoints or misindexed blocks. *)
+val create : blocks:block array -> arcs:arc array -> entry:int -> t
+
+val blocks : t -> block array
+val arcs : t -> arc array
+val entry : t -> int
+
+val n_blocks : t -> int
+
+(** Total block weight. *)
+val total_weight : t -> float
+
+(** Successor arcs of a block, grouped once at creation. *)
+val succs : t -> int -> arc list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type split = { hot : int array; cold : int array }
+
+let split cfg ~threshold =
+  let blocks = Cfg.blocks cfg in
+  let entry = Cfg.entry cfg in
+  let max_w = Array.fold_left (fun acc (b : Cfg.block) -> Float.max acc b.Cfg.weight) 0. blocks in
+  let cutoff = threshold *. max_w in
+  let hot = ref [] and cold = ref [] in
+  Array.iter
+    (fun (b : Cfg.block) ->
+      if b.id = entry || b.weight >= cutoff then hot := b.id :: !hot else cold := b.id :: !cold)
+    blocks;
+  { hot = Array.of_list (List.rev !hot); cold = Array.of_list (List.rev !cold) }
+
+let arrange cfg ~threshold ~order_hot =
+  let { hot; cold } = split cfg ~threshold in
+  if Array.length cold = 0 then (order_hot cfg, Array.length hot)
+  else begin
+    (* Build the hot sub-CFG with renumbered ids; arcs touching cold blocks
+       are dropped (they contribute nothing to the hot-layout objective). *)
+    let blocks = Cfg.blocks cfg in
+    let n = Array.length blocks in
+    let new_id = Array.make n (-1) in
+    Array.iteri (fun i id -> new_id.(id) <- i) hot;
+    let sub_blocks =
+      Array.mapi
+        (fun i id -> { Cfg.id = i; size = blocks.(id).Cfg.size; weight = blocks.(id).Cfg.weight })
+        hot
+    in
+    let sub_arcs =
+      Array.of_list
+        (List.filter_map
+           (fun (a : Cfg.arc) ->
+             if new_id.(a.src) >= 0 && new_id.(a.dst) >= 0 then
+               Some { Cfg.src = new_id.(a.src); dst = new_id.(a.dst); weight = a.weight }
+             else None)
+           (Array.to_list (Cfg.arcs cfg)))
+    in
+    let sub = Cfg.create ~blocks:sub_blocks ~arcs:sub_arcs ~entry:new_id.(Cfg.entry cfg) in
+    let sub_order = order_hot sub in
+    let hot_order = Array.map (fun i -> hot.(i)) sub_order in
+    (Array.append hot_order cold, Array.length hot)
+  end

@@ -1,0 +1,21 @@
+(** Hot/cold code splitting.
+
+    Applied together with basic-block layout (paper §V-A): blocks that the
+    profile says are rarely or never executed are moved to a separate cold
+    section so the hot path occupies fewer I-cache lines and I-TLB pages. *)
+
+type split = {
+  hot : int array;  (** block ids considered hot, in original order *)
+  cold : int array;  (** block ids considered cold, in original order *)
+}
+
+(** [split cfg ~threshold] classifies each block.  A block is cold when its
+    weight is strictly below [threshold *. max_block_weight]; the entry block
+    is always hot.  [threshold] is typically 0.001-0.01. *)
+val split : Cfg.t -> threshold:float -> split
+
+(** [arrange cfg ~threshold ~order_hot] produces the final order: the hot
+    blocks ordered by [order_hot] (a layout function over the hot sub-CFG)
+    followed by cold blocks in original order.  Returns
+    [(full_order, n_hot)]. *)
+val arrange : Cfg.t -> threshold:float -> order_hot:(Cfg.t -> int array) -> int array * int

@@ -1,0 +1,1 @@
+lib/machine/hierarchy.mli: Branch Cache Format

@@ -1,0 +1,59 @@
+type stats = { branches : int; mispredicts : int }
+
+type t = {
+  counters : int array;  (** 2-bit saturating: 0-1 predict not-taken, 2-3 taken *)
+  btb : int array;  (** predicted target per entry, -1 = empty *)
+  btb_tags : int array;
+  mask : int;
+  mutable branches : int;
+  mutable mispredicts : int;
+}
+
+let create ~entries =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Branch.create: entries must be a power of two";
+  {
+    counters = Array.make entries 1;
+    btb = Array.make entries (-1);
+    btb_tags = Array.make entries (-1);
+    mask = entries - 1;
+    branches = 0;
+    mispredicts = 0;
+  }
+
+(* Cheap pc hash: drop low 2 bits (alignment), mix. *)
+let index t pc = (pc lsr 2) lxor (pc lsr 13) land t.mask
+
+let execute t ~pc ~target ~taken =
+  let i = index t pc in
+  t.branches <- t.branches + 1;
+  let predicted_taken = t.counters.(i) >= 2 in
+  let dir_wrong = predicted_taken <> taken in
+  let target_wrong =
+    taken && ((not (t.btb_tags.(i) = pc)) || t.btb.(i) <> target)
+  in
+  let mispredict = dir_wrong || target_wrong in
+  if mispredict then t.mispredicts <- t.mispredicts + 1;
+  (* update direction counter *)
+  if taken then (if t.counters.(i) < 3 then t.counters.(i) <- t.counters.(i) + 1)
+  else if t.counters.(i) > 0 then t.counters.(i) <- t.counters.(i) - 1;
+  (* update BTB on taken branches *)
+  if taken then begin
+    t.btb_tags.(i) <- pc;
+    t.btb.(i) <- target
+  end;
+  mispredict
+
+let stats t = { branches = t.branches; mispredicts = t.mispredicts }
+
+let reset_stats t =
+  t.branches <- 0;
+  t.mispredicts <- 0
+
+let flush t =
+  Array.fill t.counters 0 (Array.length t.counters) 1;
+  Array.fill t.btb 0 (Array.length t.btb) (-1);
+  Array.fill t.btb_tags 0 (Array.length t.btb_tags) (-1)
+
+let mispredict_rate (s : stats) =
+  if s.branches = 0 then 0. else float_of_int s.mispredicts /. float_of_int s.branches

@@ -1,0 +1,22 @@
+(** Branch predictor: 2-bit bimodal table plus a direct-mapped BTB for taken
+    targets.  Coarse but sufficient to show the front-end effect of basic
+    block layout: a layout with better fall-through behaviour executes fewer
+    taken branches and suffers fewer mispredictions. *)
+
+type stats = { branches : int; mispredicts : int }
+
+type t
+
+(** [create ~entries] — [entries] must be a power of two (bimodal table and
+    BTB size). *)
+val create : entries:int -> t
+
+(** [execute t ~pc ~target ~taken] records one dynamic branch; returns [true]
+    when mispredicted (direction wrong, or taken with a BTB target miss). *)
+val execute : t -> pc:int -> target:int -> taken:bool -> bool
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val flush : t -> unit
+
+val mispredict_rate : stats -> float

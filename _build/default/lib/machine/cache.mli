@@ -1,0 +1,36 @@
+(** Set-associative cache with LRU replacement.
+
+    Used for every level of the simulated memory hierarchy; TLBs are modelled
+    as caches whose "line" is a page.  The model tracks tags only — contents
+    are irrelevant for miss-rate studies. *)
+
+type config = {
+  name : string;
+  sets : int;  (** must be a power of two *)
+  ways : int;
+  line_bytes : int;  (** must be a power of two *)
+}
+
+type stats = { accesses : int; misses : int }
+
+type t
+
+(** @raise Invalid_argument on non-power-of-two geometry. *)
+val create : config -> t
+
+val config : t -> config
+
+(** [access t ~addr ~write] touches the line containing [addr]; returns
+    [true] on hit.  Misses allocate (write-allocate policy). *)
+val access : t -> addr:int -> write:bool -> bool
+
+(** [probe t ~addr] checks for presence without updating LRU or stats. *)
+val probe : t -> addr:int -> bool
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Forget all contents (e.g. simulated process restart). *)
+val flush : t -> unit
+
+val miss_rate : stats -> float

@@ -1,0 +1,166 @@
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  l2 : Cache.config;
+  llc : Cache.config;
+  itlb : Cache.config;
+  dtlb : Cache.config;
+  branch_entries : int;
+  l2_latency : int;
+  llc_latency : int;
+  mem_latency : int;
+  tlb_miss_penalty : int;
+  branch_penalty : int;
+  bytes_per_instr : int;
+  base_cpi : float;
+}
+
+let kib n = n * 1024
+
+let default_config =
+  {
+    l1i = { Cache.name = "L1I"; sets = kib 32 / 64 / 8; ways = 8; line_bytes = 64 };
+    l1d = { Cache.name = "L1D"; sets = kib 32 / 64 / 8; ways = 8; line_bytes = 64 };
+    l2 = { Cache.name = "L2"; sets = kib 256 / 64 / 8; ways = 8; line_bytes = 64 };
+    llc = { Cache.name = "LLC"; sets = kib (16 * 1024) / 64 / 16; ways = 16; line_bytes = 64 };
+    itlb = { Cache.name = "ITLB"; sets = 16; ways = 4; line_bytes = 4096 };
+    dtlb = { Cache.name = "DTLB"; sets = 16; ways = 4; line_bytes = 4096 };
+    branch_entries = 16384;
+    l2_latency = 12;
+    llc_latency = 40;
+    mem_latency = 220;
+    tlb_miss_penalty = 30;
+    branch_penalty = 20;
+    bytes_per_instr = 4;
+    base_cpi = 0.40;
+  }
+
+type snapshot = {
+  instructions : int;
+  cycles : float;
+  l1i_s : Cache.stats;
+  l1d_s : Cache.stats;
+  l2_s : Cache.stats;
+  llc_s : Cache.stats;
+  itlb_s : Cache.stats;
+  dtlb_s : Cache.stats;
+  branch_s : Branch.stats;
+}
+
+type t = {
+  cfg : config;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  llc : Cache.t;
+  itlb : Cache.t;
+  dtlb : Cache.t;
+  bp : Branch.t;
+  mutable fetched_bytes : int;
+  mutable stall_cycles : float;
+}
+
+let create cfg =
+  {
+    cfg;
+    l1i = Cache.create cfg.l1i;
+    l1d = Cache.create cfg.l1d;
+    l2 = Cache.create cfg.l2;
+    llc = Cache.create cfg.llc;
+    itlb = Cache.create cfg.itlb;
+    dtlb = Cache.create cfg.dtlb;
+    bp = Branch.create ~entries:cfg.branch_entries;
+    fetched_bytes = 0;
+    stall_cycles = 0.;
+  }
+
+(* Access below L1: L2, then LLC, then memory; returns stall cycles. *)
+let lower_levels t ~addr ~write =
+  if Cache.access t.l2 ~addr ~write then float_of_int t.cfg.l2_latency
+  else if Cache.access t.llc ~addr ~write then float_of_int t.cfg.llc_latency
+  else float_of_int t.cfg.mem_latency
+
+let fetch t ~addr ~size =
+  t.fetched_bytes <- t.fetched_bytes + size;
+  let line = t.cfg.l1i.Cache.line_bytes in
+  let first = addr / line and last = (addr + max 0 (size - 1)) / line in
+  for l = first to last do
+    let a = l * line in
+    if not (Cache.access t.itlb ~addr:a ~write:false) then
+      t.stall_cycles <- t.stall_cycles +. float_of_int t.cfg.tlb_miss_penalty;
+    if not (Cache.access t.l1i ~addr:a ~write:false) then
+      t.stall_cycles <- t.stall_cycles +. lower_levels t ~addr:a ~write:false
+  done
+
+let data_access t ~addr ~write =
+  if not (Cache.access t.dtlb ~addr ~write:false) then
+    t.stall_cycles <- t.stall_cycles +. float_of_int t.cfg.tlb_miss_penalty;
+  if not (Cache.access t.l1d ~addr ~write) then
+    (* A store miss allocates but does not stall the pipeline as long
+       (store buffer); charge half the latency. *)
+    let stall = lower_levels t ~addr ~write in
+    t.stall_cycles <- t.stall_cycles +. (if write then stall /. 2. else stall)
+
+let load t ~addr = data_access t ~addr ~write:false
+let store t ~addr = data_access t ~addr ~write:true
+
+let branch t ~pc ~target ~taken =
+  if Branch.execute t.bp ~pc ~target ~taken then
+    t.stall_cycles <- t.stall_cycles +. float_of_int t.cfg.branch_penalty
+
+let instructions t = t.fetched_bytes / t.cfg.bytes_per_instr
+
+let snapshot t =
+  let instructions = instructions t in
+  {
+    instructions;
+    cycles = (float_of_int instructions *. t.cfg.base_cpi) +. t.stall_cycles;
+    l1i_s = Cache.stats t.l1i;
+    l1d_s = Cache.stats t.l1d;
+    l2_s = Cache.stats t.l2;
+    llc_s = Cache.stats t.llc;
+    itlb_s = Cache.stats t.itlb;
+    dtlb_s = Cache.stats t.dtlb;
+    branch_s = Branch.stats t.bp;
+  }
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2;
+  Cache.reset_stats t.llc;
+  Cache.reset_stats t.itlb;
+  Cache.reset_stats t.dtlb;
+  Branch.reset_stats t.bp;
+  t.fetched_bytes <- 0;
+  t.stall_cycles <- 0.
+
+let flush t =
+  Cache.flush t.l1i;
+  Cache.flush t.l1d;
+  Cache.flush t.l2;
+  Cache.flush t.llc;
+  Cache.flush t.itlb;
+  Cache.flush t.dtlb;
+  Branch.flush t.bp;
+  reset_stats t
+
+let cpi snap _cfg =
+  if snap.instructions = 0 then 0. else snap.cycles /. float_of_int snap.instructions
+
+let pp_snapshot fmt s =
+  let pr name (st : Cache.stats) =
+    Format.fprintf fmt "@,%-5s %9d acc %8d miss (%.3f%%)" name st.accesses st.misses
+      (100. *. Cache.miss_rate st)
+  in
+  Format.fprintf fmt "@[<v 2>machine: %d instrs, %.0f cycles (CPI %.3f)" s.instructions s.cycles
+    (if s.instructions = 0 then 0. else s.cycles /. float_of_int s.instructions);
+  pr "L1I" s.l1i_s;
+  pr "L1D" s.l1d_s;
+  pr "L2" s.l2_s;
+  pr "LLC" s.llc_s;
+  pr "ITLB" s.itlb_s;
+  pr "DTLB" s.dtlb_s;
+  Format.fprintf fmt "@,branch %8d exec %7d mispredict (%.3f%%)@]" s.branch_s.Branch.branches
+    s.branch_s.Branch.mispredicts
+    (100. *. Branch.mispredict_rate s.branch_s)

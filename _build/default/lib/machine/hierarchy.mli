@@ -1,0 +1,70 @@
+(** The simulated memory hierarchy of one core, loosely modelled on the
+    paper's evaluation hardware (Intel Xeon D-1581, Broadwell): split L1
+    I/D caches, unified L2, shared LLC, separate I-TLB and D-TLB, and a
+    branch predictor.
+
+    Events are pushed by the JIT trace adapter; the hierarchy accumulates
+    per-component hit/miss statistics and total stall cycles, from which the
+    experiment layer computes CPI and throughput.  These are the seven
+    metrics of paper Fig. 5. *)
+
+type config = {
+  l1i : Cache.config;
+  l1d : Cache.config;
+  l2 : Cache.config;
+  llc : Cache.config;
+  itlb : Cache.config;
+  dtlb : Cache.config;
+  branch_entries : int;
+  l2_latency : int;  (** extra cycles on L1 miss / L2 hit *)
+  llc_latency : int;
+  mem_latency : int;
+  tlb_miss_penalty : int;  (** page-walk cycles *)
+  branch_penalty : int;  (** mispredict flush cycles *)
+  bytes_per_instr : int;  (** avg machine-instruction length, for CPI *)
+  base_cpi : float;  (** cycles per instruction with a perfect front-end *)
+}
+
+(** Broadwell-like defaults (32K/8 L1s, 256K/8 L2, 16M/16 LLC, 64-entry
+    TLBs). *)
+val default_config : config
+
+type snapshot = {
+  instructions : int;
+  cycles : float;
+  l1i_s : Cache.stats;
+  l1d_s : Cache.stats;
+  l2_s : Cache.stats;
+  llc_s : Cache.stats;
+  itlb_s : Cache.stats;
+  dtlb_s : Cache.stats;
+  branch_s : Branch.stats;
+}
+
+type t
+
+val create : config -> t
+
+(** [fetch t ~addr ~size] — instruction fetch of [size] bytes at [addr];
+    walks every cache line covered. *)
+val fetch : t -> addr:int -> size:int -> unit
+
+(** [load t ~addr] / [store t ~addr] — data access through D-TLB, L1D, L2,
+    LLC. *)
+val load : t -> addr:int -> unit
+
+val store : t -> addr:int -> unit
+
+(** [branch t ~pc ~target ~taken] — dynamic branch through the predictor. *)
+val branch : t -> pc:int -> target:int -> taken:bool -> unit
+
+val snapshot : t -> snapshot
+val reset_stats : t -> unit
+
+(** Cold restart: empty caches, cleared predictor, zeroed stats. *)
+val flush : t -> unit
+
+(** [cpi snap config] — effective cycles per instruction. *)
+val cpi : snapshot -> config -> float
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/minihack/compile.ml: Array Ast Format Hashtbl Hhbc List Option Parser

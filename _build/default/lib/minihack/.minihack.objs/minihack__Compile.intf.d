@@ -1,0 +1,1 @@
+lib/minihack/compile.mli: Ast Hhbc

@@ -1,0 +1,1 @@
+lib/minihack/lexer.ml: Array Buffer Format List Printf String Token

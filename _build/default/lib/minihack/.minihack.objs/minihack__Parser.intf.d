@@ -1,0 +1,1 @@
+lib/minihack/parser.mli: Ast

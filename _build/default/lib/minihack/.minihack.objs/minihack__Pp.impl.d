@@ -1,0 +1,1 @@
+lib/minihack/pp.ml: Ast Buffer Float Format List String

@@ -1,0 +1,1 @@
+lib/minihack/pp.mli: Ast Format

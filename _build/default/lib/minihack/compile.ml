@@ -1,0 +1,503 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+module B = Hhbc.Repo.Builder
+module I = Hhbc.Instr
+
+type prog_env = {
+  builder : B.b;
+  func_ids : (string, I.fid * int) Hashtbl.t;  (* name -> (fid, arity) *)
+  class_ids : (string, I.cid) Hashtbl.t;
+}
+
+(* Per-function emission state.  [code] is a growable instruction buffer with
+   label back-patching for forward jumps. *)
+type fctx = {
+  env : prog_env;
+  mutable code : I.t array;
+  mutable len : int;
+  locals : (string, int) Hashtbl.t;
+  mutable n_locals : int;
+  in_method : bool;
+  (* for each enclosing loop: positions of Jmp instrs to patch *)
+  mutable break_fixups : int list list;
+  mutable continue_fixups : int list list;
+}
+
+let emit ctx instr =
+  if ctx.len = Array.length ctx.code then begin
+    let grown = Array.make (max 32 (2 * ctx.len)) I.Nop in
+    Array.blit ctx.code 0 grown 0 ctx.len;
+    ctx.code <- grown
+  end;
+  ctx.code.(ctx.len) <- instr;
+  ctx.len <- ctx.len + 1
+
+let here ctx = ctx.len
+
+let patch ctx at target =
+  ctx.code.(at) <-
+    (match ctx.code.(at) with
+    | I.Jmp _ -> I.Jmp target
+    | I.JmpZ _ -> I.JmpZ target
+    | I.JmpNZ _ -> I.JmpNZ target
+    | _ -> err "internal: patching a non-jump")
+
+let local ctx name =
+  match Hashtbl.find_opt ctx.locals name with
+  | Some slot -> slot
+  | None ->
+    let slot = ctx.n_locals in
+    Hashtbl.add ctx.locals name slot;
+    ctx.n_locals <- slot + 1;
+    slot
+
+let fresh_temp ctx =
+  let slot = ctx.n_locals in
+  ctx.n_locals <- slot + 1;
+  slot
+
+let binop_of_ast = function
+  | Ast.Add -> I.Add
+  | Ast.Sub -> I.Sub
+  | Ast.Mul -> I.Mul
+  | Ast.Div -> I.Div
+  | Ast.Mod -> I.Mod
+  | Ast.Concat -> I.Concat
+  | Ast.Lt -> I.Lt
+  | Ast.Le -> I.Le
+  | Ast.Gt -> I.Gt
+  | Ast.Ge -> I.Ge
+  | Ast.Eq -> I.Eq
+  | Ast.Ne -> I.Ne
+  | Ast.BitAnd -> I.BitAnd
+  | Ast.BitOr -> I.BitOr
+  | Ast.BitXor -> I.BitXor
+  | Ast.Shl -> I.Shl
+  | Ast.Shr -> I.Shr
+  | Ast.And | Ast.Or -> err "internal: short-circuit op is not a direct binop"
+
+(* Property defaults must be compile-time constants. *)
+let rec const_value env = function
+  | Ast.Int n -> Hhbc.Value.Int n
+  | Ast.Float f -> Hhbc.Value.Float f
+  | Ast.Str s -> Hhbc.Value.Str s
+  | Ast.Bool b -> Hhbc.Value.Bool b
+  | Ast.Null -> Hhbc.Value.Null
+  | Ast.Unop (Ast.Neg, e) -> (
+    match const_value env e with
+    | Hhbc.Value.Int n -> Hhbc.Value.Int (-n)
+    | Hhbc.Value.Float f -> Hhbc.Value.Float (-.f)
+    | _ -> err "property default: cannot negate non-number")
+  | Ast.VecLit _ | Ast.DictLit _ ->
+    err "property default: container defaults are not supported; initialize in the constructor"
+  | _ -> err "property default must be a constant"
+
+let rec compile_expr ctx (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> emit ctx (I.LitInt n)
+  | Ast.Float f -> emit ctx (I.LitFloat f)
+  | Ast.Bool b -> emit ctx (I.LitBool b)
+  | Ast.Null -> emit ctx I.LitNull
+  | Ast.Str s -> emit ctx (I.LitStr (B.intern_string ctx.env.builder s))
+  | Ast.This ->
+    if not ctx.in_method then err "$this outside of a method";
+    emit ctx I.GetThis
+  | Ast.Var v -> (
+    match Hashtbl.find_opt ctx.locals v with
+    | Some slot -> emit ctx (I.LoadLoc slot)
+    | None ->
+      (* Reading an unassigned variable yields null, like PHP notices;
+         allocate the slot so later stores agree. *)
+      emit ctx (I.LoadLoc (local ctx v)))
+  | Ast.Binop (Ast.And, a, b) ->
+    (* a && b  =>  if (!a) false else bool(b) *)
+    compile_expr ctx a;
+    let jz = here ctx in
+    emit ctx (I.JmpZ 0);
+    compile_expr ctx b;
+    emit ctx (I.Cast Hhbc.Value.TBool);
+    let jend = here ctx in
+    emit ctx (I.Jmp 0);
+    patch ctx jz (here ctx);
+    emit ctx (I.LitBool false);
+    patch ctx jend (here ctx)
+  | Ast.Binop (Ast.Or, a, b) ->
+    compile_expr ctx a;
+    let jnz = here ctx in
+    emit ctx (I.JmpNZ 0);
+    compile_expr ctx b;
+    emit ctx (I.Cast Hhbc.Value.TBool);
+    let jend = here ctx in
+    emit ctx (I.Jmp 0);
+    patch ctx jnz (here ctx);
+    emit ctx (I.LitBool true);
+    patch ctx jend (here ctx)
+  | Ast.Binop (op, a, b) ->
+    compile_expr ctx a;
+    compile_expr ctx b;
+    emit ctx (I.BinOp (binop_of_ast op))
+  | Ast.Unop (Ast.Neg, e) ->
+    compile_expr ctx e;
+    emit ctx (I.UnOp I.Neg)
+  | Ast.Unop (Ast.Not, e) ->
+    compile_expr ctx e;
+    emit ctx (I.UnOp I.Not)
+  | Ast.Call (name, args) -> compile_call ctx name args
+  | Ast.MethodCall (recv, m, args) ->
+    compile_expr ctx recv;
+    List.iter (compile_expr ctx) args;
+    emit ctx (I.CallMethod (B.intern_name ctx.env.builder m, List.length args))
+  | Ast.PropGet (recv, p) ->
+    compile_expr ctx recv;
+    emit ctx (I.GetProp (B.intern_name ctx.env.builder p))
+  | Ast.New (cname, args) -> (
+    match Hashtbl.find_opt ctx.env.class_ids cname with
+    | None -> err "undefined class '%s'" cname
+    | Some cid ->
+      List.iter (compile_expr ctx) args;
+      emit ctx (I.New (cid, List.length args)))
+  | Ast.VecLit elems ->
+    (* constant vec literals become repo static arrays (loaded with LitArr,
+       which copies), like HHVM's scalar array optimization; the static
+       array table is part of what Jump-Start packages preload *)
+    let constants =
+      List.filter_map
+        (fun e ->
+          match e with
+          | Ast.Int _ | Ast.Float _ | Ast.Str _ | Ast.Bool _ | Ast.Null ->
+            Some (const_value ctx.env e)
+          | _ -> None)
+        elems
+    in
+    if elems <> [] && List.length constants = List.length elems then
+      emit ctx (I.LitArr (B.add_static_array ctx.env.builder (Array.of_list constants)))
+    else begin
+      List.iter (compile_expr ctx) elems;
+      emit ctx (I.NewVec (List.length elems))
+    end
+  | Ast.DictLit pairs ->
+    List.iter
+      (fun (k, v) ->
+        compile_expr ctx k;
+        compile_expr ctx v)
+      pairs;
+    emit ctx (I.NewDict (List.length pairs))
+  | Ast.Index (base, idx) ->
+    compile_expr ctx base;
+    compile_expr ctx idx;
+    emit ctx I.VecGet
+  | Ast.InstanceOf (e, cname) -> (
+    match Hashtbl.find_opt ctx.env.class_ids cname with
+    | None -> err "undefined class '%s'" cname
+    | Some cid ->
+      compile_expr ctx e;
+      emit ctx (I.InstanceOf cid))
+
+and compile_call ctx name args =
+  let nargs = List.length args in
+  let emit_args () = List.iter (compile_expr ctx) args in
+  match name with
+  | "len" ->
+    if nargs <> 1 then err "len expects 1 argument";
+    emit_args ();
+    emit ctx I.VecLen
+  | "str" ->
+    if nargs <> 1 then err "str expects 1 argument";
+    emit_args ();
+    emit ctx (I.Cast Hhbc.Value.TStr)
+  | "int" ->
+    if nargs <> 1 then err "int expects 1 argument";
+    emit_args ();
+    emit ctx (I.Cast Hhbc.Value.TInt)
+  | "float" ->
+    if nargs <> 1 then err "float expects 1 argument";
+    emit_args ();
+    emit ctx (I.Cast Hhbc.Value.TFloat)
+  | "boolval" ->
+    if nargs <> 1 then err "boolval expects 1 argument";
+    emit_args ();
+    emit ctx (I.Cast Hhbc.Value.TBool)
+  | "has" ->
+    if nargs <> 2 then err "has expects 2 arguments";
+    emit_args ();
+    emit ctx I.DictHas
+  | _ -> (
+    match Hashtbl.find_opt ctx.env.func_ids name with
+    | None -> err "undefined function '%s'" name
+    | Some (fid, arity) ->
+      if arity <> nargs then err "function '%s' expects %d arguments, got %d" name arity nargs;
+      emit_args ();
+      emit ctx (I.Call (fid, nargs)))
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Expr e ->
+    compile_expr ctx e;
+    emit ctx I.Pop
+  | Ast.Assign (Ast.LVar v, rhs) ->
+    compile_expr ctx rhs;
+    emit ctx (I.StoreLoc (local ctx v))
+  | Ast.Assign (Ast.LIndex (base, idx), rhs) ->
+    compile_expr ctx base;
+    compile_expr ctx idx;
+    compile_expr ctx rhs;
+    emit ctx I.VecSet
+  | Ast.Assign (Ast.LProp (recv, p), rhs) ->
+    compile_expr ctx recv;
+    compile_expr ctx rhs;
+    emit ctx (I.SetProp (B.intern_name ctx.env.builder p))
+  | Ast.VecPushStmt (base, rhs) ->
+    compile_expr ctx base;
+    compile_expr ctx rhs;
+    emit ctx I.VecPush
+  | Ast.If (arms, else_block) ->
+    let end_fixups = ref [] in
+    List.iter
+      (fun (cond, body) ->
+        compile_expr ctx cond;
+        let jz = here ctx in
+        emit ctx (I.JmpZ 0);
+        compile_block ctx body;
+        let jend = here ctx in
+        emit ctx (I.Jmp 0);
+        end_fixups := jend :: !end_fixups;
+        patch ctx jz (here ctx))
+      arms;
+    compile_block ctx else_block;
+    List.iter (fun at -> patch ctx at (here ctx)) !end_fixups
+  | Ast.While (cond, body) ->
+    let top = here ctx in
+    compile_expr ctx cond;
+    let jz = here ctx in
+    emit ctx (I.JmpZ 0);
+    compile_loop_body ctx body ~continue_target:top;
+    emit ctx (I.Jmp top);
+    patch ctx jz (here ctx);
+    finish_breaks ctx
+  | Ast.For (init, cond, step, body) ->
+    Option.iter (compile_stmt ctx) init;
+    let top = here ctx in
+    let jz =
+      match cond with
+      | None -> None
+      | Some c ->
+        compile_expr ctx c;
+        let at = here ctx in
+        emit ctx (I.JmpZ 0);
+        Some at
+    in
+    push_loop ctx;
+    compile_block ctx body;
+    (* continue jumps land on the step *)
+    let step_at = here ctx in
+    patch_continues ctx step_at;
+    Option.iter (compile_stmt ctx) step;
+    emit ctx (I.Jmp top);
+    Option.iter (fun at -> patch ctx at (here ctx)) jz;
+    finish_breaks ctx
+  | Ast.Foreach (e, v, body) ->
+    (* Lowered to an index loop over a temp vec + temp index. *)
+    let vec_slot = fresh_temp ctx in
+    let idx_slot = fresh_temp ctx in
+    compile_expr ctx e;
+    emit ctx (I.StoreLoc vec_slot);
+    emit ctx (I.LitInt 0);
+    emit ctx (I.StoreLoc idx_slot);
+    let top = here ctx in
+    emit ctx (I.LoadLoc idx_slot);
+    emit ctx (I.LoadLoc vec_slot);
+    emit ctx I.VecLen;
+    emit ctx (I.BinOp I.Lt);
+    let jz = here ctx in
+    emit ctx (I.JmpZ 0);
+    emit ctx (I.LoadLoc vec_slot);
+    emit ctx (I.LoadLoc idx_slot);
+    emit ctx I.VecGet;
+    emit ctx (I.StoreLoc (local ctx v));
+    push_loop ctx;
+    compile_block ctx body;
+    let step_at = here ctx in
+    patch_continues ctx step_at;
+    emit ctx (I.LoadLoc idx_slot);
+    emit ctx (I.LitInt 1);
+    emit ctx (I.BinOp I.Add);
+    emit ctx (I.StoreLoc idx_slot);
+    emit ctx (I.Jmp top);
+    patch ctx jz (here ctx);
+    finish_breaks ctx
+  | Ast.Return None ->
+    emit ctx I.LitNull;
+    emit ctx I.Ret
+  | Ast.Return (Some e) ->
+    compile_expr ctx e;
+    emit ctx I.Ret
+  | Ast.Echo e ->
+    compile_expr ctx e;
+    emit ctx I.Print
+  | Ast.Break -> (
+    match ctx.break_fixups with
+    | [] -> err "'break' outside of a loop"
+    | fixups :: rest ->
+      let at = here ctx in
+      emit ctx (I.Jmp 0);
+      ctx.break_fixups <- (at :: fixups) :: rest)
+  | Ast.Continue -> (
+    match ctx.continue_fixups with
+    | [] -> err "'continue' outside of a loop"
+    | fixups :: rest ->
+      let at = here ctx in
+      emit ctx (I.Jmp 0);
+      ctx.continue_fixups <- (at :: fixups) :: rest)
+
+and compile_block ctx block = List.iter (compile_stmt ctx) block
+
+and push_loop ctx =
+  ctx.break_fixups <- [] :: ctx.break_fixups;
+  ctx.continue_fixups <- [] :: ctx.continue_fixups
+
+(* Compile a loop body whose continue target is already known. *)
+and compile_loop_body ctx body ~continue_target =
+  push_loop ctx;
+  compile_block ctx body;
+  patch_continues ctx continue_target
+
+and patch_continues ctx target =
+  match ctx.continue_fixups with
+  | [] -> err "internal: continue fixups underflow"
+  | fixups :: rest ->
+    List.iter (fun at -> patch ctx at target) fixups;
+    ctx.continue_fixups <- rest
+
+and finish_breaks ctx =
+  match ctx.break_fixups with
+  | [] -> err "internal: break fixups underflow"
+  | fixups :: rest ->
+    List.iter (fun at -> patch ctx at (here ctx)) fixups;
+    ctx.break_fixups <- rest
+
+let compile_func env ~unit_id ~class_id ~fid (decl : Ast.func_decl) =
+  let ctx =
+    {
+      env;
+      code = Array.make 32 I.Nop;
+      len = 0;
+      locals = Hashtbl.create 8;
+      n_locals = 0;
+      in_method = class_id <> None;
+      break_fixups = [];
+      continue_fixups = [];
+    }
+  in
+  List.iter (fun p -> ignore (local ctx p)) decl.Ast.params;
+  compile_block ctx decl.Ast.body;
+  (* Implicit `return null` at the end of every body. *)
+  emit ctx I.LitNull;
+  emit ctx I.Ret;
+  let name =
+    match class_id with
+    | None -> decl.Ast.fname
+    | Some _ -> decl.Ast.fname
+  in
+  {
+    Hhbc.Func.id = fid;
+    name;
+    unit_id;
+    class_id;
+    n_params = List.length decl.Ast.params;
+    n_locals = ctx.n_locals;
+    body = Array.sub ctx.code 0 ctx.len;
+  }
+
+let compile_program builder ~path program =
+  let env = { builder; func_ids = Hashtbl.create 16; class_ids = Hashtbl.create 16 } in
+  (* Pass 1: declare all functions and classes so bodies may forward-reference. *)
+  let func_decls = ref [] and class_decls = ref [] in
+  List.iter
+    (function
+      | Ast.DFunc f ->
+        if Hashtbl.mem env.func_ids f.Ast.fname then err "duplicate function '%s'" f.Ast.fname;
+        let fid = B.reserve_func builder in
+        Hashtbl.add env.func_ids f.Ast.fname (fid, List.length f.Ast.params);
+        func_decls := (fid, f) :: !func_decls
+      | Ast.DClass c ->
+        if Hashtbl.mem env.class_ids c.Ast.cname then err "duplicate class '%s'" c.Ast.cname;
+        let cid = B.reserve_class builder in
+        Hashtbl.add env.class_ids c.Ast.cname cid;
+        class_decls := (cid, c) :: !class_decls)
+    program;
+  let func_decls = List.rev !func_decls and class_decls = List.rev !class_decls in
+  (* Bodies are compiled with a placeholder unit id; the real id is only
+     known once the unit record is appended, so it is patched in at the end. *)
+  let compiled_methods = ref [] in
+  List.iter
+    (fun (cid, (c : Ast.class_decl)) ->
+      let parent =
+        match c.Ast.cparent with
+        | None -> None
+        | Some p -> (
+          match Hashtbl.find_opt env.class_ids p with
+          | None -> err "undefined parent class '%s'" p
+          | Some pid -> Some pid)
+      in
+      let props =
+        Array.of_list
+          (List.map
+             (fun (p : Ast.prop_decl) ->
+               {
+                 Hhbc.Class_def.prop_name = B.intern_name builder p.Ast.pname;
+                 default =
+                   (match p.Ast.pdefault with None -> Hhbc.Value.Null | Some e -> const_value env e);
+               })
+             c.Ast.cprops)
+      in
+      let methods =
+        Array.of_list
+          (List.map
+             (fun (m : Ast.func_decl) ->
+               let fid = B.reserve_func builder in
+               compiled_methods := (fid, Some cid, m) :: !compiled_methods;
+               (B.intern_name builder m.Ast.fname, fid))
+             c.Ast.cmethods)
+      in
+      B.set_class builder cid
+        { Hhbc.Class_def.id = cid; name = c.Ast.cname; parent; props; methods; unit_id = 0 })
+    class_decls;
+  (* Compile all function bodies (top-level and methods). *)
+  let all_funcs =
+    List.map (fun (fid, f) -> (fid, None, f)) func_decls @ List.rev !compiled_methods
+  in
+  let compiled =
+    List.map
+      (fun (fid, class_id, decl) -> (fid, compile_func env ~unit_id:0 ~class_id ~fid decl))
+      all_funcs
+  in
+  let main = Option.map fst (Hashtbl.find_opt env.func_ids "main") in
+  let fids = List.map fst compiled in
+  let cids = List.map fst class_decls in
+  let load_cost_bytes =
+    List.fold_left (fun acc (_, f) -> acc + Hhbc.Func.bytecode_size f) 256 compiled
+  in
+  let uid =
+    B.add_unit builder
+      {
+        Hhbc.Unit_def.id = 0;
+        path;
+        funcs = Array.of_list fids;
+        classes = Array.of_list cids;
+        main;
+        load_cost_bytes;
+      }
+  in
+  List.iter (fun (fid, f) -> B.set_func builder fid { f with Hhbc.Func.unit_id = uid }) compiled;
+  uid
+
+let compile_source ~path src =
+  let program = Parser.parse_program src in
+  let builder = B.create () in
+  ignore (compile_program builder ~path program);
+  let repo = B.finish builder in
+  match Hhbc.Repo.validate repo with
+  | Ok () -> repo
+  | Error msg -> err "generated invalid bytecode: %s" msg

@@ -1,0 +1,19 @@
+(** Bytecode compiler: minihack AST -> hhbc.
+
+    Performs the offline ("repo authoritative") compilation step of the
+    paper's architecture (§II-A): the whole program is translated ahead of
+    execution into the untyped bytecode the VM interprets and JITs. *)
+
+(** Raised on semantic errors (undefined function/class, arity mismatch on
+    direct calls, non-constant property default, [$this] outside a method,
+    [break] outside a loop, ...). *)
+exception Error of string
+
+(** [compile_program builder ~path program] compiles all declarations into
+    [builder] as one unit named [path] and returns the unit id.  A function
+    named ["main"], if present, becomes the unit's entry point. *)
+val compile_program : Hhbc.Repo.Builder.b -> path:string -> Ast.program -> int
+
+(** [compile_source ~path src] parses and compiles a standalone source file
+    into a fresh repo. *)
+val compile_source : path:string -> string -> Hhbc.Repo.t

@@ -1,0 +1,204 @@
+exception Error of string
+
+let error line col fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" line col s))) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '#' ->
+    skip_line st;
+    skip_trivia st
+  | Some '/' -> (
+    match peek2 st with
+    | Some '/' ->
+      skip_line st;
+      skip_trivia st
+    | Some '*' ->
+      let start_line = st.line and start_col = st.col in
+      advance st;
+      advance st;
+      skip_block_comment st start_line start_col;
+      skip_trivia st
+    | Some _ | None -> ())
+  | Some _ | None -> ()
+
+and skip_line st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance st;
+    skip_line st
+
+and skip_block_comment st start_line start_col =
+  match (peek st, peek2 st) with
+  | Some '*', Some '/' ->
+    advance st;
+    advance st
+  | Some _, _ ->
+    advance st;
+    skip_block_comment st start_line start_col
+  | None, _ -> error start_line start_col "unterminated block comment"
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Token.FLOAT (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_string st =
+  let line = st.line and col = st.col in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error line col "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        go ()
+      | Some '\\' ->
+        Buffer.add_char buf '\\';
+        advance st;
+        go ()
+      | Some '"' ->
+        Buffer.add_char buf '"';
+        advance st;
+        go ()
+      | Some c -> error st.line st.col "invalid escape '\\%c'" c
+      | None -> error line col "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit pos token = tokens := { Token.token; pos } :: !tokens in
+  let rec loop () =
+    skip_trivia st;
+    let pos = { Token.line = st.line; col = st.col } in
+    match peek st with
+    | None -> emit pos Token.EOF
+    | Some c ->
+      (match c with
+      | c when is_digit c -> emit pos (lex_number st)
+      | c when is_ident_start c -> emit pos (Token.IDENT (lex_ident st))
+      | '$' ->
+        advance st;
+        (match peek st with
+        | Some c when is_ident_start c -> emit pos (Token.VAR (lex_ident st))
+        | _ -> error pos.line pos.col "expected variable name after '$'")
+      | '"' -> emit pos (lex_string st)
+      | '(' -> advance st; emit pos Token.LPAREN
+      | ')' -> advance st; emit pos Token.RPAREN
+      | '{' -> advance st; emit pos Token.LBRACE
+      | '}' -> advance st; emit pos Token.RBRACE
+      | '[' -> advance st; emit pos Token.LBRACKET
+      | ']' -> advance st; emit pos Token.RBRACKET
+      | ',' -> advance st; emit pos Token.COMMA
+      | ';' -> advance st; emit pos Token.SEMI
+      | '+' -> advance st; emit pos Token.PLUS
+      | '*' -> advance st; emit pos Token.STAR
+      | '/' -> advance st; emit pos Token.SLASH
+      | '%' -> advance st; emit pos Token.PERCENT
+      | '.' -> advance st; emit pos Token.DOT
+      | '^' -> advance st; emit pos Token.CARET
+      | '-' ->
+        advance st;
+        if peek st = Some '>' then begin advance st; emit pos Token.ARROW end
+        else emit pos Token.MINUS
+      | '=' ->
+        advance st;
+        (match peek st with
+        | Some '=' -> advance st; emit pos Token.EQ
+        | Some '>' -> advance st; emit pos Token.FATARROW
+        | _ -> emit pos Token.ASSIGN)
+      | '<' ->
+        advance st;
+        (match peek st with
+        | Some '=' -> advance st; emit pos Token.LE
+        | Some '<' -> advance st; emit pos Token.SHL
+        | _ -> emit pos Token.LT)
+      | '>' ->
+        advance st;
+        (match peek st with
+        | Some '=' -> advance st; emit pos Token.GE
+        | Some '>' -> advance st; emit pos Token.SHR
+        | _ -> emit pos Token.GT)
+      | '!' ->
+        advance st;
+        if peek st = Some '=' then begin advance st; emit pos Token.NE end
+        else emit pos Token.BANG
+      | '&' ->
+        advance st;
+        if peek st = Some '&' then begin advance st; emit pos Token.ANDAND end
+        else emit pos Token.AMP
+      | '|' ->
+        advance st;
+        if peek st = Some '|' then begin advance st; emit pos Token.OROR end
+        else emit pos Token.PIPE
+      | c -> error pos.line pos.col "unexpected character '%c'" c);
+      if (match !tokens with { Token.token = Token.EOF; _ } :: _ -> false | _ -> true) then loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !tokens)

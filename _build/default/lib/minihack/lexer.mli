@@ -1,0 +1,17 @@
+(** Handwritten lexer for minihack.
+
+    Menhir/ocamllex are deliberately not used: the grammar is small and a
+    handwritten scanner gives precise error positions with no build-time
+    dependencies (Menhir is not available in the sealed environment, cf.
+    DESIGN.md §5). *)
+
+(** Raised on malformed input, with a human-readable message including the
+    source position. *)
+exception Error of string
+
+(** [tokenize src] scans the whole source, returning tokens with positions;
+    the final element is always [EOF].
+    Supports: integers, floats, double-quoted strings with backslash escapes
+    (n, t, backslash, quote), [$variables], identifiers, [//] and [#] line
+    comments, block comments, and all operators in {!Token.t}. *)
+val tokenize : string -> Token.located array

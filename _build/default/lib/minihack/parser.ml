@@ -1,0 +1,434 @@
+exception Error of string
+
+type state = { tokens : Token.located array; mutable pos : int }
+
+let error (st : state) fmt =
+  let { Token.pos; token } = st.tokens.(min st.pos (Array.length st.tokens - 1)) in
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Error (Printf.sprintf "line %d, col %d: %s (found '%s')" pos.line pos.col s (Token.to_string token))))
+    fmt
+
+let peek st = st.tokens.(st.pos).Token.token
+let advance st = st.pos <- st.pos + 1
+
+let eat st expected =
+  if peek st = expected then advance st
+  else error st "expected '%s'" (Token.to_string expected)
+
+let eat_ident st =
+  match peek st with
+  | Token.IDENT name ->
+    advance st;
+    name
+  | _ -> error st "expected identifier"
+
+let eat_var st =
+  match peek st with
+  | Token.VAR name ->
+    advance st;
+    name
+  | _ -> error st "expected variable"
+
+(* Keywords are contextual: the lexer emits IDENT and the parser checks. *)
+let is_kw st kw = match peek st with Token.IDENT k -> String.equal k kw | _ -> false
+
+let eat_kw st kw =
+  if is_kw st kw then advance st else error st "expected keyword '%s'" kw
+
+let binop_of_token = function
+  | Token.PLUS -> Some Ast.Add
+  | Token.MINUS -> Some Ast.Sub
+  | Token.STAR -> Some Ast.Mul
+  | Token.SLASH -> Some Ast.Div
+  | Token.PERCENT -> Some Ast.Mod
+  | Token.DOT -> Some Ast.Concat
+  | Token.LT -> Some Ast.Lt
+  | Token.LE -> Some Ast.Le
+  | Token.GT -> Some Ast.Gt
+  | Token.GE -> Some Ast.Ge
+  | Token.EQ -> Some Ast.Eq
+  | Token.NE -> Some Ast.Ne
+  | Token.ANDAND -> Some Ast.And
+  | Token.OROR -> Some Ast.Or
+  | Token.AMP -> Some Ast.BitAnd
+  | Token.PIPE -> Some Ast.BitOr
+  | Token.CARET -> Some Ast.BitXor
+  | Token.SHL -> Some Ast.Shl
+  | Token.SHR -> Some Ast.Shr
+  | _ -> None
+
+(* Higher binds tighter. *)
+let precedence = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.BitOr -> 3
+  | Ast.BitXor -> 4
+  | Ast.BitAnd -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub | Ast.Concat -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  parse_binop_rhs st lhs min_prec
+
+and parse_binop_rhs st lhs min_prec =
+  (* 'instanceof' sits at comparison precedence. *)
+  if is_kw st "instanceof" && 7 >= min_prec then begin
+    advance st;
+    let cname = eat_ident st in
+    parse_binop_rhs st (Ast.InstanceOf (lhs, cname)) min_prec
+  end
+  else
+    match binop_of_token (peek st) with
+    | Some op when precedence op >= min_prec ->
+      advance st;
+      let rhs = parse_expr_prec st (precedence op + 1) in
+      parse_binop_rhs st (Ast.Binop (op, lhs, rhs)) min_prec
+    | Some _ | None -> lhs
+
+and parse_unary st =
+  match peek st with
+  | Token.BANG ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | Token.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | _ -> parse_postfix st (parse_atom st)
+
+and parse_postfix st expr =
+  match peek st with
+  | Token.LBRACKET when st.tokens.(st.pos + 1).Token.token <> Token.RBRACKET ->
+    (* `e[]` (empty index) is left unconsumed: it is only valid as a push
+       statement and is recognized by [parse_simple_stmt]. *)
+    advance st;
+    let idx = parse_expr_prec st 0 in
+    eat st Token.RBRACKET;
+    parse_postfix st (Ast.Index (expr, idx))
+  | Token.ARROW ->
+    advance st;
+    let name = eat_ident st in
+    if peek st = Token.LPAREN then begin
+      let args = parse_args st in
+      parse_postfix st (Ast.MethodCall (expr, name, args))
+    end
+    else parse_postfix st (Ast.PropGet (expr, name))
+  | _ -> expr
+
+and parse_args st =
+  eat st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st 0 in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_atom st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Ast.Int n
+  | Token.FLOAT f ->
+    advance st;
+    Ast.Float f
+  | Token.STRING s ->
+    advance st;
+    Ast.Str s
+  | Token.VAR "this" ->
+    advance st;
+    Ast.This
+  | Token.VAR v ->
+    advance st;
+    Ast.Var v
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr_prec st 0 in
+    eat st Token.RPAREN;
+    e
+  | Token.IDENT "true" ->
+    advance st;
+    Ast.Bool true
+  | Token.IDENT "false" ->
+    advance st;
+    Ast.Bool false
+  | Token.IDENT "null" ->
+    advance st;
+    Ast.Null
+  | Token.IDENT "new" ->
+    advance st;
+    let cname = eat_ident st in
+    let args = if peek st = Token.LPAREN then parse_args st else [] in
+    Ast.New (cname, args)
+  | Token.IDENT "vec" ->
+    advance st;
+    eat st Token.LBRACKET;
+    let rec go acc =
+      if peek st = Token.RBRACKET then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let e = parse_expr_prec st 0 in
+        if peek st = Token.COMMA then begin
+          advance st;
+          go (e :: acc)
+        end
+        else begin
+          eat st Token.RBRACKET;
+          List.rev (e :: acc)
+        end
+      end
+    in
+    Ast.VecLit (go [])
+  | Token.IDENT "dict" ->
+    advance st;
+    eat st Token.LBRACKET;
+    let rec go acc =
+      if peek st = Token.RBRACKET then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let k = parse_expr_prec st 0 in
+        eat st Token.FATARROW;
+        let v = parse_expr_prec st 0 in
+        if peek st = Token.COMMA then begin
+          advance st;
+          go ((k, v) :: acc)
+        end
+        else begin
+          eat st Token.RBRACKET;
+          List.rev ((k, v) :: acc)
+        end
+      end
+    in
+    Ast.DictLit (go [])
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then Ast.Call (name, parse_args st)
+    else error st "unexpected identifier '%s' (functions require arguments)" name
+  | _ -> error st "expected expression"
+
+(* --- statements --- *)
+
+let rec parse_block st =
+  eat st Token.LBRACE;
+  let rec go acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  if is_kw st "if" then parse_if st
+  else if is_kw st "while" then begin
+    advance st;
+    eat st Token.LPAREN;
+    let cond = parse_expr_prec st 0 in
+    eat st Token.RPAREN;
+    Ast.While (cond, parse_block st)
+  end
+  else if is_kw st "for" then begin
+    advance st;
+    eat st Token.LPAREN;
+    let init = if peek st = Token.SEMI then None else Some (parse_simple_stmt st) in
+    eat st Token.SEMI;
+    let cond = if peek st = Token.SEMI then None else Some (parse_expr_prec st 0) in
+    eat st Token.SEMI;
+    let step = if peek st = Token.RPAREN then None else Some (parse_simple_stmt st) in
+    eat st Token.RPAREN;
+    Ast.For (init, cond, step, parse_block st)
+  end
+  else if is_kw st "foreach" then begin
+    advance st;
+    eat st Token.LPAREN;
+    let e = parse_expr_prec st 0 in
+    eat_kw st "as";
+    let v = eat_var st in
+    eat st Token.RPAREN;
+    Ast.Foreach (e, v, parse_block st)
+  end
+  else if is_kw st "return" then begin
+    advance st;
+    if peek st = Token.SEMI then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr_prec st 0 in
+      eat st Token.SEMI;
+      Ast.Return (Some e)
+    end
+  end
+  else if is_kw st "echo" then begin
+    advance st;
+    let e = parse_expr_prec st 0 in
+    eat st Token.SEMI;
+    Ast.Echo e
+  end
+  else if is_kw st "break" then begin
+    advance st;
+    eat st Token.SEMI;
+    Ast.Break
+  end
+  else if is_kw st "continue" then begin
+    advance st;
+    eat st Token.SEMI;
+    Ast.Continue
+  end
+  else begin
+    let s = parse_simple_stmt st in
+    eat st Token.SEMI;
+    s
+  end
+
+and parse_if st =
+  eat_kw st "if";
+  eat st Token.LPAREN;
+  let cond = parse_expr_prec st 0 in
+  eat st Token.RPAREN;
+  let body = parse_block st in
+  let rec parse_else arms =
+    if is_kw st "else" then begin
+      advance st;
+      if is_kw st "if" then begin
+        advance st;
+        eat st Token.LPAREN;
+        let c = parse_expr_prec st 0 in
+        eat st Token.RPAREN;
+        let b = parse_block st in
+        parse_else ((c, b) :: arms)
+      end
+      else (List.rev arms, parse_block st)
+    end
+    else (List.rev arms, [])
+  in
+  let arms, else_block = parse_else [ (cond, body) ] in
+  Ast.If (arms, else_block)
+
+(* Assignment or expression statement (no trailing ';' so 'for' headers can
+   reuse it). *)
+and parse_simple_stmt st =
+  let start = st.pos in
+  let e = parse_expr_prec st 0 in
+  match peek st with
+  | Token.ASSIGN -> (
+    advance st;
+    let rhs = parse_expr_prec st 0 in
+    match e with
+    | Ast.Var v -> Ast.Assign (Ast.LVar v, rhs)
+    | Ast.Index (base, idx) -> Ast.Assign (Ast.LIndex (base, idx), rhs)
+    | Ast.PropGet (base, p) -> Ast.Assign (Ast.LProp (base, p), rhs)
+    | _ ->
+      st.pos <- start;
+      error st "invalid assignment target")
+  | Token.LBRACKET when st.tokens.(st.pos + 1).Token.token = Token.RBRACKET ->
+    (* `e[] = v` push statement: parse_postfix stopped before the empty index. *)
+    advance st;
+    advance st;
+    eat st Token.ASSIGN;
+    let rhs = parse_expr_prec st 0 in
+    Ast.VecPushStmt (e, rhs)
+  | _ -> Ast.Expr e
+
+(* --- declarations --- *)
+
+let parse_params st =
+  eat st Token.LPAREN;
+  if peek st = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let v = eat_var st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go (v :: acc)
+      end
+      else begin
+        eat st Token.RPAREN;
+        List.rev (v :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_func st =
+  eat_kw st "function";
+  let fname = eat_ident st in
+  let params = parse_params st in
+  let body = parse_block st in
+  { Ast.fname; params; body }
+
+let parse_class st =
+  eat_kw st "class";
+  let cname = eat_ident st in
+  let cparent = if is_kw st "extends" then begin advance st; Some (eat_ident st) end else None in
+  eat st Token.LBRACE;
+  let props = ref [] and methods = ref [] in
+  let rec go () =
+    if peek st = Token.RBRACE then advance st
+    else if is_kw st "prop" then begin
+      advance st;
+      let pname = eat_var st in
+      let pdefault =
+        if peek st = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr_prec st 0)
+        end
+        else None
+      in
+      eat st Token.SEMI;
+      props := { Ast.pname; pdefault } :: !props;
+      go ()
+    end
+    else if is_kw st "method" then begin
+      advance st;
+      let fname = eat_ident st in
+      let params = parse_params st in
+      let body = parse_block st in
+      methods := { Ast.fname; params; body } :: !methods;
+      go ()
+    end
+    else error st "expected 'prop', 'method' or '}'"
+  in
+  go ();
+  { Ast.cname; cparent; cprops = List.rev !props; cmethods = List.rev !methods }
+
+let parse_program src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let rec go acc =
+    if peek st = Token.EOF then List.rev acc
+    else if is_kw st "function" then go (Ast.DFunc (parse_func st) :: acc)
+    else if is_kw st "class" then go (Ast.DClass (parse_class st) :: acc)
+    else error st "expected 'function' or 'class' at top level"
+  in
+  go []
+
+let parse_expr src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let e = parse_expr_prec st 0 in
+  if peek st <> Token.EOF then error st "trailing tokens after expression";
+  e

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for minihack.
+
+    Grammar (informal):
+    {v
+    program   ::= (func | class)*
+    func      ::= "function" IDENT "(" params? ")" block
+    class     ::= "class" IDENT ("extends" IDENT)? "{" member* "}"
+    member    ::= "prop" VAR ("=" expr)? ";" | "method" IDENT "(" params? ")" block
+    stmt      ::= expr ";" | lvalue "=" expr ";" | expr "[" "]" "=" expr ";"
+                | "if" ...("else if")* ("else")? | "while" | "for" | "foreach"
+                | "return" expr? ";" | "echo" expr ";" | "break" ";" | "continue" ";"
+    expr      ::= precedence-climbing over || && | ^ & == != < <= > >= << >>
+                  + - . * / % with unary ! - and postfix call/index/prop/method
+    v} *)
+
+(** Raised on syntax errors with a message including the source position. *)
+exception Error of string
+
+val parse_program : string -> Ast.program
+
+(** Parse a single expression (used by tests and the REPL-ish examples). *)
+val parse_expr : string -> Ast.expr

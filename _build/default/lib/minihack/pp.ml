@@ -1,0 +1,224 @@
+(* Precedence levels mirror Parser.precedence; parentheses are emitted
+   whenever a child binds looser than its context requires. *)
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Concat -> "."
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.And -> "&&"
+  | Ast.Or -> "||"
+  | Ast.BitAnd -> "&"
+  | Ast.BitOr -> "|"
+  | Ast.BitXor -> "^"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+
+let prec = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.BitOr -> 3
+  | Ast.BitXor -> 4
+  | Ast.BitAnd -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub | Ast.Concat -> 9
+  | Ast.Mul | Ast.Div | Ast.Mod -> 10
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp_expr_prec fmt ctx e =
+  match e with
+  | Ast.Int n -> if n < 0 then Format.fprintf fmt "(0 - %d)" (-n) else Format.fprintf fmt "%d" n
+  | Ast.Float f ->
+    if f < 0. then Format.fprintf fmt "(0.0 - %g)" (-.f)
+    else if Float.is_integer f then Format.fprintf fmt "%.1f" f
+    else Format.fprintf fmt "%g" f
+  | Ast.Str s -> Format.fprintf fmt "\"%s\"" (escape s)
+  | Ast.Bool true -> Format.fprintf fmt "true"
+  | Ast.Bool false -> Format.fprintf fmt "false"
+  | Ast.Null -> Format.fprintf fmt "null"
+  | Ast.This -> Format.fprintf fmt "$this"
+  | Ast.Var v -> Format.fprintf fmt "$%s" v
+  | Ast.Binop (op, a, b) ->
+    let p = prec op in
+    let open_p = p < ctx in
+    if open_p then Format.fprintf fmt "(";
+    pp_expr_prec fmt p a;
+    Format.fprintf fmt " %s " (binop_str op);
+    pp_expr_prec fmt (p + 1) b;
+    if open_p then Format.fprintf fmt ")"
+  | Ast.Unop (Ast.Neg, a) ->
+    Format.fprintf fmt "-";
+    pp_expr_prec fmt 11 a
+  | Ast.Unop (Ast.Not, a) ->
+    Format.fprintf fmt "!";
+    pp_expr_prec fmt 11 a
+  | Ast.Call (name, args) -> pp_call fmt name args
+  | Ast.MethodCall (recv, m, args) ->
+    pp_expr_prec fmt 12 recv;
+    Format.fprintf fmt "->%s" m;
+    pp_args fmt args
+  | Ast.PropGet (recv, p) ->
+    pp_expr_prec fmt 12 recv;
+    Format.fprintf fmt "->%s" p
+  | Ast.New (c, []) -> Format.fprintf fmt "new %s()" c
+  | Ast.New (c, args) ->
+    Format.fprintf fmt "new %s" c;
+    pp_args fmt args
+  | Ast.VecLit elems ->
+    Format.fprintf fmt "vec[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_expr_prec fmt 0 e)
+      elems;
+    Format.fprintf fmt "]"
+  | Ast.DictLit pairs ->
+    Format.fprintf fmt "dict[";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf fmt ", ";
+        pp_expr_prec fmt 0 k;
+        Format.fprintf fmt " => ";
+        pp_expr_prec fmt 0 v)
+      pairs;
+    Format.fprintf fmt "]"
+  | Ast.Index (base, idx) ->
+    pp_expr_prec fmt 12 base;
+    Format.fprintf fmt "[";
+    pp_expr_prec fmt 0 idx;
+    Format.fprintf fmt "]"
+  | Ast.InstanceOf (e, c) ->
+    let open_p = 7 < ctx in
+    if open_p then Format.fprintf fmt "(";
+    pp_expr_prec fmt 8 e;
+    Format.fprintf fmt " instanceof %s" c;
+    if open_p then Format.fprintf fmt ")"
+
+and pp_call fmt name args =
+  Format.fprintf fmt "%s" name;
+  pp_args fmt args
+
+and pp_args fmt args =
+  Format.fprintf fmt "(";
+  List.iteri
+    (fun i a ->
+      if i > 0 then Format.fprintf fmt ", ";
+      pp_expr_prec fmt 0 a)
+    args;
+  Format.fprintf fmt ")"
+
+let pp_expr fmt e = pp_expr_prec fmt 0 e
+
+let pp_lvalue fmt = function
+  | Ast.LVar v -> Format.fprintf fmt "$%s" v
+  | Ast.LIndex (base, idx) ->
+    pp_expr_prec fmt 12 base;
+    Format.fprintf fmt "[";
+    pp_expr fmt idx;
+    Format.fprintf fmt "]"
+  | Ast.LProp (recv, p) ->
+    pp_expr_prec fmt 12 recv;
+    Format.fprintf fmt "->%s" p
+
+let rec pp_stmt fmt = function
+  | Ast.Expr e -> Format.fprintf fmt "@[<h>%a;@]" pp_expr e
+  | Ast.Assign (lv, e) -> Format.fprintf fmt "@[<h>%a = %a;@]" pp_lvalue lv pp_expr e
+  | Ast.VecPushStmt (base, e) ->
+    Format.fprintf fmt "@[<h>%a[] = %a;@]" (fun fmt b -> pp_expr_prec fmt 12 b) base pp_expr e
+  | Ast.If (arms, else_block) ->
+    List.iteri
+      (fun i (cond, body) ->
+        if i > 0 then Format.fprintf fmt "@,";
+        Format.fprintf fmt "@[<v 2>%s (%a) {" (if i = 0 then "if" else "else if") pp_expr cond;
+        pp_block_body fmt body;
+        Format.fprintf fmt "@]@,}")
+      arms;
+    if else_block <> [] then begin
+      Format.fprintf fmt "@,@[<v 2>else {";
+      pp_block_body fmt else_block;
+      Format.fprintf fmt "@]@,}"
+    end
+  | Ast.While (cond, body) ->
+    Format.fprintf fmt "@[<v 2>while (%a) {" pp_expr cond;
+    pp_block_body fmt body;
+    Format.fprintf fmt "@]@,}"
+  | Ast.For (init, cond, step, body) ->
+    Format.fprintf fmt "@[<v 2>for (";
+    (match init with Some s -> pp_inline_stmt fmt s | None -> ());
+    Format.fprintf fmt "; ";
+    (match cond with Some c -> pp_expr fmt c | None -> ());
+    Format.fprintf fmt "; ";
+    (match step with Some s -> pp_inline_stmt fmt s | None -> ());
+    Format.fprintf fmt ") {";
+    pp_block_body fmt body;
+    Format.fprintf fmt "@]@,}"
+  | Ast.Foreach (e, v, body) ->
+    Format.fprintf fmt "@[<v 2>foreach (%a as $%s) {" pp_expr e v;
+    pp_block_body fmt body;
+    Format.fprintf fmt "@]@,}"
+  | Ast.Return None -> Format.fprintf fmt "return;"
+  | Ast.Return (Some e) -> Format.fprintf fmt "@[<h>return %a;@]" pp_expr e
+  | Ast.Echo e -> Format.fprintf fmt "@[<h>echo %a;@]" pp_expr e
+  | Ast.Break -> Format.fprintf fmt "break;"
+  | Ast.Continue -> Format.fprintf fmt "continue;"
+
+(* statements inside for-headers have no trailing ';' *)
+and pp_inline_stmt fmt = function
+  | Ast.Assign (lv, e) -> Format.fprintf fmt "%a = %a" pp_lvalue lv pp_expr e
+  | Ast.Expr e -> pp_expr fmt e
+  | s -> pp_stmt fmt s
+
+and pp_block_body fmt body = List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) body
+
+let pp_func kw fmt (f : Ast.func_decl) =
+  Format.fprintf fmt "@[<v 2>%s %s(%s) {" kw f.Ast.fname
+    (String.concat ", " (List.map (fun p -> "$" ^ p) f.Ast.params));
+  pp_block_body fmt f.Ast.body;
+  Format.fprintf fmt "@]@,}"
+
+let pp_decl fmt = function
+  | Ast.DFunc f -> pp_func "function" fmt f
+  | Ast.DClass c ->
+    Format.fprintf fmt "@[<v 2>class %s%s {" c.Ast.cname
+      (match c.Ast.cparent with None -> "" | Some p -> " extends " ^ p);
+    List.iter
+      (fun (p : Ast.prop_decl) ->
+        match p.Ast.pdefault with
+        | None -> Format.fprintf fmt "@,prop $%s;" p.Ast.pname
+        | Some e -> Format.fprintf fmt "@,prop $%s = %a;" p.Ast.pname pp_expr e)
+      c.Ast.cprops;
+    List.iter (fun m -> Format.fprintf fmt "@,%a" (pp_func "method") m) c.Ast.cmethods;
+    Format.fprintf fmt "@]@,}"
+
+let pp_program fmt program =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf fmt "@,@,";
+      pp_decl fmt d)
+    program;
+  Format.fprintf fmt "@]@."
+
+let to_source program = Format.asprintf "%a" pp_program program

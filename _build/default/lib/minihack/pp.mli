@@ -1,0 +1,12 @@
+(** Pretty-printer: AST back to minihack source.
+
+    Guarantees round-tripping: [Parser.parse_program (to_source p)] yields a
+    program equivalent to [p] (verified by property tests).  Used to inspect
+    generated workloads and to write example programs to disk. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val to_source : Ast.program -> string

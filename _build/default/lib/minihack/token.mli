@@ -1,0 +1,47 @@
+(** Lexical tokens of the minihack language. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | VAR of string  (** [$name] *)
+  | IDENT of string  (** bare identifier: function/class/keyword candidates *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ARROW  (** [->] *)
+  | FATARROW  (** [=>] *)
+  | ASSIGN  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | DOT  (** string concatenation *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | ANDAND
+  | OROR
+  | BANG
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | EOF
+
+(** Source position (1-based line and column). *)
+type pos = { line : int; col : int }
+
+type located = { token : t; pos : pos }
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/profile/collector.ml: Counters Interp

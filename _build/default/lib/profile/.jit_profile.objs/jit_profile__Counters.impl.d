@@ -1,0 +1,1 @@
+lib/profile/counters.ml: Array Hashtbl Hhbc Js_util List Option

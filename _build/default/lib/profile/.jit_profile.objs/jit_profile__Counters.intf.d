@@ -1,0 +1,1 @@
+lib/profile/counters.mli: Hhbc Js_util

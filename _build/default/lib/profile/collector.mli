@@ -1,0 +1,14 @@
+(** Wires {!Counters} into interpreter {!Interp.Probes}.
+
+    This is the reproduction's analogue of HHVM "JITing profile code":
+    attaching the collector to an interpreter turns it into the tier-1
+    profiling executor whose counters later feed region formation, inlining
+    and all Jump-Start optimizations. *)
+
+(** [probes counters] returns probes that record into [counters]. *)
+val probes : Counters.t -> Interp.Probes.t
+
+(** [probes_if flag counters] records only while [!flag] is true — models
+    the profiling window closing at point "A" of paper Fig. 1 while the
+    server keeps executing. *)
+val probes_if : bool ref -> Counters.t -> Interp.Probes.t

@@ -1,0 +1,87 @@
+(** Tier-1 profile counters — the raw material of a Jump-Start package.
+
+    These mirror the data categories of paper §IV-B:
+    - bytecode-level basic-block and arc counters per function (category 2),
+    - call-target profiles per call site, the "JIT target profiles" driving
+      method-dispatch specialization and inlining (category 2),
+    - property-access counters keyed by class/property, stored exactly as the
+      paper describes — a hash table from the string ["K::P"] to a counter
+      (§V-C),
+    - function entry counters and tier-1 caller/callee arcs (the inaccurate
+      call graph that §V-B improves upon),
+    - the set of touched units/strings/arrays for consumer preloading
+      (category 1). *)
+
+type t
+
+val create : Hhbc.Repo.t -> t
+
+(* --- recording (normally via {!Collector}) --- *)
+
+val record_block : t -> Hhbc.Instr.fid -> int -> unit
+val record_arc : t -> Hhbc.Instr.fid -> src:int -> dst:int -> unit
+val record_call : t -> caller:Hhbc.Instr.fid -> site:int -> callee:Hhbc.Instr.fid -> unit
+val record_func_entry : t -> Hhbc.Instr.fid -> unit
+val record_prop_access : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> unit
+val record_unit_load : t -> int -> unit
+
+(* --- queries --- *)
+
+(** [block_counts t fid] returns per-basic-block execution counts, or [None]
+    if the function was never profiled. *)
+val block_counts : t -> Hhbc.Instr.fid -> int array option
+
+(** [arc_counts t fid] lists [(src_bb, dst_bb, count)]. *)
+val arc_counts : t -> Hhbc.Instr.fid -> (int * int * int) list
+
+(** [call_targets t fid site] returns the callee distribution at a call
+    site, most frequent first. *)
+val call_targets : t -> Hhbc.Instr.fid -> int -> (Hhbc.Instr.fid * int) list
+
+(** [dominant_target t fid site] is the most frequent callee with its
+    fraction of all calls from the site. *)
+val dominant_target : t -> Hhbc.Instr.fid -> int -> (Hhbc.Instr.fid * float) option
+
+val func_entries : t -> Hhbc.Instr.fid -> int
+
+(** Tier-1 call-graph arcs [(caller, callee, count)], aggregated over sites.
+    This is the pre-Jump-Start C3 input (paper §V-B): representative of
+    tier-1 code but inaccurate for inlined tier-2 code. *)
+val call_graph : t -> (int * int * int) list
+
+(** [prop_access_count t cid nid] — by ids, exactly as recorded (the
+    receiver's dynamic class). *)
+val prop_access_count : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int
+
+(** [prop_hotness t cid nid] — access count rolled up over every class that
+    inherits from [cid].  Property layout sorts the {e declaring} class's
+    layer, while accesses are recorded against the receiver's dynamic class;
+    this is the aggregation the layout consumes. *)
+val prop_hotness : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int
+
+(** The underlying ["K::P" -> count] table (paper §V-C), in an unspecified
+    order. *)
+val prop_table : t -> (string * int) list
+
+(** Functions with any profile data, hottest first (by entry count). *)
+val profiled_funcs : t -> Hhbc.Instr.fid list
+
+(** Units touched during profiling, in first-touch order (preload list). *)
+val touched_units : t -> int list
+
+(** Total profiled function entries (coverage metric for validation). *)
+val total_entries : t -> int
+
+(** Deep copy (seeders snapshot counters before serializing). *)
+val copy : t -> t
+
+(** Binary serialization (payload only; framing/CRC is the package layer's
+    job).  [deserialize] validates every id against the repo and raises
+    {!Js_util.Binio.Corrupt} on out-of-range data — a profile package must
+    never crash the consumer with an unchecked array access. *)
+val serialize : t -> Js_util.Binio.Writer.t -> unit
+
+val deserialize : Hhbc.Repo.t -> Js_util.Binio.Reader.t -> t
+
+(** Merge [src] into [dst] (multi-seeder aggregation experiments). *)
+val merge_into : dst:t -> src:t -> unit

@@ -1,0 +1,1 @@
+lib/runtime/class_layout.ml: Array Format Hashtbl Hhbc Option

@@ -1,0 +1,1 @@
+lib/runtime/class_layout.mli: Format Hashtbl Hhbc

@@ -1,0 +1,1 @@
+lib/runtime/heap.mli: Class_layout Hhbc

@@ -1,0 +1,74 @@
+type t = {
+  class_id : Hhbc.Instr.cid;
+  n_slots : int;
+  decl_to_phys : int array;
+  names_by_decl : Hhbc.Instr.nid array;
+  defaults : Hhbc.Value.t array;
+  slot_of_name : (Hhbc.Instr.nid, int) Hashtbl.t;
+}
+
+type hotness = Hhbc.Instr.cid -> Hhbc.Instr.nid -> int
+type table = t array
+
+let build repo ~reorder ~hotness =
+  let n = Hhbc.Repo.n_classes repo in
+  let layouts : t option array = Array.make n None in
+  let rec layout_of cid =
+    match layouts.(cid) with
+    | Some l -> l
+    | None ->
+      let cls = Hhbc.Repo.cls repo cid in
+      let parent = Option.map layout_of cls.Hhbc.Class_def.parent in
+      let inherited_slots = match parent with None -> 0 | Some p -> p.n_slots in
+      let own = cls.Hhbc.Class_def.props in
+      let n_own = Array.length own in
+      (* Physical order of the own layer: declared order, or hotness-sorted
+         when reordering.  [order.(k)] is the declared (own) index placed at
+         physical slot [inherited_slots + k]. *)
+      let order = Array.init n_own (fun i -> i) in
+      if reorder then begin
+        let count i = hotness cid own.(i).Hhbc.Class_def.prop_name in
+        (* decreasing count, stable on declared index *)
+        let keyed = Array.map (fun i -> (count i, i)) order in
+        Array.sort (fun (ca, ia) (cb, ib) -> if ca <> cb then compare cb ca else compare ia ib) keyed;
+        Array.iteri (fun k (_, i) -> order.(k) <- i) keyed
+      end;
+      let n_slots = inherited_slots + n_own in
+      let decl_to_phys = Array.make (inherited_slots + n_own) 0 in
+      let names_by_decl = Array.make (inherited_slots + n_own) 0 in
+      let defaults = Array.make n_slots Hhbc.Value.Null in
+      let slot_of_name = Hashtbl.create (max 4 n_slots) in
+      (match parent with
+      | None -> ()
+      | Some p ->
+        Array.blit p.decl_to_phys 0 decl_to_phys 0 inherited_slots;
+        Array.blit p.names_by_decl 0 names_by_decl 0 inherited_slots;
+        Array.blit p.defaults 0 defaults 0 p.n_slots;
+        Hashtbl.iter (fun k v -> Hashtbl.replace slot_of_name k v) p.slot_of_name);
+      Array.iteri
+        (fun k own_decl_idx ->
+          let prop = own.(own_decl_idx) in
+          let phys = inherited_slots + k in
+          decl_to_phys.(inherited_slots + own_decl_idx) <- phys;
+          names_by_decl.(inherited_slots + own_decl_idx) <- prop.Hhbc.Class_def.prop_name;
+          defaults.(phys) <- prop.Hhbc.Class_def.default;
+          (* A redeclared inherited property shadows the parent slot. *)
+          Hashtbl.replace slot_of_name prop.Hhbc.Class_def.prop_name phys)
+        order;
+      let l = { class_id = cid; n_slots; decl_to_phys; names_by_decl; defaults; slot_of_name } in
+      layouts.(cid) <- Some l;
+      l
+  in
+  Array.init n layout_of
+
+let slot table cid nid = Hashtbl.find table.(cid).slot_of_name nid
+let slot_opt table cid nid = Hashtbl.find_opt table.(cid).slot_of_name nid
+
+let pp repo fmt t =
+  Format.fprintf fmt "@[<v 2>layout of %s (%d slots):" (Hhbc.Repo.cls repo t.class_id).Hhbc.Class_def.name
+    t.n_slots;
+  Array.iteri
+    (fun decl nid ->
+      Format.fprintf fmt "@,decl %2d (%s) -> slot %2d" decl (Hhbc.Repo.name repo nid) t.decl_to_phys.(decl))
+    t.names_by_decl;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Physical object layout per class, including Jump-Start property
+    reordering (paper §V-C).
+
+    Constraints carried over from PHP/Hack semantics:
+    - inheritance: a subclass may only reorder properties {e within its own
+      layer}; inherited slots are copied verbatim from the parent layout so
+      subtyping (reading a parent property through a subclass object) stays
+      valid;
+    - the declared order of properties is observable (e.g. iterating an
+      object's properties), so every layout carries a map from declared index
+      to physical slot ({!decl_to_phys}).
+
+    When reordering is enabled, the properties of each layer are sorted by
+    decreasing access count from the profile data; ties keep declared order
+    so layouts are deterministic. *)
+
+type t = {
+  class_id : Hhbc.Instr.cid;
+  n_slots : int;  (** total physical slots incl. inherited *)
+  decl_to_phys : int array;
+      (** declared index (inherited first, in parent declared order) ->
+          physical slot *)
+  names_by_decl : Hhbc.Instr.nid array;  (** property names in declared order *)
+  defaults : Hhbc.Value.t array;  (** default values indexed by physical slot *)
+  slot_of_name : (Hhbc.Instr.nid, int) Hashtbl.t;
+}
+
+(** Hotness oracle: access count for property [nid] of class [cid].
+    [fun _ _ -> 0] yields declared-order layouts. *)
+type hotness = Hhbc.Instr.cid -> Hhbc.Instr.nid -> int
+
+(** All class layouts of a repo.  Must be built root-first internally; the
+    array is indexed by class id. *)
+type table = t array
+
+(** [build repo ~reorder ~hotness] computes layouts for every class.
+    With [reorder = false] physical order equals declared order. *)
+val build : Hhbc.Repo.t -> reorder:bool -> hotness:hotness -> table
+
+(** [slot table cid nid] resolves a property to its physical slot.
+    @raise Not_found for an undefined property. *)
+val slot : table -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int
+
+(** [slot_opt table cid nid] is [slot] without the exception. *)
+val slot_opt : table -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int option
+
+val pp : Hhbc.Repo.t -> Format.formatter -> t -> unit

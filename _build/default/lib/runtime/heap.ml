@@ -1,0 +1,87 @@
+type obj = { cls : Hhbc.Instr.cid; slots : Hhbc.Value.t array; addr : int }
+
+type t = {
+  repo : Hhbc.Repo.t;
+  layouts : Class_layout.table;
+  mutable objs : obj array;
+  mutable len : int;
+  mutable next_addr : int;
+  mutable resets : int;
+}
+
+let slot_bytes = 16
+let header_bytes = 16
+
+(* Objects start at a fixed simulated base so code (low addresses) and data
+   do not collide in the machine model. *)
+let heap_base = 0x4000_0000
+
+(* Arena recycling: each request's allocations land in one of [arena_slots]
+   regions of [arena_stride] bytes.  The window (1 MiB, 256 pages) exceeds
+   the D-TLB reach, so page locality still matters across requests. *)
+let arena_slots = 128
+let arena_stride = 8 * 1024
+
+let create repo layouts = { repo; layouts; objs = [||]; len = 0; next_addr = heap_base; resets = 0 }
+let layouts t = t.layouts
+
+let reset_arena t =
+  t.len <- 0;
+  t.resets <- t.resets + 1;
+  t.next_addr <- heap_base + (t.resets mod arena_slots * arena_stride)
+
+let alloc t cid =
+  let layout = t.layouts.(cid) in
+  let addr = t.next_addr in
+  t.next_addr <- addr + header_bytes + (layout.Class_layout.n_slots * slot_bytes);
+  let obj = { cls = cid; slots = Array.copy layout.Class_layout.defaults; addr } in
+  if t.len = Array.length t.objs then begin
+    let grown = Array.make (max 64 (2 * t.len)) obj in
+    Array.blit t.objs 0 grown 0 t.len;
+    t.objs <- grown
+  end;
+  t.objs.(t.len) <- obj;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let obj t handle =
+  if handle < 0 || handle >= t.len then failwith (Printf.sprintf "Heap: invalid handle #%d" handle);
+  t.objs.(handle)
+
+let class_of t handle = (obj t handle).cls
+let count t = t.len
+
+let resolve t handle nid =
+  let o = obj t handle in
+  match Class_layout.slot_opt t.layouts o.cls nid with
+  | Some slot -> (o, slot)
+  | None ->
+    failwith
+      (Printf.sprintf "undefined property %s::%s"
+         (Hhbc.Repo.cls t.repo o.cls).Hhbc.Class_def.name
+         (Hhbc.Repo.name t.repo nid))
+
+let get_prop t handle nid =
+  let o, slot = resolve t handle nid in
+  o.slots.(slot)
+
+let set_prop t handle nid v =
+  let o, slot = resolve t handle nid in
+  o.slots.(slot) <- v
+
+let prop_addr t handle nid =
+  let o, slot = resolve t handle nid in
+  o.addr + header_bytes + (slot * slot_bytes)
+
+let base_addr t handle = (obj t handle).addr
+
+let get_slot t handle slot = (obj t handle).slots.(slot)
+let set_slot t handle slot v = (obj t handle).slots.(slot) <- v
+
+let props_in_decl_order t handle =
+  let o = obj t handle in
+  let layout = t.layouts.(o.cls) in
+  Array.to_list
+    (Array.mapi
+       (fun decl nid -> (nid, o.slots.(layout.Class_layout.decl_to_phys.(decl))))
+       layout.Class_layout.names_by_decl)

@@ -1,0 +1,60 @@
+(** Object heap.
+
+    Objects are stored as physical slot arrays whose order is dictated by the
+    {!Class_layout.table} the heap was created with — this is the data whose
+    locality the property-reordering optimization improves.  Every object
+    carries a simulated byte address so the machine model can replay data
+    accesses through the D-cache/D-TLB hierarchy. *)
+
+type t
+
+(** Byte size of one value slot in the simulated address space. *)
+val slot_bytes : int
+
+(** Byte size of an object header (class pointer etc.). *)
+val header_bytes : int
+
+(** [create repo layouts] makes an empty heap. *)
+val create : Hhbc.Repo.t -> Class_layout.table -> t
+
+val layouts : t -> Class_layout.table
+
+(** [alloc t cid] allocates an object of class [cid] with slots set to
+    their defaults; returns the handle to embed in {!Hhbc.Value.Obj}. *)
+val alloc : t -> Hhbc.Instr.cid -> int
+
+(** [reset_arena t] ends a request: drops all objects and rewinds the
+    allocation pointer, HHVM-style (request-scoped memory is recycled, so
+    successive requests allocate into recently-used — cache-warm — lines).
+    The arena base cycles through a window of slots so the address stream
+    still exercises the D-TLB across requests.  Handles from before the
+    reset become invalid. *)
+val reset_arena : t -> unit
+
+val class_of : t -> int -> Hhbc.Instr.cid
+
+(** Number of live objects. *)
+val count : t -> int
+
+(** [get_prop t handle nid] reads a property by name.
+    @raise Failure on an undefined property. *)
+val get_prop : t -> int -> Hhbc.Instr.nid -> Hhbc.Value.t
+
+val set_prop : t -> int -> Hhbc.Instr.nid -> Hhbc.Value.t -> unit
+
+(** [prop_addr t handle nid] is the simulated byte address of a property,
+    for machine-model traces. *)
+val prop_addr : t -> int -> Hhbc.Instr.nid -> int
+
+(** [base_addr t handle] is the simulated address of the object header. *)
+val base_addr : t -> int -> int
+
+(** [get_slot]/[set_slot] access by physical slot (used by JITted code which
+    has burned in the slot index). *)
+val get_slot : t -> int -> int -> Hhbc.Value.t
+
+val set_slot : t -> int -> int -> Hhbc.Value.t -> unit
+
+(** [props_in_decl_order t handle] lists (name, value) pairs in source
+    declared order — the observable order the reordering map preserves. *)
+val props_in_decl_order : t -> int -> (Hhbc.Instr.nid * Hhbc.Value.t) list

@@ -1,0 +1,188 @@
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u32 t v =
+    u8 t v;
+    u8 t (v lsr 8);
+    u8 t (v lsr 16);
+    u8 t (v lsr 24)
+
+  let varint t v =
+    if v < 0 then invalid_arg "Binio.Writer.varint: negative";
+    let rec go v =
+      if v < 0x80 then u8 t v
+      else begin
+        u8 t (0x80 lor (v land 0x7f));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let svarint t v =
+    (* zig-zag: maps small-magnitude signed to small unsigned *)
+    let encoded = (v lsl 1) lxor (v asr (Sys.int_size - 1)) in
+    varint t (encoded land max_int)
+
+  let i64 t v =
+    for i = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+  let f64 t v = i64 t (Int64.bits_of_float v)
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let list t f xs =
+    varint t (List.length xs);
+    List.iter f xs
+
+  let array t f xs =
+    varint t (Array.length xs);
+    Array.iter f xs
+
+  let option t f = function
+    | None -> u8 t 0
+    | Some x ->
+      u8 t 1;
+      f x
+
+  let pair fa fb (a, b) =
+    fa a;
+    fb b
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let remaining t = String.length t.data - t.pos
+
+  let u8 t =
+    if t.pos >= String.length t.data then corrupt "truncated input at byte %d" t.pos;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u32 t =
+    let a = u8 t in
+    let b = u8 t in
+    let c = u8 t in
+    let d = u8 t in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 63 then corrupt "varint too long";
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let svarint t =
+    let v = varint t in
+    (v lsr 1) lxor (-(v land 1))
+
+  let i64 t =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    !v
+
+  let f64 t = Int64.float_of_bits (i64 t)
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | v -> corrupt "invalid bool byte %d" v
+
+  let string t =
+    let n = varint t in
+    if n > remaining t then corrupt "string length %d exceeds remaining %d" n (remaining t);
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let list t f =
+    let n = varint t in
+    if n > remaining t then corrupt "list length %d exceeds remaining bytes" n;
+    List.init n (fun _ -> f t)
+
+  let array t f =
+    let n = varint t in
+    if n > remaining t then corrupt "array length %d exceeds remaining bytes" n;
+    Array.init n (fun _ -> f t)
+
+  let option t f =
+    match u8 t with
+    | 0 -> None
+    | 1 -> Some (f t)
+    | v -> corrupt "invalid option tag %d" v
+
+  let expect_end t = if remaining t <> 0 then corrupt "%d trailing bytes" (remaining t)
+end
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let frame ~magic ~version payload =
+  let w = Writer.create () in
+  Buffer.add_string w magic;
+  Writer.u8 w version;
+  Writer.u32 w (String.length payload);
+  Buffer.add_string w payload;
+  let crc = crc32 payload in
+  Writer.u32 w (Int32.to_int crc land 0xFFFFFFFF);
+  Writer.contents w
+
+let unframe ~magic ~expected_version data =
+  let mlen = String.length magic in
+  if String.length data < mlen + 1 + 4 + 4 then corrupt "frame too short";
+  if String.sub data 0 mlen <> magic then corrupt "bad magic";
+  let r = Reader.of_string (String.sub data mlen (String.length data - mlen)) in
+  let version = Reader.u8 r in
+  if version <> expected_version then
+    corrupt "unsupported version %d (expected %d)" version expected_version;
+  let len = Reader.u32 r in
+  if len <> Reader.remaining r - 4 then corrupt "bad payload length";
+  let payload = String.sub data (mlen + 5) len in
+  let stored =
+    let r' = Reader.of_string (String.sub data (mlen + 5 + len) 4) in
+    Reader.u32 r'
+  in
+  let actual = Int32.to_int (crc32 payload) land 0xFFFFFFFF in
+  if stored <> actual then corrupt "CRC mismatch";
+  payload

@@ -1,0 +1,76 @@
+(** Binary encoding primitives for the Jump-Start profile-data serializer.
+
+    The format is designed for the properties the paper needs in production:
+    compactness (varint integers), integrity (CRC32 over the payload), and
+    explicit versioning.  Writers append to a growable buffer; readers check
+    bounds and raise {!Corrupt} on any malformed input rather than returning
+    garbage. *)
+
+(** Raised by readers on truncated or malformed input. *)
+exception Corrupt of string
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  val u32 : t -> int -> unit
+
+  (** LEB128-style variable-length unsigned integer (must be >= 0). *)
+  val varint : t -> int -> unit
+
+  (** Zig-zag encoded signed integer. *)
+  val svarint : t -> int -> unit
+
+  val i64 : t -> int64 -> unit
+  val f64 : t -> float -> unit
+  val bool : t -> bool -> unit
+
+  (** Length-prefixed string. *)
+  val string : t -> string -> unit
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  val array : t -> ('a -> unit) -> 'a array -> unit
+  val option : t -> ('a -> unit) -> 'a option -> unit
+  val pair : ('a -> unit) -> ('b -> unit) -> 'a * 'b -> unit
+
+  (** The accumulated bytes. *)
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+
+  (** Bytes remaining. *)
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val u32 : t -> int
+  val varint : t -> int
+  val svarint : t -> int
+  val i64 : t -> int64
+  val f64 : t -> float
+  val bool : t -> bool
+  val string : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val option : t -> (t -> 'a) -> 'a option
+
+  (** [expect_end t] raises {!Corrupt} if bytes remain. *)
+  val expect_end : t -> unit
+end
+
+(** CRC-32 (IEEE 802.3 polynomial) of a string. *)
+val crc32 : string -> int32
+
+(** [frame ~magic ~version payload] wraps a payload with a magic number,
+    version byte and trailing CRC. *)
+val frame : magic:string -> version:int -> string -> string
+
+(** [unframe ~magic ~expected_version data] validates and strips the frame.
+    @raise Corrupt on bad magic, unsupported version or CRC mismatch. *)
+val unframe : magic:string -> expected_version:int -> string -> string

@@ -1,0 +1,20 @@
+(** Mutable binary min-heap keyed by float priority.
+
+    Used as the event queue of the discrete-event cluster simulator.  Ties are
+    broken by insertion order, which makes simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~priority v] inserts [v]. *)
+val push : 'a t -> priority:float -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-priority element with its
+    priority, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek t] returns the minimum without removing it. *)
+val peek : 'a t -> (float * 'a) option

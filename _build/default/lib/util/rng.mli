@@ -1,0 +1,61 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic behaviour in the simulators is driven through this module
+    so that every experiment is reproducible from a single integer seed.  The
+    generator is splittable: independent subsystems receive independent
+    streams via {!split} without sharing mutable state. *)
+
+type t
+
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+val create : int -> t
+
+(** [split t] derives a new, statistically independent generator.  The parent
+    generator advances, so successive splits differ. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state (both copies then evolve
+    independently but identically under the same call sequence). *)
+val copy : t -> t
+
+(** [bits64 t] returns 64 uniformly random bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] returns a uniform integer in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t p] returns [true] with probability [p] (clamped to [\[0,1\]]). *)
+val bool : t -> float -> bool
+
+(** [exponential t ~mean] samples an exponential distribution. *)
+val exponential : t -> mean:float -> float
+
+(** [gaussian t ~mu ~sigma] samples a normal distribution (Box-Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [pareto t ~alpha ~x_min] samples a Pareto distribution; used for the
+    long-tailed ("flat profile") function-hotness distributions. *)
+val pareto : t -> alpha:float -> x_min:float -> float
+
+(** [zipf t ~n ~s] samples a rank in [\[0, n)] under a Zipf distribution with
+    exponent [s].  Rank 0 is the most likely. *)
+val zipf : t -> n:int -> s:float -> int
+
+(** [pick t arr] returns a uniformly random element of [arr].
+    @raise Invalid_argument on an empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle t arr] shuffles [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample_weighted t weights] returns an index sampled proportionally to
+    [weights.(i)] (all weights must be non-negative, with a positive sum). *)
+val sample_weighted : t -> float array -> int

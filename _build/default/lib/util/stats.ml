@@ -1,0 +1,143 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+let stddev xs =
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+  sqrt (acc /. float_of_int (Array.length xs))
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.geomean: empty";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive value";
+        acc +. log x)
+      0. xs
+  in
+  exp (acc /. float_of_int n)
+
+module Series = struct
+  type t = { mutable times : float array; mutable values : float array; mutable len : int }
+
+  let create () = { times = Array.make 16 0.; values = Array.make 16 0.; len = 0 }
+
+  let ensure t =
+    if t.len = Array.length t.times then begin
+      let grow a = Array.append a (Array.make (Array.length a) 0.) in
+      t.times <- grow t.times;
+      t.values <- grow t.values
+    end
+
+  let add t ~time ~value =
+    if t.len > 0 && time < t.times.(t.len - 1) then
+      invalid_arg "Series.add: samples must be added in time order";
+    ensure t;
+    t.times.(t.len) <- time;
+    t.values.(t.len) <- value;
+    t.len <- t.len + 1
+
+  let length t = t.len
+
+  let to_array t = Array.init t.len (fun i -> (t.times.(i), t.values.(i)))
+
+  let value_at t time =
+    if t.len = 0 then invalid_arg "Series.value_at: empty";
+    if time <= t.times.(0) then t.values.(0)
+    else if time >= t.times.(t.len - 1) then t.values.(t.len - 1)
+    else begin
+      (* Binary search for the sample interval containing [time]. *)
+      let lo = ref 0 and hi = ref (t.len - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if t.times.(mid) <= time then lo := mid else hi := mid
+      done;
+      let t0 = t.times.(!lo) and t1 = t.times.(!hi) in
+      let v0 = t.values.(!lo) and v1 = t.values.(!hi) in
+      if t1 = t0 then v0 else v0 +. ((time -. t0) /. (t1 -. t0) *. (v1 -. v0))
+    end
+
+  let integral t ~until =
+    if t.len < 2 then 0.
+    else begin
+      let acc = ref 0. in
+      let i = ref 0 in
+      while !i < t.len - 1 && t.times.(!i + 1) <= until do
+        let dt = t.times.(!i + 1) -. t.times.(!i) in
+        acc := !acc +. (dt *. (t.values.(!i) +. t.values.(!i + 1)) /. 2.);
+        incr i
+      done;
+      (* Partial last trapezoid up to [until]. *)
+      if !i < t.len - 1 && t.times.(!i) < until then begin
+        let v_end = value_at t until in
+        let dt = until -. t.times.(!i) in
+        acc := !acc +. (dt *. (t.values.(!i) +. v_end) /. 2.)
+      end;
+      !acc
+    end
+
+  let resample t ~step ~until =
+    if step <= 0. then invalid_arg "Series.resample: step must be positive";
+    let n = int_of_float (Float.floor (until /. step)) + 1 in
+    Array.init n (fun i ->
+        let time = float_of_int i *. step in
+        (time, value_at t time))
+
+  let capacity_loss t ~peak ~until =
+    if peak <= 0. || until <= 0. then invalid_arg "Series.capacity_loss";
+    let served = integral t ~until in
+    1. -. (served /. (peak *. until))
+end
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo || buckets <= 0 then invalid_arg "Histogram.create";
+    { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+  let add t x =
+    let b = Array.length t.counts in
+    let idx =
+      if x < t.lo then 0
+      else if x >= t.hi then b - 1
+      else int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int b)
+    in
+    t.counts.(min idx (b - 1)) <- t.counts.(min idx (b - 1)) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+  let bucket_counts t = Array.copy t.counts
+
+  let quantile t q =
+    if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+    if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q out of range";
+    let target = q *. float_of_int t.total in
+    let b = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int b in
+    let rec scan i acc =
+      if i >= b then t.hi
+      else
+        let acc' = acc +. float_of_int t.counts.(i) in
+        if acc' >= target then t.lo +. ((float_of_int i +. 0.5) *. width)
+        else scan (i + 1) acc'
+    in
+    scan 0 0.
+end

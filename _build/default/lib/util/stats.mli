@@ -1,0 +1,59 @@
+(** Small statistics helpers used by the simulators and benches. *)
+
+(** [mean xs] is the arithmetic mean. @raise Invalid_argument on empty. *)
+val mean : float array -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float array -> float
+
+(** [percentile xs p] returns the [p]-th percentile ([p] in [\[0,100\]]) using
+    linear interpolation between closest ranks.  Does not mutate [xs]. *)
+val percentile : float array -> float -> float
+
+(** [geomean xs] is the geometric mean (all values must be positive). *)
+val geomean : float array -> float
+
+(** Accumulates a time series of (time, value) samples and answers
+    integral-style queries; used for RPS/latency-over-uptime curves and
+    capacity-loss computation. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> time:float -> value:float -> unit
+  val length : t -> int
+
+  (** Samples in insertion order. *)
+  val to_array : t -> (float * float) array
+
+  (** [integral t ~until] integrates value over time (trapezoidal) from the
+      first sample up to time [until]. *)
+  val integral : t -> until:float -> float
+
+  (** [value_at t time] linearly interpolates the series at [time]; clamps to
+      the first/last sample outside the recorded range. *)
+  val value_at : t -> float -> float
+
+  (** [resample t ~step ~until] returns regularly spaced samples, convenient
+      for printing figures. *)
+  val resample : t -> step:float -> until:float -> (float * float) array
+
+  (** [capacity_loss t ~peak ~until] is the fraction of the ideal capacity
+      [peak * until] that the series failed to deliver:
+      [1 - integral(t)/(peak * until)].  Matches the paper's definition of
+      the area above the normalized-RPS curve. *)
+  val capacity_loss : t -> peak:float -> until:float -> float
+end
+
+(** Fixed-width histogram over [\[lo, hi)]. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+
+  (** Approximate quantile from bucket midpoints. *)
+  val quantile : t -> float -> float
+end

@@ -1,0 +1,1 @@
+lib/vasm/inline_tree.ml: Array Hhbc List Option

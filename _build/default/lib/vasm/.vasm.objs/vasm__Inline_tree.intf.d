@@ -1,0 +1,1 @@
+lib/vasm/inline_tree.mli: Hhbc

@@ -1,0 +1,1 @@
+lib/vasm/lower.ml: Array Hashtbl Hhbc Inline_tree List Vfunc

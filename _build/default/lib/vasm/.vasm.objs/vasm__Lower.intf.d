@@ -1,0 +1,1 @@
+lib/vasm/lower.mli: Hhbc Inline_tree Vfunc

@@ -1,0 +1,1 @@
+lib/vasm/vfunc.ml: Array Format Hashtbl Hhbc Inline_tree List

@@ -1,0 +1,1 @@
+lib/vasm/vfunc.mli: Format Hashtbl Hhbc Inline_tree

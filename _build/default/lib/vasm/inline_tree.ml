@@ -1,0 +1,49 @@
+type node = {
+  node_id : int;
+  fid : Hhbc.Instr.fid;
+  parent : (int * int) option;
+  children : (int * int) list;
+}
+
+type t = { arr : node array }
+
+let root t = t.arr.(0)
+let node t id = t.arr.(id)
+let n_nodes t = Array.length t.arr
+
+let child_at t node_id site =
+  let n = t.arr.(node_id) in
+  List.assoc_opt site n.children |> Option.map (fun id -> t.arr.(id))
+
+let nodes t = t.arr
+let n_inlined t = Array.length t.arr - 1
+
+module Build = struct
+  type tree = t
+  type b = { mutable nodes_rev : node list; mutable count : int }
+
+  let start fid =
+    { nodes_rev = [ { node_id = 0; fid; parent = None; children = [] } ]; count = 1 }
+
+  let add_child b ~parent ~site ~fid =
+    if parent < 0 || parent >= b.count then invalid_arg "Inline_tree.add_child: no such parent";
+    let id = b.count in
+    b.count <- id + 1;
+    b.nodes_rev <-
+      { node_id = id; fid; parent = Some (parent, site); children = [] }
+      :: List.map
+           (fun n ->
+             if n.node_id = parent then begin
+               if List.mem_assoc site n.children then
+                 invalid_arg "Inline_tree.add_child: site already inlined";
+               { n with children = n.children @ [ (site, id) ] }
+             end
+             else n)
+           b.nodes_rev;
+    id
+
+  let finish b =
+    let arr = Array.of_list (List.rev b.nodes_rev) in
+    Array.iteri (fun i n -> assert (n.node_id = i)) arr;
+    { arr }
+end

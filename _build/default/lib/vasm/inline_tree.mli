@@ -1,0 +1,47 @@
+(** Inline trees: which callees the region compiler decided to inline into an
+    optimized translation, and where.
+
+    Tier-1 code performs no inlining; tier-2 inlines aggressively (paper
+    §V-B), which is exactly why the tier-1 call graph misrepresents tier-2
+    code.  A tree node identifies one inlined body: the root node is the
+    translation's own function; a child at [(site, fid)] is a callee body
+    spliced in at bytecode offset [site] of its parent. *)
+
+type node = {
+  node_id : int;
+  fid : Hhbc.Instr.fid;
+  parent : (int * int) option;  (** [(parent node_id, call-site instr index)] *)
+  children : (int * int) list;  (** [(call-site instr index, child node_id)] *)
+}
+
+type t
+
+val root : t -> node
+val node : t -> int -> node
+val n_nodes : t -> int
+
+(** [child_at t node_id site] returns the inlined child at a call site. *)
+val child_at : t -> int -> int -> node option
+
+(** All nodes in preorder. *)
+val nodes : t -> node array
+
+(** Total number of inlined call sites (nodes minus the root). *)
+val n_inlined : t -> int
+
+(** Builder: construct the tree top-down. *)
+module Build : sig
+  type tree = t
+  type b
+
+  (** [start fid] begins a tree rooted at [fid]. *)
+  val start : Hhbc.Instr.fid -> b
+
+  (** [add_child b ~parent ~site ~fid] splices callee [fid] at [site];
+      returns the new node id.
+      @raise Invalid_argument if the parent does not exist or the site
+      already has an inlined child. *)
+  val add_child : b -> parent:int -> site:int -> fid:Hhbc.Instr.fid -> int
+
+  val finish : b -> tree
+end

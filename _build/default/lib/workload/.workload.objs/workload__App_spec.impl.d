@@ -1,0 +1,1 @@
+lib/workload/app_spec.ml:

@@ -1,0 +1,1 @@
+lib/workload/codegen.ml: App_spec Array Hhbc Js_util List Minihack Printf

@@ -1,0 +1,1 @@
+lib/workload/codegen.mli: App_spec Hhbc

@@ -1,0 +1,1 @@
+lib/workload/macro_app.ml: Array Float Js_util

@@ -1,0 +1,1 @@
+lib/workload/macro_app.mli: Js_util

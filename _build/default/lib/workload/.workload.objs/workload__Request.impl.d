@@ -1,0 +1,1 @@
+lib/workload/request.ml: Array Codegen Float Hhbc Interp Js_util Mh_runtime

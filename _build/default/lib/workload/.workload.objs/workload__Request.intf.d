@@ -1,0 +1,1 @@
+lib/workload/request.mli: Codegen Hhbc Interp Js_util

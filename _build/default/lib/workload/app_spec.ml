@@ -1,0 +1,40 @@
+type t = {
+  seed : int;
+  n_classes : int;
+  n_props : int;
+  n_methods : int;
+  n_workers : int;
+  n_endpoints : int;
+  n_partitions : int;
+  avg_fanout : float;
+  endpoint_loop : int;
+  hot_prop_count : int;
+}
+
+let tiny =
+  {
+    seed = 42;
+    n_classes = 4;
+    n_props = 8;
+    n_methods = 4;
+    n_workers = 24;
+    n_endpoints = 6;
+    n_partitions = 3;
+    avg_fanout = 2.0;
+    endpoint_loop = 2;
+    hot_prop_count = 3;
+  }
+
+let default =
+  {
+    seed = 1;
+    n_classes = 12;
+    n_props = 24;
+    n_methods = 8;
+    n_workers = 600;
+    n_endpoints = 60;
+    n_partitions = 10;
+    avg_fanout = 2.0;
+    endpoint_loop = 7;
+    hot_prop_count = 6;
+  }

@@ -1,0 +1,29 @@
+(** Parameters of the synthetic web application.
+
+    The generator aims at the two structural properties the paper leans on
+    (§II-B, §II-C):
+    - a {e flat execution profile}: many small functions, none dominating,
+      with a long tail only discovered late in an execution;
+    - {e per-endpoint similarity}: requests to one endpoint execute largely
+      the same code, so semantic routing (and profile sharing within a
+      (region, bucket) pair) works. *)
+
+type t = {
+  seed : int;
+  n_classes : int;  (** subclasses of the common base class *)
+  n_props : int;  (** properties on the base class *)
+  n_methods : int;  (** virtual methods on the base class *)
+  n_workers : int;  (** leaf/intermediate worker functions *)
+  n_endpoints : int;
+  n_partitions : int;  (** semantic partitions (the paper uses 10) *)
+  avg_fanout : float;  (** average callees per worker *)
+  endpoint_loop : int;  (** per-request work multiplier at endpoints *)
+  hot_prop_count : int;  (** props that receive most accesses *)
+}
+
+(** A small app for unit tests (fast to generate and run). *)
+val tiny : t
+
+(** The default micro-experiment app: big enough that the optimized code
+    footprint far exceeds L1I/L2 and object data exceeds L1D. *)
+val default : t

@@ -1,0 +1,247 @@
+module A = Minihack.Ast
+module R = Js_util.Rng
+
+type app = {
+  spec : App_spec.t;
+  repo : Hhbc.Repo.t;
+  endpoint_fids : int array;
+  endpoint_partition : int array;
+  base_class : Hhbc.Instr.cid;
+  hot_props : int array;
+}
+
+let v x = A.Var x
+let i n = A.Int n
+let ( +! ) a b = A.Binop (A.Add, a, b)
+let ( *! ) a b = A.Binop (A.Mul, a, b)
+let ( %! ) a b = A.Binop (A.Mod, a, b)
+let assign x e = A.Assign (A.LVar x, e)
+let prop_name k = Printf.sprintf "p%d" k
+let method_name k = Printf.sprintf "m%d" k
+let class_name k = Printf.sprintf "C%d" k
+let worker_name layer k = Printf.sprintf "w%d_%d" layer k
+let endpoint_name e = Printf.sprintf "ep%d" e
+let factory_name e = Printf.sprintf "mk%d" e
+
+(* Scatter the hot properties across the declared order: indices spread with
+   a stride, so that without reordering they straddle many cache lines. *)
+let hot_prop_indices (spec : App_spec.t) =
+  let stride = max 2 (spec.n_props / spec.hot_prop_count) in
+  Array.init spec.hot_prop_count (fun k -> (3 + (k * stride)) mod spec.n_props)
+
+(* Pick a property: hot with probability 0.85. *)
+let pick_prop rng (spec : App_spec.t) hot =
+  if R.bool rng 0.85 then hot.(R.int rng (Array.length hot))
+  else R.int rng spec.n_props
+
+(* --- class hierarchy --- *)
+
+let base_method rng spec hot k =
+  let p1 = pick_prop rng spec hot and p2 = pick_prop rng spec hot in
+  let c = 1 + R.int rng 97 in
+  let call_deeper =
+    (* methods may call lower-numbered methods: acyclic *)
+    if k > 0 && R.bool rng 0.35 then
+      [ A.Assign (A.LVar "t", v "t" +! A.MethodCall (A.This, method_name (R.int rng k), [ v "x" %! i 19 ])) ]
+    else []
+  in
+  {
+    A.fname = method_name k;
+    params = [ "x" ];
+    body =
+      [ assign "t" (A.PropGet (A.This, prop_name p1) +! (v "x" *! i c)) ]
+      @ call_deeper
+      @ [ A.Return (Some (v "t" +! A.PropGet (A.This, prop_name p2) %! i 100003)) ];
+  }
+
+let base_class_decl rng (spec : App_spec.t) hot =
+  {
+    A.cname = "Base";
+    cparent = None;
+    cprops = List.init spec.n_props (fun k -> { A.pname = prop_name k; pdefault = Some (A.Int k) });
+    cmethods = List.init spec.n_methods (fun k -> base_method rng spec hot k);
+  }
+
+let sub_class_decl rng (spec : App_spec.t) hot idx =
+  (* override about a third of the methods with different prop mixes, and
+     initialize a few properties in the constructor *)
+  let overridden =
+    List.filter (fun k -> (k + idx) mod 3 = 0) (List.init spec.n_methods (fun k -> k))
+  in
+  let ctor =
+    let sets =
+      List.init
+        (2 + R.int rng 3)
+        (fun _ ->
+          let p = pick_prop rng spec hot in
+          A.Assign (A.LProp (A.This, prop_name p), i (R.int rng 1000)))
+    in
+    { A.fname = "__construct"; params = []; body = sets }
+  in
+  {
+    A.cname = class_name idx;
+    cparent = Some "Base";
+    cprops = [];
+    cmethods = ctor :: List.map (fun k -> base_method rng spec hot k) overridden;
+  }
+
+(* --- workers --- *)
+
+(* Distribute workers over layers, wider at the bottom (tree-ish). *)
+let layer_sizes (spec : App_spec.t) =
+  let depth = 4 in
+  let raw = Array.init depth (fun l -> float_of_int (1 lsl l)) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  let sizes =
+    Array.map (fun r -> max 1 (int_of_float (r /. total *. float_of_int spec.n_workers))) raw
+  in
+  sizes
+
+let worker_decl rng (spec : App_spec.t) hot ~layer ~idx ~next_layer_size =
+  let body = ref [] in
+  let add s = body := s :: !body in
+  add (assign "acc" (v "n" +! i (1 + R.int rng 50)));
+  (* a biased branch: rare path writes a property *)
+  let rare_mod = 5 + R.int rng 9 in
+  add
+    (A.If
+       ( [ ( A.Binop (A.Eq, v "n" %! i rare_mod, i 0),
+             [ A.Assign (A.LProp (v "o", prop_name (pick_prop rng spec hot)), v "acc" %! i 255) ] )
+         ],
+         [ assign "acc" ((v "acc" *! i 3) +! i 1) ] ));
+  (* a small loop reading properties *)
+  if R.bool rng 0.7 then begin
+    let trip = 2 + R.int rng 4 in
+    add
+      (A.For
+         ( Some (assign "i" (i 0)),
+           Some (A.Binop (A.Lt, v "i", i trip)),
+           Some (assign "i" (v "i" +! i 1)),
+           [ assign "acc" (v "acc" +! A.PropGet (v "o", prop_name (pick_prop rng spec hot)) +! v "i") ]
+         ))
+  end
+  else add (assign "acc" (v "acc" +! A.PropGet (v "o", prop_name (pick_prop rng spec hot))));
+  (* a polymorphic method call *)
+  if R.bool rng 0.7 then
+    add
+      (assign "acc"
+         (v "acc" +! A.MethodCall (v "o", method_name (R.int rng spec.n_methods), [ v "acc" %! i 13 ])));
+  (* calls into the next layer *)
+  if next_layer_size > 0 then begin
+    let fanout =
+      let base = int_of_float spec.avg_fanout in
+      let extra = if R.bool rng (spec.avg_fanout -. float_of_int base) then 1 else 0 in
+      max 1 (base + extra)
+    in
+    for _ = 1 to fanout do
+      let callee = R.int rng next_layer_size in
+      add
+        (assign "acc" (v "acc" +! A.Call (worker_name (layer + 1) callee, [ v "o"; v "acc" %! i 89 ])))
+    done
+  end;
+  add (A.Return (Some (v "acc" %! i 100003)));
+  { A.fname = worker_name layer idx; params = [ "o"; "n" ]; body = List.rev !body }
+
+(* --- endpoints --- *)
+
+let factory_decl rng (spec : App_spec.t) e =
+  (* dominant class ~90%, two minority classes *)
+  let dom = R.int rng spec.n_classes in
+  let alt1 = (dom + 1 + R.int rng (spec.n_classes - 1)) mod spec.n_classes in
+  let alt2 = (dom + 1 + R.int rng (spec.n_classes - 1)) mod spec.n_classes in
+  {
+    A.fname = factory_name e;
+    params = [ "sel" ];
+    body =
+      [ A.If
+          ( [ (A.Binop (A.Lt, v "sel", i 90), [ A.Return (Some (A.New (class_name dom, []))) ]);
+              (A.Binop (A.Lt, v "sel", i 96), [ A.Return (Some (A.New (class_name alt1, []))) ])
+            ],
+            [ A.Return (Some (A.New (class_name alt2, []))) ] )
+      ];
+  }
+
+let endpoint_decl rng (spec : App_spec.t) controllers e =
+  (* each endpoint drives 2-4 distinct controllers over a couple of
+     long-lived objects plus one fresh object per loop iteration (the
+     allocation churn keeps the data side of the machine model honest) *)
+  let n_ctl = min controllers (2 + R.int rng 3) in
+  let chosen = Array.init n_ctl (fun _ -> R.int rng controllers) in
+  let receivers = [| "o"; "o2"; "tmp" |] in
+  let calls =
+    Array.to_list
+      (Array.mapi
+         (fun k c ->
+           let recv = receivers.(k mod Array.length receivers) in
+           assign "acc" (v "acc" +! A.Call (worker_name 0 c, [ v recv; v "acc" %! i 53 ])))
+         chosen)
+  in
+  {
+    A.fname = endpoint_name e;
+    params = [ "sel"; "n" ];
+    body =
+      [ assign "o" (A.Call (factory_name e, [ v "sel" ]));
+        assign "o2" (A.Call (factory_name e, [ A.Binop (A.Mod, v "sel" +! i 37, i 100) ]));
+        assign "tmp" (A.Call (factory_name e, [ A.Binop (A.Mod, v "sel" +! i 61, i 100) ]));
+        assign "acc" (v "n");
+        A.For
+          ( Some (assign "r" (i 0)),
+            Some (A.Binop (A.Lt, v "r", i spec.endpoint_loop)),
+            Some (assign "r" (v "r" +! i 1)),
+            calls )
+      ]
+      @ [ A.Return (Some (v "acc")) ];
+  }
+
+let build_ast (spec : App_spec.t) =
+  let rng = R.create spec.seed in
+  let hot = hot_prop_indices spec in
+  let classes =
+    A.DClass (base_class_decl (R.split rng) spec hot)
+    :: List.init spec.n_classes (fun k -> A.DClass (sub_class_decl (R.split rng) spec hot k))
+  in
+  let sizes = layer_sizes spec in
+  let depth = Array.length sizes in
+  let workers = ref [] in
+  for layer = depth - 1 downto 0 do
+    let next_layer_size = if layer + 1 < depth then sizes.(layer + 1) else 0 in
+    for idx = 0 to sizes.(layer) - 1 do
+      workers := A.DFunc (worker_decl (R.split rng) spec hot ~layer ~idx ~next_layer_size) :: !workers
+    done
+  done;
+  let endpoints =
+    List.concat
+      (List.init spec.n_endpoints (fun e ->
+           [ A.DFunc (factory_decl (R.split rng) spec e);
+             A.DFunc (endpoint_decl (R.split rng) spec sizes.(0) e)
+           ]))
+  in
+  (classes @ !workers @ endpoints, hot)
+
+let source_of spec =
+  let program, _ = build_ast spec in
+  Minihack.Pp.to_source program
+
+let generate spec =
+  let program, hot = build_ast spec in
+  let builder = Hhbc.Repo.Builder.create () in
+  ignore (Minihack.Compile.compile_program builder ~path:"synthetic/app.mh" program);
+  let repo = Hhbc.Repo.Builder.finish builder in
+  (match Hhbc.Repo.validate repo with
+  | Ok () -> ()
+  | Error msg -> failwith ("Codegen.generate: invalid repo: " ^ msg));
+  let endpoint_fids =
+    Array.init spec.App_spec.n_endpoints (fun e ->
+        match Hhbc.Repo.find_func_by_name repo (endpoint_name e) with
+        | Some f -> f.Hhbc.Func.id
+        | None -> failwith "Codegen.generate: endpoint missing")
+  in
+  let endpoint_partition =
+    Array.init spec.App_spec.n_endpoints (fun e -> e * spec.App_spec.n_partitions / spec.App_spec.n_endpoints)
+  in
+  let base_class =
+    match Hhbc.Repo.find_class_by_name repo "Base" with
+    | Some c -> c.Hhbc.Class_def.id
+    | None -> failwith "Codegen.generate: Base class missing"
+  in
+  { spec; repo; endpoint_fids; endpoint_partition; base_class; hot_props = hot }

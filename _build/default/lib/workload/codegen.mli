@@ -1,0 +1,35 @@
+(** Generates the synthetic application as real minihack source (AST),
+    compiled through the production compiler into a repo.
+
+    Structure (see DESIGN.md):
+    - one base class with [n_props] properties and [n_methods] virtual
+      methods; [n_classes] subclasses override a third of the methods and
+      initialize properties in their constructors;
+    - worker functions organized in layers (a call DAG with controlled
+      fan-out, so per-request work is bounded and the execution profile is
+      flat);
+    - endpoint functions that construct a receiver object whose class
+      depends on a selector argument (one dominant class per endpoint ->
+      realistic polymorphic call sites with dominant targets), then drive
+      workers in a loop;
+    - property accesses skewed towards a small hot set whose declared
+      positions are deliberately scattered, so §V-C property reordering has
+      locality to recover. *)
+
+type app = {
+  spec : App_spec.t;
+  repo : Hhbc.Repo.t;
+  endpoint_fids : int array;  (** endpoint index -> function id *)
+  endpoint_partition : int array;  (** endpoint index -> semantic partition *)
+  base_class : Hhbc.Instr.cid;
+  hot_props : int array;  (** declared indices of the hot property set *)
+}
+
+(** [generate spec] builds and validates the app.
+    @raise Failure if the generated program fails repo validation (a
+    generator bug, not an input condition). *)
+val generate : App_spec.t -> app
+
+(** The generated program as minihack source text (for inspection and for
+    the examples). *)
+val source_of : App_spec.t -> string

@@ -1,0 +1,52 @@
+module R = Js_util.Rng
+
+type t = { endpoint : int; sel : int; n : int }
+type mix = { weights : float array }
+
+let mix (app : Codegen.app) ~region ~bucket =
+  let n = Array.length app.Codegen.endpoint_fids in
+  let weights = Array.make n 0. in
+  (* members of the bucket's partition, region-permuted zipf weights *)
+  let members = ref [] in
+  for e = n - 1 downto 0 do
+    if app.Codegen.endpoint_partition.(e) = bucket then members := e :: !members
+  done;
+  let members = Array.of_list !members in
+  let perm_rng = R.create ((region * 7919) + (bucket * 104729) + 13) in
+  R.shuffle perm_rng members;
+  let m = Array.length members in
+  if m > 0 then
+    Array.iteri
+      (fun rank e -> weights.(e) <- 0.85 /. (float_of_int (rank + 1) ** 0.8))
+      members;
+  (* normalize the partition part to 0.85 then spread 0.15 uniformly *)
+  let part_total = Array.fold_left ( +. ) 0. weights in
+  if part_total > 0. then
+    Array.iteri (fun e w -> weights.(e) <- w /. part_total *. 0.85) weights;
+  let spill = (if part_total > 0. then 0.15 else 1.0) /. float_of_int n in
+  Array.iteri (fun e w -> weights.(e) <- w +. spill) weights;
+  { weights }
+
+let uniform_mix (app : Codegen.app) =
+  let n = Array.length app.Codegen.endpoint_fids in
+  { weights = Array.make n (1. /. float_of_int n) }
+
+let sample rng mix =
+  let endpoint = R.sample_weighted rng mix.weights in
+  { endpoint; sel = R.int rng 100; n = R.int rng 1000 }
+
+let similarity a b =
+  let n = Array.length a.weights in
+  if n <> Array.length b.weights then invalid_arg "Request.similarity: mix size mismatch";
+  let overlap = ref 0. in
+  for e = 0 to n - 1 do
+    overlap := !overlap +. Float.min a.weights.(e) b.weights.(e)
+  done;
+  !overlap
+
+let invoke engine (app : Codegen.app) req =
+  (* requests are memory-isolated, like HHVM's request-scoped arenas *)
+  Mh_runtime.Heap.reset_arena (Interp.Engine.heap engine);
+  Interp.Engine.call engine
+    app.Codegen.endpoint_fids.(req.endpoint)
+    [ Hhbc.Value.Int req.sel; Hhbc.Value.Int req.n ]

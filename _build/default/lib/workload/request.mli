@@ -1,0 +1,36 @@
+(** Web requests and per-(region, bucket) traffic mixes.
+
+    Paper §II-C: load balancers partition endpoints into a fixed number of
+    semantic partitions and route each request preferentially to servers of
+    the matching bucket; within a (data-center region, semantic bucket)
+    pair, traffic is very similar — the property that makes profile sharing
+    across that set of servers sound. *)
+
+type t = {
+  endpoint : int;  (** endpoint index into {!Codegen.app.endpoint_fids} *)
+  sel : int;  (** class selector, 0..99 (drives receiver polymorphism) *)
+  n : int;  (** numeric payload *)
+}
+
+(** A sampling distribution over endpoints. *)
+type mix
+
+(** [mix app ~region ~bucket] — traffic for servers of [bucket] in [region]:
+    85% of requests target the bucket's own partition (Zipf-weighted, with a
+    region-specific permutation so regions differ), 15% spill uniformly over
+    all endpoints (bucket overflow routing). *)
+val mix : Codegen.app -> region:int -> bucket:int -> mix
+
+(** Uniform mix over all endpoints (unrouted traffic). *)
+val uniform_mix : Codegen.app -> mix
+
+(** [sample rng mix] draws a request. *)
+val sample : Js_util.Rng.t -> mix -> t
+
+(** [similarity a b] — L1 overlap of two mixes' endpoint distributions, in
+    [0, 1]; used by tests and the routing experiments. *)
+val similarity : mix -> mix -> float
+
+(** [invoke engine app req] runs the request on a VM and returns its result.
+    @raise Interp.Engine.Runtime_error on workload bugs. *)
+val invoke : Interp.Engine.t -> Codegen.app -> t -> Hhbc.Value.t

@@ -1,0 +1,1 @@
+test/test_hhbc.ml: Alcotest Array Hhbc List Result

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Hhbc Interp Jit_profile List Mh_runtime Minihack Option Printf String

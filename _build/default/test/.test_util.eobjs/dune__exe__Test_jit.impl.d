@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Float Hhbc Interp Jit Jit_profile Js_util List Mh_runtime Minihack Option Vasm

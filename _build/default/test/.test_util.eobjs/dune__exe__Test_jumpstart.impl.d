@@ -1,0 +1,1 @@
+test/test_jumpstart.ml: Alcotest Array Bytes Char Hhbc Interp Jit Jit_profile Js_util Jumpstart Lazy List Mh_runtime Minihack Option Result String Workload

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Js_util Layout List

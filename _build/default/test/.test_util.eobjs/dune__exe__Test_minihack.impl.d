@@ -1,0 +1,1 @@
+test/test_minihack.ml: Alcotest Array Format Hhbc Interp List Mh_runtime Minihack Workload

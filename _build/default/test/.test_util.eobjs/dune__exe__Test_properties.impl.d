@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Interp Jit_profile Js_util Layout Lazy List Machine Mh_runtime Minihack Printf QCheck QCheck_alcotest Workload

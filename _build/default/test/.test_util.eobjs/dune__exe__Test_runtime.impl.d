@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Hashtbl Hhbc List Mh_runtime Minihack Option

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Int64 Js_util List String

@@ -1,0 +1,1 @@
+test/test_vasm.ml: Alcotest Array Hhbc List Minihack Option Printf Vasm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hhbc Interp Js_util Lazy List Mh_runtime Workload

@@ -1,0 +1,310 @@
+(* The Jump-Start core: options, packages, store, seeder/consumer workflows,
+   reliability machinery. *)
+
+module JS = Jumpstart
+module Req = Workload.Request
+
+let app = lazy (Workload.Codegen.generate Workload.App_spec.tiny)
+
+let traffic ?(seed = 1) ?(n = 200) () =
+  let a = Lazy.force app in
+  let mix = Req.mix a ~region:0 ~bucket:0 in
+  fun engine ->
+    let rng = Js_util.Rng.create seed in
+    for _ = 1 to n do
+      ignore (Req.invoke engine a (Req.sample rng mix))
+    done
+
+let make_package () =
+  let a = Lazy.force app in
+  let options = { JS.Options.default with JS.Options.validate_packages = false } in
+  match
+    JS.Seeder.run a.Workload.Codegen.repo options ~profile_traffic:(traffic ~seed:1 ())
+      ~optimized_traffic:(traffic ~seed:2 ()) ~region:0 ~bucket:3 ~seeder_id:7 ()
+  with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "seeder failed: %s" msg
+
+(* --- options --- *)
+
+let test_options_roundtrip () =
+  let t = { JS.Options.default with JS.Options.bb_layout_opt = false; max_boot_attempts = 9 } in
+  match JS.Options.of_string (JS.Options.to_string t) with
+  | Ok back -> Alcotest.(check bool) "roundtrip" true (back = t)
+  | Error msg -> Alcotest.fail msg
+
+let test_options_parse_errors () =
+  Alcotest.(check bool) "unknown key" true (Result.is_error (JS.Options.of_string "nope=1"));
+  Alcotest.(check bool) "bad bool" true
+    (Result.is_error (JS.Options.of_string "jumpstart.enabled=maybe"));
+  Alcotest.(check bool) "bad int" true
+    (Result.is_error (JS.Options.of_string "jumpstart.max_boot_attempts=x"));
+  Alcotest.(check bool) "malformed line" true (Result.is_error (JS.Options.of_string "oops"))
+
+let test_options_comments_and_defaults () =
+  match JS.Options.of_string "# comment\n\njumpstart.enabled=false" with
+  | Ok t ->
+    Alcotest.(check bool) "flag applied" false t.JS.Options.enabled;
+    Alcotest.(check bool) "other defaults kept" true
+      (t.JS.Options.max_boot_attempts = JS.Options.default.JS.Options.max_boot_attempts)
+  | Error msg -> Alcotest.fail msg
+
+(* --- package serialization --- *)
+
+let test_package_roundtrip () =
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  match JS.Package.of_bytes a.Workload.Codegen.repo outcome.JS.Seeder.bytes with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    let orig = outcome.JS.Seeder.package in
+    Alcotest.(check bool) "meta survives" true (p.JS.Package.meta = orig.JS.Package.meta);
+    Alcotest.(check (array int)) "func order survives" orig.JS.Package.func_order
+      p.JS.Package.func_order;
+    Alcotest.(check (array int)) "preload units survive" orig.JS.Package.preload_units
+      p.JS.Package.preload_units;
+    (* counters must round-trip *)
+    Alcotest.(check int) "entries" (Jit_profile.Counters.total_entries orig.JS.Package.counters)
+      (Jit_profile.Counters.total_entries p.JS.Package.counters);
+    Alcotest.(check bool) "call graph" true
+      (Jit_profile.Counters.call_graph orig.JS.Package.counters
+      = Jit_profile.Counters.call_graph p.JS.Package.counters)
+
+let test_package_detects_corruption () =
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  let bytes = outcome.JS.Seeder.bytes in
+  (* flip every 97th byte position one at a time; decode must never crash,
+     only return Error or (rarely) succeed if the flip missed the payload *)
+  let pos = ref 8 in
+  let rejected = ref 0 and total = ref 0 in
+  while !pos < String.length bytes do
+    let b = Bytes.of_string bytes in
+    Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 0xff));
+    incr total;
+    (match JS.Package.of_bytes a.Workload.Codegen.repo (Bytes.to_string b) with
+    | Error _ -> incr rejected
+    | Ok _ -> ());
+    pos := !pos + 97
+  done;
+  Alcotest.(check int) "every corruption detected" !total !rejected
+
+let test_package_coverage_gate () =
+  let outcome = make_package () in
+  let p = outcome.JS.Seeder.package in
+  let strict = { JS.Options.default with JS.Options.min_coverage_funcs = 10_000 } in
+  Alcotest.(check bool) "too few funcs rejected" true
+    (Result.is_error (JS.Package.check_coverage p strict));
+  let strict2 = { JS.Options.default with JS.Options.min_coverage_entries = max_int } in
+  Alcotest.(check bool) "too few entries rejected" true
+    (Result.is_error (JS.Package.check_coverage p strict2));
+  Alcotest.(check bool) "normal thresholds pass" true
+    (JS.Package.check_coverage p JS.Options.default = Ok ())
+
+(* --- store --- *)
+
+let test_store_publish_pick () =
+  let outcome = make_package () in
+  let store = JS.Store.create () in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  Alcotest.(check int) "empty" 0 (JS.Store.count store ~region:0 ~bucket:3);
+  JS.Store.publish store ~region:0 ~bucket:3 outcome.JS.Seeder.bytes meta;
+  JS.Store.publish store ~region:0 ~bucket:3 outcome.JS.Seeder.bytes meta;
+  Alcotest.(check int) "two packages" 2 (JS.Store.count store ~region:0 ~bucket:3);
+  let rng = Js_util.Rng.create 1 in
+  Alcotest.(check bool) "pick hits" true (JS.Store.pick_random store rng ~region:0 ~bucket:3 <> None);
+  Alcotest.(check bool) "other key empty" true
+    (JS.Store.pick_random store rng ~region:0 ~bucket:4 = None);
+  JS.Store.clear store ~region:0 ~bucket:3;
+  Alcotest.(check int) "cleared" 0 (JS.Store.count store ~region:0 ~bucket:3)
+
+(* --- seeder --- *)
+
+let test_seeder_produces_valid_package () =
+  let outcome = make_package () in
+  let p = outcome.JS.Seeder.package in
+  Alcotest.(check int) "region" 0 p.JS.Package.meta.JS.Package.region;
+  Alcotest.(check int) "bucket" 3 p.JS.Package.meta.JS.Package.bucket;
+  Alcotest.(check bool) "profiled functions" true
+    (p.JS.Package.meta.JS.Package.n_profiled_funcs > 5);
+  Alcotest.(check bool) "function order nonempty" true (Array.length p.JS.Package.func_order > 0);
+  Alcotest.(check bool) "preload units recorded" true (Array.length p.JS.Package.preload_units > 0);
+  Alcotest.(check bool) "measured profile present" true
+    (Jit.Vasm_profile.call_graph p.JS.Package.vasm <> [])
+
+let test_seeder_with_validation_succeeds () =
+  let a = Lazy.force app in
+  match
+    JS.Seeder.run a.Workload.Codegen.repo JS.Options.default ~profile_traffic:(traffic ~seed:1 ())
+      ~optimized_traffic:(traffic ~seed:2 ()) ~validation_traffic:(traffic ~seed:3 ~n:30 ())
+      ~region:0 ~bucket:0 ~seeder_id:1 ()
+  with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "validation should pass: %s" msg
+
+let test_seeder_validation_catches_jit_bug () =
+  let a = Lazy.force app in
+  match
+    JS.Seeder.run a.Workload.Codegen.repo JS.Options.default ~profile_traffic:(traffic ~seed:1 ())
+      ~optimized_traffic:(traffic ~seed:2 ()) ~jit_bug:(fun _ -> true) ~region:0 ~bucket:0
+      ~seeder_id:1 ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad package must not pass validation"
+
+(* --- consumer --- *)
+
+let test_consumer_boot_and_serve () =
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  match JS.Consumer.boot_with_package a.Workload.Codegen.repo JS.Options.default outcome.JS.Seeder.package with
+  | Error msg -> Alcotest.fail msg
+  | Ok vm ->
+    Alcotest.(check bool) "translations" true (vm.JS.Consumer.compiled.Jit.Compiler.n_translations > 0);
+    let engine = JS.Consumer.serving_engine vm () in
+    (traffic ~seed:9 ~n:50 ()) engine;
+    Alcotest.(check bool) "served" true (Interp.Engine.steps engine > 1000)
+
+let test_consumer_results_match_no_jumpstart () =
+  (* semantics must be identical with and without Jump-Start *)
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  let run vm =
+    let engine = JS.Consumer.serving_engine vm () in
+    let rng = Js_util.Rng.create 31 in
+    let mix = Req.mix a ~region:0 ~bucket:0 in
+    List.init 30 (fun _ -> Req.invoke engine a (Req.sample rng mix))
+  in
+  let js_vm =
+    Result.get_ok
+      (JS.Consumer.boot_with_package a.Workload.Codegen.repo JS.Options.default
+         outcome.JS.Seeder.package)
+  in
+  let plain_vm =
+    JS.Consumer.boot_without_jumpstart a.Workload.Codegen.repo JS.Options.disabled
+      ~traffic:(traffic ~seed:1 ())
+  in
+  Alcotest.(check bool) "identical results" true (run js_vm = run plain_vm)
+
+let boot_env () =
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  let store = JS.Store.create () in
+  JS.Store.publish store ~region:0 ~bucket:3 outcome.JS.Seeder.bytes
+    outcome.JS.Seeder.package.JS.Package.meta;
+  (a, store)
+
+let test_boot_jump_starts () =
+  let a, store = boot_env () in
+  let rng = Js_util.Rng.create 4 in
+  match
+    JS.Consumer.boot a.Workload.Codegen.repo JS.Options.default store rng ~region:0 ~bucket:3
+      ~health_traffic:(traffic ~seed:5 ~n:20 ()) ~fallback_traffic:(traffic ~seed:6 ()) ()
+  with
+  | JS.Consumer.Jump_started _ -> ()
+  | JS.Consumer.Fell_back (_, reason) -> Alcotest.failf "unexpected fallback: %s" reason
+
+let test_boot_fallback_no_packages () =
+  let a = Lazy.force app in
+  let store = JS.Store.create () in
+  let rng = Js_util.Rng.create 4 in
+  match
+    JS.Consumer.boot a.Workload.Codegen.repo JS.Options.default store rng ~region:0 ~bucket:3
+      ~fallback_traffic:(traffic ~seed:6 ()) ()
+  with
+  | JS.Consumer.Fell_back (vm, _) ->
+    Alcotest.(check bool) "fallback vm compiled" true
+      (vm.JS.Consumer.compiled.Jit.Compiler.n_translations > 0);
+    Alcotest.(check bool) "no package" true (vm.JS.Consumer.package = None)
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "cannot jump-start from an empty store"
+
+let test_boot_fallback_when_disabled () =
+  let a, store = boot_env () in
+  let rng = Js_util.Rng.create 4 in
+  match
+    JS.Consumer.boot a.Workload.Codegen.repo JS.Options.disabled store rng ~region:0 ~bucket:3
+      ~fallback_traffic:(traffic ~seed:6 ()) ()
+  with
+  | JS.Consumer.Fell_back (_, reason) ->
+    Alcotest.(check bool) "reason mentions disabled" true
+      (String.length reason > 0)
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "disabled must not jump-start"
+
+let test_boot_fallback_on_corruption () =
+  let a, store = boot_env () in
+  let rng = Js_util.Rng.create 4 in
+  Alcotest.(check bool) "corrupted" true (JS.Store.corrupt_one store rng ~region:0 ~bucket:3);
+  match
+    JS.Consumer.boot a.Workload.Codegen.repo JS.Options.default store rng ~region:0 ~bucket:3
+      ~fallback_traffic:(traffic ~seed:6 ()) ()
+  with
+  | JS.Consumer.Fell_back (_, _) -> ()
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "corrupt-only store must fall back"
+
+let test_boot_retries_on_jit_bug () =
+  let a, store = boot_env () in
+  let rng = Js_util.Rng.create 4 in
+  let attempts = ref 0 in
+  let jit_bug _ =
+    incr attempts;
+    true
+  in
+  match
+    JS.Consumer.boot a.Workload.Codegen.repo JS.Options.default store rng ~region:0 ~bucket:3
+      ~jit_bug ~fallback_traffic:(traffic ~seed:6 ()) ()
+  with
+  | JS.Consumer.Fell_back (_, _) ->
+    Alcotest.(check int) "bounded retries" JS.Options.default.JS.Options.max_boot_attempts !attempts
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "jit bug must prevent jump start"
+
+let test_prop_hotness_rollup () =
+  (* accesses recorded against subclasses roll up to the declaring class *)
+  let src =
+    {|class P { prop $x = 0; }
+      class Q extends P { }
+      function main() { $q = new Q(); $q->x = 1; return $q->x; }|}
+  in
+  let repo = Minihack.Compile.compile_source ~path:"t.mh" src in
+  let counters = Jit_profile.Counters.create repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine =
+    Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo
+      (Mh_runtime.Heap.create repo layouts)
+  in
+  ignore (Interp.Engine.run_main engine);
+  let p = (Option.get (Hhbc.Repo.find_class_by_name repo "P")).Hhbc.Class_def.id in
+  let q = (Option.get (Hhbc.Repo.find_class_by_name repo "Q")).Hhbc.Class_def.id in
+  let x = Option.get (Hhbc.Repo.find_name repo "x") in
+  Alcotest.(check int) "raw count on Q" 2 (Jit_profile.Counters.prop_access_count counters q x);
+  Alcotest.(check int) "raw count on P is 0" 0 (Jit_profile.Counters.prop_access_count counters p x);
+  Alcotest.(check int) "rollup credits P" 2 (Jit_profile.Counters.prop_hotness counters p x)
+
+let () =
+  Alcotest.run "jumpstart"
+    [ ( "options",
+        [ Alcotest.test_case "roundtrip" `Quick test_options_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_options_parse_errors;
+          Alcotest.test_case "comments + defaults" `Quick test_options_comments_and_defaults
+        ] );
+      ( "package",
+        [ Alcotest.test_case "roundtrip" `Quick test_package_roundtrip;
+          Alcotest.test_case "corruption detection" `Quick test_package_detects_corruption;
+          Alcotest.test_case "coverage gate" `Quick test_package_coverage_gate
+        ] );
+      ("store", [ Alcotest.test_case "publish/pick/clear" `Quick test_store_publish_pick ]);
+      ( "seeder",
+        [ Alcotest.test_case "valid package" `Quick test_seeder_produces_valid_package;
+          Alcotest.test_case "validation passes" `Quick test_seeder_with_validation_succeeds;
+          Alcotest.test_case "validation catches bug" `Quick test_seeder_validation_catches_jit_bug
+        ] );
+      ( "consumer",
+        [ Alcotest.test_case "boot and serve" `Quick test_consumer_boot_and_serve;
+          Alcotest.test_case "semantics preserved" `Quick test_consumer_results_match_no_jumpstart;
+          Alcotest.test_case "jump-start from store" `Quick test_boot_jump_starts;
+          Alcotest.test_case "fallback: empty store" `Quick test_boot_fallback_no_packages;
+          Alcotest.test_case "fallback: disabled" `Quick test_boot_fallback_when_disabled;
+          Alcotest.test_case "fallback: corruption" `Quick test_boot_fallback_on_corruption;
+          Alcotest.test_case "bounded retries" `Quick test_boot_retries_on_jit_bug
+        ] );
+      ("profile", [ Alcotest.test_case "prop hotness rollup" `Quick test_prop_hotness_rollup ])
+    ]

@@ -1,0 +1,284 @@
+(* Frontend tests: lexer, parser, compiler, pretty-printer. *)
+
+module T = Minihack.Token
+module L = Minihack.Lexer
+module P = Minihack.Parser
+module A = Minihack.Ast
+
+let tokens_of src = Array.to_list (Array.map (fun t -> t.T.token) (L.tokenize src))
+
+(* run a program and capture its output *)
+let run_output src =
+  let repo = Minihack.Compile.compile_source ~path:"test.mh" src in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Mh_runtime.Heap.create repo layouts in
+  let engine = Interp.Engine.create repo heap in
+  ignore (Interp.Engine.run_main engine);
+  Interp.Engine.output engine
+
+(* --- lexer --- *)
+
+let test_lex_basic () =
+  Alcotest.(check bool) "tokens" true
+    (tokens_of "$x = 42 + 3.5;"
+    = [ T.VAR "x"; T.ASSIGN; T.INT 42; T.PLUS; T.FLOAT 3.5; T.SEMI; T.EOF ])
+
+let test_lex_operators () =
+  Alcotest.(check bool) "multi-char ops" true
+    (tokens_of "-> => == != <= >= && || << >>"
+    = [ T.ARROW; T.FATARROW; T.EQ; T.NE; T.LE; T.GE; T.ANDAND; T.OROR; T.SHL; T.SHR; T.EOF ])
+
+let test_lex_string_escapes () =
+  Alcotest.(check bool) "escapes" true
+    (tokens_of {|"a\nb\t\"q\\"|} = [ T.STRING "a\nb\t\"q\\"; T.EOF ])
+
+let test_lex_comments () =
+  Alcotest.(check bool) "comments stripped" true
+    (tokens_of "1 // line\n# hash\n/* block\nmore */ 2" = [ T.INT 1; T.INT 2; T.EOF ])
+
+let test_lex_errors () =
+  let expect_error src =
+    match L.tokenize src with
+    | exception L.Error _ -> ()
+    | _ -> Alcotest.failf "expected lex error on %S" src
+  in
+  expect_error "\"unterminated";
+  expect_error "/* unterminated";
+  expect_error "$ 1";
+  expect_error "@"
+
+let test_lex_positions () =
+  let toks = L.tokenize "1\n  2" in
+  Alcotest.(check int) "line of second token" 2 toks.(1).T.pos.T.line;
+  Alcotest.(check int) "col of second token" 3 toks.(1).T.pos.T.col
+
+(* --- parser --- *)
+
+let test_parse_precedence () =
+  Alcotest.(check bool) "mul binds tighter" true
+    (P.parse_expr "1 + 2 * 3" = A.Binop (A.Add, A.Int 1, A.Binop (A.Mul, A.Int 2, A.Int 3)));
+  Alcotest.(check bool) "parens" true
+    (P.parse_expr "(1 + 2) * 3" = A.Binop (A.Mul, A.Binop (A.Add, A.Int 1, A.Int 2), A.Int 3));
+  Alcotest.(check bool) "comparison vs and" true
+    (P.parse_expr "1 < 2 && 3 < 4"
+    = A.Binop (A.And, A.Binop (A.Lt, A.Int 1, A.Int 2), A.Binop (A.Lt, A.Int 3, A.Int 4)))
+
+let test_parse_postfix_chain () =
+  Alcotest.(check bool) "prop/method/index chain" true
+    (P.parse_expr "$a->b->c(1)[2]"
+    = A.Index (A.MethodCall (A.PropGet (A.Var "a", "b"), "c", [ A.Int 1 ]), A.Int 2))
+
+let test_parse_instanceof () =
+  Alcotest.(check bool) "instanceof" true
+    (P.parse_expr "$x instanceof Foo && true"
+    = A.Binop (A.And, A.InstanceOf (A.Var "x", "Foo"), A.Bool true))
+
+let test_parse_program_shapes () =
+  let program =
+    P.parse_program
+      {|
+      class A extends B { prop $x = 1; method m($y) { return $y; } }
+      function f($a, $b) { return $a + $b; }
+      |}
+  in
+  match program with
+  | [ A.DClass c; A.DFunc f ] ->
+    Alcotest.(check string) "class name" "A" c.A.cname;
+    Alcotest.(check (option string)) "parent" (Some "B") c.A.cparent;
+    Alcotest.(check int) "props" 1 (List.length c.A.cprops);
+    Alcotest.(check int) "methods" 1 (List.length c.A.cmethods);
+    Alcotest.(check (list string)) "params" [ "a"; "b" ] f.A.params
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parse_errors () =
+  let expect_error src =
+    match P.parse_program src with
+    | exception P.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  expect_error "function f( { }";
+  expect_error "function f() { return 1 }";
+  expect_error "class C { junk; }";
+  expect_error "function f() { 1 + ; }";
+  expect_error "42"
+
+(* --- compiler + execution golden outputs --- *)
+
+let test_compile_arith_program () =
+  Alcotest.(check string) "arith"
+    "7"
+    (run_output "function main() { echo 1 + 2 * 3; }")
+
+let test_compile_control_flow () =
+  Alcotest.(check string) "while loop" "0123"
+    (run_output "function main() { $i = 0; while ($i < 4) { echo $i; $i = $i + 1; } }");
+  Alcotest.(check string) "break/continue" "013"
+    (run_output
+       {|function main() {
+           for ($i = 0; $i < 9; $i = $i + 1) {
+             if ($i == 2) { continue; }
+             if ($i == 4) { break; }
+             echo $i;
+           }
+         }|})
+
+let test_compile_logical_short_circuit () =
+  (* g() would echo; short-circuit must avoid calling it *)
+  Alcotest.(check string) "short circuit" "ok"
+    (run_output
+       {|function g() { echo "BOOM"; return true; }
+         function main() { if (false && g()) { echo "bad"; } else { echo "ok"; } }|})
+
+let test_compile_objects () =
+  Alcotest.(check string) "inheritance + dispatch" "base:7 sub:14"
+    (run_output
+       {|class Base {
+           prop $k = 7;
+           method get() { return $this->k; }
+         }
+         class Sub extends Base {
+           method get() { return $this->k * 2; }
+         }
+         function describe($o) { return $o->get(); }
+         function main() {
+           $b = new Base();
+           $s = new Sub();
+           echo "base:" . describe($b) . " sub:" . describe($s);
+         }|})
+
+let test_compile_containers () =
+  Alcotest.(check string) "vec and dict" "3|2|yes|9"
+    (run_output
+       {|function main() {
+           $v = vec[1, 2];
+           $v[] = 3;
+           $d = dict["a" => 9];
+           echo len($v) . "|" . $v[1] . "|";
+           if (has($d, "a")) { echo "yes"; }
+           echo "|" . $d["a"];
+         }|})
+
+let test_constant_vec_becomes_static_array () =
+  (* constant vec literals land in the repo static-array table; mutation
+     must still be per-instance (LitArr copies) *)
+  let repo =
+    Minihack.Compile.compile_source ~path:"t.mh"
+      {|function fresh() { return vec[1, 2, 3]; }
+        function main() {
+          $a = fresh();
+          $b = fresh();
+          $a[0] = 99;
+          return $a[0] * 1000 + $b[0];
+        }|}
+  in
+  Alcotest.(check bool) "static array interned" true (Array.length repo.Hhbc.Repo.static_arrays > 0);
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine = Interp.Engine.create repo (Mh_runtime.Heap.create repo layouts) in
+  Alcotest.(check bool) "copies are independent" true
+    (Interp.Engine.run_main engine = Hhbc.Value.Int 99001)
+
+let test_non_constant_vec_stays_dynamic () =
+  let repo =
+    Minihack.Compile.compile_source ~path:"t.mh"
+      "function main() { $x = 5; $v = vec[$x, 2]; return $v[0]; }"
+  in
+  Alcotest.(check int) "no static array" 0 (Array.length repo.Hhbc.Repo.static_arrays);
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine = Interp.Engine.create repo (Mh_runtime.Heap.create repo layouts) in
+  Alcotest.(check bool) "still evaluates" true (Interp.Engine.run_main engine = Hhbc.Value.Int 5)
+
+let test_compile_foreach () =
+  Alcotest.(check string) "foreach sums" "10"
+    (run_output
+       "function main() { $s = 0; foreach (vec[1, 2, 3, 4] as $x) { $s = $s + $x; } echo $s; }")
+
+let test_compile_errors () =
+  let expect_error src =
+    match Minihack.Compile.compile_source ~path:"t.mh" src with
+    | exception Minihack.Compile.Error _ -> ()
+    | _ -> Alcotest.failf "expected compile error on %S" src
+  in
+  expect_error "function main() { undefined_fn(); }";
+  expect_error "function f() {} function main() { f(1); }";
+  expect_error "function main() { $x = new Nope(); }";
+  expect_error "function main() { break; }";
+  expect_error "function main() { echo $this; }";
+  expect_error "function f() {} function f() {}"
+
+let test_constructor_args () =
+  Alcotest.(check string) "ctor" "25"
+    (run_output
+       {|class P { prop $v = 0; method __construct($x) { $this->v = $x * $x; } }
+         function main() { echo (new P(5))->v; }|})
+
+(* --- pretty printer round trip --- *)
+
+let test_pp_roundtrip_handwritten () =
+  let src =
+    {|class A { prop $x = 3; method m($y) { return $this->x + $y; } }
+      function main() {
+        $o = new A();
+        $acc = 0;
+        for ($i = 0; $i < 3; $i = $i + 1) { $acc = $acc + $o->m($i); }
+        if ($acc > 5 && !($acc == 12)) { echo "big"; }
+        else { echo $acc; }
+        foreach (vec[1, 2] as $v) { echo $v; }
+      }|}
+  in
+  let ast = P.parse_program src in
+  let printed = Minihack.Pp.to_source ast in
+  let reparsed = P.parse_program printed in
+  Alcotest.(check bool) "parse(pp(ast)) = ast" true (ast = reparsed)
+
+let test_pp_roundtrip_generated_workload () =
+  (* the synthetic app's source must round-trip through the printer *)
+  let src = Workload.Codegen.source_of Workload.App_spec.tiny in
+  let ast = P.parse_program src in
+  let printed = Minihack.Pp.to_source ast in
+  Alcotest.(check bool) "fixpoint" true (P.parse_program printed = ast)
+
+let test_pp_precedence_preserved () =
+  List.iter
+    (fun src ->
+      let e = P.parse_expr src in
+      let printed = Format.asprintf "%a" Minihack.Pp.pp_expr e in
+      Alcotest.(check bool) (src ^ " roundtrips") true (P.parse_expr printed = e))
+    [ "1 + 2 * 3"; "(1 + 2) * 3"; "1 - (2 - 3)"; "-$x + 1"; "!($a && $b) || $c";
+      "$a->b[1]->c(2)"; "1 < 2 == true"; "($x + 1) % 7"; "\"a\" . 1 . 2.5" ]
+
+let () =
+  Alcotest.run "minihack"
+    [ ( "lexer",
+        [ Alcotest.test_case "basics" `Quick test_lex_basic;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escapes;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "positions" `Quick test_lex_positions
+        ] );
+      ( "parser",
+        [ Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "postfix chains" `Quick test_parse_postfix_chain;
+          Alcotest.test_case "instanceof" `Quick test_parse_instanceof;
+          Alcotest.test_case "program shapes" `Quick test_parse_program_shapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors
+        ] );
+      ( "compile+run",
+        [ Alcotest.test_case "arithmetic" `Quick test_compile_arith_program;
+          Alcotest.test_case "control flow" `Quick test_compile_control_flow;
+          Alcotest.test_case "short circuit" `Quick test_compile_logical_short_circuit;
+          Alcotest.test_case "objects" `Quick test_compile_objects;
+          Alcotest.test_case "containers" `Quick test_compile_containers;
+          Alcotest.test_case "foreach" `Quick test_compile_foreach;
+          Alcotest.test_case "static arrays" `Quick test_constant_vec_becomes_static_array;
+          Alcotest.test_case "dynamic vec" `Quick test_non_constant_vec_stays_dynamic;
+          Alcotest.test_case "constructor" `Quick test_constructor_args;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors
+        ] );
+      ( "pretty printer",
+        [ Alcotest.test_case "handwritten roundtrip" `Quick test_pp_roundtrip_handwritten;
+          Alcotest.test_case "generated workload roundtrip" `Quick
+            test_pp_roundtrip_generated_workload;
+          Alcotest.test_case "expression precedence" `Quick test_pp_precedence_preserved
+        ] )
+    ]

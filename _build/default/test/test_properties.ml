@@ -1,0 +1,263 @@
+(* Property-based tests (qcheck) over the core data structures and
+   cross-cutting invariants. *)
+
+(* --- binio --- *)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"binio varint roundtrip" ~count:500
+    QCheck.(small_nat)
+    (fun n ->
+      let w = Js_util.Binio.Writer.create () in
+      Js_util.Binio.Writer.varint w n;
+      let r = Js_util.Binio.Reader.of_string (Js_util.Binio.Writer.contents w) in
+      Js_util.Binio.Reader.varint r = n)
+
+let prop_svarint_roundtrip =
+  QCheck.Test.make ~name:"binio svarint roundtrip" ~count:500
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun n ->
+      let w = Js_util.Binio.Writer.create () in
+      Js_util.Binio.Writer.svarint w n;
+      let r = Js_util.Binio.Reader.of_string (Js_util.Binio.Writer.contents w) in
+      Js_util.Binio.Reader.svarint r = n)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"binio string roundtrip" ~count:200 QCheck.string (fun s ->
+      let w = Js_util.Binio.Writer.create () in
+      Js_util.Binio.Writer.string w s;
+      let r = Js_util.Binio.Reader.of_string (Js_util.Binio.Writer.contents w) in
+      Js_util.Binio.Reader.string r = s)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"binio frame roundtrip" ~count:200 QCheck.string (fun s ->
+      Js_util.Binio.unframe ~magic:"PROP" ~expected_version:2
+        (Js_util.Binio.frame ~magic:"PROP" ~version:2 s)
+      = s)
+
+(* --- rng --- *)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int bounds" ~count:500
+    QCheck.(pair small_nat (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Js_util.Rng.create seed in
+      let v = Js_util.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"rng determinism" ~count:100 QCheck.small_nat (fun seed ->
+      let a = Js_util.Rng.create seed and b = Js_util.Rng.create seed in
+      List.init 20 (fun _ -> Js_util.Rng.bits64 a) = List.init 20 (fun _ -> Js_util.Rng.bits64 b))
+
+(* --- pqueue sorts --- *)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun xs ->
+      let q = Js_util.Pqueue.create () in
+      List.iter (fun x -> Js_util.Pqueue.push q ~priority:x x) xs;
+      let rec drain acc =
+        match Js_util.Pqueue.pop q with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+      in
+      drain [] = List.stable_sort compare xs)
+
+(* --- layout --- *)
+
+let cfg_gen =
+  QCheck.make
+    ~print:(fun (n, arcs) -> Printf.sprintf "n=%d arcs=%d" n (List.length arcs))
+    QCheck.Gen.(
+      int_range 1 14 >>= fun n ->
+      map
+        (fun arcs -> (n, arcs))
+        (list_size (int_range 0 30)
+           (triple (int_range 0 (n - 1)) (int_range 0 (n - 1)) (float_range 0. 100.))))
+
+let build_cfg (n, arcs) =
+  Layout.Cfg.create
+    ~blocks:(Array.init n (fun i -> { Layout.Cfg.id = i; size = 8 + (i * 4); weight = 1. }))
+    ~arcs:(Array.of_list (List.map (fun (src, dst, weight) -> { Layout.Cfg.src; dst; weight }) arcs))
+    ~entry:0
+
+let is_permutation n order =
+  let seen = Array.make n false in
+  Array.length order = n
+  && Array.for_all
+       (fun id ->
+         id >= 0 && id < n
+         &&
+         if seen.(id) then false
+         else begin
+           seen.(id) <- true;
+           true
+         end)
+       order
+
+let prop_exttsp_permutation =
+  QCheck.Test.make ~name:"exttsp layout is an entry-first permutation" ~count:200 cfg_gen
+    (fun spec ->
+      let cfg = build_cfg spec in
+      let order = Layout.Exttsp.layout cfg in
+      is_permutation (fst spec) order && order.(0) = 0)
+
+let prop_exttsp_score_nonneg =
+  QCheck.Test.make ~name:"exttsp score non-negative" ~count:200 cfg_gen (fun spec ->
+      let cfg = build_cfg spec in
+      Layout.Exttsp.score cfg (Layout.Exttsp.layout cfg) >= 0.)
+
+let prop_pettis_hansen_permutation =
+  QCheck.Test.make ~name:"pettis-hansen is an entry-first permutation" ~count:200 cfg_gen
+    (fun spec ->
+      let cfg = build_cfg spec in
+      let order = Layout.Baselines.pettis_hansen cfg in
+      is_permutation (fst spec) order && order.(0) = 0)
+
+let prop_c3_permutation =
+  QCheck.Test.make ~name:"c3 order is a permutation" ~count:200 cfg_gen (fun (n, arcs) ->
+      let nodes = Array.init n (fun i -> { Layout.C3.id = i; size = 64; samples = float_of_int (n - i) }) in
+      let call_arcs =
+        Array.of_list
+          (List.map (fun (caller, callee, weight) -> { Layout.C3.caller; callee; weight }) arcs)
+      in
+      is_permutation n (Layout.C3.order ~nodes ~arcs:call_arcs ()))
+
+(* --- machine --- *)
+
+let trace_gen =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "%d accesses" (List.length l))
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 400) (QCheck.Gen.int_range 0 100_000))
+
+let prop_cache_misses_bounded =
+  QCheck.Test.make ~name:"cache misses <= accesses" ~count:100 trace_gen (fun trace ->
+      let c = Machine.Cache.create { Machine.Cache.name = "p"; sets = 8; ways = 2; line_bytes = 64 } in
+      List.iter (fun addr -> ignore (Machine.Cache.access c ~addr ~write:false)) trace;
+      let s = Machine.Cache.stats c in
+      s.Machine.Cache.misses <= s.Machine.Cache.accesses
+      && s.Machine.Cache.accesses = List.length trace)
+
+let prop_bigger_cache_fewer_misses =
+  QCheck.Test.make ~name:"more ways never miss more (same sets)" ~count:100 trace_gen
+    (fun trace ->
+      let run ways =
+        let c =
+          Machine.Cache.create { Machine.Cache.name = "p"; sets = 8; ways; line_bytes = 64 }
+        in
+        List.iter (fun addr -> ignore (Machine.Cache.access c ~addr ~write:false)) trace;
+        (Machine.Cache.stats c).Machine.Cache.misses
+      in
+      (* LRU is a stack algorithm: capacity can only help *)
+      run 8 <= run 2)
+
+let prop_branch_counts =
+  QCheck.Test.make ~name:"branch mispredicts <= branches" ~count:100
+    QCheck.(list (pair (int_range 0 1000) bool))
+    (fun events ->
+      let bp = Machine.Branch.create ~entries:64 in
+      List.iter (fun (pc, taken) -> ignore (Machine.Branch.execute bp ~pc ~target:(pc + 64) ~taken)) events;
+      let s = Machine.Branch.stats bp in
+      s.Machine.Branch.mispredicts <= s.Machine.Branch.branches)
+
+(* --- series --- *)
+
+let prop_series_constant_integral =
+  QCheck.Test.make ~name:"series integral of a constant" ~count:100
+    QCheck.(pair (float_range 0.1 100.) (float_range 1. 50.))
+    (fun (c, t) ->
+      let s = Js_util.Stats.Series.create () in
+      Js_util.Stats.Series.add s ~time:0. ~value:c;
+      Js_util.Stats.Series.add s ~time:t ~value:c;
+      abs_float (Js_util.Stats.Series.integral s ~until:t -. (c *. t)) < 1e-6)
+
+(* --- cross-cutting invariants over the real VM --- *)
+
+let tiny_app = lazy (Workload.Codegen.generate Workload.App_spec.tiny)
+
+let run_requests ~probes ~seed ~n =
+  let app = Lazy.force tiny_app in
+  let repo = app.Workload.Codegen.repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine = Interp.Engine.create ~probes repo (Mh_runtime.Heap.create repo layouts) in
+  let rng = Js_util.Rng.create seed in
+  let mix = Workload.Request.uniform_mix app in
+  List.init n (fun _ ->
+      Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+
+let prop_probes_preserve_semantics =
+  QCheck.Test.make ~name:"profiling probes do not change results" ~count:12 QCheck.small_nat
+    (fun seed ->
+      let app = Lazy.force tiny_app in
+      let counters = Jit_profile.Counters.create app.Workload.Codegen.repo in
+      let plain = run_requests ~probes:Interp.Probes.none ~seed ~n:10 in
+      let probed = run_requests ~probes:(Jit_profile.Collector.probes counters) ~seed ~n:10 in
+      plain = probed)
+
+let prop_reordered_layout_preserves_semantics =
+  QCheck.Test.make ~name:"property reordering does not change results" ~count:8 QCheck.small_nat
+    (fun seed ->
+      let app = Lazy.force tiny_app in
+      let repo = app.Workload.Codegen.repo in
+      let run reorder hot_seed =
+        let hotness _ nid = (nid * 7919) + hot_seed in
+        let layouts = Mh_runtime.Class_layout.build repo ~reorder ~hotness in
+        let engine = Interp.Engine.create repo (Mh_runtime.Heap.create repo layouts) in
+        let rng = Js_util.Rng.create seed in
+        let mix = Workload.Request.uniform_mix app in
+        List.init 8 (fun _ -> Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+      in
+      run false 0 = run true seed)
+
+let prop_counters_roundtrip =
+  QCheck.Test.make ~name:"counters serialize/deserialize" ~count:8 QCheck.small_nat (fun seed ->
+      let app = Lazy.force tiny_app in
+      let repo = app.Workload.Codegen.repo in
+      let counters = Jit_profile.Counters.create repo in
+      ignore (run_requests ~probes:(Jit_profile.Collector.probes counters) ~seed ~n:8);
+      let w = Js_util.Binio.Writer.create () in
+      Jit_profile.Counters.serialize counters w;
+      let back =
+        Jit_profile.Counters.deserialize repo
+          (Js_util.Binio.Reader.of_string (Js_util.Binio.Writer.contents w))
+      in
+      Jit_profile.Counters.call_graph counters = Jit_profile.Counters.call_graph back
+      && Jit_profile.Counters.total_entries counters = Jit_profile.Counters.total_entries back
+      && Jit_profile.Counters.touched_units counters = Jit_profile.Counters.touched_units back
+      && List.sort compare (Jit_profile.Counters.prop_table counters)
+         = List.sort compare (Jit_profile.Counters.prop_table back))
+
+let prop_pp_roundtrip_random_specs =
+  QCheck.Test.make ~name:"generated apps round-trip the pretty printer" ~count:6
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let spec = { Workload.App_spec.tiny with Workload.App_spec.seed = seed } in
+      let src = Workload.Codegen.source_of spec in
+      let ast = Minihack.Parser.parse_program src in
+      Minihack.Parser.parse_program (Minihack.Pp.to_source ast) = ast)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter fully deterministic" ~count:8 QCheck.small_nat (fun seed ->
+      run_requests ~probes:Interp.Probes.none ~seed ~n:6
+      = run_requests ~probes:Interp.Probes.none ~seed ~n:6)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [ ( "binio",
+        q [ prop_varint_roundtrip; prop_svarint_roundtrip; prop_string_roundtrip; prop_frame_roundtrip ]
+      );
+      ("rng", q [ prop_rng_int_in_bounds; prop_rng_deterministic ]);
+      ("pqueue", q [ prop_pqueue_sorts ]);
+      ( "layout",
+        q
+          [ prop_exttsp_permutation; prop_exttsp_score_nonneg; prop_pettis_hansen_permutation;
+            prop_c3_permutation
+          ] );
+      ("machine", q [ prop_cache_misses_bounded; prop_bigger_cache_fewer_misses; prop_branch_counts ]);
+      ("series", q [ prop_series_constant_integral ]);
+      ( "vm invariants",
+        q
+          [ prop_probes_preserve_semantics; prop_reordered_layout_preserves_semantics;
+            prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic
+          ] )
+    ]

@@ -1,0 +1,157 @@
+(* Class layout (incl. property reordering) and heap tests. *)
+
+module CL = Mh_runtime.Class_layout
+module Heap = Mh_runtime.Heap
+module V = Hhbc.Value
+
+(* Repo with Base {a,b,c,d} and Sub extends Base {e,f}. *)
+let fixture () =
+  let src =
+    {|class Base { prop $a = 1; prop $b = 2; prop $c = 3; prop $d = 4; }
+      class Sub extends Base { prop $e = 5; prop $f = 6; }
+      function main() { return 0; }|}
+  in
+  let repo = Minihack.Compile.compile_source ~path:"t.mh" src in
+  let base = (Option.get (Hhbc.Repo.find_class_by_name repo "Base")).Hhbc.Class_def.id in
+  let sub = (Option.get (Hhbc.Repo.find_class_by_name repo "Sub")).Hhbc.Class_def.id in
+  let nid name = Option.get (Hhbc.Repo.find_name repo name) in
+  (repo, base, sub, nid)
+
+let test_declared_order_without_reorder () =
+  let repo, base, sub, nid = fixture () in
+  let table = CL.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  List.iteri
+    (fun i name -> Alcotest.(check int) (name ^ " slot") i (CL.slot table base (nid name)))
+    [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check int) "sub adds after inherited" 4 (CL.slot table sub (nid "e"));
+  Alcotest.(check int) "identity decl map" 0 table.(base).CL.decl_to_phys.(0)
+
+let test_reorder_by_hotness () =
+  let repo, base, _, nid = fixture () in
+  (* make d and b hot *)
+  let hotness _ n = if n = nid "d" then 100 else if n = nid "b" then 50 else 0 in
+  let table = CL.build repo ~reorder:true ~hotness in
+  Alcotest.(check int) "d first" 0 (CL.slot table base (nid "d"));
+  Alcotest.(check int) "b second" 1 (CL.slot table base (nid "b"));
+  (* ties keep declared order *)
+  Alcotest.(check int) "a third" 2 (CL.slot table base (nid "a"));
+  Alcotest.(check int) "c fourth" 3 (CL.slot table base (nid "c"))
+
+let test_reorder_respects_inheritance_layers () =
+  let repo, base, sub, nid = fixture () in
+  (* f is the hottest overall, but it may only move within Sub's layer *)
+  let hotness _ n = if n = nid "f" then 1000 else 0 in
+  let table = CL.build repo ~reorder:true ~hotness in
+  Alcotest.(check int) "f stays in sub layer" 4 (CL.slot table sub (nid "f"));
+  Alcotest.(check int) "inherited slots untouched" 0 (CL.slot table sub (nid "a"));
+  Alcotest.(check int) "base layer size" 4 table.(base).CL.n_slots;
+  Alcotest.(check int) "sub layer size" 6 table.(sub).CL.n_slots
+
+let test_decl_map_is_permutation () =
+  let repo, _, sub, nid = fixture () in
+  let hotness _ n = if n = nid "c" then 9 else 0 in
+  let table = CL.build repo ~reorder:true ~hotness in
+  let map = table.(sub).CL.decl_to_phys in
+  let sorted = Array.copy map in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation of slots" (Array.init 6 (fun i -> i)) sorted
+
+let test_observable_order_preserved () =
+  (* regardless of physical reordering, props enumerate in declared order *)
+  let repo, base, _, nid = fixture () in
+  let hotness _ n = if n = nid "d" then 100 else 0 in
+  let table = CL.build repo ~reorder:true ~hotness in
+  let heap = Heap.create repo table in
+  let h = Heap.alloc heap base in
+  let names = List.map fst (Heap.props_in_decl_order heap h) in
+  Alcotest.(check (list int)) "declared order" [ nid "a"; nid "b"; nid "c"; nid "d" ] names;
+  (* and values follow their names, not their slots *)
+  let values = List.map snd (Heap.props_in_decl_order heap h) in
+  Alcotest.(check bool) "values in declared order" true
+    (values = [ V.Int 1; V.Int 2; V.Int 3; V.Int 4 ])
+
+let test_heap_alloc_and_access () =
+  let repo, base, sub, nid = fixture () in
+  let table = CL.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Heap.create repo table in
+  let h1 = Heap.alloc heap base in
+  let h2 = Heap.alloc heap sub in
+  Alcotest.(check int) "count" 2 (Heap.count heap);
+  Alcotest.(check bool) "defaults" true (Heap.get_prop heap h1 (nid "c") = V.Int 3);
+  Alcotest.(check bool) "inherited default" true (Heap.get_prop heap h2 (nid "a") = V.Int 1);
+  Heap.set_prop heap h2 (nid "e") (V.Str "x");
+  Alcotest.(check bool) "write visible" true (Heap.get_prop heap h2 (nid "e") = V.Str "x");
+  Alcotest.(check int) "class_of" sub (Heap.class_of heap h2)
+
+let test_heap_addresses () =
+  let repo, base, _, nid = fixture () in
+  let table = CL.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Heap.create repo table in
+  let h = Heap.alloc heap base in
+  let addr_a = Heap.prop_addr heap h (nid "a") in
+  let addr_b = Heap.prop_addr heap h (nid "b") in
+  Alcotest.(check int) "slot stride" Heap.slot_bytes (addr_b - addr_a);
+  Alcotest.(check int) "header offset" Heap.header_bytes (addr_a - Heap.base_addr heap h);
+  let h2 = Heap.alloc heap base in
+  Alcotest.(check bool) "objects do not overlap" true
+    (Heap.base_addr heap h2 >= addr_a + (4 * Heap.slot_bytes))
+
+let test_reorder_packs_hot_props () =
+  (* hot props scattered in declared order end up physically adjacent *)
+  let repo, base, _, nid = fixture () in
+  let hotness _ n = if n = nid "a" || n = nid "d" then 10 else 0 in
+  let table = CL.build repo ~reorder:true ~hotness in
+  let heap = Heap.create repo table in
+  let h = Heap.alloc heap base in
+  let gap = abs (Heap.prop_addr heap h (nid "a") - Heap.prop_addr heap h (nid "d")) in
+  Alcotest.(check int) "hot props adjacent" Heap.slot_bytes gap
+
+let test_arena_reset () =
+  let repo, base, _, _ = fixture () in
+  let table = CL.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Heap.create repo table in
+  let h1 = Heap.alloc heap base in
+  let a1 = Heap.base_addr heap h1 in
+  Heap.reset_arena heap;
+  Alcotest.(check int) "empty after reset" 0 (Heap.count heap);
+  let h2 = Heap.alloc heap base in
+  let a2 = Heap.base_addr heap h2 in
+  Alcotest.(check bool) "arena slot advanced" true (a2 <> a1);
+  (* after the slot window wraps, addresses recur *)
+  let seen = Hashtbl.create 16 in
+  Hashtbl.replace seen a1 ();
+  Hashtbl.replace seen a2 ();
+  let wrapped = ref false in
+  for _ = 1 to 200 do
+    Heap.reset_arena heap;
+    let h = Heap.alloc heap base in
+    let a = Heap.base_addr heap h in
+    if Hashtbl.mem seen a then wrapped := true else Hashtbl.replace seen a ()
+  done;
+  Alcotest.(check bool) "addresses recycle" true !wrapped
+
+let test_invalid_handle () =
+  let repo, _, _, nid = fixture () in
+  let table = CL.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let heap = Heap.create repo table in
+  match Heap.get_prop heap 5 (nid "a") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure for invalid handle"
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "class layout",
+        [ Alcotest.test_case "declared order" `Quick test_declared_order_without_reorder;
+          Alcotest.test_case "hotness reorder" `Quick test_reorder_by_hotness;
+          Alcotest.test_case "inheritance layers" `Quick test_reorder_respects_inheritance_layers;
+          Alcotest.test_case "decl map permutation" `Quick test_decl_map_is_permutation;
+          Alcotest.test_case "observable order" `Quick test_observable_order_preserved
+        ] );
+      ( "heap",
+        [ Alcotest.test_case "alloc + access" `Quick test_heap_alloc_and_access;
+          Alcotest.test_case "addresses" `Quick test_heap_addresses;
+          Alcotest.test_case "hot props packed" `Quick test_reorder_packs_hot_props;
+          Alcotest.test_case "arena reset" `Quick test_arena_reset;
+          Alcotest.test_case "invalid handle" `Quick test_invalid_handle
+        ] )
+    ]

@@ -1,0 +1,289 @@
+(* Unit tests for Js_util: rng, stats, binio, pqueue. *)
+
+module Rng = Js_util.Rng
+module Stats = Js_util.Stats
+module Binio = Js_util.Binio
+module Pqueue = Js_util.Pqueue
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.bits64 child1 <> Rng.bits64 child2)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in rng (-3) 5 in
+    Alcotest.(check bool) "in closed range" true (v >= -3 && v <= 5)
+  done
+
+let test_rng_bool_extremes () =
+  let rng = Rng.create 3 in
+  Alcotest.(check bool) "p=0" false (Rng.bool rng 0.);
+  Alcotest.(check bool) "p=1" true (Rng.bool rng 1.)
+
+let test_rng_float_mean () =
+  let rng = Rng.create 4 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "uniform mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential rng ~mean:3.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "exp mean near 3" true (abs_float (mean -. 3.) < 0.2)
+
+let test_rng_zipf_rank0_most_likely () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5_000 do
+    let r = Rng.zipf rng ~n:10 ~s:1.0 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 beats rank 9" true (counts.(0) > counts.(9))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 8 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_weighted () =
+  let rng = Rng.create 9 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 9_000 do
+    let i = Rng.sample_weighted rng [| 1.; 0.; 8. |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never sampled" 0 counts.(1);
+  Alcotest.(check bool) "heavy weight dominates" true (counts.(2) > 6 * counts.(0))
+
+(* --- stats --- *)
+
+let test_stats_mean_stddev () =
+  check_float "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  check_float "stddev of constant" 0. (Stats.stddev [| 5.; 5.; 5. |])
+
+let test_stats_percentile () =
+  let xs = [| 10.; 20.; 30.; 40.; 50. |] in
+  check_float "p0" 10. (Stats.percentile xs 0.);
+  check_float "p50" 30. (Stats.percentile xs 50.);
+  check_float "p100" 50. (Stats.percentile xs 100.);
+  check_float "p25 interpolates" 20. (Stats.percentile xs 25.)
+
+let test_stats_geomean () =
+  check_float "geomean" 2. (Stats.geomean [| 1.; 4. |])
+
+let test_series_basics () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0. ~value:0.;
+  Stats.Series.add s ~time:10. ~value:10.;
+  Alcotest.(check int) "length" 2 (Stats.Series.length s);
+  check_float "interpolation" 5. (Stats.Series.value_at s 5.);
+  check_float "clamp low" 0. (Stats.Series.value_at s (-1.));
+  check_float "clamp high" 10. (Stats.Series.value_at s 99.);
+  check_float "integral (triangle)" 50. (Stats.Series.integral s ~until:10.)
+
+let test_series_partial_integral () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0. ~value:2.;
+  Stats.Series.add s ~time:10. ~value:2.;
+  check_float "half window" 10. (Stats.Series.integral s ~until:5.)
+
+let test_series_out_of_order () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:5. ~value:1.;
+  Alcotest.check_raises "rejects out-of-order"
+    (Invalid_argument "Series.add: samples must be added in time order") (fun () ->
+      Stats.Series.add s ~time:4. ~value:1.)
+
+let test_series_capacity_loss () =
+  (* constant half capacity -> 50% loss *)
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0. ~value:5.;
+  Stats.Series.add s ~time:100. ~value:5.;
+  check_float "loss" 0.5 (Stats.Series.capacity_loss s ~peak:10. ~until:100.)
+
+let test_series_resample () =
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0. ~value:0.;
+  Stats.Series.add s ~time:4. ~value:8.;
+  let samples = Stats.Series.resample s ~step:2. ~until:4. in
+  Alcotest.(check int) "3 samples" 3 (Array.length samples);
+  check_float "midpoint" 4. (snd samples.(1))
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 9.5; 100. ];
+  Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
+  let counts = Stats.Histogram.bucket_counts h in
+  Alcotest.(check int) "overflow clamps to last bucket" 2 counts.(9)
+
+(* --- binio --- *)
+
+let test_binio_scalars () =
+  let w = Binio.Writer.create () in
+  Binio.Writer.varint w 0;
+  Binio.Writer.varint w 300;
+  Binio.Writer.svarint w (-7);
+  Binio.Writer.f64 w 3.25;
+  Binio.Writer.bool w true;
+  Binio.Writer.string w "hello";
+  Binio.Writer.i64 w (-1L);
+  let r = Binio.Reader.of_string (Binio.Writer.contents w) in
+  Alcotest.(check int) "varint 0" 0 (Binio.Reader.varint r);
+  Alcotest.(check int) "varint 300" 300 (Binio.Reader.varint r);
+  Alcotest.(check int) "svarint -7" (-7) (Binio.Reader.svarint r);
+  check_float "f64" 3.25 (Binio.Reader.f64 r);
+  Alcotest.(check bool) "bool" true (Binio.Reader.bool r);
+  Alcotest.(check string) "string" "hello" (Binio.Reader.string r);
+  Alcotest.(check int64) "i64" (-1L) (Binio.Reader.i64 r);
+  Binio.Reader.expect_end r
+
+let test_binio_collections () =
+  let w = Binio.Writer.create () in
+  Binio.Writer.list w (fun x -> Binio.Writer.varint w x) [ 1; 2; 3 ];
+  Binio.Writer.array w (fun s -> Binio.Writer.string w s) [| "a"; "b" |];
+  Binio.Writer.option w (fun x -> Binio.Writer.varint w x) (Some 9);
+  Binio.Writer.option w (fun x -> Binio.Writer.varint w x) None;
+  let r = Binio.Reader.of_string (Binio.Writer.contents w) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Binio.Reader.list r Binio.Reader.varint);
+  Alcotest.(check (array string)) "array" [| "a"; "b" |] (Binio.Reader.array r Binio.Reader.string);
+  Alcotest.(check (option int)) "some" (Some 9) (Binio.Reader.option r Binio.Reader.varint);
+  Alcotest.(check (option int)) "none" None (Binio.Reader.option r Binio.Reader.varint)
+
+let test_binio_truncated () =
+  let w = Binio.Writer.create () in
+  Binio.Writer.string w "world";
+  let data = Binio.Writer.contents w in
+  let truncated = String.sub data 0 (String.length data - 2) in
+  let r = Binio.Reader.of_string truncated in
+  match Binio.Reader.string r with
+  | exception Binio.Corrupt _ -> ()
+  | s -> Alcotest.failf "expected Corrupt, got %S" s
+
+let test_binio_frame_roundtrip () =
+  let payload = "some payload bytes" in
+  let framed = Binio.frame ~magic:"TEST" ~version:3 payload in
+  Alcotest.(check string) "roundtrip" payload
+    (Binio.unframe ~magic:"TEST" ~expected_version:3 framed)
+
+let expect_corrupt name f =
+  match f () with
+  | exception Binio.Corrupt _ -> ()
+  | _ -> Alcotest.failf "%s: expected Corrupt" name
+
+let test_binio_frame_corruption () =
+  let framed = Binio.frame ~magic:"TEST" ~version:1 "payload" in
+  (* flip a payload byte: CRC must catch it *)
+  let b = Bytes.of_string framed in
+  Bytes.set b 10 (Char.chr (Char.code (Bytes.get b 10) lxor 1));
+  expect_corrupt "crc" (fun () ->
+      Binio.unframe ~magic:"TEST" ~expected_version:1 (Bytes.to_string b));
+  expect_corrupt "magic" (fun () -> Binio.unframe ~magic:"XXXX" ~expected_version:1 framed);
+  expect_corrupt "version" (fun () -> Binio.unframe ~magic:"TEST" ~expected_version:2 framed);
+  expect_corrupt "short" (fun () -> Binio.unframe ~magic:"TEST" ~expected_version:1 "TE")
+
+let test_crc32_known () =
+  (* standard check value for "123456789" *)
+  Alcotest.(check int64) "crc32 vector" 0xCBF43926L
+    (Int64.of_int32 (Binio.crc32 "123456789") |> Int64.logand 0xFFFFFFFFL)
+
+(* --- pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q ~priority:p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~priority:1. v) [ 1; 2; 3 ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> -1 in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3 ] [ first; second; third ]
+
+let test_pqueue_peek () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "peek empty" true (Pqueue.peek q = None);
+  Pqueue.push q ~priority:5. "x";
+  Alcotest.(check bool) "peek keeps" true (Pqueue.peek q = Some (5., "x"));
+  Alcotest.(check int) "length" 1 (Pqueue.length q)
+
+let () =
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "uniform mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_rank0_most_likely;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "weighted sampling" `Quick test_rng_sample_weighted
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "series basics" `Quick test_series_basics;
+          Alcotest.test_case "series partial integral" `Quick test_series_partial_integral;
+          Alcotest.test_case "series time order" `Quick test_series_out_of_order;
+          Alcotest.test_case "capacity loss" `Quick test_series_capacity_loss;
+          Alcotest.test_case "resample" `Quick test_series_resample;
+          Alcotest.test_case "histogram" `Quick test_histogram
+        ] );
+      ( "binio",
+        [ Alcotest.test_case "scalars" `Quick test_binio_scalars;
+          Alcotest.test_case "collections" `Quick test_binio_collections;
+          Alcotest.test_case "truncation" `Quick test_binio_truncated;
+          Alcotest.test_case "frame roundtrip" `Quick test_binio_frame_roundtrip;
+          Alcotest.test_case "frame corruption" `Quick test_binio_frame_corruption;
+          Alcotest.test_case "crc32 vector" `Quick test_crc32_known
+        ] );
+      ( "pqueue",
+        [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "peek/length" `Quick test_pqueue_peek
+        ] )
+    ]

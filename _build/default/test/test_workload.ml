@@ -1,0 +1,138 @@
+(* Synthetic workload generator tests. *)
+
+module CG = Workload.Codegen
+module Req = Workload.Request
+module MA = Workload.Macro_app
+
+let tiny_app = lazy (CG.generate Workload.App_spec.tiny)
+
+let test_app_valid_and_runs () =
+  let app = Lazy.force tiny_app in
+  Alcotest.(check bool) "repo validates" true (Hhbc.Repo.validate app.CG.repo = Ok ());
+  let layouts = Mh_runtime.Class_layout.build app.CG.repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let engine = Interp.Engine.create app.CG.repo (Mh_runtime.Heap.create app.CG.repo layouts) in
+  let rng = Js_util.Rng.create 5 in
+  let mix = Req.uniform_mix app in
+  for _ = 1 to 50 do
+    (* every request must complete without runtime errors *)
+    ignore (Req.invoke engine app (Req.sample rng mix))
+  done;
+  Alcotest.(check bool) "work happened" true (Interp.Engine.steps engine > 1000)
+
+let test_app_deterministic () =
+  let a = CG.generate Workload.App_spec.tiny in
+  let b = CG.generate Workload.App_spec.tiny in
+  Alcotest.(check int) "same func count" (Hhbc.Repo.n_funcs a.CG.repo) (Hhbc.Repo.n_funcs b.CG.repo);
+  Alcotest.(check string) "identical source" (CG.source_of Workload.App_spec.tiny)
+    (CG.source_of Workload.App_spec.tiny)
+
+let test_app_structure () =
+  let app = Lazy.force tiny_app in
+  let spec = Workload.App_spec.tiny in
+  Alcotest.(check int) "endpoints" spec.Workload.App_spec.n_endpoints
+    (Array.length app.CG.endpoint_fids);
+  Alcotest.(check int) "classes (subs + base)" (spec.Workload.App_spec.n_classes + 1)
+    (Hhbc.Repo.n_classes app.CG.repo);
+  (* partitions cover 0..n_partitions-1 *)
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "partition in range" true
+        (p >= 0 && p < spec.Workload.App_spec.n_partitions))
+    app.CG.endpoint_partition
+
+let test_request_results_deterministic () =
+  let app = Lazy.force tiny_app in
+  let layouts = Mh_runtime.Class_layout.build app.CG.repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let run () =
+    let engine = Interp.Engine.create app.CG.repo (Mh_runtime.Heap.create app.CG.repo layouts) in
+    let rng = Js_util.Rng.create 9 in
+    let mix = Req.mix app ~region:0 ~bucket:0 in
+    List.init 20 (fun _ -> Req.invoke engine app (Req.sample rng mix))
+  in
+  Alcotest.(check bool) "same results" true (run () = run ())
+
+let test_mix_is_distribution () =
+  let app = Lazy.force tiny_app in
+  let mix = Req.mix app ~region:1 ~bucket:2 in
+  Alcotest.(check (float 1e-6)) "self similarity" 1. (Req.similarity mix mix)
+
+let test_mix_bucket_affinity () =
+  let app = Lazy.force tiny_app in
+  (* same bucket across regions is more similar than different buckets in
+     one region (semantic routing property, paper §II-C) *)
+  let m_b0_r0 = Req.mix app ~region:0 ~bucket:0 in
+  let m_b0_r1 = Req.mix app ~region:1 ~bucket:0 in
+  let m_b1_r0 = Req.mix app ~region:0 ~bucket:1 in
+  Alcotest.(check bool) "bucket dominates similarity" true
+    (Req.similarity m_b0_r0 m_b0_r1 > Req.similarity m_b0_r0 m_b1_r0)
+
+let test_mix_sampling_respects_partition () =
+  let app = Lazy.force tiny_app in
+  let mix = Req.mix app ~region:0 ~bucket:0 in
+  let rng = Js_util.Rng.create 3 in
+  let own = ref 0 and total = 2_000 in
+  for _ = 1 to total do
+    let r = Req.sample rng mix in
+    if app.CG.endpoint_partition.(r.Req.endpoint) = 0 then incr own
+  done;
+  let frac = float_of_int !own /. float_of_int total in
+  Alcotest.(check bool) "~85% own partition" true (frac > 0.7 && frac < 0.95)
+
+(* --- macro app --- *)
+
+let test_macro_generate () =
+  let app = MA.generate { MA.default_params with MA.n_funcs = 5_000; core_funcs = 500 } in
+  Alcotest.(check int) "func count" 5_000 (Array.length app.MA.funcs);
+  Alcotest.(check bool) "sizes positive" true
+    (Array.for_all (fun f -> f.MA.size > 0) app.MA.funcs);
+  Alcotest.(check bool) "probabilities in range" true
+    (Array.for_all (fun f -> f.MA.p_touch > 0. && f.MA.p_touch <= 1.) app.MA.funcs);
+  (* instrs_per_request calibration: sum p*w matches the target *)
+  let expected = Array.fold_left (fun acc f -> acc +. (f.MA.p_touch *. f.MA.weight)) 0. app.MA.funcs in
+  Alcotest.(check bool) "calibrated" true
+    (abs_float (expected -. app.MA.params.MA.instrs_per_request)
+    < 0.01 *. app.MA.params.MA.instrs_per_request)
+
+let test_macro_discovery_geometric () =
+  let app = MA.generate { MA.default_params with MA.n_funcs = 2_000; core_funcs = 200 } in
+  let rng = Js_util.Rng.create 17 in
+  let disc = MA.sample_discovery app rng in
+  Alcotest.(check bool) "all positive" true (Array.for_all (fun d -> d >= 1) disc);
+  (* the hottest function is discovered almost immediately *)
+  Alcotest.(check bool) "hot func found fast" true (disc.(0) <= 3);
+  (* hot funcs discovered before the tail on average *)
+  let avg a b =
+    let s = ref 0. in
+    for i = a to b - 1 do
+      s := !s +. float_of_int (min disc.(i) 1_000_000)
+    done;
+    !s /. float_of_int (b - a)
+  in
+  Alcotest.(check bool) "core before tail" true (avg 0 200 < avg 200 2_000)
+
+let test_macro_coverage () =
+  let app = MA.generate { MA.default_params with MA.n_funcs = 2_000; core_funcs = 200 } in
+  Alcotest.(check (float 1e-9)) "nothing covered" 0. (MA.coverage app ~discovered:(fun _ -> false));
+  Alcotest.(check (float 1e-9)) "everything covered" 1. (MA.coverage app ~discovered:(fun _ -> true));
+  let core_cov = MA.coverage app ~discovered:(fun i -> i < 200) in
+  Alcotest.(check bool) "core covers most weight" true (core_cov > 0.5)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "codegen",
+        [ Alcotest.test_case "valid and runnable" `Quick test_app_valid_and_runs;
+          Alcotest.test_case "deterministic" `Quick test_app_deterministic;
+          Alcotest.test_case "structure" `Quick test_app_structure;
+          Alcotest.test_case "request determinism" `Quick test_request_results_deterministic
+        ] );
+      ( "request mix",
+        [ Alcotest.test_case "distribution" `Quick test_mix_is_distribution;
+          Alcotest.test_case "bucket affinity" `Quick test_mix_bucket_affinity;
+          Alcotest.test_case "partition sampling" `Quick test_mix_sampling_respects_partition
+        ] );
+      ( "macro app",
+        [ Alcotest.test_case "generation" `Quick test_macro_generate;
+          Alcotest.test_case "discovery" `Quick test_macro_discovery_geometric;
+          Alcotest.test_case "coverage" `Quick test_macro_coverage
+        ] )
+    ]
