@@ -76,6 +76,16 @@ let warmup_pair () =
   let js = run_server ~discovery_seed:12 cfg app (S.Consumer pkg) ~until:600. in
   (nojs, js)
 
+(* Boot spans of the warmup pair, through the telemetry layer (so the bench
+   output exercises the same exporter the fleet uses). *)
+let print_boot_telemetry nojs js =
+  let t = Js_telemetry.create () in
+  Js_telemetry.add_span t "no_jumpstart.boot" ~start:0. ~dur:(S.boot_seconds nojs);
+  Js_telemetry.add_span t "jump_start.boot" ~start:0. ~dur:(S.boot_seconds js);
+  Printf.printf "\ntelemetry boot spans:";
+  List.iter (fun (name, _, dur) -> Printf.printf " %s=%.1fs" name dur) (Js_telemetry.spans t);
+  print_newline ()
+
 let fig4a () =
   section "Figure 4a: average wall time per request over uptime";
   Printf.printf "paper: no-JS starts ~3500 ms, ~3x higher than JS before 250 s;\n";
@@ -88,7 +98,8 @@ let fig4a () =
       let l_js = 1000. *. Series.value_at (S.latency_series js) t in
       Printf.printf "%8.0f %18.0f %18.0f %8s\n" t l_nojs l_js
         (if l_js > 0. then Printf.sprintf "%.1fx" (l_nojs /. l_js) else "-"))
-    [ 100.; 150.; 200.; 250.; 300.; 350.; 400.; 450.; 500.; 550.; 600. ]
+    [ 100.; 150.; 200.; 250.; 300.; 350.; 400.; 450.; 500.; 550.; 600. ];
+  print_boot_telemetry nojs js
 
 let fig4b () =
   section "Figure 4b: normalized RPS over uptime; 10-minute capacity loss";
@@ -107,7 +118,8 @@ let fig4b () =
   Printf.printf "%-34s %9.1f%% %9.1f%%\n" "capacity loss, no Jump-Start" 78.3 (100. *. l_nojs);
   Printf.printf "%-34s %9.1f%% %9.1f%%\n" "capacity loss, Jump-Start" 35.3 (100. *. l_js);
   Printf.printf "%-34s %9.1f%% %9.1f%%\n" "relative reduction" 54.9
-    (100. *. (1. -. (l_js /. l_nojs)))
+    (100. *. (1. -. (l_js /. l_nojs)));
+  print_boot_telemetry nojs js
 
 (* ------------------------------------------------------------- lifespan -- *)
 
@@ -299,7 +311,8 @@ let ablation_seeders () =
     "exactly ONE bad package slips into each bucket; more independent seeder\n\
      packages mean each random pick is less likely to hit it and crashed\n\
      servers recover faster on re-pick\n\n";
-  Printf.printf "%10s %12s %12s %12s\n" "seeders" "crashes" "fallbacks" "jumpstarted";
+  Printf.printf "%10s %12s %12s %12s %14s\n" "seeders" "crashes" "fallbacks" "jumpstarted"
+    "blast radius";
   List.iter
     (fun n ->
       let cfg =
@@ -309,13 +322,20 @@ let ablation_seeders () =
           max_boot_attempts = 6
         }
       in
+      let tel = Js_telemetry.create () in
       let stats =
-        Cluster.Fleet.simulate_push cfg ~force_bad_per_bucket:1 (Lazy.force fleet_app)
-          ~seed:1000 ~bad_package_rate:0. ~thin_profile_rate:0. ~duration:900.
+        Cluster.Fleet.simulate_push ~telemetry:tel cfg ~force_bad_per_bucket:1
+          (Lazy.force fleet_app) ~seed:1000 ~bad_package_rate:0. ~thin_profile_rate:0.
+          ~duration:900.
       in
-      let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
-      Printf.printf "%10d %12d %12d %12d\n" n total_crashes stats.Cluster.Fleet.fallbacks
-        stats.Cluster.Fleet.jump_started)
+      let blast =
+        match Js_telemetry.gauge tel "fleet.crash_blast_radius" with
+        | Some v -> int_of_float v
+        | None -> 0
+      in
+      Printf.printf "%10d %12d %12d %12d %14d\n" n
+        (Js_telemetry.counter tel "fleet.crashes")
+        stats.Cluster.Fleet.fallbacks stats.Cluster.Fleet.jump_started blast)
     [ 1; 2; 4; 8 ]
 
 let ablation_validation () =
@@ -325,13 +345,14 @@ let ablation_validation () =
   List.iter
     (fun rate ->
       let cfg = { (Lazy.force fleet_base_cfg) with Cluster.Fleet.validation_catch_rate = rate } in
+      let tel = Js_telemetry.create () in
       let stats =
-        Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:77 ~bad_package_rate:0.3
-          ~thin_profile_rate:0. ~duration:600.
+        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app) ~seed:77
+          ~bad_package_rate:0.3 ~thin_profile_rate:0. ~duration:600.
       in
-      let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
       Printf.printf "%12.2f %14d %12d %12d\n" rate stats.Cluster.Fleet.bad_packages_published
-        total_crashes stats.Cluster.Fleet.packages_rejected)
+        (Js_telemetry.counter tel "fleet.crashes")
+        (Js_telemetry.counter tel "fleet.packages_rejected"))
     [ 0.0; 0.5; 0.95; 1.0 ]
 
 let ablation_fallback () =
@@ -347,13 +368,26 @@ let ablation_fallback () =
           max_boot_attempts = 2
         }
       in
+      let tel = Js_telemetry.create () in
       let stats =
-        Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:5 ~bad_package_rate:1.0
-          ~thin_profile_rate:0. ~duration:1_500.
+        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app) ~seed:5
+          ~bad_package_rate:1.0 ~thin_profile_rate:0. ~duration:1_500.
       in
       let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
       Printf.printf "%10b %12d %12d %16.0f\n" fallback total_crashes stats.Cluster.Fleet.fallbacks
-        (Series.value_at stats.Cluster.Fleet.fleet_rps 1_499.))
+        (Series.value_at stats.Cluster.Fleet.fleet_rps 1_499.);
+      let rate = match Js_telemetry.gauge tel "fleet.fallback_rate" with Some v -> v | None -> 0. in
+      let blast =
+        match Js_telemetry.gauge tel "fleet.crash_blast_radius" with Some v -> v | None -> 0.
+      in
+      Printf.printf
+        "           telemetry: boot_attempts=%d fallbacks=%d fallback_rate=%.2f blast_radius=%.0f\n"
+        (Js_telemetry.counter tel "fleet.boot_attempts")
+        (Js_telemetry.counter tel "fleet.fallbacks")
+        rate blast;
+      List.iter
+        (fun (reason, n) -> Printf.printf "           telemetry: fallback reason %dx %S\n" n reason)
+        (Js_telemetry.fallback_reasons tel))
     [ true; false ]
 
 (* ------------------------------------------------------- bechamel micro -- *)

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI entry point: full build, the whole test suite, and one representative
+# bench (fig4b reproduces the paper's headline warmup result) as a smoke
+# test of the simulation + telemetry stack.
+set -e
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bench/main.exe -- fig4b

@@ -2,7 +2,12 @@
 
      dune exec bin/fleet_sim.exe -- warmup [--no-jumpstart] [--minutes N]
      dune exec bin/fleet_sim.exe -- push [--servers N] [--seeders N]
-         [--bad-rate P] [--validation P] [--minutes N]
+         [--bad-rate P] [--validation P] [--minutes N] [--telemetry text|json]
+
+   Invoked with no subcommand, runs `push` with its defaults, so
+   `fleet_sim --telemetry json` dumps a machine-readable trace of a
+   default push.  With `--telemetry json` the JSON document is the only
+   output (the human-readable report is suppressed).
 *)
 
 open Cmdliner
@@ -44,7 +49,15 @@ let warmup_cmd =
     (Cmd.info "warmup" ~doc:"single-server warmup curve (paper Figs. 1, 2, 4)")
     Term.(const action $ no_js $ minutes_arg $ seed)
 
-let push_cmd =
+let telemetry_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt (some fmt) None
+    & info [ "telemetry" ] ~docv:"FMT"
+        ~doc:"emit collected telemetry: $(b,text) appends a report, $(b,json) prints only the JSON document")
+
+let push_term, push_cmd =
   let servers = Arg.(value & opt int 120 & info [ "servers" ] ~docv:"N" ~doc:"fleet size") in
   let seeders = Arg.(value & opt int 3 & info [ "seeders" ] ~docv:"N" ~doc:"seeders per bucket") in
   let bad_rate =
@@ -54,7 +67,7 @@ let push_cmd =
     Arg.(value & opt float 0.95 & info [ "validation" ] ~docv:"P" ~doc:"validation catch rate")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed") in
-  let action servers seeders bad_rate validation minutes seed =
+  let action servers seeders bad_rate validation minutes seed telemetry_fmt =
     let app =
       Workload.Macro_app.generate
         { Workload.Macro_app.default_params with
@@ -70,26 +83,45 @@ let push_cmd =
         validation_catch_rate = validation
       }
     in
-    let stats =
-      Cluster.Fleet.simulate_push cfg app ~seed ~bad_package_rate:bad_rate ~thin_profile_rate:0.
-        ~duration:(float_of_int (minutes * 60))
+    let tel =
+      match telemetry_fmt with
+      | None -> None
+      | Some _ -> Some (Js_telemetry.create ())
     in
-    Format.printf "%a@." Cluster.Fleet.pp_stats stats;
-    Printf.printf "\nfleet RPS (normalized to aggregate peak):\n";
-    let until = minutes * 60 in
-    let steps = max 1 (until / 15) in
-    let t = ref steps in
-    while !t <= until do
-      Printf.printf "  t=%5ds %6.2f\n" !t
-        (Series.value_at stats.Cluster.Fleet.fleet_rps (float_of_int !t)
-        /. stats.Cluster.Fleet.fleet_peak_rps);
-      t := !t + steps
-    done
+    let stats =
+      Cluster.Fleet.simulate_push ?telemetry:tel cfg app ~seed ~bad_package_rate:bad_rate
+        ~thin_profile_rate:0. ~duration:(float_of_int (minutes * 60))
+    in
+    match (telemetry_fmt, tel) with
+    | Some `Json, Some t ->
+      (* machine-readable mode: the JSON document is the entire output *)
+      print_string (Js_telemetry.to_json t);
+      print_newline ()
+    | _ ->
+      Format.printf "%a@." Cluster.Fleet.pp_stats stats;
+      Printf.printf "\nfleet RPS (normalized to aggregate peak):\n";
+      let until = minutes * 60 in
+      let steps = max 1 (until / 15) in
+      let t = ref steps in
+      while !t <= until do
+        Printf.printf "  t=%5ds %6.2f\n" !t
+          (Series.value_at stats.Cluster.Fleet.fleet_rps (float_of_int !t)
+          /. stats.Cluster.Fleet.fleet_peak_rps);
+        t := !t + steps
+      done;
+      (match (telemetry_fmt, tel) with
+      | Some `Text, Some t -> Format.printf "@.%a@." Js_telemetry.pp_text t
+      | _ -> ())
   in
-  Cmd.v
-    (Cmd.info "push" ~doc:"continuous-deployment push across a fleet (C2 seeding + C3 restart)")
-    Term.(const action $ servers $ seeders $ bad_rate $ validation $ minutes_arg $ seed)
+  let term =
+    Term.(const action $ servers $ seeders $ bad_rate $ validation $ minutes_arg $ seed $ telemetry_arg)
+  in
+  ( term,
+    Cmd.v
+      (Cmd.info "push" ~doc:"continuous-deployment push across a fleet (C2 seeding + C3 restart)")
+      term )
 
 let () =
   let info = Cmd.info "fleet_sim" ~doc:"fleet and warmup simulations of the Jump-Start reproduction" in
-  exit (Cmd.eval (Cmd.group info [ warmup_cmd; push_cmd ]))
+  (* no subcommand = `push` with defaults, so `fleet_sim --telemetry json` works *)
+  exit (Cmd.eval (Cmd.group ~default:push_term info [ warmup_cmd; push_cmd ]))

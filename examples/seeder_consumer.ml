@@ -23,11 +23,13 @@ let () =
   in
   let options = JS.Options.default in
   let store = JS.Store.create () in
+  (* one sink across the whole lifecycle; dumped at the end *)
+  let tel = Js_telemetry.create () in
 
   print_endline "\n== C2 phase: three seeders collect, validate and publish ==";
   for seeder_id = 0 to 2 do
     match
-      JS.Seeder.run_and_publish repo options store
+      JS.Seeder.run_and_publish ~telemetry:tel repo options store
         ~profile_traffic:(traffic (10 + seeder_id) 250)
         ~optimized_traffic:(traffic (20 + seeder_id) 250)
         ~validation_traffic:(traffic (30 + seeder_id) 40)
@@ -45,7 +47,7 @@ let () =
   print_endline "\n== C3 phase: a consumer boots jump-started ==";
   let rng = Js_util.Rng.create 42 in
   (match
-     JS.Consumer.boot repo options store rng ~region:0 ~bucket:0
+     JS.Consumer.boot ~telemetry:tel repo options store rng ~region:0 ~bucket:0
        ~health_traffic:(traffic 40 30) ~fallback_traffic:(traffic 41 250) ()
    with
   | JS.Consumer.Jump_started vm ->
@@ -67,7 +69,7 @@ let () =
     ignore (JS.Store.corrupt_one corrupted rng ~region:0 ~bucket:0)
   | None -> ());
   (match
-     JS.Consumer.boot repo options corrupted rng ~region:0 ~bucket:0
+     JS.Consumer.boot ~telemetry:tel repo options corrupted rng ~region:0 ~bucket:0
        ~fallback_traffic:(traffic 60 250) ()
    with
   | JS.Consumer.Fell_back (vm, reason) ->
@@ -82,10 +84,13 @@ let () =
     incr attempts;
     true
   in
-  match
-    JS.Consumer.boot repo options store rng ~region:0 ~bucket:0 ~jit_bug
-      ~fallback_traffic:(traffic 61 250) ()
-  with
+  (match
+     JS.Consumer.boot ~telemetry:tel repo options store rng ~region:0 ~bucket:0 ~jit_bug
+       ~fallback_traffic:(traffic 61 250) ()
+   with
   | JS.Consumer.Fell_back (_, reason) ->
     Printf.printf "  crashed %d times on random packages, then: %s\n" !attempts reason
-  | JS.Consumer.Jump_started _ -> print_endline "  !! bug did not fire"
+  | JS.Consumer.Jump_started _ -> print_endline "  !! bug did not fire");
+
+  print_endline "\n== telemetry collected across the whole lifecycle ==";
+  Format.printf "%a@." Js_telemetry.pp_text tel

@@ -104,16 +104,25 @@ let forced_seeding config app ~bad_per_bucket =
   done;
   (published, config.n_buckets * n, 0, config.n_buckets * bad_n)
 
-let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin_profile_rate
-    ~duration =
+let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package_rate
+    ~thin_profile_rate ~duration =
+  let tel f =
+    match telemetry with
+    | Some t -> f t
+    | None -> ()
+  in
   let rng = R.create seed in
   let published, n_published, n_rejected, n_bad_published =
     match force_bad_per_bucket with
     | Some bad_per_bucket -> forced_seeding config app ~bad_per_bucket
     | None -> run_seeders config app rng ~bad_package_rate ~thin_profile_rate
   in
+  tel (fun t ->
+      Js_telemetry.incr t ~by:n_published "fleet.packages_published";
+      Js_telemetry.incr t ~by:n_rejected "fleet.packages_rejected");
   let fallbacks = ref 0 and jump_started = ref 0 in
-  let boot_member ~bucket ~seed_base ~attempts ~at =
+  let boot_member ~ix ~bucket ~seed_base ~attempts ~at =
+    let source = Printf.sprintf "server.%d" ix in
     let packages = Hashtbl.find published bucket in
     let role =
       if (not config.fallback_enabled) || attempts < config.max_boot_attempts then begin
@@ -124,10 +133,35 @@ let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin
       else Server.No_jumpstart
     in
     (match role with
-    | Server.No_jumpstart -> if attempts > 0 || !packages = [] then incr fallbacks
-    | Server.Consumer _ -> if attempts = 0 then incr jump_started
+    | Server.No_jumpstart ->
+      if attempts > 0 || !packages = [] then begin
+        incr fallbacks;
+        tel (fun t ->
+            let outcome, reason =
+              if !packages = [] then ("no_package", "no profile package available")
+              else
+                ( "fallback",
+                  Printf.sprintf "exhausted %d boot attempts (bad package)" attempts )
+            in
+            Js_telemetry.incr t "fleet.boot_attempts";
+            Js_telemetry.incr t "fleet.fallbacks";
+            Js_telemetry.record t
+              (Js_telemetry.Boot_attempt { source; attempt = attempts + 1; outcome });
+            Js_telemetry.record t (Js_telemetry.Fallback { source; reason }))
+      end
+    | Server.Consumer _ ->
+      if attempts = 0 then incr jump_started;
+      tel (fun t ->
+          Js_telemetry.incr t "fleet.boot_attempts";
+          Js_telemetry.record t
+            (Js_telemetry.Boot_attempt
+               { source; attempt = attempts + 1; outcome = "jump_started" }))
     | Server.Seeder -> ());
     let server = Server.create ~discovery_seed:(seed_base + (attempts * 7919)) config.server app role in
+    tel (fun t ->
+        let boot = Server.boot_seconds server in
+        Js_telemetry.add_span t (source ^ ".boot") ~start:at ~dur:boot;
+        Js_telemetry.observe t ~lo:0. ~hi:240. ~buckets:24 "fleet.boot_seconds" boot);
     (server, at)
   in
   (* C3: the whole fleet restarts at t = 0 *)
@@ -135,7 +169,7 @@ let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin
     Array.init config.n_servers (fun i ->
         let bucket = i * config.n_buckets / config.n_servers in
         let seed_base = seed + (i * 104729) in
-        let server, started_at = boot_member ~bucket ~seed_base ~attempts:0 ~at:0. in
+        let server, started_at = boot_member ~ix:i ~bucket ~seed_base ~attempts:0 ~at:0. in
         { bucket; server; started_at; attempts = 0; fell_back = false; crash_count = 0; seed_base })
   in
   let crashes : (float, int ref) Hashtbl.t = Hashtbl.create 16 in
@@ -144,19 +178,27 @@ let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin
   let time = ref 0. in
   while !time < duration do
     time := !time +. dt;
+    tel (fun t -> Js_telemetry.Clock.set (Js_telemetry.clock t) !time);
     let total = ref 0. in
-    Array.iter
-      (fun m ->
+    Array.iteri
+      (fun ix m ->
         Server.step m.server ~dt;
         (match Server.crashed m.server with
         | Some Server.Bad_package ->
           m.crash_count <- m.crash_count + 1;
           m.attempts <- m.attempts + 1;
+          tel (fun t ->
+              Js_telemetry.incr t "fleet.crashes";
+              Js_telemetry.record t
+                (Js_telemetry.Server_crashed { server = ix; kind = "bad_package" }));
           let round = Float.round (!time /. 30.) *. 30. in
           (match Hashtbl.find_opt crashes round with
           | Some r -> incr r
           | None -> Hashtbl.add crashes round (ref 1));
-          let server, _ = boot_member ~bucket:m.bucket ~seed_base:m.seed_base ~attempts:m.attempts ~at:!time in
+          let server, _ =
+            boot_member ~ix ~bucket:m.bucket ~seed_base:m.seed_base ~attempts:m.attempts
+              ~at:!time
+          in
           m.server <- server;
           m.started_at <- !time;
           m.fell_back <- m.attempts >= config.max_boot_attempts && config.fallback_enabled
@@ -166,6 +208,14 @@ let simulate_push config ?force_bad_per_bucket app ~seed ~bad_package_rate ~thin
     Js_util.Stats.Series.add fleet_rps ~time:!time ~value:!total
   done;
   let fleet_peak_rps = Array.fold_left (fun acc m -> acc +. Server.peak_rps m.server) 0. members in
+  let blast_radius =
+    Hashtbl.fold (fun _ r acc -> max acc !r) crashes 0
+  in
+  tel (fun t ->
+      let n = float_of_int config.n_servers in
+      Js_telemetry.set_gauge t "fleet.fallback_rate" (float_of_int !fallbacks /. n);
+      Js_telemetry.set_gauge t "fleet.jump_start_rate" (float_of_int !jump_started /. n);
+      Js_telemetry.set_gauge t "fleet.crash_blast_radius" (float_of_int blast_radius));
   {
     packages_published = n_published;
     packages_rejected = n_rejected;

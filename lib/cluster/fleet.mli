@@ -51,8 +51,18 @@ type stats = {
     [force_bad_per_bucket], when given, bypasses random fault injection and
     validation: each bucket gets exactly that many bad packages plus
     good ones up to [seeders_per_bucket] — the controlled setting for the
-    §VI-A.2 blast-radius experiment. *)
+    §VI-A.2 blast-radius experiment.
+
+    With [telemetry]: every member boot logs a [Boot_attempt] (and, for a
+    no-Jump-Start boot, a [Fallback] with the reason) under source
+    [server.<i>], records a [server.<i>.boot] span and a
+    [fleet.boot_seconds] histogram sample; crashes log [Server_crashed] and
+    bump [fleet.crashes]; the sink's clock tracks simulation time; at the
+    end the gauges [fleet.fallback_rate], [fleet.jump_start_rate] and
+    [fleet.crash_blast_radius] (max servers crashed in one restart round)
+    summarize the push. *)
 val simulate_push :
+  ?telemetry:Js_telemetry.t ->
   config ->
   ?force_bad_per_bucket:int ->
   Workload.Macro_app.t ->

@@ -427,6 +427,7 @@ let run t ~until ~dt =
   done
 
 let time t = t.time
+let boot_seconds t = t.serve_start
 let requests_served t = t.req_count_f
 let serving t = match t.phase with Serving | Collecting _ -> true | Booting _ | Exited | Crashed _ -> false
 let crashed t = match t.phase with Crashed k -> Some k | _ -> None

@@ -82,6 +82,9 @@ val run : t -> until:float -> dt:float -> unit
 
 val time : t -> float
 
+(** Time from restart until the server starts serving (the boot span). *)
+val boot_seconds : t -> float
+
 (** Requests served in total. *)
 val requests_served : t -> float
 

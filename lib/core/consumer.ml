@@ -54,42 +54,94 @@ let boot_without_jumpstart repo options ~traffic =
 
 type outcome = Jump_started of vm | Fell_back of vm * string
 
+(* Returns the interpreter step count alongside the verdict so the caller can
+   charge the simulated clock for the work actually performed. *)
 let health_check vm traffic =
   match traffic with
-  | None -> Ok ()
-  | Some run -> (
+  | None -> (0, Ok ())
+  | Some run ->
     let engine = serving_engine vm () in
-    try
-      run engine;
-      Ok ()
-    with
-    | Interp.Engine.Runtime_error msg -> Error ("unhealthy: " ^ msg)
-    | Failure msg -> Error ("unhealthy: " ^ msg))
+    let verdict =
+      try
+        run engine;
+        Ok ()
+      with
+      | Interp.Engine.Runtime_error msg -> Error ("unhealthy: " ^ msg)
+      | Failure msg -> Error ("unhealthy: " ^ msg)
+    in
+    (Interp.Engine.steps engine, verdict)
 
-let boot repo (options : Options.t) store rng ~region ~bucket ?jit_bug ?health_traffic
-    ~fallback_traffic () =
-  let fall_back reason = Fell_back (boot_without_jumpstart repo options ~traffic:fallback_traffic, reason) in
+let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bug
+    ?health_traffic ~fallback_traffic () =
+  let tel f =
+    match telemetry with
+    | Some t -> f t
+    | None -> ()
+  in
+  let timed name ~cost f =
+    match telemetry with
+    | Some t -> Js_telemetry.timed t name ~cost f
+    | None -> f ()
+  in
+  let fall_back reason =
+    tel (fun t ->
+        Js_telemetry.incr t "consumer.fallbacks";
+        Js_telemetry.record t (Js_telemetry.Fallback { source = "consumer"; reason }));
+    Fell_back (boot_without_jumpstart repo options ~traffic:fallback_traffic, reason)
+  in
+  let note_attempt k outcome =
+    tel (fun t ->
+        Js_telemetry.incr t "consumer.boot_attempts";
+        Js_telemetry.record t
+          (Js_telemetry.Boot_attempt { source = "consumer"; attempt = k + 1; outcome }))
+  in
   if not options.Options.enabled then fall_back "Jump-Start disabled by configuration"
   else begin
     let rec attempt k last_error =
       if k >= options.Options.max_boot_attempts then
         fall_back (Printf.sprintf "exhausted %d boot attempts (%s)" k last_error)
       else
-        match Store.pick_random store rng ~region ~bucket with
+        let fail stage msg =
+          tel (fun t ->
+              Js_telemetry.incr t (Printf.sprintf "consumer.%s_failures" stage);
+              Js_telemetry.record t
+                (Js_telemetry.Validation_failed
+                   { stage = "consumer." ^ stage; reason = msg }));
+          note_attempt k (stage ^ "_failed");
+          attempt (k + 1) msg
+        in
+        match Store.pick_random ?telemetry store rng ~region ~bucket with
         | None -> fall_back "no profile package available"
         | Some (bytes, _meta) -> (
-          match Package.of_bytes repo bytes with
-          | Error msg -> attempt (k + 1) msg
+          match
+            timed "consumer.decode"
+              ~cost:(fun _ -> float_of_int (String.length bytes) /. 25.0e6)
+              (fun () -> Package.of_bytes repo bytes)
+          with
+          | Error msg -> fail "decode" msg
           | Ok package -> (
             match Package.check_coverage package options with
-            | Error msg -> attempt (k + 1) msg
+            | Error msg -> fail "coverage" msg
             | Ok () -> (
-              match boot_with_package repo options ?jit_bug package with
-              | Error msg -> attempt (k + 1) msg
+              match
+                timed "consumer.compile"
+                  ~cost:(function
+                    | Ok vm -> float_of_int vm.compiled.Jit.Compiler.n_translations *. 1e-4
+                    | Error _ -> 0.)
+                  (fun () -> boot_with_package repo options ?jit_bug package)
+              with
+              | Error msg -> fail "compile" msg
               | Ok vm -> (
-                match health_check vm health_traffic with
-                | Ok () -> Jump_started vm
-                | Error msg -> attempt (k + 1) msg))))
+                match
+                  timed "consumer.health_check"
+                    ~cost:(fun (steps, _) -> float_of_int steps *. 1e-8)
+                    (fun () -> health_check vm health_traffic)
+                with
+                | _, Ok () ->
+                  note_attempt k "jump_started";
+                  tel (fun t -> Js_telemetry.incr t "consumer.jump_starts");
+                  Jump_started vm
+                | _, Error msg -> fail "health_check" msg))))
     in
     attempt 0 "no attempts made"
   end

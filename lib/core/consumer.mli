@@ -51,8 +51,17 @@ type outcome =
     [health_traffic] (a crash or [Runtime_error] counts as unhealthy); on
     exhaustion or when no package exists, fall back to local profiling
     with [fallback_traffic].  When [options.enabled] is false, goes
-    straight to the fallback path. *)
+    straight to the fallback path.
+
+    With [telemetry], each attempt bumps [consumer.boot_attempts] and logs a
+    [Boot_attempt] event; per-stage failures bump
+    [consumer.<stage>_failures] and log [Validation_failed]; the decode,
+    compile, and health-check stages run under spans whose durations come
+    from deterministic work proxies (bytes decoded, translations emitted,
+    interpreter steps) on the simulated clock; a fallback bumps
+    [consumer.fallbacks] and logs a [Fallback] event with the reason. *)
 val boot :
+  ?telemetry:Js_telemetry.t ->
   Hhbc.Repo.t ->
   Options.t ->
   Store.t ->

@@ -4,20 +4,44 @@ type outcome = {
   profile_requests_steps : int;
 }
 
-let run repo (options : Options.t) ~profile_traffic ~optimized_traffic ?validation_traffic
-    ?jit_bug ~region ~bucket ~seeder_id () =
+let run ?telemetry repo (options : Options.t) ~profile_traffic ~optimized_traffic
+    ?validation_traffic ?jit_bug ~region ~bucket ~seeder_id () =
+  let tel f =
+    match telemetry with
+    | Some t -> f t
+    | None -> ()
+  in
+  let timed name ~cost f =
+    match telemetry with
+    | Some t -> Js_telemetry.timed t name ~cost f
+    | None -> f ()
+  in
+  let reject counter stage msg =
+    tel (fun t ->
+        Js_telemetry.incr t counter;
+        Js_telemetry.record t (Js_telemetry.Validation_failed { stage; reason = msg }))
+  in
   (* Phase 1: serve requests, JIT profile code, collect tier-1 counters. *)
   let counters = Jit_profile.Counters.create repo in
   let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
   let heap = Mh_runtime.Heap.create repo layouts in
   let engine = Interp.Engine.create ~probes:(Jit_profile.Collector.probes counters) repo heap in
-  profile_traffic engine;
-  let profile_steps = Interp.Engine.steps engine in
+  let profile_steps =
+    timed "seeder.profile"
+      ~cost:(fun steps -> float_of_int steps *. 1e-8)
+      (fun () ->
+        profile_traffic engine;
+        Interp.Engine.steps engine)
+  in
   (* Phase 2: JIT instrumented optimized code. *)
   let config =
     { (Consumer.compile_config options) with Jit.Compiler.mode = Vasm.Lower.Instrumented }
   in
-  let vfuncs = Jit.Compiler.lower_all repo counters config in
+  let vfuncs =
+    timed "seeder.lower"
+      ~cost:(fun vfuncs -> float_of_int (List.length vfuncs) *. 1e-4)
+      (fun () -> Jit.Compiler.lower_all repo counters config)
+  in
   (* Phase 3: serve on instrumented optimized code; collect the Vasm-level
      profile and the tier-2 call graph. *)
   let measured = Jit.Vasm_profile.create () in
@@ -25,7 +49,9 @@ let run repo (options : Options.t) ~profile_traffic ~optimized_traffic ?validati
   let probes = Jit.Context.probes repo ~lookup (Jit.Vasm_profile.handler measured) in
   let heap2 = Mh_runtime.Heap.create repo layouts in
   let engine2 = Interp.Engine.create ~probes repo heap2 in
-  optimized_traffic engine2;
+  timed "seeder.instrument"
+    ~cost:(fun () -> float_of_int (Interp.Engine.steps engine2) *. 1e-8)
+    (fun () -> optimized_traffic engine2);
   (* Phase 4: compute the function order (intermediate JIT result). *)
   let order_config = { config with Jit.Compiler.func_order = Jit.Compiler.C3_tier2 } in
   let func_order =
@@ -49,41 +75,61 @@ let run repo (options : Options.t) ~profile_traffic ~optimized_traffic ?validati
       preload_units = Array.of_list (Jit_profile.Counters.touched_units counters);
     }
   in
-  let bytes = Package.to_bytes package in
+  let bytes =
+    timed "seeder.serialize"
+      ~cost:(fun bytes -> float_of_int (String.length bytes) /. 25.0e6)
+      (fun () -> Package.to_bytes package)
+  in
+  let accept () =
+    tel (fun t -> Js_telemetry.incr t "seeder.packages_built");
+    Ok { package; bytes; profile_requests_steps = profile_steps }
+  in
   (* Phase 6: coverage gate (§VI-B). *)
   match Package.check_coverage package options with
-  | Error msg -> Error ("coverage gate: " ^ msg)
+  | Error msg ->
+    reject "seeder.coverage_rejects" "seeder.coverage_gate" msg;
+    Error ("coverage gate: " ^ msg)
   | Ok () ->
     (* Phase 7: self-validation — restart in consumer mode on the freshly
        serialized bytes and require a healthy boot (§VI-A.1). *)
-    if not options.Options.validate_packages then
-      Ok { package; bytes; profile_requests_steps = profile_steps }
+    if not options.Options.validate_packages then accept ()
     else begin
+      let invalid msg =
+        reject "seeder.validation_rejects" "seeder.validation" msg;
+        Error ("validation: " ^ msg)
+      in
       match Package.of_bytes repo bytes with
-      | Error msg -> Error ("validation: round-trip failed: " ^ msg)
+      | Error msg -> invalid ("round-trip failed: " ^ msg)
       | Ok reread -> (
         match Consumer.boot_with_package repo options ?jit_bug reread with
-        | Error msg -> Error ("validation: consumer boot failed: " ^ msg)
+        | Error msg -> invalid ("consumer boot failed: " ^ msg)
         | Ok vm -> (
           match validation_traffic with
-          | None -> Ok { package; bytes; profile_requests_steps = profile_steps }
+          | None -> accept ()
           | Some traffic -> (
             let check_engine = Consumer.serving_engine vm () in
             try
               traffic check_engine;
-              Ok { package; bytes; profile_requests_steps = profile_steps }
+              accept ()
             with
-            | Interp.Engine.Runtime_error msg -> Error ("validation: unhealthy: " ^ msg)
-            | Failure msg -> Error ("validation: unhealthy: " ^ msg))))
+            | Interp.Engine.Runtime_error msg -> invalid ("unhealthy: " ^ msg)
+            | Failure msg -> invalid ("unhealthy: " ^ msg))))
     end
 
-let run_and_publish repo options store ~profile_traffic ~optimized_traffic ?validation_traffic
-    ?jit_bug ~region ~bucket ~seeder_id () =
+let run_and_publish ?telemetry repo options store ~profile_traffic ~optimized_traffic
+    ?validation_traffic ?jit_bug ~region ~bucket ~seeder_id () =
   match
-    run repo options ~profile_traffic ~optimized_traffic ?validation_traffic ?jit_bug ~region
-      ~bucket ~seeder_id ()
+    run ?telemetry repo options ~profile_traffic ~optimized_traffic ?validation_traffic
+      ?jit_bug ~region ~bucket ~seeder_id ()
   with
   | Error _ as e -> e
   | Ok result ->
     Store.publish store ~region ~bucket result.bytes result.package.Package.meta;
+    (match telemetry with
+    | None -> ()
+    | Some t ->
+      Js_telemetry.incr t "seeder.published";
+      Js_telemetry.record t
+        (Js_telemetry.Seeder_published
+           { region; bucket; seeder_id; bytes = String.length result.bytes }));
     Ok result

@@ -24,8 +24,16 @@ type outcome = {
 
     Returns [Error reason] when the §VI-B coverage gate or §VI-A.1
     validation rejects the package — a real seeder would then restart in
-    seeder mode and try again. *)
+    seeder mode and try again.
+
+    With [telemetry], the profile / lower / instrument / serialize phases
+    run under spans ([seeder.profile], [seeder.lower], [seeder.instrument],
+    [seeder.serialize]) whose durations are deterministic work proxies on
+    the simulated clock; gate verdicts bump [seeder.coverage_rejects] /
+    [seeder.validation_rejects] (with [Validation_failed] events) or
+    [seeder.packages_built]. *)
 val run :
+  ?telemetry:Js_telemetry.t ->
   Hhbc.Repo.t ->
   Options.t ->
   profile_traffic:Consumer.traffic ->
@@ -39,8 +47,11 @@ val run :
   (outcome, string) result
 
 (** [run_and_publish ... store ...] — [run], then {!Store.publish} on
-    success.  Returns the publish decision. *)
+    success.  Returns the publish decision.  With [telemetry], a publish
+    additionally bumps [seeder.published] and logs a [Seeder_published]
+    event carrying the package size. *)
 val run_and_publish :
+  ?telemetry:Js_telemetry.t ->
   Hhbc.Repo.t ->
   Options.t ->
   Store.t ->

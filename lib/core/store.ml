@@ -1,4 +1,4 @@
-type entry = { mutable bytes : string; meta : Package.meta }
+type entry = { mutable bytes : string; meta : Package.meta; mutable picks : int }
 type t = { table : (int * int, entry list ref) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 16 }
@@ -13,21 +13,34 @@ let slot t ~region ~bucket =
 
 let publish t ~region ~bucket bytes meta =
   let l = slot t ~region ~bucket in
-  l := { bytes; meta } :: !l
+  l := { bytes; meta; picks = 0 } :: !l
 
-let pick_random t rng ~region ~bucket =
+let pick_random ?telemetry t rng ~region ~bucket =
   match Hashtbl.find_opt t.table (region, bucket) with
   | None -> None
   | Some { contents = [] } -> None
   | Some { contents = entries } ->
     let arr = Array.of_list entries in
     let e = Js_util.Rng.pick rng arr in
+    e.picks <- e.picks + 1;
+    (match telemetry with
+    | None -> ()
+    | Some tel ->
+      Js_telemetry.incr tel "store.picks";
+      Js_telemetry.record tel
+        (Js_telemetry.Package_selected
+           { region; bucket; seeder_id = e.meta.Package.seeder_id }));
     Some (e.bytes, e.meta)
 
 let count t ~region ~bucket =
   match Hashtbl.find_opt t.table (region, bucket) with
   | None -> 0
   | Some l -> List.length !l
+
+let selection_counts t ~region ~bucket =
+  match Hashtbl.find_opt t.table (region, bucket) with
+  | None -> []
+  | Some l -> List.rev_map (fun e -> (e.meta, e.picks)) !l
 
 let clear t ~region ~bucket = Hashtbl.remove t.table (region, bucket)
 

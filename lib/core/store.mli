@@ -16,10 +16,22 @@ val create : unit -> t
 val publish : t -> region:int -> bucket:int -> string -> Package.meta -> unit
 
 (** [pick_random t rng ~region ~bucket] — a uniformly random package for the
-    key, or [None] if none published. *)
-val pick_random : t -> Js_util.Rng.t -> region:int -> bucket:int -> (string * Package.meta) option
+    key, or [None] if none published.  With [telemetry], bumps the
+    [store.picks] counter and records a [Package_selected] event. *)
+val pick_random :
+  ?telemetry:Js_telemetry.t ->
+  t ->
+  Js_util.Rng.t ->
+  region:int ->
+  bucket:int ->
+  (string * Package.meta) option
 
 val count : t -> region:int -> bucket:int -> int
+
+(** [selection_counts t ~region ~bucket] — how often each published package
+    has been handed out by {!pick_random}, in publication order (the per-
+    package selection distribution behind §VI-A.2's blast-radius argument). *)
+val selection_counts : t -> region:int -> bucket:int -> (Package.meta * int) list
 
 (** Remove every package for a key (deployment rollover). *)
 val clear : t -> region:int -> bucket:int -> unit

@@ -1,0 +1,349 @@
+module Clock = struct
+  type t = { mutable now : float }
+
+  let create ?(now = 0.) () = { now }
+  let now t = t.now
+  let set t time = if time > t.now then t.now <- time
+  let advance t dt = if dt > 0. then t.now <- t.now +. dt
+end
+
+type event =
+  | Package_selected of { region : int; bucket : int; seeder_id : int }
+  | Validation_failed of { stage : string; reason : string }
+  | Boot_attempt of { source : string; attempt : int; outcome : string }
+  | Fallback of { source : string; reason : string }
+  | Seeder_published of { region : int; bucket : int; seeder_id : int; bytes : int }
+  | Server_crashed of { server : int; kind : string }
+  | Span of { name : string; start : float; dur : float }
+  | Mark of { name : string; detail : string }
+
+type histogram_view = { lo : float; hi : float; counts : int array; total : int }
+
+type hist = { h_lo : float; h_hi : float; h : Js_util.Stats.Histogram.t }
+
+type t = {
+  clk : Clock.t;
+  cnt : (string, int ref) Hashtbl.t;
+  gge : (string, float ref) Hashtbl.t;
+  hst : (string, hist) Hashtbl.t;
+  ring : (float * event) array;
+  mutable ring_start : int;  (** index of the oldest buffered event *)
+  mutable ring_len : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) ?clock () =
+  if capacity <= 0 then invalid_arg "Js_telemetry.create: capacity must be positive";
+  let clk = match clock with Some c -> c | None -> Clock.create () in
+  {
+    clk;
+    cnt = Hashtbl.create 16;
+    gge = Hashtbl.create 16;
+    hst = Hashtbl.create 16;
+    ring = Array.make capacity (0., Mark { name = ""; detail = "" });
+    ring_start = 0;
+    ring_len = 0;
+    dropped = 0;
+  }
+
+let clock t = t.clk
+let now t = Clock.now t.clk
+
+let reset t =
+  Hashtbl.reset t.cnt;
+  Hashtbl.reset t.gge;
+  Hashtbl.reset t.hst;
+  t.ring_start <- 0;
+  t.ring_len <- 0;
+  t.dropped <- 0
+
+(* --- metrics --- *)
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.cnt name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.cnt name (ref by)
+
+let counter t name = match Hashtbl.find_opt t.cnt name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [] |> List.sort compare
+
+let counters t = sorted_bindings t.cnt (fun r -> !r)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gge name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gge name (ref v)
+
+let gauge t name = Option.map (fun r -> !r) (Hashtbl.find_opt t.gge name)
+let gauges t = sorted_bindings t.gge (fun r -> !r)
+
+let observe ?(lo = 0.) ?(hi = 600.) ?(buckets = 24) t name v =
+  let hist =
+    match Hashtbl.find_opt t.hst name with
+    | Some hist -> hist
+    | None ->
+      let hist = { h_lo = lo; h_hi = hi; h = Js_util.Stats.Histogram.create ~lo ~hi ~buckets } in
+      Hashtbl.add t.hst name hist;
+      hist
+  in
+  Js_util.Stats.Histogram.add hist.h v
+
+let view hist =
+  {
+    lo = hist.h_lo;
+    hi = hist.h_hi;
+    counts = Js_util.Stats.Histogram.bucket_counts hist.h;
+    total = Js_util.Stats.Histogram.count hist.h;
+  }
+
+let histograms t = sorted_bindings t.hst view
+
+(* --- events --- *)
+
+let record t ev =
+  let cap = Array.length t.ring in
+  if t.ring_len = cap then begin
+    (* full: evict the oldest *)
+    t.ring_start <- (t.ring_start + 1) mod cap;
+    t.ring_len <- t.ring_len - 1;
+    t.dropped <- t.dropped + 1
+  end;
+  t.ring.((t.ring_start + t.ring_len) mod cap) <- (now t, ev);
+  t.ring_len <- t.ring_len + 1
+
+let events t =
+  let cap = Array.length t.ring in
+  List.init t.ring_len (fun i -> t.ring.((t.ring_start + i) mod cap))
+
+let dropped_events t = t.dropped
+
+(* --- spans --- *)
+
+let add_span t name ~start ~dur = record t (Span { name; start; dur })
+
+let span t name f =
+  let start = now t in
+  let result = f () in
+  add_span t name ~start ~dur:(now t -. start);
+  result
+
+let timed t name ~cost f =
+  let start = now t in
+  let result = f () in
+  Clock.advance t.clk (cost result);
+  add_span t name ~start ~dur:(now t -. start);
+  result
+
+let spans t =
+  List.filter_map
+    (function _, Span { name; start; dur } -> Some (name, start, dur) | _ -> None)
+    (events t)
+
+let fallback_reasons t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | _, Fallback { reason; _ } -> (
+        match Hashtbl.find_opt tbl reason with
+        | Some r -> r := !r + 1
+        | None -> Hashtbl.add tbl reason (ref 1))
+      | _ -> ())
+    (events t);
+  sorted_bindings tbl (fun r -> !r)
+
+(* --- exporters --- *)
+
+let pp_event fmt = function
+  | Package_selected { region; bucket; seeder_id } ->
+    Format.fprintf fmt "package_selected region=%d bucket=%d seeder=%d" region bucket seeder_id
+  | Validation_failed { stage; reason } ->
+    Format.fprintf fmt "validation_failed stage=%s: %s" stage reason
+  | Boot_attempt { source; attempt; outcome } ->
+    Format.fprintf fmt "boot_attempt %s #%d -> %s" source attempt outcome
+  | Fallback { source; reason } -> Format.fprintf fmt "fallback %s: %s" source reason
+  | Seeder_published { region; bucket; seeder_id; bytes } ->
+    Format.fprintf fmt "seeder_published region=%d bucket=%d seeder=%d bytes=%d" region bucket
+      seeder_id bytes
+  | Server_crashed { server; kind } -> Format.fprintf fmt "server_crashed server=%d kind=%s" server kind
+  | Span { name; start; dur } -> Format.fprintf fmt "span %s start=%.3f dur=%.3f" name start dur
+  | Mark { name; detail } -> Format.fprintf fmt "mark %s %s" name detail
+
+let pp_text fmt t =
+  Format.fprintf fmt "@[<v>telemetry @ t=%.1fs" (now t);
+  let section title = Format.fprintf fmt "@,%s:" title in
+  (match counters t with
+  | [] -> ()
+  | cs ->
+    section "counters";
+    List.iter (fun (name, v) -> Format.fprintf fmt "@,  %-40s %10d" name v) cs);
+  (match gauges t with
+  | [] -> ()
+  | gs ->
+    section "gauges";
+    List.iter (fun (name, v) -> Format.fprintf fmt "@,  %-40s %10.4f" name v) gs);
+  (match histograms t with
+  | [] -> ()
+  | hs ->
+    section "histograms";
+    List.iter
+      (fun (name, v) ->
+        Format.fprintf fmt "@,  %-40s n=%d lo=%g hi=%g buckets=%d" name v.total v.lo v.hi
+          (Array.length v.counts))
+      hs);
+  (match fallback_reasons t with
+  | [] -> ()
+  | rs ->
+    section "fallback reasons";
+    List.iter (fun (reason, n) -> Format.fprintf fmt "@,  %4dx %s" n reason) rs);
+  let evs = events t in
+  let non_span = List.filter (function _, Span _ -> false | _ -> true) evs in
+  let n_spans = List.length evs - List.length non_span in
+  Format.fprintf fmt "@,spans: %d   events: %d (%d dropped)" n_spans (List.length non_span)
+    (dropped_events t);
+  let tail =
+    let n = List.length non_span in
+    if n <= 40 then non_span
+    else begin
+      Format.fprintf fmt "@,  ... %d earlier events elided" (n - 40);
+      List.filteri (fun i _ -> i >= n - 40) non_span
+    end
+  in
+  List.iter (fun (at, ev) -> Format.fprintf fmt "@,  [t=%8.1f] %a" at pp_event ev) tail;
+  Format.fprintf fmt "@]"
+
+(* JSON encoding, hand-rolled: no JSON library in the sealed container. *)
+
+let json_escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let json_float buf v =
+  if Float.is_finite v then begin
+    (* %.12g never needs a decimal point to be valid JSON (exponents are fine) *)
+    Buffer.add_string buf (Printf.sprintf "%.12g" v)
+  end
+  else Buffer.add_string buf "null"
+
+let json_obj buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_escape buf k;
+      Buffer.add_char buf ':';
+      emit buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let json_event buf ev =
+  let str s = fun buf -> json_escape buf s in
+  let int n = fun buf -> Buffer.add_string buf (string_of_int n) in
+  let flt v = fun buf -> json_float buf v in
+  match ev with
+  | Package_selected { region; bucket; seeder_id } ->
+    json_obj buf
+      [ ("type", str "package_selected"); ("region", int region); ("bucket", int bucket);
+        ("seeder_id", int seeder_id)
+      ]
+  | Validation_failed { stage; reason } ->
+    json_obj buf [ ("type", str "validation_failed"); ("stage", str stage); ("reason", str reason) ]
+  | Boot_attempt { source; attempt; outcome } ->
+    json_obj buf
+      [ ("type", str "boot_attempt"); ("source", str source); ("attempt", int attempt);
+        ("outcome", str outcome)
+      ]
+  | Fallback { source; reason } ->
+    json_obj buf [ ("type", str "fallback"); ("source", str source); ("reason", str reason) ]
+  | Seeder_published { region; bucket; seeder_id; bytes } ->
+    json_obj buf
+      [ ("type", str "seeder_published"); ("region", int region); ("bucket", int bucket);
+        ("seeder_id", int seeder_id); ("bytes", int bytes)
+      ]
+  | Server_crashed { server; kind } ->
+    json_obj buf [ ("type", str "server_crashed"); ("server", int server); ("kind", str kind) ]
+  | Span { name; start; dur } ->
+    json_obj buf [ ("type", str "span"); ("name", str name); ("start", flt start); ("dur", flt dur) ]
+  | Mark { name; detail } ->
+    json_obj buf [ ("type", str "mark"); ("name", str name); ("detail", str detail) ]
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let evs = events t in
+  let non_span = List.filter (function _, Span _ -> false | _ -> true) evs in
+  json_obj buf
+    [ ("time", fun buf -> json_float buf (now t));
+      ( "counters",
+        fun buf ->
+          json_obj buf
+            (List.map
+               (fun (k, v) -> (k, fun buf -> Buffer.add_string buf (string_of_int v)))
+               (counters t)) );
+      ( "gauges",
+        fun buf -> json_obj buf (List.map (fun (k, v) -> (k, fun buf -> json_float buf v)) (gauges t))
+      );
+      ( "histograms",
+        fun buf ->
+          json_obj buf
+            (List.map
+               (fun (k, v) ->
+                 ( k,
+                   fun buf ->
+                     json_obj buf
+                       [ ("lo", fun buf -> json_float buf v.lo);
+                         ("hi", fun buf -> json_float buf v.hi);
+                         ("total", fun buf -> Buffer.add_string buf (string_of_int v.total));
+                         ( "counts",
+                           fun buf ->
+                             Buffer.add_char buf '[';
+                             Array.iteri
+                               (fun i c ->
+                                 if i > 0 then Buffer.add_char buf ',';
+                                 Buffer.add_string buf (string_of_int c))
+                               v.counts;
+                             Buffer.add_char buf ']' )
+                       ] ))
+               (histograms t)) );
+      ( "spans",
+        fun buf ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i (name, start, dur) ->
+              if i > 0 then Buffer.add_char buf ',';
+              json_obj buf
+                [ ("name", fun buf -> json_escape buf name);
+                  ("start", fun buf -> json_float buf start); ("dur", fun buf -> json_float buf dur)
+                ])
+            (spans t);
+          Buffer.add_char buf ']' );
+      ( "fallback_reasons",
+        fun buf ->
+          json_obj buf
+            (List.map
+               (fun (reason, n) -> (reason, fun buf -> Buffer.add_string buf (string_of_int n)))
+               (fallback_reasons t)) );
+      ( "events",
+        fun buf ->
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun i (at, ev) ->
+              if i > 0 then Buffer.add_char buf ',';
+              json_obj buf
+                [ ("at", fun buf -> json_float buf at); ("event", fun buf -> json_event buf ev) ])
+            non_span;
+          Buffer.add_char buf ']' );
+      ("dropped_events", fun buf -> Buffer.add_string buf (string_of_int (dropped_events t)))
+    ];
+  Buffer.contents buf

@@ -85,9 +85,13 @@ module Reader = struct
 
   let varint t =
     let rec go shift acc =
-      if shift > 63 then corrupt "varint too long";
+      if shift > 62 then corrupt "varint too long";
       let b = u8 t in
-      let acc = acc lor ((b land 0x7f) lsl shift) in
+      let chunk = b land 0x7f in
+      (* a chunk whose bits fall off the top would wrap into the sign bit and
+         yield a negative "length" that bypasses the [> remaining] guards *)
+      if shift > 0 && (chunk lsl shift) asr shift <> chunk then corrupt "varint overflow";
+      let acc = acc lor (chunk lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
     in
     go 0 0
@@ -113,19 +117,20 @@ module Reader = struct
 
   let string t =
     let n = varint t in
-    if n > remaining t then corrupt "string length %d exceeds remaining %d" n (remaining t);
+    if n < 0 || n > remaining t then
+      corrupt "string length %d exceeds remaining %d" n (remaining t);
     let s = String.sub t.data t.pos n in
     t.pos <- t.pos + n;
     s
 
   let list t f =
     let n = varint t in
-    if n > remaining t then corrupt "list length %d exceeds remaining bytes" n;
+    if n < 0 || n > remaining t then corrupt "list length %d exceeds remaining bytes" n;
     List.init n (fun _ -> f t)
 
   let array t f =
     let n = varint t in
-    if n > remaining t then corrupt "array length %d exceeds remaining bytes" n;
+    if n < 0 || n > remaining t then corrupt "array length %d exceeds remaining bytes" n;
     Array.init n (fun _ -> f t)
 
   let option t f =

@@ -173,6 +173,59 @@ let test_fleet_thin_profiles_rejected () =
   Alcotest.(check int) "nothing published" 0 stats.Cluster.Fleet.packages_published;
   Alcotest.(check bool) "rejections recorded" true (stats.Cluster.Fleet.packages_rejected > 0)
 
+let test_fleet_telemetry_deterministic () =
+  (* same seed, same config -> byte-identical telemetry documents *)
+  let app = Lazy.force small_app in
+  let cfg = { (Lazy.force fleet_cfg) with Cluster.Fleet.validation_catch_rate = 0. } in
+  let run () =
+    let tel = Js_telemetry.create () in
+    let stats =
+      Cluster.Fleet.simulate_push ~telemetry:tel cfg app ~seed:11 ~bad_package_rate:0.3
+        ~thin_profile_rate:0. ~duration:400.
+    in
+    (Js_telemetry.to_json tel, tel, stats)
+  in
+  let json1, _, _ = run () in
+  let json2, tel, stats = run () in
+  Alcotest.(check string) "identical telemetry" json1 json2;
+  (* the gauges must agree with the stats the simulator itself reports *)
+  let n = float_of_int cfg.Cluster.Fleet.n_servers in
+  Alcotest.(check (option (float 1e-9))) "fallback rate consistent"
+    (Some (float_of_int stats.Cluster.Fleet.fallbacks /. n))
+    (Js_telemetry.gauge tel "fleet.fallback_rate");
+  Alcotest.(check (option (float 1e-9))) "jump-start rate consistent"
+    (Some (float_of_int stats.Cluster.Fleet.jump_started /. n))
+    (Js_telemetry.gauge tel "fleet.jump_start_rate");
+  Alcotest.(check int) "published counter consistent" stats.Cluster.Fleet.packages_published
+    (Js_telemetry.counter tel "fleet.packages_published");
+  (* every server booted at least once, so boot spans and the histogram are
+     populated *)
+  Alcotest.(check bool) "boot spans recorded" true
+    (List.length (Js_telemetry.spans tel) >= cfg.Cluster.Fleet.n_servers);
+  (match Js_telemetry.histograms tel with
+  | [ ("fleet.boot_seconds", v) ] ->
+    Alcotest.(check bool) "histogram counts boots" true
+      (v.Js_telemetry.total >= cfg.Cluster.Fleet.n_servers)
+  | _ -> Alcotest.fail "expected exactly the fleet.boot_seconds histogram")
+
+let test_fleet_telemetry_crash_accounting () =
+  let app = Lazy.force small_app in
+  let cfg = { (Lazy.force fleet_cfg) with Cluster.Fleet.validation_catch_rate = 0. } in
+  let tel = Js_telemetry.create () in
+  let stats =
+    Cluster.Fleet.simulate_push ~telemetry:tel cfg app ~seed:3 ~bad_package_rate:0.4
+      ~thin_profile_rate:0. ~duration:900.
+  in
+  let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
+  Alcotest.(check int) "crash counter matches stats" total_crashes
+    (Js_telemetry.counter tel "fleet.crashes");
+  let worst_round =
+    List.fold_left (fun acc (_, n) -> max acc n) 0 stats.Cluster.Fleet.crashes
+  in
+  Alcotest.(check (option (float 1e-9))) "blast radius gauge"
+    (Some (float_of_int worst_round))
+    (Js_telemetry.gauge tel "fleet.crash_blast_radius")
+
 let () =
   Alcotest.run "cluster"
     [ ( "server",
@@ -190,6 +243,9 @@ let () =
           Alcotest.test_case "validation" `Quick test_fleet_validation_catches_bad_packages;
           Alcotest.test_case "crash decay" `Quick test_fleet_crash_decay;
           Alcotest.test_case "fallback bounds damage" `Quick test_fleet_fallback_bounds_damage;
-          Alcotest.test_case "thin profiles rejected" `Quick test_fleet_thin_profiles_rejected
+          Alcotest.test_case "thin profiles rejected" `Quick test_fleet_thin_profiles_rejected;
+          Alcotest.test_case "telemetry deterministic" `Quick test_fleet_telemetry_deterministic;
+          Alcotest.test_case "telemetry crash accounting" `Quick
+            test_fleet_telemetry_crash_accounting
         ] )
     ]

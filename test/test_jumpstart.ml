@@ -257,6 +257,83 @@ let test_boot_retries_on_jit_bug () =
     Alcotest.(check int) "bounded retries" JS.Options.default.JS.Options.max_boot_attempts !attempts
   | JS.Consumer.Jump_started _ -> Alcotest.fail "jit bug must prevent jump start"
 
+(* The §VI-A retry loop must perform EXACTLY max_boot_attempts package draws
+   before falling back — pinned via the telemetry counters so an off-by-one
+   in either direction (one draw too many or too few) fails the test. *)
+let attempt_pinning max_boot_attempts =
+  let a, store = boot_env () in
+  let options = { JS.Options.default with JS.Options.max_boot_attempts } in
+  let rng = Js_util.Rng.create 4 in
+  let tel = Js_telemetry.create () in
+  (match
+     JS.Consumer.boot ~telemetry:tel a.Workload.Codegen.repo options store rng ~region:0
+       ~bucket:3
+       ~jit_bug:(fun _ -> true)
+       ~fallback_traffic:(traffic ~seed:6 ()) ()
+   with
+  | JS.Consumer.Fell_back (_, _) -> ()
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "jit bug must prevent jump start");
+  Alcotest.(check int) "boot_attempts counter" max_boot_attempts
+    (Js_telemetry.counter tel "consumer.boot_attempts");
+  Alcotest.(check int) "exactly N package draws" max_boot_attempts
+    (Js_telemetry.counter tel "store.picks");
+  let attempts_logged =
+    List.length
+      (List.filter
+         (function _, Js_telemetry.Boot_attempt _ -> true | _ -> false)
+         (Js_telemetry.events tel))
+  in
+  Alcotest.(check int) "Boot_attempt events" max_boot_attempts attempts_logged;
+  Alcotest.(check bool) "Fallback event recorded" true
+    (List.exists
+       (function _, Js_telemetry.Fallback _ -> true | _ -> false)
+       (Js_telemetry.events tel));
+  Alcotest.(check int) "one fallback" 1 (Js_telemetry.counter tel "consumer.fallbacks")
+
+let test_boot_attempts_pinned_default () =
+  attempt_pinning JS.Options.default.JS.Options.max_boot_attempts
+
+let test_boot_attempts_pinned_custom () = attempt_pinning 5
+
+let test_package_truncation_never_escapes () =
+  (* cut the serialized package short at many boundaries: of_bytes must
+     return Error, never raise *)
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  let bytes = outcome.JS.Seeder.bytes in
+  let cut = ref 0 in
+  while !cut < String.length bytes do
+    (match JS.Package.of_bytes a.Workload.Codegen.repo (String.sub bytes 0 !cut) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d accepted" !cut
+    | exception e ->
+      Alcotest.failf "truncation at %d raised %s" !cut (Printexc.to_string e));
+    cut := !cut + 37
+  done
+
+let test_store_selection_counts () =
+  let outcome = make_package () in
+  let store = JS.Store.create () in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  for _ = 1 to 3 do
+    JS.Store.publish store ~region:0 ~bucket:3 outcome.JS.Seeder.bytes meta
+  done;
+  let rng = Js_util.Rng.create 7 in
+  let tel = Js_telemetry.create () in
+  let draws = 40 in
+  for _ = 1 to draws do
+    ignore (JS.Store.pick_random ~telemetry:tel store rng ~region:0 ~bucket:3)
+  done;
+  let counts = JS.Store.selection_counts store ~region:0 ~bucket:3 in
+  Alcotest.(check int) "one row per package" 3 (List.length counts);
+  Alcotest.(check int) "rows sum to total draws" draws
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 counts);
+  Alcotest.(check int) "telemetry agrees" draws (Js_telemetry.counter tel "store.picks");
+  List.iter
+    (fun (_, n) ->
+      Alcotest.(check bool) "roughly uniform selection" true (n > 0 && n < draws))
+    counts
+
 let test_prop_hotness_rollup () =
   (* accesses recorded against subclasses roll up to the declaring class *)
   let src =
@@ -291,7 +368,10 @@ let () =
           Alcotest.test_case "corruption detection" `Quick test_package_detects_corruption;
           Alcotest.test_case "coverage gate" `Quick test_package_coverage_gate
         ] );
-      ("store", [ Alcotest.test_case "publish/pick/clear" `Quick test_store_publish_pick ]);
+      ( "store",
+        [ Alcotest.test_case "publish/pick/clear" `Quick test_store_publish_pick;
+          Alcotest.test_case "selection counts" `Quick test_store_selection_counts
+        ] );
       ( "seeder",
         [ Alcotest.test_case "valid package" `Quick test_seeder_produces_valid_package;
           Alcotest.test_case "validation passes" `Quick test_seeder_with_validation_succeeds;
@@ -304,7 +384,14 @@ let () =
           Alcotest.test_case "fallback: empty store" `Quick test_boot_fallback_no_packages;
           Alcotest.test_case "fallback: disabled" `Quick test_boot_fallback_when_disabled;
           Alcotest.test_case "fallback: corruption" `Quick test_boot_fallback_on_corruption;
-          Alcotest.test_case "bounded retries" `Quick test_boot_retries_on_jit_bug
+          Alcotest.test_case "bounded retries" `Quick test_boot_retries_on_jit_bug;
+          Alcotest.test_case "attempts pinned (default)" `Quick
+            test_boot_attempts_pinned_default;
+          Alcotest.test_case "attempts pinned (custom)" `Quick test_boot_attempts_pinned_custom
+        ] );
+      ( "package robustness",
+        [ Alcotest.test_case "truncation never escapes" `Quick
+            test_package_truncation_never_escapes
         ] );
       ("profile", [ Alcotest.test_case "prop hotness rollup" `Quick test_prop_hotness_rollup ])
     ]

@@ -235,6 +235,58 @@ let prop_pp_roundtrip_random_specs =
       let ast = Minihack.Parser.parse_program src in
       Minihack.Parser.parse_program (Minihack.Pp.to_source ast) = ast)
 
+(* §VI-A.3: for ANY store whose packages are all corrupt, boot must terminate
+   with a clean Fell_back — the consumer never crashes and never accepts a
+   corrupted package.  Also covers the empty store (0 copies published). *)
+let seeded_package =
+  lazy
+    (let app = Lazy.force tiny_app in
+     let options = { Jumpstart.Options.default with Jumpstart.Options.validate_packages = false } in
+     let mix = Workload.Request.mix app ~region:0 ~bucket:0 in
+     let traffic seed engine =
+       let rng = Js_util.Rng.create seed in
+       for _ = 1 to 200 do
+         ignore (Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+       done
+     in
+     match
+       Jumpstart.Seeder.run app.Workload.Codegen.repo options ~profile_traffic:(traffic 1)
+         ~optimized_traffic:(traffic 2) ~region:0 ~bucket:0 ~seeder_id:0 ()
+     with
+     | Ok outcome -> outcome
+     | Error msg -> failwith ("seeder failed: " ^ msg))
+
+let prop_all_corrupt_store_falls_back =
+  QCheck.Test.make ~name:"boot falls back cleanly when every package is corrupt" ~count:10
+    QCheck.(pair small_nat (int_range 0 4))
+    (fun (seed, copies) ->
+      let app = Lazy.force tiny_app in
+      let outcome = Lazy.force seeded_package in
+      let good = outcome.Jumpstart.Seeder.bytes in
+      let meta = outcome.Jumpstart.Seeder.package.Jumpstart.Package.meta in
+      let rng = Js_util.Rng.create (seed + 1) in
+      let store = Jumpstart.Store.create () in
+      for _ = 1 to copies do
+        (* flip one byte at an arbitrary position: header, payload or CRC *)
+        let b = Bytes.of_string good in
+        let pos = Js_util.Rng.int rng (Bytes.length b) in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 + Js_util.Rng.int rng 255)));
+        Jumpstart.Store.publish store ~region:0 ~bucket:0 (Bytes.to_string b) meta
+      done;
+      let mix = Workload.Request.mix app ~region:0 ~bucket:0 in
+      let fallback_traffic engine =
+        let trng = Js_util.Rng.create 6 in
+        for _ = 1 to 20 do
+          ignore (Workload.Request.invoke engine app (Workload.Request.sample trng mix))
+        done
+      in
+      match
+        Jumpstart.Consumer.boot app.Workload.Codegen.repo Jumpstart.Options.default store rng
+          ~region:0 ~bucket:0 ~fallback_traffic ()
+      with
+      | Jumpstart.Consumer.Fell_back (vm, _) -> vm.Jumpstart.Consumer.package = None
+      | Jumpstart.Consumer.Jump_started _ -> false)
+
 let prop_interp_deterministic =
   QCheck.Test.make ~name:"interpreter fully deterministic" ~count:8 QCheck.small_nat (fun seed ->
       run_requests ~probes:Interp.Probes.none ~seed ~n:6
@@ -259,5 +311,6 @@ let () =
         q
           [ prop_probes_preserve_semantics; prop_reordered_layout_preserves_semantics;
             prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic
-          ] )
+          ] );
+      ("reliability", q [ prop_all_corrupt_store_falls_back ])
     ]

@@ -1,0 +1,269 @@
+(* Unit tests for the telemetry layer: registry semantics, the simulated
+   clock, ring-buffer eviction, and exporter validity/determinism. *)
+
+module T = Js_telemetry
+
+(* --- a tiny JSON validator (no JSON library in the tree): checks that a
+   document is a single well-formed value with nothing trailing --- *)
+
+let json_parses (s : string) : bool =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> num ()
+    | _ -> fail ()
+  and lit word =
+    String.iter (fun c -> expect c) word
+  and num () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let start = !pos in
+      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then fail ()
+    in
+    digits ();
+    if peek () = Some '.' then begin incr pos; digits () end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ())
+  and str () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then fail ();
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+        incr pos;
+        (match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+        | Some 'u' ->
+          incr pos;
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+            | _ -> fail ())
+          done
+        | _ -> fail ());
+        go ()
+      | c when Char.code c < 0x20 -> fail ()
+      | _ -> incr pos; go ()
+    in
+    go ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elements () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr pos; elements ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elements ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | ok -> ok
+  | exception Exit -> false
+
+(* --- registry --- *)
+
+let test_counters () =
+  let t = T.create () in
+  T.incr t "a";
+  T.incr t ~by:4 "a";
+  T.incr t "b";
+  Alcotest.(check int) "a" 5 (T.counter t "a");
+  Alcotest.(check int) "b" 1 (T.counter t "b");
+  Alcotest.(check int) "absent" 0 (T.counter t "zzz");
+  Alcotest.(check (list (pair string int))) "sorted" [ ("a", 5); ("b", 1) ] (T.counters t)
+
+let test_gauges () =
+  let t = T.create () in
+  T.set_gauge t "x" 1.5;
+  T.set_gauge t "x" 2.5;
+  Alcotest.(check (option (float 1e-9))) "last write wins" (Some 2.5) (T.gauge t "x");
+  Alcotest.(check (option (float 1e-9))) "absent" None (T.gauge t "y")
+
+let test_histograms () =
+  let t = T.create () in
+  T.observe t ~lo:0. ~hi:10. ~buckets:10 "h" 0.5;
+  T.observe t ~lo:0. ~hi:10. ~buckets:10 "h" 9.5;
+  T.observe t ~lo:0. ~hi:10. ~buckets:10 "h" 100.;
+  (match T.histograms t with
+  | [ ("h", v) ] ->
+    Alcotest.(check int) "total" 3 v.T.total;
+    Alcotest.(check int) "first bucket" 1 v.T.counts.(0);
+    Alcotest.(check int) "overflow clamps" 2 v.T.counts.(9)
+  | other -> Alcotest.failf "unexpected histogram list (%d entries)" (List.length other))
+
+(* --- clock + spans --- *)
+
+let test_clock_monotonic () =
+  let c = T.Clock.create () in
+  T.Clock.advance c 5.;
+  T.Clock.set c 3.;
+  Alcotest.(check (float 1e-9)) "set into the past ignored" 5. (T.Clock.now c);
+  T.Clock.advance c (-1.);
+  Alcotest.(check (float 1e-9)) "negative advance ignored" 5. (T.Clock.now c)
+
+let test_span_and_timed () =
+  let t = T.create () in
+  let r = T.span t "outer" (fun () -> T.Clock.advance (T.clock t) 2.; 17) in
+  Alcotest.(check int) "span passes result through" 17 r;
+  ignore (T.timed t "work" ~cost:(fun x -> float_of_int x) (fun () -> 3));
+  (match T.spans t with
+  | [ ("outer", s1, d1); ("work", s2, d2) ] ->
+    Alcotest.(check (float 1e-9)) "outer start" 0. s1;
+    Alcotest.(check (float 1e-9)) "outer dur" 2. d1;
+    Alcotest.(check (float 1e-9)) "timed start" 2. s2;
+    Alcotest.(check (float 1e-9)) "timed dur from cost" 3. d2
+  | other -> Alcotest.failf "unexpected span list (%d entries)" (List.length other));
+  Alcotest.(check (float 1e-9)) "timed advanced the clock" 5. (T.now t)
+
+(* --- event ring --- *)
+
+let test_ring_eviction () =
+  let t = T.create ~capacity:4 () in
+  for i = 1 to 10 do
+    T.record t (T.Mark { name = "m"; detail = string_of_int i })
+  done;
+  let kept =
+    List.map
+      (function _, T.Mark { detail; _ } -> int_of_string detail | _ -> -1)
+      (T.events t)
+  in
+  Alcotest.(check (list int)) "keeps the newest" [ 7; 8; 9; 10 ] kept;
+  Alcotest.(check int) "dropped count" 6 (T.dropped_events t)
+
+let test_fallback_reasons () =
+  let t = T.create () in
+  T.record t (T.Fallback { source = "s1"; reason = "r1" });
+  T.record t (T.Fallback { source = "s2"; reason = "r1" });
+  T.record t (T.Fallback { source = "s3"; reason = "r2" });
+  Alcotest.(check (list (pair string int)))
+    "aggregated" [ ("r1", 2); ("r2", 1) ] (T.fallback_reasons t)
+
+(* --- exporters --- *)
+
+let populate t =
+  T.incr t ~by:3 "boot.attempts";
+  T.set_gauge t "rate" 0.25;
+  T.observe t "lat" 12.;
+  ignore (T.span t "phase" (fun () -> T.Clock.advance (T.clock t) 1.5));
+  T.record t (T.Package_selected { region = 1; bucket = 2; seeder_id = 3 });
+  T.record t (T.Validation_failed { stage = "decode"; reason = "quote \" and \\ back\nslash" });
+  T.record t (T.Boot_attempt { source = "server.7"; attempt = 2; outcome = "jump_started" });
+  T.record t (T.Fallback { source = "server.9"; reason = "no package" });
+  T.record t (T.Seeder_published { region = 0; bucket = 0; seeder_id = 1; bytes = 999 });
+  T.record t (T.Server_crashed { server = 4; kind = "bad_package" });
+  T.record t (T.Mark { name = "note"; detail = "unicode \xe2\x9c\x93 is passed through" })
+
+(* string containment without a helper dependency *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_json_valid () =
+  let t = T.create () in
+  populate t;
+  let json = T.to_json t in
+  Alcotest.(check bool) "parses" true (json_parses json);
+  (* an empty sink must also produce a full, valid document *)
+  let empty = T.to_json (T.create ()) in
+  Alcotest.(check bool) "empty parses" true (json_parses empty);
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("has " ^ key) true (contains empty ("\"" ^ key ^ "\"")))
+    [ "counters"; "gauges"; "histograms"; "spans"; "fallback_reasons"; "events" ]
+
+let test_json_deterministic () =
+  let a = T.create () in
+  let b = T.create () in
+  populate a;
+  populate b;
+  Alcotest.(check string) "same ops, same document" (T.to_json a) (T.to_json b)
+
+let test_text_exporter () =
+  let t = T.create () in
+  populate t;
+  let text = Format.asprintf "%a" T.pp_text t in
+  Alcotest.(check bool) "mentions counters" true (contains text "boot.attempts");
+  Alcotest.(check bool) "mentions fallback reason" true (contains text "no package")
+
+let test_reset () =
+  let t = T.create () in
+  populate t;
+  T.reset t;
+  Alcotest.(check (list (pair string int))) "counters cleared" [] (T.counters t);
+  Alcotest.(check int) "events cleared" 0 (List.length (T.events t));
+  Alcotest.(check int) "spans cleared" 0 (List.length (T.spans t))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "registry",
+        [ Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histograms" `Quick test_histograms
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "span/timed" `Quick test_span_and_timed
+        ] );
+      ( "events",
+        [ Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "fallback reasons" `Quick test_fallback_reasons
+        ] );
+      ( "export",
+        [ Alcotest.test_case "json validity" `Quick test_json_valid;
+          Alcotest.test_case "json determinism" `Quick test_json_deterministic;
+          Alcotest.test_case "text exporter" `Quick test_text_exporter;
+          Alcotest.test_case "reset" `Quick test_reset
+        ] )
+    ]

@@ -215,6 +215,43 @@ let test_binio_frame_corruption () =
   expect_corrupt "version" (fun () -> Binio.unframe ~magic:"TEST" ~expected_version:2 framed);
   expect_corrupt "short" (fun () -> Binio.unframe ~magic:"TEST" ~expected_version:1 "TE")
 
+let test_binio_frame_every_truncation () =
+  (* cutting a frame at ANY byte boundary must yield Corrupt, never an
+     Invalid_argument / out-of-bounds escaping the decode path *)
+  let payload = String.init 100 (fun i -> Char.chr (i * 37 mod 256)) in
+  let framed = Binio.frame ~magic:"TEST" ~version:1 payload in
+  for cut = 0 to String.length framed - 1 do
+    let truncated = String.sub framed 0 cut in
+    match Binio.unframe ~magic:"TEST" ~expected_version:1 truncated with
+    | exception Binio.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "cut at %d: expected Corrupt, got %s" cut (Printexc.to_string e)
+    | _ -> Alcotest.failf "cut at %d: truncated frame accepted" cut
+  done
+
+let test_binio_varint_overflow () =
+  (* 10 continuation bytes push chunks past bit 62: the decoder must reject
+     rather than silently wrap into a negative length *)
+  let too_long = String.make 10 '\xff' ^ "\x01" in
+  expect_corrupt "varint too long" (fun () ->
+      Binio.Reader.varint (Binio.Reader.of_string too_long));
+  (* 9 bytes whose top chunk overflows the sign bit *)
+  let overflow = String.make 8 '\xff' ^ "\x7f" in
+  expect_corrupt "varint overflow" (fun () ->
+      Binio.Reader.varint (Binio.Reader.of_string overflow));
+  (* max_int must still round-trip *)
+  let w = Binio.Writer.create () in
+  Binio.Writer.varint w max_int;
+  Alcotest.(check int) "max_int roundtrip" max_int
+    (Binio.Reader.varint (Binio.Reader.of_string (Binio.Writer.contents w)));
+  (* a wrapped negative length must not reach String.sub in [string] *)
+  let w = Binio.Writer.create () in
+  Binio.Writer.varint w max_int;
+  Binio.Writer.u8 w (Char.code 'x');
+  Binio.Writer.u8 w (Char.code 'x');
+  expect_corrupt "huge length guarded" (fun () ->
+      Binio.Reader.string (Binio.Reader.of_string (Binio.Writer.contents w)))
+
 let test_crc32_known () =
   (* standard check value for "123456789" *)
   Alcotest.(check int64) "crc32 vector" 0xCBF43926L
@@ -279,6 +316,9 @@ let () =
           Alcotest.test_case "truncation" `Quick test_binio_truncated;
           Alcotest.test_case "frame roundtrip" `Quick test_binio_frame_roundtrip;
           Alcotest.test_case "frame corruption" `Quick test_binio_frame_corruption;
+          Alcotest.test_case "frame truncation at every boundary" `Quick
+            test_binio_frame_every_truncation;
+          Alcotest.test_case "varint overflow" `Quick test_binio_varint_overflow;
           Alcotest.test_case "crc32 vector" `Quick test_crc32_known
         ] );
       ( "pqueue",
