@@ -476,6 +476,219 @@ let micro () =
       | Some [] | None -> Printf.printf "%-40s %16s\n" name "n/a")
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ perf -- *)
+
+(* Machine-readable perf tracking (see EXPERIMENTS.md): measures interpreter
+   throughput on the macro-app workload with inline caches on vs off (same
+   seed, so the two runs must agree byte-for-byte on results and step
+   counts), plus fixed-iteration micro-benches of the core algorithms, and
+   writes everything to BENCH_interp.json.  [--quick] shrinks every loop to
+   smoke-test size for CI. *)
+
+let quick_mode = ref false
+
+let perf () =
+  section "perf: interpreter throughput + core-algorithm micro-benches";
+  let quick = !quick_mode in
+  let requests = if quick then 40 else 1000 in
+  let app = Workload.Codegen.generate Workload.App_spec.default in
+  let repo = app.Workload.Codegen.repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let mix = Workload.Request.uniform_mix app in
+  let run ~inline_cache n =
+    let engine =
+      Interp.Engine.create ~fuel:max_int ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
+    in
+    let rng = Js_util.Rng.create 7 in
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let words = Gc.minor_words () -. w0 in
+    (engine, dt, words)
+  in
+  (* untimed A/B equivalence check: same seed, caches on vs off, results and
+     step counts folded into one digest so nothing big is retained *)
+  let fingerprint ~inline_cache n =
+    let engine =
+      Interp.Engine.create ~fuel:max_int ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
+    in
+    let rng = Js_util.Rng.create 7 in
+    let d = ref "" in
+    for _ = 1 to n do
+      let v = Workload.Request.invoke engine app (Workload.Request.sample rng mix) in
+      d := Digest.string (!d ^ Hhbc.Value.to_string v)
+    done;
+    (!d, Interp.Engine.steps engine)
+  in
+  let check_n = min requests 200 in
+  let identical = fingerprint ~inline_cache:true check_n = fingerprint ~inline_cache:false check_n in
+  (* warm both configurations, then interleave two timed runs of each and
+     keep the faster (less noise-sensitive than a single pass) *)
+  ignore (run ~inline_cache:true (max 1 (requests / 8)));
+  ignore (run ~inline_cache:false (max 1 (requests / 8)));
+  let eng_c, dt_c1, words_c = run ~inline_cache:true requests in
+  let eng_u, dt_u1, words_u = run ~inline_cache:false requests in
+  let _, dt_c2, _ = run ~inline_cache:true requests in
+  let _, dt_u2, _ = run ~inline_cache:false requests in
+  let dt_c = min dt_c1 dt_c2 and dt_u = min dt_u1 dt_u2 in
+  let steps_c = Interp.Engine.steps eng_c and steps_u = Interp.Engine.steps eng_u in
+  let identical = identical && steps_c = steps_u in
+  let sps_c = float_of_int steps_c /. dt_c and sps_u = float_of_int steps_u /. dt_u in
+  let speedup = sps_c /. sps_u in
+  let s = Interp.Engine.cache_stats eng_c in
+  let rate hit miss = if hit + miss = 0 then 0. else float_of_int hit /. float_of_int (hit + miss) in
+  let meth_rate =
+    rate (s.Interp.Engine.meth_hit_mono + s.Interp.Engine.meth_hit_poly) s.Interp.Engine.meth_miss
+  in
+  let prop_rate =
+    rate (s.Interp.Engine.prop_hit_mono + s.Interp.Engine.prop_hit_poly) s.Interp.Engine.prop_miss
+  in
+  (* flush the engine's local counters into a telemetry sink, and export the
+     sink's view — the same bridge the fleet simulation uses *)
+  let tel = Js_telemetry.create () in
+  Js_telemetry.import_counters tel (Interp.Engine.cache_counters eng_c);
+  Printf.printf "macro-app workload: %d requests, %d steps\n" requests steps_c;
+  Printf.printf "  cached:   %10.2fM steps/s  (%.3fs, %.0f minor words)\n" (sps_c /. 1e6) dt_c
+    words_c;
+  Printf.printf "  uncached: %10.2fM steps/s  (%.3fs, %.0f minor words)\n" (sps_u /. 1e6) dt_u
+    words_u;
+  Printf.printf "  speedup:  %10.2fx   identical results: %b\n" speedup identical;
+  Printf.printf "  method cache hit rate:   %.4f (mono %d / poly %d / miss %d)\n" meth_rate
+    s.Interp.Engine.meth_hit_mono s.Interp.Engine.meth_hit_poly s.Interp.Engine.meth_miss;
+  Printf.printf "  property cache hit rate: %.4f (mono %d / poly %d / miss %d)\n" prop_rate
+    s.Interp.Engine.prop_hit_mono s.Interp.Engine.prop_hit_poly s.Interp.Engine.prop_miss;
+  (* core-algorithm micro-benches, fixed iteration counts *)
+  let time_ops n f =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int n /. dt
+  in
+  let rng = Js_util.Rng.create 99 in
+  let cfg64 =
+    Layout.Cfg.create
+      ~blocks:
+        (Array.init 64 (fun i ->
+             { Layout.Cfg.id = i; size = 16 + (i mod 7 * 8); weight = Js_util.Rng.float rng 100. }))
+      ~arcs:
+        (Array.init 128 (fun _ ->
+             { Layout.Cfg.src = Js_util.Rng.int rng 64; dst = Js_util.Rng.int rng 64;
+               weight = Js_util.Rng.float rng 50.
+             }))
+      ~entry:0
+  in
+  let nodes =
+    Array.init 2000 (fun i -> { Layout.C3.id = i; size = 256; samples = Js_util.Rng.float rng 1000. })
+  in
+  let call_arcs =
+    Array.init 6000 (fun _ ->
+        { Layout.C3.caller = Js_util.Rng.int rng 2000; callee = Js_util.Rng.int rng 2000;
+          weight = Js_util.Rng.float rng 10.
+        })
+  in
+  let fib_repo =
+    Minihack.Compile.compile_source ~path:"fib.mh"
+      "function fib($n) { if ($n < 2) { return $n; } return fib($n - 1) + fib($n - 2); }\n\
+       function main() { return fib(15); }"
+  in
+  let fib_layouts = Mh_runtime.Class_layout.build fib_repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let fib_steps = ref 0 in
+  let tiny = Workload.Codegen.generate Workload.App_spec.tiny in
+  let counters = Jit_profile.Counters.create tiny.Workload.Codegen.repo in
+  let cengine =
+    Interp.Engine.create
+      ~probes:(Jit_profile.Collector.probes counters)
+      tiny.Workload.Codegen.repo
+      (Mh_runtime.Heap.create tiny.Workload.Codegen.repo
+         (Mh_runtime.Class_layout.build tiny.Workload.Codegen.repo ~reorder:false
+            ~hotness:(fun _ _ -> 0)))
+  in
+  let crng = Js_util.Rng.create 3 in
+  let cmix = Workload.Request.uniform_mix tiny in
+  for _ = 1 to if quick then 10 else 50 do
+    ignore (Workload.Request.invoke cengine tiny (Workload.Request.sample crng cmix))
+  done;
+  let n_interp = if quick then 20 else 200 in
+  let interp_ops =
+    time_ops n_interp (fun () ->
+        let engine = Interp.Engine.create fib_repo (Mh_runtime.Heap.create fib_repo fib_layouts) in
+        let v = Interp.Engine.run_main engine in
+        fib_steps := Interp.Engine.steps engine;
+        v)
+  in
+  let interp_sps = interp_ops *. float_of_int !fib_steps in
+  let exttsp_ops = time_ops (if quick then 20 else 200) (fun () -> Layout.Exttsp.layout cfg64) in
+  let c3_ops =
+    time_ops (if quick then 5 else 50) (fun () -> Layout.C3.order ~nodes ~arcs:call_arcs ())
+  in
+  let binio_ops =
+    time_ops
+      (if quick then 200 else 2000)
+      (fun () ->
+        let w = Js_util.Binio.Writer.create () in
+        Jit_profile.Counters.serialize counters w;
+        Jit_profile.Counters.deserialize tiny.Workload.Codegen.repo
+          (Js_util.Binio.Reader.of_string (Js_util.Binio.Writer.contents w)))
+  in
+  Printf.printf "micro: interp-fib %.2fM steps/s | exttsp %.0f ops/s | c3 %.1f ops/s | binio %.0f ops/s\n"
+    (interp_sps /. 1e6) exttsp_ops c3_ops binio_ops;
+  (* emit BENCH_interp.json *)
+  let b = Buffer.create 2048 in
+  let fld ?(last = false) key fmt v =
+    Printf.bprintf b "    %S: " key;
+    Printf.bprintf b fmt v;
+    Buffer.add_string b (if last then "\n" else ",\n")
+  in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-interp/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b "  \"workload\": {\n";
+  fld "requests" "%d" requests;
+  fld "steps" "%d" steps_c;
+  Printf.bprintf b "    \"cached\": { \"steps_per_sec\": %.0f, \"seconds\": %.6f, \"minor_words\": %.0f },\n"
+    sps_c dt_c words_c;
+  Printf.bprintf b
+    "    \"uncached\": { \"steps_per_sec\": %.0f, \"seconds\": %.6f, \"minor_words\": %.0f },\n" sps_u
+    dt_u words_u;
+  fld "speedup" "%.4f" speedup;
+  Printf.bprintf b "    \"outputs_identical\": %b,\n" identical;
+  fld "meth_cache_hit_rate" "%.6f" meth_rate;
+  fld ~last:true "prop_cache_hit_rate" "%.6f" prop_rate;
+  Printf.bprintf b "  },\n";
+  Printf.bprintf b "  \"micro\": {\n";
+  fld "interp_fib_steps_per_sec" "%.0f" interp_sps;
+  fld "exttsp_layout_ops_per_sec" "%.2f" exttsp_ops;
+  fld "c3_order_ops_per_sec" "%.2f" c3_ops;
+  fld ~last:true "binio_roundtrip_ops_per_sec" "%.2f" binio_ops;
+  Printf.bprintf b "  },\n";
+  Printf.bprintf b "  \"telemetry_counters\": {\n";
+  let cs = Js_telemetry.counters tel in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.bprintf b "    %S: %d%s\n" name v (if i = List.length cs - 1 then "" else ","))
+    cs;
+  Printf.bprintf b "  }\n";
+  Printf.bprintf b "}\n";
+  let json = Buffer.contents b in
+  (* quick (CI) runs keep their own file so they never clobber the committed
+     full-run BENCH_interp.json *)
+  let out = if quick then "BENCH_interp.quick.json" else "BENCH_interp.json" in
+  if not (Js_telemetry.Json.parses json) then begin
+    Printf.eprintf "perf: generated %s is not valid JSON\n" out;
+    exit 1
+  end;
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
+
 (* ----------------------------------------------------------------- cli -- *)
 
 let experiments =
@@ -483,11 +696,13 @@ let experiments =
     ("fig5", fig5);
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
-    ("micro", micro)
+    ("micro", micro); ("perf", perf)
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let all_args = Array.to_list Sys.argv |> List.tl in
+  let flags, args = List.partition (fun a -> a = "--quick") all_args in
+  if flags <> [] then quick_mode := true;
   match args with
   | [ "list" ] ->
     sub "available experiments";

@@ -1,10 +1,13 @@
 #!/bin/sh
-# CI entry point: full build, the whole test suite, and one representative
+# CI entry point: full build, the whole test suite, one representative
 # bench (fig4b reproduces the paper's headline warmup result) as a smoke
-# test of the simulation + telemetry stack.
+# test of the simulation + telemetry stack, and the quick interpreter
+# perf A/B (validates its own JSON and fails on cached/uncached divergence).
 set -e
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec bench/main.exe -- fig4b
+dune exec bench/main.exe -- perf --quick
+test -s BENCH_interp.quick.json

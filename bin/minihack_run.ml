@@ -29,8 +29,17 @@ let run_cmd =
   let profile =
     Arg.(value & flag & info [ "profile" ] ~doc:"print tier-1 profile statistics after the run")
   in
-  let action path profile =
+  let no_inline_cache =
+    Arg.(
+      value & flag
+      & info [ "no-inline-cache" ]
+          ~doc:
+            "disable the interpreter's per-call-site inline caches (the A/B escape hatch; results \
+             are identical, only slower)")
+  in
+  let action path profile no_inline_cache =
     with_errors (fun () ->
+        if no_inline_cache then Interp.Engine.default_inline_cache := false;
         let repo = Minihack.Compile.compile_source ~path (read_file path) in
         let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
         let heap = Mh_runtime.Heap.create repo layouts in
@@ -52,7 +61,7 @@ let run_cmd =
         end)
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute a program")
-    Term.(const action $ file_arg $ profile)
+    Term.(const action $ file_arg $ profile $ no_inline_cache)
 
 let dump_cmd =
   let what =

@@ -5,6 +5,7 @@ type t = {
   strings : string array;
   static_arrays : Value.t array array;
   names : string array;
+  ctors : int option array;
 }
 
 let func t fid = t.funcs.(fid)
@@ -52,6 +53,38 @@ let resolve_method t cid nid =
       | Some p -> walk p)
   in
   walk cid
+
+let ctor_of t cid = t.ctors.(cid)
+
+(* Hoisted at load time so [New] never does a per-allocation name lookup.
+   Defensive against repos that fail {!validate} (out-of-range or cyclic
+   parent chains): the walk is bounded by the class count and range-checked,
+   resolving to [None] rather than looping or raising. *)
+let compute_ctors (classes : Class_def.t array) (names : string array) =
+  let n = Array.length classes in
+  let ctor_nid =
+    let rec scan i =
+      if i >= Array.length names then None
+      else if String.equal names.(i) "__construct" then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  match ctor_nid with
+  | None -> Array.make n None
+  | Some nid ->
+    Array.init n (fun cid ->
+        let rec walk c steps =
+          if c < 0 || c >= n || steps > n then None
+          else
+            match Class_def.find_method classes.(c) nid with
+            | Some fid -> Some fid
+            | None -> (
+              match classes.(c).Class_def.parent with
+              | None -> None
+              | Some p -> walk p (steps + 1))
+        in
+        walk cid 0)
 
 let total_bytecode_size t = Array.fold_left (fun acc f -> acc + Func.bytecode_size f) 0 t.funcs
 
@@ -215,13 +248,15 @@ module Builder = struct
           | Some None | None ->
             invalid_arg (Printf.sprintf "Repo.Builder.finish: class c%d reserved but never set" i))
     in
+    let names = Array.of_list (List.rev b.names_rev) in
     {
       units = Array.of_list (List.rev b.units_rev);
       funcs;
       classes;
       strings = Array.of_list (List.rev b.strings_rev);
       static_arrays = Array.of_list (List.rev b.arrays_rev);
-      names = Array.of_list (List.rev b.names_rev);
+      names;
+      ctors = compute_ctors classes names;
     }
 end
 

@@ -12,6 +12,8 @@ type t = private {
   strings : string array;  (** literal string table *)
   static_arrays : Value.t array array;  (** static array table (vec payloads) *)
   names : string array;  (** interned property/method names *)
+  ctors : int option array;
+      (** per-class constructor, resolved once at load time (see {!ctor_of}) *)
 }
 
 val func : t -> Instr.fid -> Func.t
@@ -39,6 +41,11 @@ val is_ancestor : t -> ancestor:Instr.cid -> cls:Instr.cid -> bool
 (** [resolve_method t cid name] walks the hierarchy from [cid] upwards and
     returns the implementing function, or [None]. *)
 val resolve_method : t -> Instr.cid -> Instr.nid -> Instr.fid option
+
+(** [ctor_of t cid] is the [__construct] implementation reached from [cid],
+    resolved once when the repo was sealed — the [New] opcode's fast path
+    (no per-allocation name lookup or hierarchy walk). *)
+val ctor_of : t -> Instr.cid -> Instr.fid option
 
 (** [validate t] checks cross-table invariants (every referenced id in every
     function body resolves; class parents exist and are acyclic; every

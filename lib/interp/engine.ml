@@ -5,6 +5,103 @@ let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 module V = Hhbc.Value
 module I = Hhbc.Instr
 
+(* --- per-call-site inline caches (HHVM-style dispatch machinery) ---
+
+   Each CallMethod site carries a monomorphic entry (receiver class id ->
+   resolved fid) with a polymorphic hashtable fallback; each GetProp/SetProp
+   site caches (class id -> physical slot) so repeated accesses skip the
+   layout-table lookup and go through the heap's direct slot fast path.
+   Caches are per-engine, keyed by (fid, pc), and purely memoize pure
+   lookups over the immutable repo/layout tables — semantics, probe streams
+   and telemetry are byte-identical with caches on or off. *)
+
+type meth_cache = {
+  mutable m_cid : int;  (* monomorphic receiver class id; -1 = empty *)
+  mutable m_fid : int;
+  (* polymorphic fallback: class id -> fid + 1 (0 = empty), allocated with
+     one slot per repo class the first time the site sees a second class *)
+  mutable m_poly : int array;
+}
+
+type prop_cache = {
+  mutable p_cid : int;  (* -1 = empty *)
+  mutable p_slot : int;
+  mutable p_poly : int array;  (* class id -> slot + 1 (0 = empty) *)
+}
+
+type site = No_cache | Meth of meth_cache | Prop of prop_cache
+
+(* Translated instruction form executed by the cached loop — the analogue of
+   HHVM translations.  Same indices as the source body (jump targets and
+   probe/call sites line up), but literals are materialized once at
+   translation time ([TPush] shares one immutable value across executions),
+   and hot straight-line sequences are fused into superinstructions that
+   dispatch once while charging the exact per-instruction step/fuel costs of
+   the sequence they replace.  Fused operands are bounds-checked against the
+   frame at translation time, so only their final component can fault. *)
+type tinstr =
+  | TNop
+  | TPush of V.t  (* prematerialized LitInt/LitFloat/LitBool/LitNull/LitStr *)
+  | TLitArr of V.t array  (* static array payload, copied per execution *)
+  | TLoadLoc of int
+  | TStoreLoc of int
+  | TPop
+  | TDup
+  | TBinOp of I.binop
+  | TUnOp of I.unop
+  | TJmp of int
+  | TJmpZ of int
+  | TJmpNZ of int
+  | TCall of I.fid * int
+  | TCallMethod of I.nid * int
+  | TNew of I.cid * int
+  | TGetThis
+  | TGetProp of I.nid
+  | TSetProp of I.nid
+  | TNewVec of int
+  | TVecGet
+  | TVecSet
+  | TVecPush
+  | TVecLen
+  | TNewDict of int
+  | TDictGet
+  | TDictSet
+  | TDictHas
+  | TInstanceOf of I.cid
+  | TCast of V.tag
+  | TPrint
+  | TRet
+  (* superinstructions (L = LoadLoc, V = literal value, B = BinOp,
+     S = StoreLoc, Z = JmpZ); each counts as the w source instructions it
+     replaces *)
+  | TLLB of int * int * I.binop  (* local op local; w = 3 *)
+  | TLVB of int * V.t * I.binop  (* local op lit;   w = 3 *)
+  | TVLB of V.t * int * I.binop  (* lit op local;   w = 3 *)
+  | TLLBS of int * int * I.binop * int  (* c := a op b;   w = 4 *)
+  | TLVBS of int * V.t * I.binop * int  (* c := a op lit; w = 4 *)
+  | TVLBS of V.t * int * I.binop * int  (* c := lit op b; w = 4 *)
+  | TLLBZ of int * int * I.binop * int  (* if !(a op b) jmp; w = 4 *)
+  | TLVBZ of int * V.t * I.binop * int  (* if !(a op lit) jmp; w = 4 *)
+  | TLRet of int  (* return local; w = 2 *)
+
+type cache_stats = {
+  mutable meth_hit_mono : int;
+  mutable meth_hit_poly : int;
+  mutable meth_miss : int;
+  mutable prop_hit_mono : int;
+  mutable prop_hit_poly : int;
+  mutable prop_miss : int;
+  mutable frame_reuses : int;
+  mutable frame_allocs : int;
+}
+
+(* A simple growable operand stack per frame. *)
+type stack = { mutable data : V.t array; mutable sp : int }
+
+(* Reusable call frame: locals buffer + operand stack, pooled by depth so
+   exec_func does not allocate per invocation. *)
+type frame = { mutable locals : V.t array; stack : stack }
+
 type t = {
   repo : Hhbc.Repo.t;
   heap : Mh_runtime.Heap.t;
@@ -16,29 +113,22 @@ type t = {
   mutable depth : int;
   (* instruction index -> basic block id, per function, computed on demand *)
   block_maps : int array option array;
+  (* instruction index -> end index (exclusive) of its basic block; lets the
+     fast loop run straight-line code without per-instruction boundary
+     checks *)
+  block_limits : int array option array;
+  inline_cache : bool;
+  (* per-function translations, same shape as the function body *)
+  tcodes : tinstr array option array;
+  (* per-function site-cache arrays, same shape as the function body *)
+  site_caches : site array option array;
+  mutable frames : frame array;  (* pool indexed by call depth *)
+  stats : cache_stats;
 }
 
 let max_depth = 2000
 
-let create ?(probes = Probes.none) ?(fuel = 200_000_000) repo heap =
-  {
-    repo;
-    heap;
-    probes;
-    out = Buffer.create 256;
-    fuel;
-    steps = 0;
-    func_steps = Array.make (Hhbc.Repo.n_funcs repo) 0;
-    depth = 0;
-    block_maps = Array.make (Hhbc.Repo.n_funcs repo) None;
-  }
-
-let repo t = t.repo
-let heap t = t.heap
-let steps t = t.steps
-let func_steps t = t.func_steps
-let output t = Buffer.contents t.out
-let clear_output t = Buffer.clear t.out
+let stack_make () = { data = Array.make 16 V.Null; sp = 0 }
 
 let block_map t fid =
   match t.block_maps.(fid) with
@@ -47,14 +137,204 @@ let block_map t fid =
     let f = Hhbc.Repo.func t.repo fid in
     let blocks = Hhbc.Func.basic_blocks f in
     let m = Array.make (Array.length f.Hhbc.Func.body) 0 in
+    let lim = Array.make (Array.length f.Hhbc.Func.body) 0 in
     Array.iter
       (fun (b : Hhbc.Func.block) ->
         for i = b.start to b.start + b.len - 1 do
-          m.(i) <- b.bb_id
+          m.(i) <- b.bb_id;
+          lim.(i) <- b.start + b.len
         done)
       blocks;
     t.block_maps.(fid) <- Some m;
+    t.block_limits.(fid) <- Some lim;
     m
+
+let block_limit t fid =
+  match t.block_limits.(fid) with
+  | Some lim -> lim
+  | None ->
+    ignore (block_map t fid);
+    Option.get t.block_limits.(fid)
+
+(* Translate a function body for the cached loop.  Every slot gets its 1:1
+   translation first; fusion then overlays superinstructions on pattern
+   heads.  The covered tail slots keep their single-instruction form, so the
+   translation stays valid from any entry index — fusion never crosses a
+   basic-block boundary, and jump targets always start blocks, so a fused
+   head cannot be jumped into mid-sequence. *)
+let translate t fid =
+  match t.tcodes.(fid) with
+  | Some c -> c
+  | None ->
+    let f = Hhbc.Repo.func t.repo fid in
+    let body = f.Hhbc.Func.body in
+    let n = Array.length body in
+    let blim = block_limit t fid in
+    let n_locals = max 1 f.Hhbc.Func.n_locals in
+    let lit = function
+      | I.LitInt v -> Some (V.Int v)
+      | I.LitFloat v -> Some (V.Float v)
+      | I.LitBool b -> Some (V.Bool b)
+      | I.LitNull -> Some V.Null
+      | I.LitStr sid -> Some (V.Str (Hhbc.Repo.string t.repo sid))
+      | _ -> None
+    in
+    let single i =
+      match body.(i) with
+      | I.Nop -> TNop
+      | I.LitInt v -> TPush (V.Int v)
+      | I.LitFloat v -> TPush (V.Float v)
+      | I.LitBool b -> TPush (V.Bool b)
+      | I.LitNull -> TPush V.Null
+      | I.LitStr sid -> TPush (V.Str (Hhbc.Repo.string t.repo sid))
+      | I.LitArr aid -> TLitArr (Hhbc.Repo.static_array t.repo aid)
+      | I.LoadLoc l -> TLoadLoc l
+      | I.StoreLoc l -> TStoreLoc l
+      | I.Pop -> TPop
+      | I.Dup -> TDup
+      | I.BinOp op -> TBinOp op
+      | I.UnOp op -> TUnOp op
+      | I.Jmp x -> TJmp x
+      | I.JmpZ x -> TJmpZ x
+      | I.JmpNZ x -> TJmpNZ x
+      | I.Call (callee, k) -> TCall (callee, k)
+      | I.CallMethod (nid, k) -> TCallMethod (nid, k)
+      | I.New (cid, k) -> TNew (cid, k)
+      | I.GetThis -> TGetThis
+      | I.GetProp nid -> TGetProp nid
+      | I.SetProp nid -> TSetProp nid
+      | I.NewVec k -> TNewVec k
+      | I.VecGet -> TVecGet
+      | I.VecSet -> TVecSet
+      | I.VecPush -> TVecPush
+      | I.VecLen -> TVecLen
+      | I.NewDict k -> TNewDict k
+      | I.DictGet -> TDictGet
+      | I.DictSet -> TDictSet
+      | I.DictHas -> TDictHas
+      | I.InstanceOf cid -> TInstanceOf cid
+      | I.Cast tag -> TCast tag
+      | I.Print -> TPrint
+      | I.Ret -> TRet
+    in
+    let code = Array.init n single in
+    (* fusion: [in_blk i w] keeps a w-wide pattern inside instruction i's
+       basic block; [loc l] proves the local index safe at translation time
+       so fused loads/stores cannot fault at run time *)
+    let in_blk i w = i + w <= blim.(i) in
+    let loc l = l >= 0 && l < n_locals in
+    for i = 0 to n - 1 do
+      (match
+         if in_blk i 4 && i + 3 < n then
+           match (body.(i), body.(i + 1), body.(i + 2), body.(i + 3)) with
+           | I.LoadLoc a, I.LoadLoc b, I.BinOp op, I.StoreLoc c
+             when loc a && loc b && loc c ->
+             Some (TLLBS (a, b, op, c))
+           | I.LoadLoc a, l2, I.BinOp op, I.StoreLoc c when loc a && loc c && lit l2 <> None
+             ->
+             Some (TLVBS (a, Option.get (lit l2), op, c))
+           | l1, I.LoadLoc b, I.BinOp op, I.StoreLoc c when loc b && loc c && lit l1 <> None
+             ->
+             Some (TVLBS (Option.get (lit l1), b, op, c))
+           | I.LoadLoc a, I.LoadLoc b, I.BinOp op, I.JmpZ target when loc a && loc b ->
+             Some (TLLBZ (a, b, op, target))
+           | I.LoadLoc a, l2, I.BinOp op, I.JmpZ target when loc a && lit l2 <> None ->
+             Some (TLVBZ (a, Option.get (lit l2), op, target))
+           | _ -> None
+         else None
+       with
+      | Some fused -> code.(i) <- fused
+      | None -> (
+        match
+          if in_blk i 3 && i + 2 < n then
+            match (body.(i), body.(i + 1), body.(i + 2)) with
+            | I.LoadLoc a, I.LoadLoc b, I.BinOp op when loc a && loc b ->
+              Some (TLLB (a, b, op))
+            | I.LoadLoc a, l2, I.BinOp op when loc a && lit l2 <> None ->
+              Some (TLVB (a, Option.get (lit l2), op))
+            | l1, I.LoadLoc b, I.BinOp op when loc b && lit l1 <> None ->
+              Some (TVLB (Option.get (lit l1), b, op))
+            | _ -> None
+          else None
+        with
+        | Some fused -> code.(i) <- fused
+        | None ->
+          if in_blk i 2 && i + 1 < n then (
+            match (body.(i), body.(i + 1)) with
+            | I.LoadLoc a, I.Ret when loc a -> code.(i) <- TLRet a
+            | _ -> ())))
+    done;
+    t.tcodes.(fid) <- Some code;
+    code
+
+let default_inline_cache = ref true
+
+let create ?(probes = Probes.none) ?(fuel = 200_000_000) ?inline_cache repo heap =
+  let inline_cache =
+    match inline_cache with Some b -> b | None -> !default_inline_cache
+  in
+  let t =
+    {
+      repo;
+      heap;
+      probes;
+      out = Buffer.create 256;
+      fuel;
+      steps = 0;
+      func_steps = Array.make (Hhbc.Repo.n_funcs repo) 0;
+      depth = 0;
+      block_maps = Array.make (Hhbc.Repo.n_funcs repo) None;
+      block_limits = Array.make (Hhbc.Repo.n_funcs repo) None;
+      inline_cache;
+      tcodes = Array.make (Hhbc.Repo.n_funcs repo) None;
+      site_caches = Array.make (Hhbc.Repo.n_funcs repo) None;
+      frames = [||];
+      stats =
+        {
+          meth_hit_mono = 0;
+          meth_hit_poly = 0;
+          meth_miss = 0;
+          prop_hit_mono = 0;
+          prop_hit_poly = 0;
+          prop_miss = 0;
+          frame_reuses = 0;
+          frame_allocs = 0;
+        };
+    }
+  in
+  (* "JIT all code before the first request": with caching on, block maps and
+     translations are precomputed at creation instead of lazily on first
+     entry *)
+  if inline_cache then
+    for fid = 0 to Hhbc.Repo.n_funcs repo - 1 do
+      ignore (translate t fid)
+    done;
+  t
+
+let repo t = t.repo
+let heap t = t.heap
+let steps t = t.steps
+let func_steps t = t.func_steps
+let output t = Buffer.contents t.out
+let clear_output t = Buffer.clear t.out
+let cache_stats t = t.stats
+
+let cache_counters t =
+  let s = t.stats in
+  [ ("interp.cache.meth_hit_mono", s.meth_hit_mono);
+    ("interp.cache.meth_hit_poly", s.meth_hit_poly); ("interp.cache.meth_miss", s.meth_miss);
+    ("interp.cache.prop_hit_mono", s.prop_hit_mono);
+    ("interp.cache.prop_hit_poly", s.prop_hit_poly); ("interp.cache.prop_miss", s.prop_miss);
+    ("interp.frame.reuses", s.frame_reuses); ("interp.frame.allocs", s.frame_allocs)
+  ]
+
+let sites t fid body_len =
+  match t.site_caches.(fid) with
+  | Some s -> s
+  | None ->
+    let s = Array.make (max 1 body_len) No_cache in
+    t.site_caches.(fid) <- Some s;
+    s
 
 (* --- operator semantics --- *)
 
@@ -108,6 +388,31 @@ let binop op a b =
     | I.Gt -> V.Bool (c > 0)
     | I.Ge -> V.Bool (c >= 0)
     | _ -> assert false)
+
+(* Shared result values for the cached loop: Bool results of comparisons are
+   immutable, so all sites can return the same two blocks instead of
+   allocating per comparison. *)
+let vtrue = V.Bool true
+let vfalse = V.Bool false
+let vbool b = if b then vtrue else vfalse
+
+(* int/int fast paths for the hottest operators; everything else (and every
+   error case) defers to {!binop}, so results are identical. *)
+let binop_fast op a b =
+  match (a, b) with
+  | V.Int x, V.Int y -> (
+    match op with
+    | I.Add -> V.Int (x + y)
+    | I.Sub -> V.Int (x - y)
+    | I.Mul -> V.Int (x * y)
+    | I.Lt -> vbool (x < y)
+    | I.Le -> vbool (x <= y)
+    | I.Gt -> vbool (x > y)
+    | I.Ge -> vbool (x >= y)
+    | I.Eq -> vbool (x = y)
+    | I.Ne -> vbool (x <> y)
+    | _ -> binop op a b)
+  | _ -> binop op a b
 
 let unop op a =
   match (op, a) with
@@ -166,7 +471,9 @@ let container_set base key v =
       else if i = len then a := Array.append !a [| v |]
       else error "vec index %d out of bounds for write (len %d)" i len
     | _ -> error "vec index must be int")
-  | V.Dict d -> Hashtbl.replace d (V.to_string key) v
+  | V.Dict d ->
+    let k = V.to_string key in
+    Hashtbl.replace d k v
   | _ -> error "cannot index-assign into %s" (V.tag_to_string (V.tag base))
 
 let vec_len = function
@@ -176,11 +483,6 @@ let vec_len = function
   | v -> error "len of %s" (V.tag_to_string (V.tag v))
 
 (* --- frame execution --- *)
-
-(* A simple growable operand stack per frame. *)
-type stack = { mutable data : V.t array; mutable sp : int }
-
-let stack_make () = { data = Array.make 16 V.Null; sp = 0 }
 
 let push st v =
   if st.sp = Array.length st.data then begin
@@ -206,6 +508,101 @@ let pop_n st n =
 (* Heap property errors surface as Failure; execution must report them as
    ordinary runtime errors. *)
 let heap_op f = try f () with Failure msg -> error "%s" msg
+
+(* Method resolution through the (fid, pc) site cache.  Monomorphic entry
+   first, then the polymorphic table; a miss consults the repo's hierarchy
+   walk and installs the binding.  Unresolvable methods are not cached (the
+   caller raises and execution aborts). *)
+let resolve_method_cached t (site_arr : site array) pc cid nid =
+  match site_arr.(pc) with
+  | Meth mc when mc.m_cid = cid ->
+    t.stats.meth_hit_mono <- t.stats.meth_hit_mono + 1;
+    Some mc.m_fid
+  | Meth mc ->
+    let hit = if Array.length mc.m_poly = 0 then 0 else mc.m_poly.(cid) in
+    if hit > 0 then begin
+      t.stats.meth_hit_poly <- t.stats.meth_hit_poly + 1;
+      Some (hit - 1)
+    end
+    else begin
+      t.stats.meth_miss <- t.stats.meth_miss + 1;
+      match Hhbc.Repo.resolve_method t.repo cid nid with
+      | None -> None
+      | Some fid ->
+        if Array.length mc.m_poly = 0 then
+          mc.m_poly <- Array.make (Hhbc.Repo.n_classes t.repo) 0;
+        mc.m_poly.(cid) <- fid + 1;
+        Some fid
+    end
+  | No_cache | Prop _ -> (
+    t.stats.meth_miss <- t.stats.meth_miss + 1;
+    match Hhbc.Repo.resolve_method t.repo cid nid with
+    | None -> None
+    | Some fid ->
+      site_arr.(pc) <- Meth { m_cid = cid; m_fid = fid; m_poly = [||] };
+      Some fid)
+
+(* Property-slot resolution through the (fid, pc) site cache; a hit gives a
+   physical slot for the heap's direct get_slot/set_slot fast path. *)
+let resolve_slot_cached t (site_arr : site array) pc cid nid =
+  match site_arr.(pc) with
+  | Prop pr when pr.p_cid = cid ->
+    t.stats.prop_hit_mono <- t.stats.prop_hit_mono + 1;
+    Some pr.p_slot
+  | Prop pr ->
+    let hit = if Array.length pr.p_poly = 0 then 0 else pr.p_poly.(cid) in
+    if hit > 0 then begin
+      t.stats.prop_hit_poly <- t.stats.prop_hit_poly + 1;
+      Some (hit - 1)
+    end
+    else begin
+      t.stats.prop_miss <- t.stats.prop_miss + 1;
+      match Mh_runtime.Heap.slot_of t.heap cid nid with
+      | None -> None
+      | Some slot ->
+        if Array.length pr.p_poly = 0 then
+          pr.p_poly <- Array.make (Hhbc.Repo.n_classes t.repo) 0;
+        pr.p_poly.(cid) <- slot + 1;
+        Some slot
+    end
+  | No_cache | Meth _ -> (
+    t.stats.prop_miss <- t.stats.prop_miss + 1;
+    match Mh_runtime.Heap.slot_of t.heap cid nid with
+    | None -> None
+    | Some slot ->
+      site_arr.(pc) <- Prop { p_cid = cid; p_slot = slot; p_poly = [||] };
+      Some slot)
+
+(* Same runtime error the uncached heap path raises on an unknown property. *)
+let undefined_prop t cid nid =
+  error "undefined property %s::%s"
+    (Hhbc.Repo.cls t.repo cid).Hhbc.Class_def.name (Hhbc.Repo.name t.repo nid)
+
+(* Acquire the pooled frame for the current depth, sized for [n_locals]
+   zeroed locals; the operand stack keeps its grown capacity across calls. *)
+let acquire_frame t n_locals =
+  let idx = t.depth - 1 in
+  if idx >= Array.length t.frames then begin
+    let len = Array.length t.frames in
+    let grown =
+      Array.init (max 16 (2 * (idx + 1))) (fun i ->
+          if i < len then t.frames.(i)
+          else { locals = Array.make 8 V.Null; stack = stack_make () })
+    in
+    t.frames <- grown
+  end;
+  let fr = t.frames.(idx) in
+  let n = max 1 n_locals in
+  if Array.length fr.locals < n then begin
+    fr.locals <- Array.make n V.Null;
+    t.stats.frame_allocs <- t.stats.frame_allocs + 1
+  end
+  else begin
+    Array.fill fr.locals 0 n V.Null;
+    t.stats.frame_reuses <- t.stats.frame_reuses + 1
+  end;
+  fr.stack.sp <- 0;
+  fr
 
 let rec exec_func t fid ~this args =
   let f = Hhbc.Repo.func t.repo fid in
@@ -290,8 +687,9 @@ let rec exec_func t fid ~this args =
        | I.New (cid, n) ->
          let args = pop_n st n in
          let handle = Mh_runtime.Heap.alloc t.heap cid in
-         let ctor_nid = Hhbc.Repo.find_name t.repo "__construct" in
-         (match Option.bind ctor_nid (Hhbc.Repo.resolve_method t.repo cid) with
+         (* constructor ids are hoisted into the repo at load time; no
+            per-allocation name lookup or hierarchy walk *)
+         (match Hhbc.Repo.ctor_of t.repo cid with
          | Some ctor ->
            t.probes.Probes.on_call ~caller:fid ~site:i ~callee:ctor;
            ignore (exec_func t ctor ~this:(Some handle) args)
@@ -348,22 +746,29 @@ let rec exec_func t fid ~this args =
            Hashtbl.replace d (V.to_string kvs.(2 * k)) kvs.((2 * k) + 1)
          done;
          push st (V.Dict d)
+       (* dict ops convert the key to its string form exactly once per op
+          and use that one string for lookup, membership and write alike *)
        | I.DictGet -> (
          let key = pop st in
          match pop st with
          | V.Dict d ->
-           push st (match Hashtbl.find_opt d (V.to_string key) with Some v -> v | None -> V.Null)
+           let k = V.to_string key in
+           push st (match Hashtbl.find_opt d k with Some v -> v | None -> V.Null)
          | b -> error "DictGet on non-dict (%s)" (V.tag_to_string (V.tag b)))
        | I.DictSet -> (
          let v = pop st in
          let key = pop st in
          match pop st with
-         | V.Dict d -> Hashtbl.replace d (V.to_string key) v
+         | V.Dict d ->
+           let k = V.to_string key in
+           Hashtbl.replace d k v
          | b -> error "DictSet on non-dict (%s)" (V.tag_to_string (V.tag b)))
        | I.DictHas -> (
          let key = pop st in
          match pop st with
-         | V.Dict d -> push st (V.Bool (Hashtbl.mem d (V.to_string key)))
+         | V.Dict d ->
+           let k = V.to_string key in
+           push st (V.Bool (Hashtbl.mem d k))
          | b -> error "has() on non-dict (%s)" (V.tag_to_string (V.tag b)))
        | I.InstanceOf cid -> (
          match pop st with
@@ -387,13 +792,451 @@ let rec exec_func t fid ~this args =
   t.probes.Probes.on_func_exit fid;
   !result
 
-let call t fid args = exec_func t fid ~this:None (Array.of_list args)
+(* The cached execution loop.  Semantically identical to [exec_func] (same
+   results, same probe streams, same step/fuel accounting at every observable
+   point), restructured for speed:
+
+   - runs each basic block as a straight line using the precomputed
+     [block_limits] bound, so block-boundary probing happens once per block
+     entry instead of once per instruction;
+   - batches fuel/step accounting in locals ([rem] = fuel snapshot, [acc] =
+     instructions since last flush) and flushes to the engine fields before
+     anything that can observe them: probe callbacks, recursive calls, errors
+     and function exit.  The erroring instruction is counted (it decremented
+     [rem] before executing), the fuel-exhausting one is not (checked before
+     the decrement) — exactly the seed loop's accounting;
+   - dispatches CallMethod through the per-site method cache, GetProp/SetProp
+     through the per-site slot cache plus the heap's direct slot fast path;
+   - reuses pooled call frames (locals + operand stack) per call depth.
+
+   When the engine has no probes attached, probe firing (a no-op stream) and
+   the flushes that exist only to keep probe-visible state exact are skipped
+   entirely. *)
+let rec exec_fast t fid ~this args =
+  let f = Hhbc.Repo.func t.repo fid in
+  if Array.length args <> f.Hhbc.Func.n_params then
+    error "function %s expects %d arguments, got %d" f.Hhbc.Func.name f.Hhbc.Func.n_params
+      (Array.length args);
+  t.depth <- t.depth + 1;
+  if t.depth > max_depth then begin
+    t.depth <- t.depth - 1;
+    error "call stack overflow (depth > %d)" max_depth
+  end;
+  let has_probes = t.probes != Probes.none in
+  if has_probes then t.probes.Probes.on_func_entry fid;
+  let fr = acquire_frame t f.Hhbc.Func.n_locals in
+  let locals = fr.locals in
+  Array.blit args 0 locals 0 (Array.length args);
+  let st = fr.stack in
+  let tcode = translate t fid in
+  let bmap = block_map t fid in
+  let blim = block_limit t fid in
+  let site_arr = sites t fid (Array.length tcode) in
+  let result = ref V.Null in
+  let rem = ref t.fuel in
+  let acc = ref 0 in
+  let flush () =
+    t.fuel <- !rem;
+    t.steps <- t.steps + !acc;
+    t.func_steps.(fid) <- t.func_steps.(fid) + !acc;
+    acc := 0
+  in
+  let pc = ref 0 in
+  let prev_block = ref (-1) in
+  let refire = ref false in
+  (try
+     let running = ref true in
+     while !running do
+       let bstart = !pc in
+       if has_probes then begin
+         let bb = bmap.(bstart) in
+         if bb <> !prev_block || !refire then begin
+           flush ();
+           if !prev_block >= 0 then t.probes.Probes.on_arc fid ~src:!prev_block ~dst:bb;
+           t.probes.Probes.on_block fid bb;
+           prev_block := bb;
+           refire := false
+         end
+       end;
+       let limit = blim.(bstart) in
+       (* straight-line run to the block's end; [br] breaks out on a taken
+          jump so the next block entry goes through the probe check *)
+       let br = ref false in
+       while (not !br) && !running && !pc < limit do
+         let i = !pc in
+         if !rem <= 0 then begin
+           flush ();
+           error "interpreter fuel exhausted"
+         end;
+         rem := !rem - 1;
+         acc := !acc + 1;
+         pc := i + 1;
+         match tcode.(i) with
+         | TNop -> ()
+         | TPush v -> push st v
+         | TLitArr arr -> push st (V.Vec (ref (Array.copy arr)))
+         | TLoadLoc l -> push st locals.(l)
+         | TStoreLoc l -> locals.(l) <- pop st
+         | TPop -> ignore (pop st)
+         | TDup ->
+           let v = pop st in
+           push st v;
+           push st v
+         | TBinOp op ->
+           let b = pop st in
+           let a = pop st in
+           push st (binop_fast op a b)
+         | TUnOp op -> push st (unop op (pop st))
+         | TJmp target ->
+           pc := target;
+           if target < i then refire := true;
+           br := true
+         | TJmpZ target ->
+           if not (V.truthy (pop st)) then begin
+             pc := target;
+             if target < i then refire := true;
+             br := true
+           end
+         | TJmpNZ target ->
+           if V.truthy (pop st) then begin
+             pc := target;
+             if target < i then refire := true;
+             br := true
+           end
+         | TCall (callee, n) ->
+           let args = pop_n st n in
+           flush ();
+           if has_probes then t.probes.Probes.on_call ~caller:fid ~site:i ~callee;
+           push st (exec_fast t callee ~this:None args);
+           rem := t.fuel
+         | TCallMethod (nid, n) ->
+           let args = pop_n st n in
+           let recv = pop st in
+           (match recv with
+           | V.Obj handle -> (
+             let cid = Mh_runtime.Heap.class_of t.heap handle in
+             match resolve_method_cached t site_arr i cid nid with
+             | None ->
+               error "call to undefined method %s::%s"
+                 (Hhbc.Repo.cls t.repo cid).Hhbc.Class_def.name (Hhbc.Repo.name t.repo nid)
+             | Some callee ->
+               flush ();
+               if has_probes then t.probes.Probes.on_call ~caller:fid ~site:i ~callee;
+               push st (exec_fast t callee ~this:(Some handle) args);
+               rem := t.fuel)
+           | v -> error "method call on non-object (%s)" (V.tag_to_string (V.tag v)))
+         | TNew (cid, n) ->
+           let args = pop_n st n in
+           let handle = Mh_runtime.Heap.alloc t.heap cid in
+           (match Hhbc.Repo.ctor_of t.repo cid with
+           | Some ctor ->
+             flush ();
+             if has_probes then t.probes.Probes.on_call ~caller:fid ~site:i ~callee:ctor;
+             ignore (exec_fast t ctor ~this:(Some handle) args);
+             rem := t.fuel
+           | None ->
+             if n > 0 then
+               error "class %s has no constructor but %d arguments were given"
+                 (Hhbc.Repo.cls t.repo cid).Hhbc.Class_def.name n);
+           push st (V.Obj handle)
+         | TGetThis -> (
+           match this with
+           | Some handle -> push st (V.Obj handle)
+           | None -> error "$this used outside of a method call")
+         | TGetProp nid -> (
+           match pop st with
+           | V.Obj handle -> (
+             let cid = Mh_runtime.Heap.class_of t.heap handle in
+             match resolve_slot_cached t site_arr i cid nid with
+             | None -> undefined_prop t cid nid
+             | Some slot ->
+               if has_probes then begin
+                 flush ();
+                 t.probes.Probes.on_prop_access cid nid
+                   ~addr:(Mh_runtime.Heap.slot_addr t.heap handle slot)
+                   ~write:false
+               end;
+               push st (Mh_runtime.Heap.get_slot t.heap handle slot))
+           | v -> error "property access on non-object (%s)" (V.tag_to_string (V.tag v)))
+         | TSetProp nid -> (
+           let v = pop st in
+           match pop st with
+           | V.Obj handle -> (
+             let cid = Mh_runtime.Heap.class_of t.heap handle in
+             match resolve_slot_cached t site_arr i cid nid with
+             | None -> undefined_prop t cid nid
+             | Some slot ->
+               if has_probes then begin
+                 flush ();
+                 t.probes.Probes.on_prop_access cid nid
+                   ~addr:(Mh_runtime.Heap.slot_addr t.heap handle slot)
+                   ~write:true
+               end;
+               Mh_runtime.Heap.set_slot t.heap handle slot v)
+           | r -> error "property write on non-object (%s)" (V.tag_to_string (V.tag r)))
+         | TNewVec n -> push st (V.Vec (ref (pop_n st n)))
+         | TVecGet ->
+           let key = pop st in
+           let base = pop st in
+           push st (container_get t base key)
+         | TVecSet ->
+           let v = pop st in
+           let key = pop st in
+           let base = pop st in
+           container_set base key v
+         | TVecPush -> (
+           let v = pop st in
+           match pop st with
+           | V.Vec a -> a := Array.append !a [| v |]
+           | b -> error "push into non-vec (%s)" (V.tag_to_string (V.tag b)))
+         | TVecLen -> push st (vec_len (pop st))
+         | TNewDict n ->
+           let kvs = pop_n st (2 * n) in
+           let d = Hashtbl.create (max 4 n) in
+           for k = 0 to n - 1 do
+             Hashtbl.replace d (V.to_string kvs.(2 * k)) kvs.((2 * k) + 1)
+           done;
+           push st (V.Dict d)
+         | TDictGet -> (
+           let key = pop st in
+           match pop st with
+           | V.Dict d ->
+             let k = V.to_string key in
+             push st (match Hashtbl.find_opt d k with Some v -> v | None -> V.Null)
+           | b -> error "DictGet on non-dict (%s)" (V.tag_to_string (V.tag b)))
+         | TDictSet -> (
+           let v = pop st in
+           let key = pop st in
+           match pop st with
+           | V.Dict d ->
+             let k = V.to_string key in
+             Hashtbl.replace d k v
+           | b -> error "DictSet on non-dict (%s)" (V.tag_to_string (V.tag b)))
+         | TDictHas -> (
+           let key = pop st in
+           match pop st with
+           | V.Dict d ->
+             let k = V.to_string key in
+             push st (V.Bool (Hashtbl.mem d k))
+           | b -> error "has() on non-dict (%s)" (V.tag_to_string (V.tag b)))
+         | TInstanceOf cid -> (
+           match pop st with
+           | V.Obj handle ->
+             let actual = Mh_runtime.Heap.class_of t.heap handle in
+             push st (V.Bool (Hhbc.Repo.is_ancestor t.repo ~ancestor:cid ~cls:actual))
+           | _ -> push st (V.Bool false))
+         | TCast tag -> push st (cast tag (pop st))
+         | TPrint -> Buffer.add_string t.out (V.to_string (pop st))
+         | TRet ->
+           result := pop st;
+           running := false
+         (* --- superinstructions ---
+            Each charges the exact step/fuel cost of the w source
+            instructions it replaces.  The loop header above already consumed
+            one unit for the first component, so an arm of width w needs
+            w - 1 more; when fewer remain, it counts exactly the components
+            the remaining fuel covers (running any binop that would have
+            executed — and possibly raised — before the fuel ran out) and
+            reports exhaustion, matching the uncached loop step for step. *)
+         | TLLB (a, b, op) ->
+           if !rem < 2 then begin
+             acc := !acc + !rem;
+             rem := 0;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 2;
+           acc := !acc + 2;
+           pc := i + 3;
+           push st (binop_fast op locals.(a) locals.(b))
+         | TLVB (a, v, op) ->
+           if !rem < 2 then begin
+             acc := !acc + !rem;
+             rem := 0;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 2;
+           acc := !acc + 2;
+           pc := i + 3;
+           push st (binop_fast op locals.(a) v)
+         | TVLB (v, b, op) ->
+           if !rem < 2 then begin
+             acc := !acc + !rem;
+             rem := 0;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 2;
+           acc := !acc + 2;
+           pc := i + 3;
+           push st (binop_fast op v locals.(b))
+         | TLLBS (a, b, op, c) ->
+           if !rem < 3 then begin
+             if !rem = 2 then begin
+               acc := !acc + 2;
+               rem := 0;
+               ignore (binop_fast op locals.(a) locals.(b))
+             end
+             else begin
+               acc := !acc + !rem;
+               rem := 0
+             end;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 3;
+           acc := !acc + 3;
+           pc := i + 4;
+           let r =
+             try binop_fast op locals.(a) locals.(b)
+             with e ->
+               (* the store after the raising binop never executed *)
+               acc := !acc - 1;
+               rem := !rem + 1;
+               raise e
+           in
+           locals.(c) <- r
+         | TLVBS (a, v, op, c) ->
+           if !rem < 3 then begin
+             if !rem = 2 then begin
+               acc := !acc + 2;
+               rem := 0;
+               ignore (binop_fast op locals.(a) v)
+             end
+             else begin
+               acc := !acc + !rem;
+               rem := 0
+             end;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 3;
+           acc := !acc + 3;
+           pc := i + 4;
+           let r =
+             try binop_fast op locals.(a) v
+             with e ->
+               acc := !acc - 1;
+               rem := !rem + 1;
+               raise e
+           in
+           locals.(c) <- r
+         | TVLBS (v, b, op, c) ->
+           if !rem < 3 then begin
+             if !rem = 2 then begin
+               acc := !acc + 2;
+               rem := 0;
+               ignore (binop_fast op v locals.(b))
+             end
+             else begin
+               acc := !acc + !rem;
+               rem := 0
+             end;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 3;
+           acc := !acc + 3;
+           pc := i + 4;
+           let r =
+             try binop_fast op v locals.(b)
+             with e ->
+               acc := !acc - 1;
+               rem := !rem + 1;
+               raise e
+           in
+           locals.(c) <- r
+         | TLLBZ (a, b, op, target) ->
+           if !rem < 3 then begin
+             if !rem = 2 then begin
+               acc := !acc + 2;
+               rem := 0;
+               ignore (binop_fast op locals.(a) locals.(b))
+             end
+             else begin
+               acc := !acc + !rem;
+               rem := 0
+             end;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 3;
+           acc := !acc + 3;
+           pc := i + 4;
+           let r =
+             try binop_fast op locals.(a) locals.(b)
+             with e ->
+               acc := !acc - 1;
+               rem := !rem + 1;
+               raise e
+           in
+           if not (V.truthy r) then begin
+             pc := target;
+             (* the JmpZ lives at i + 3 *)
+             if target < i + 3 then refire := true;
+             br := true
+           end
+         | TLVBZ (a, v, op, target) ->
+           if !rem < 3 then begin
+             if !rem = 2 then begin
+               acc := !acc + 2;
+               rem := 0;
+               ignore (binop_fast op locals.(a) v)
+             end
+             else begin
+               acc := !acc + !rem;
+               rem := 0
+             end;
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 3;
+           acc := !acc + 3;
+           pc := i + 4;
+           let r =
+             try binop_fast op locals.(a) v
+             with e ->
+               acc := !acc - 1;
+               rem := !rem + 1;
+               raise e
+           in
+           if not (V.truthy r) then begin
+             pc := target;
+             if target < i + 3 then refire := true;
+             br := true
+           end
+         | TLRet a ->
+           if !rem < 1 then begin
+             flush ();
+             error "interpreter fuel exhausted"
+           end;
+           rem := !rem - 1;
+           acc := !acc + 1;
+           result := locals.(a);
+           running := false
+       done
+     done
+   with e ->
+     if !acc > 0 then flush ();
+     t.depth <- t.depth - 1;
+     if has_probes then t.probes.Probes.on_func_exit fid;
+     raise e);
+  flush ();
+  t.depth <- t.depth - 1;
+  if has_probes then t.probes.Probes.on_func_exit fid;
+  !result
+
+let enter t fid ~this args =
+  if t.inline_cache then exec_fast t fid ~this args else exec_func t fid ~this args
+
+let call t fid args = enter t fid ~this:None (Array.of_list args)
 
 let call_method t handle nid args =
   let cid = Mh_runtime.Heap.class_of t.heap handle in
   match Hhbc.Repo.resolve_method t.repo cid nid with
   | None -> error "undefined method (n%d) on class c%d" nid cid
-  | Some fid -> exec_func t fid ~this:(Some handle) (Array.of_list args)
+  | Some fid -> enter t fid ~this:(Some handle) (Array.of_list args)
 
 let run_main t =
   match Hhbc.Repo.find_func_by_name t.repo "main" with

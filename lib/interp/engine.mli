@@ -13,11 +13,44 @@ exception Runtime_error of string
 
 type t
 
-(** [create ?probes ?fuel repo heap] makes an interpreter.  [fuel] bounds
-    the total number of executed instructions (default: 200 million);
-    exceeding it raises {!Runtime_error}, protecting tests and simulations
-    against non-terminating generated programs. *)
-val create : ?probes:Probes.t -> ?fuel:int -> Hhbc.Repo.t -> Mh_runtime.Heap.t -> t
+(** Inline-cache and frame-pool effectiveness counters, live-updated.
+    Method-call sites distinguish monomorphic hits (receiver class matches
+    the site's single cached entry) from polymorphic-table hits; property
+    sites likewise.  A miss is a full repo/layout lookup that installed a
+    new cache binding. *)
+type cache_stats = {
+  mutable meth_hit_mono : int;
+  mutable meth_hit_poly : int;
+  mutable meth_miss : int;
+  mutable prop_hit_mono : int;
+  mutable prop_hit_poly : int;
+  mutable prop_miss : int;
+  mutable frame_reuses : int;
+  mutable frame_allocs : int;
+}
+
+(** [create ?probes ?fuel ?inline_cache repo heap] makes an interpreter.
+    [fuel] bounds the total number of executed instructions (default: 200
+    million); exceeding it raises {!Runtime_error}, protecting tests and
+    simulations against non-terminating generated programs.
+
+    [inline_cache] (default [true]) enables HHVM-style per-call-site
+    dispatch caches: a monomorphic-with-polymorphic-fallback method cache at
+    each [CallMethod] site, a [(class id -> physical slot)] cache at each
+    [GetProp]/[SetProp] site, precomputed block maps, and call-frame/operand-
+    stack reuse across invocations.  The caches memoize pure lookups over
+    immutable repo/layout tables, so results, probe streams and step counts
+    are identical with caching on or off — [~inline_cache:false] is the
+    [--no-inline-cache] escape hatch for A/B measurements. *)
+val create :
+  ?probes:Probes.t -> ?fuel:int -> ?inline_cache:bool -> Hhbc.Repo.t -> Mh_runtime.Heap.t -> t
+
+(** Process-wide default for {!create}'s [?inline_cache] (initially [true]).
+    Layers that construct engines internally (cluster/fleet simulations)
+    inherit this, so a whole-stack A/B — e.g. checking that fleet telemetry
+    is byte-identical with caching on and off — only needs to flip this ref.
+    The [--no-inline-cache] CLI flag sets it to [false]. *)
+val default_inline_cache : bool ref
 
 val repo : t -> Hhbc.Repo.t
 val heap : t -> Mh_runtime.Heap.t
@@ -33,6 +66,14 @@ val func_steps : t -> int array
 val output : t -> string
 
 val clear_output : t -> unit
+
+(** The engine's live inline-cache counters (all zero when the engine was
+    created with [~inline_cache:false]). *)
+val cache_stats : t -> cache_stats
+
+(** The same counters as telemetry-ready [("interp.cache.*", value)] pairs,
+    for {!Js_telemetry.import_counters}-style bulk export. *)
+val cache_counters : t -> (string * int) list
 
 (** [call t fid args] invokes a top-level function.
     @raise Runtime_error on dynamic errors. *)

@@ -78,6 +78,9 @@ let base_addr t handle = (obj t handle).addr
 let get_slot t handle slot = (obj t handle).slots.(slot)
 let set_slot t handle slot v = (obj t handle).slots.(slot) <- v
 
+let slot_of t cid nid = Class_layout.slot_opt t.layouts cid nid
+let slot_addr t handle slot = (obj t handle).addr + header_bytes + (slot * slot_bytes)
+
 let props_in_decl_order t handle =
   let o = obj t handle in
   let layout = t.layouts.(o.cls) in

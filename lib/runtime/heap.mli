@@ -55,6 +55,16 @@ val get_slot : t -> int -> int -> Hhbc.Value.t
 
 val set_slot : t -> int -> int -> Hhbc.Value.t -> unit
 
+(** [slot_of t cid nid] resolves a property name to its physical slot under
+    this heap's layout table — the lookup the interpreter's inline property
+    caches burn in per call site ([(class_id -> slot)]), after which all
+    accesses go through the direct {!get_slot}/{!set_slot} fast path. *)
+val slot_of : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int option
+
+(** [slot_addr t handle slot] is the simulated byte address of physical slot
+    [slot]; equals {!prop_addr} of the name mapping to that slot. *)
+val slot_addr : t -> int -> int -> int
+
 (** [props_in_decl_order t handle] lists (name, value) pairs in source
     declared order — the observable order the reordering map preserves. *)
 val props_in_decl_order : t -> int -> (Hhbc.Instr.nid * Hhbc.Value.t) list

@@ -71,6 +71,8 @@ let sorted_bindings tbl f =
 
 let counters t = sorted_bindings t.cnt (fun r -> !r)
 
+let import_counters t pairs = List.iter (fun (name, v) -> incr ~by:v t name) pairs
+
 let set_gauge t name v =
   match Hashtbl.find_opt t.gge name with
   | Some r -> r := v
@@ -278,6 +280,127 @@ let json_event buf ev =
     json_obj buf [ ("type", str "span"); ("name", str name); ("start", flt start); ("dur", flt dur) ]
   | Mark { name; detail } ->
     json_obj buf [ ("type", str "mark"); ("name", str name); ("detail", str detail) ]
+
+(* Shared by the test suite (exporter validity) and the bench harness
+   (validating emitted BENCH_*.json files); there is no JSON library in the
+   tree. *)
+module Json = struct
+  (* the registry's [incr] shadows the stdlib one in this file *)
+  let incr = Stdlib.incr
+
+  let parses (s : string) : bool =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        incr pos
+      done
+    in
+    let fail () = raise Exit in
+    let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> str ()
+      | Some 't' -> lit "true"
+      | Some 'f' -> lit "false"
+      | Some 'n' -> lit "null"
+      | Some ('-' | '0' .. '9') -> num ()
+      | _ -> fail ()
+    and lit word = String.iter (fun c -> expect c) word
+    and num () =
+      if peek () = Some '-' then incr pos;
+      let digits () =
+        let start = !pos in
+        while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        if !pos = start then fail ()
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        incr pos;
+        digits ()
+      end;
+      match peek () with
+      | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+      | _ -> ()
+    and str () =
+      expect '"';
+      let rec go () =
+        if !pos >= n then fail ();
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
+          | Some 'u' ->
+            incr pos;
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
+              | _ -> fail ()
+            done
+          | _ -> fail ());
+          go ()
+        | c when Char.code c < 0x20 -> fail ()
+        | _ ->
+          incr pos;
+          go ()
+      in
+      go ()
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then incr pos
+      else
+        let rec members () =
+          skip_ws ();
+          str ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ()
+          | Some '}' -> incr pos
+          | _ -> fail ()
+        in
+        members ()
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then incr pos
+      else
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements ()
+          | Some ']' -> incr pos
+          | _ -> fail ()
+        in
+        elements ()
+    in
+    match
+      value ();
+      skip_ws ();
+      !pos = n
+    with
+    | ok -> ok
+    | exception Exit -> false
+end
 
 let to_json t =
   let buf = Buffer.create 4096 in

@@ -68,6 +68,12 @@ val counter : t -> string -> int
 (** All counters, sorted by name. *)
 val counters : t -> (string * int) list
 
+(** [import_counters t pairs] bulk-adds [(name, delta)] pairs into the
+    counter registry — the bridge for subsystems that keep their own cheap
+    local counters (e.g. the interpreter's inline-cache hit/miss stats) and
+    flush them into a sink at a reporting boundary. *)
+val import_counters : t -> (string * int) list -> unit
+
 val set_gauge : t -> string -> float -> unit
 val gauge : t -> string -> float option
 
@@ -128,3 +134,12 @@ val pp_text : Format.formatter -> t -> unit
 (** The whole sink as a self-contained JSON document (object keys sorted,
     events in buffer order — deterministic for a deterministic run). *)
 val to_json : t -> string
+
+(** A dependency-free JSON validity checker (there is no JSON library in the
+    tree), shared by the test suite and the bench harness's emitted-file
+    validation. *)
+module Json : sig
+  (** [parses s] is true iff [s] is one well-formed JSON value with nothing
+      trailing. *)
+  val parses : string -> bool
+end

@@ -216,6 +216,103 @@ let test_prop_probe_addresses () =
   let distinct = List.sort_uniq compare (List.map fst !addrs) in
   Alcotest.(check int) "two distinct slots" 2 (List.length distinct)
 
+(* --- inline caches --- *)
+
+(* Two classes flowing through the SAME CallMethod pc: the first receiver
+   installs the monomorphic entry, the second forces the polymorphic table,
+   and from then on A hits mono while B hits poly.  4 iterations of
+   (go($a); go($b)) → 2 misses, 3 mono hits, 3 poly hits. *)
+let test_polymorphic_call_site () =
+  let engine, result =
+    run
+      {|class A { method m() { return 1; } }
+        class B { method m() { return 2; } }
+        function go($o) { return $o->m(); }
+        function main() {
+          $a = new A(); $b = new B(); $s = 0;
+          for ($i = 0; $i < 4; $i = $i + 1) { $s = $s + go($a) + go($b); }
+          return $s;
+        }|}
+  in
+  Alcotest.(check bool) "dispatch correct under sharing" true (result = V.Int 12);
+  let s = Interp.Engine.cache_stats engine in
+  Alcotest.(check int) "meth misses" 2 s.Interp.Engine.meth_miss;
+  Alcotest.(check int) "meth mono hits" 3 s.Interp.Engine.meth_hit_mono;
+  Alcotest.(check int) "meth poly hits" 3 s.Interp.Engine.meth_hit_poly
+
+let test_monomorphic_call_site () =
+  let engine, result =
+    run
+      {|class A { method m() { return 7; } }
+        function main() {
+          $a = new A(); $s = 0;
+          for ($i = 0; $i < 5; $i = $i + 1) { $s = $s + $a->m(); }
+          return $s;
+        }|}
+  in
+  Alcotest.(check bool) "result" true (result = V.Int 35);
+  let s = Interp.Engine.cache_stats engine in
+  Alcotest.(check int) "one miss installs the site" 1 s.Interp.Engine.meth_miss;
+  Alcotest.(check int) "rest are mono hits" 4 s.Interp.Engine.meth_hit_mono;
+  Alcotest.(check int) "never polymorphic" 0 s.Interp.Engine.meth_hit_poly
+
+let test_polymorphic_prop_site () =
+  (* same shape for property slots: one GetProp pc shared by two classes
+     whose $x lives at (potentially) different physical slots *)
+  let engine, result =
+    run
+      {|class A { prop $x = 1; }
+        class B { prop $pad = 0; prop $x = 2; }
+        function rd($o) { return $o->x; }
+        function main() {
+          $a = new A(); $b = new B(); $s = 0;
+          for ($i = 0; $i < 3; $i = $i + 1) { $s = $s + rd($a) + rd($b); }
+          return $s;
+        }|}
+  in
+  Alcotest.(check bool) "reads correct under sharing" true (result = V.Int 9);
+  let s = Interp.Engine.cache_stats engine in
+  Alcotest.(check int) "prop misses" 2 s.Interp.Engine.prop_miss;
+  Alcotest.(check int) "prop mono hits" 2 s.Interp.Engine.prop_hit_mono;
+  Alcotest.(check int) "prop poly hits" 2 s.Interp.Engine.prop_hit_poly
+
+let test_undefined_method_after_cache_install () =
+  (* a site gone polymorphic must still raise on a receiver with no such
+     method, not serve a stale entry *)
+  expect_runtime_error
+    {|class A { method m() { return 1; } }
+      class B { }
+      function go($o) { return $o->m(); }
+      function main() { $a = new A(); go($a); go($a); $b = new B(); return go($b); }|}
+
+let test_inline_cache_off_is_identical () =
+  let src =
+    {|class A { prop $x = 1; method bump() { $this->x = $this->x + 1; return $this->x; } }
+      function main() {
+        $a = new A(); $s = "";
+        for ($i = 0; $i < 4; $i = $i + 1) { $s = $s . $a->bump() . ","; echo $s; }
+        return $s;
+      }|}
+  in
+  let run_with inline_cache =
+    let repo, heap = setup src in
+    let engine = Interp.Engine.create ~inline_cache repo heap in
+    let result = Interp.Engine.run_main engine in
+    ( result,
+      Interp.Engine.output engine,
+      Interp.Engine.steps engine,
+      Array.copy (Interp.Engine.func_steps engine) )
+  in
+  let cached = run_with true and uncached = run_with false in
+  Alcotest.(check bool) "result/output/steps identical" true (cached = uncached);
+  let repo, heap = setup src in
+  let off = Interp.Engine.create ~inline_cache:false repo heap in
+  ignore (Interp.Engine.run_main off);
+  let s = Interp.Engine.cache_stats off in
+  Alcotest.(check int) "uncached engine never consults caches" 0
+    (s.Interp.Engine.meth_hit_mono + s.Interp.Engine.meth_hit_poly + s.Interp.Engine.meth_miss
+    + s.Interp.Engine.prop_hit_mono + s.Interp.Engine.prop_hit_poly + s.Interp.Engine.prop_miss)
+
 let () =
   Alcotest.run "interp"
     [ ( "scalars",
@@ -249,5 +346,13 @@ let () =
           Alcotest.test_case "calls" `Quick test_call_probes;
           Alcotest.test_case "entry/exit balance" `Quick test_func_exit_probe_balances;
           Alcotest.test_case "prop addresses" `Quick test_prop_probe_addresses
+        ] );
+      ( "inline caches",
+        [ Alcotest.test_case "polymorphic call site" `Quick test_polymorphic_call_site;
+          Alcotest.test_case "monomorphic call site" `Quick test_monomorphic_call_site;
+          Alcotest.test_case "polymorphic prop site" `Quick test_polymorphic_prop_site;
+          Alcotest.test_case "miss after install raises" `Quick
+            test_undefined_method_after_cache_install;
+          Alcotest.test_case "cache off identical" `Quick test_inline_cache_off_is_identical
         ] )
     ]

@@ -292,6 +292,59 @@ let prop_interp_deterministic =
       run_requests ~probes:Interp.Probes.none ~seed ~n:6
       = run_requests ~probes:Interp.Probes.none ~seed ~n:6)
 
+(* The tentpole invariant of the inline-cache fast path: caching is pure
+   memoization, so a cached run of ANY generated program must be
+   observationally identical to the uncached reference loop — same request
+   results, same echo output, same global and per-function instruction
+   counts, and the same ordered stream of block/arc/call/entry/exit/prop
+   probe events. *)
+type probe_event =
+  | Block of int * int
+  | Arc of int * int * int
+  | Call_site of int * int * int
+  | Entry of int
+  | Exit of int
+  | Prop of int * int * int * bool
+
+let trace_requests app ~inline_cache ~seed ~n =
+  let repo = app.Workload.Codegen.repo in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  let events = ref [] in
+  let probes =
+    {
+      Interp.Probes.on_block = (fun fid bb -> events := Block (fid, bb) :: !events);
+      on_arc = (fun fid ~src ~dst -> events := Arc (fid, src, dst) :: !events);
+      on_call =
+        (fun ~caller ~site ~callee -> events := Call_site (caller, site, callee) :: !events);
+      on_func_entry = (fun fid -> events := Entry fid :: !events);
+      on_func_exit = (fun fid -> events := Exit fid :: !events);
+      on_prop_access =
+        (fun cid nid ~addr ~write -> events := Prop (cid, nid, addr, write) :: !events);
+    }
+  in
+  let engine =
+    Interp.Engine.create ~probes ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
+  in
+  let rng = Js_util.Rng.create seed in
+  let mix = Workload.Request.uniform_mix app in
+  let results =
+    List.init n (fun _ -> Workload.Request.invoke engine app (Workload.Request.sample rng mix))
+  in
+  ( results,
+    Interp.Engine.output engine,
+    Interp.Engine.steps engine,
+    Array.copy (Interp.Engine.func_steps engine),
+    List.rev !events )
+
+let prop_inline_cache_transparent =
+  QCheck.Test.make ~name:"inline caches are observationally invisible" ~count:6
+    QCheck.(pair (int_range 1 500) small_nat)
+    (fun (app_seed, seed) ->
+      let spec = { Workload.App_spec.tiny with Workload.App_spec.seed = app_seed } in
+      let app = Workload.Codegen.generate spec in
+      trace_requests app ~inline_cache:true ~seed ~n:5
+      = trace_requests app ~inline_cache:false ~seed ~n:5)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -310,7 +363,8 @@ let () =
       ( "vm invariants",
         q
           [ prop_probes_preserve_semantics; prop_reordered_layout_preserves_semantics;
-            prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic
+            prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic;
+            prop_inline_cache_transparent
           ] );
       ("reliability", q [ prop_all_corrupt_store_falls_back ])
     ]

@@ -3,113 +3,10 @@
 
 module T = Js_telemetry
 
-(* --- a tiny JSON validator (no JSON library in the tree): checks that a
-   document is a single well-formed value with nothing trailing --- *)
+(* JSON validity checking is shared with the bench harness; the parser lives
+   in Js_telemetry.Json. *)
 
-let json_parses (s : string) : bool =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      incr pos
-    done
-  in
-  let fail () = raise Exit in
-  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail () in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> str ()
-    | Some 't' -> lit "true"
-    | Some 'f' -> lit "false"
-    | Some 'n' -> lit "null"
-    | Some ('-' | '0' .. '9') -> num ()
-    | _ -> fail ()
-  and lit word =
-    String.iter (fun c -> expect c) word
-  and num () =
-    if peek () = Some '-' then incr pos;
-    let digits () =
-      let start = !pos in
-      while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
-        incr pos
-      done;
-      if !pos = start then fail ()
-    in
-    digits ();
-    if peek () = Some '.' then begin incr pos; digits () end;
-    (match peek () with
-    | Some ('e' | 'E') ->
-      incr pos;
-      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
-      digits ()
-    | _ -> ())
-  and str () =
-    expect '"';
-    let rec go () =
-      if !pos >= n then fail ();
-      match s.[!pos] with
-      | '"' -> incr pos
-      | '\\' ->
-        incr pos;
-        (match peek () with
-        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> incr pos
-        | Some 'u' ->
-          incr pos;
-          for _ = 1 to 4 do
-            (match peek () with
-            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> incr pos
-            | _ -> fail ())
-          done
-        | _ -> fail ());
-        go ()
-      | c when Char.code c < 0x20 -> fail ()
-      | _ -> incr pos; go ()
-    in
-    go ()
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then incr pos
-    else
-      let rec members () =
-        skip_ws ();
-        str ();
-        skip_ws ();
-        expect ':';
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos; members ()
-        | Some '}' -> incr pos
-        | _ -> fail ()
-      in
-      members ()
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then incr pos
-    else
-      let rec elements () =
-        value ();
-        skip_ws ();
-        match peek () with
-        | Some ',' -> incr pos; elements ()
-        | Some ']' -> incr pos
-        | _ -> fail ()
-      in
-      elements ()
-  in
-  match
-    value ();
-    skip_ws ();
-    !pos = n
-  with
-  | ok -> ok
-  | exception Exit -> false
+let json_parses = T.Json.parses
 
 (* --- registry --- *)
 
