@@ -8,6 +8,15 @@ cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
+
+# Static verification gate: every example program and the synthetic
+# codegen app must pass the bytecode verifier with zero error-severity
+# diagnostics (the verify subcommand exits 3 otherwise).
+for f in examples/*.mh; do
+  dune exec bin/minihack_run.exe -- verify "$f" > /dev/null
+done
+dune exec bin/minihack_run.exe -- verify --codegen tiny > /dev/null
+
 dune exec bench/main.exe -- fig4b
 dune exec bench/main.exe -- perf --quick
 test -s BENCH_interp.quick.json

@@ -66,8 +66,15 @@ let push_term, push_cmd =
   let validation =
     Arg.(value & opt float 0.95 & info [ "validation" ] ~docv:"P" ~doc:"validation catch rate")
   in
+  let verifier =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "verifier-catch-rate" ] ~docv:"P"
+          ~doc:"static-verifier catch rate for bad packages (independent second gate; 0 = off)")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed") in
-  let action servers seeders bad_rate validation minutes seed telemetry_fmt =
+  let action servers seeders bad_rate validation verifier minutes seed telemetry_fmt =
     let app =
       Workload.Macro_app.generate
         { Workload.Macro_app.default_params with
@@ -80,7 +87,8 @@ let push_term, push_cmd =
       { Cluster.Fleet.default_config with
         Cluster.Fleet.n_servers = servers;
         seeders_per_bucket = seeders;
-        validation_catch_rate = validation
+        validation_catch_rate = validation;
+        verifier_catch_rate = verifier
       }
     in
     let tel =
@@ -114,7 +122,9 @@ let push_term, push_cmd =
       | _ -> ())
   in
   let term =
-    Term.(const action $ servers $ seeders $ bad_rate $ validation $ minutes_arg $ seed $ telemetry_arg)
+    Term.(
+      const action $ servers $ seeders $ bad_rate $ validation $ verifier $ minutes_arg $ seed
+      $ telemetry_arg)
   in
   ( term,
     Cmd.v

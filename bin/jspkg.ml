@@ -8,6 +8,7 @@
 
      dune exec bin/jspkg.exe -- collect prog.mh -o prog.jspkg [--runs N]
      dune exec bin/jspkg.exe -- inspect prog.jspkg prog.mh
+     dune exec bin/jspkg.exe -- verify  prog.jspkg prog.mh
      dune exec bin/jspkg.exe -- replay  prog.jspkg prog.mh
 *)
 
@@ -113,6 +114,29 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"decode a package against a program's repo and summarize it")
     Term.(const action $ package_pos 0 $ source_pos 1)
 
+let verify_cmd =
+  let action pkg_path src_path =
+    with_errors (fun () ->
+        let repo = load_repo src_path in
+        match JS.Package.of_bytes repo (read_file pkg_path) with
+        | Error msg ->
+          Printf.eprintf "invalid package: %s\n" msg;
+          exit 3
+        | Ok p ->
+          let diags = JS.Package_check.check repo p in
+          List.iter (fun d -> print_endline (Js_analysis.Diag.to_string d)) diags;
+          let errors = List.length (Js_analysis.Diag.errors diags) in
+          let warnings = List.length diags - errors in
+          Printf.printf "%s against %s: %d errors, %d warnings\n" pkg_path src_path errors warnings;
+          if errors > 0 then exit 4)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "decode a package (exit 3 on framing/decode damage) and run the profile-consistency pass \
+          against a program's repo (exit 4 on error diagnostics)")
+    Term.(const action $ package_pos 0 $ source_pos 1)
+
 let replay_cmd =
   let action pkg_path src_path =
     with_errors (fun () ->
@@ -152,4 +176,4 @@ let replay_cmd =
 
 let () =
   let info = Cmd.info "jspkg" ~doc:"save, inspect and replay Jump-Start profile packages" in
-  exit (Cmd.eval (Cmd.group info [ collect_cmd; inspect_cmd; replay_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ collect_cmd; inspect_cmd; verify_cmd; replay_cmd ]))

@@ -1,8 +1,10 @@
-(* minihack_run: run, inspect or profile a minihack source file.
+(* minihack_run: run, inspect, profile or verify a minihack source file.
 
      dune exec bin/minihack_run.exe -- run FILE [--profile]
      dune exec bin/minihack_run.exe -- dump FILE [--ast|--bytecode]
      dune exec bin/minihack_run.exe -- fmt FILE
+     dune exec bin/minihack_run.exe -- verify FILE
+     dune exec bin/minihack_run.exe -- verify --codegen tiny
 *)
 
 open Cmdliner
@@ -93,6 +95,42 @@ let fmt_cmd =
   in
   Cmd.v (Cmd.info "fmt" ~doc:"reformat a source file to stdout") Term.(const action $ file_arg)
 
+let verify_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minihack source file")
+  in
+  let codegen =
+    Arg.(
+      value
+      & opt (some (enum [ ("tiny", Workload.App_spec.tiny); ("default", Workload.App_spec.default) ])) None
+      & info [ "codegen" ] ~docv:"SPEC"
+          ~doc:"verify a generated synthetic app (tiny or default) instead of a source file")
+  in
+  let action path codegen =
+    with_errors (fun () ->
+        let what, repo =
+          match (codegen, path) with
+          | Some spec, _ -> ("generated app", (Workload.Codegen.generate spec).Workload.Codegen.repo)
+          | None, Some path -> (path, Minihack.Compile.compile_source ~path (read_file path))
+          | None, None ->
+            Printf.eprintf "error: verify needs a FILE argument or --codegen\n";
+            exit 1
+        in
+        let diags = Js_analysis.Verify.check_repo repo in
+        List.iter (fun d -> print_endline (Js_analysis.Diag.to_string d)) diags;
+        let errors = List.length (Js_analysis.Diag.errors diags) in
+        let warnings = List.length diags - errors in
+        Printf.printf "%s: verified %d functions: %d errors, %d warnings\n" what
+          (Hhbc.Repo.n_funcs repo) errors warnings;
+        if errors > 0 then exit 3)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "statically verify every compiled function body (stack depth, jump targets, locals, repo \
+          links); exits 3 on error diagnostics")
+    Term.(const action $ file $ codegen)
+
 let () =
   let info = Cmd.info "minihack" ~doc:"the minihack language tool of the Jump-Start reproduction" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; fmt_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; dump_cmd; fmt_cmd; verify_cmd ]))

@@ -6,6 +6,7 @@ type config = {
   seeders_per_bucket : int;
   server : Server.config;
   validation_catch_rate : float;
+  verifier_catch_rate : float;
   max_boot_attempts : int;
   fallback_enabled : bool;
   max_seeder_retries : int;
@@ -18,6 +19,7 @@ let default_config =
     seeders_per_bucket = 3;
     server = Server.default_config;
     validation_catch_rate = 0.95;
+    verifier_catch_rate = 0.0;
     max_boot_attempts = 3;
     fallback_enabled = true;
     max_seeder_retries = 4;
@@ -26,6 +28,7 @@ let default_config =
 type stats = {
   packages_published : int;
   packages_rejected : int;
+  verifier_rejects : int;
   bad_packages_published : int;
   crashes : (float * int) list;
   fallbacks : int;
@@ -49,6 +52,7 @@ type member = {
 let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
   let published : (int, Server.package list ref) Hashtbl.t = Hashtbl.create 16 in
   let n_published = ref 0 and n_rejected = ref 0 and n_bad_published = ref 0 in
+  let n_verifier_rejects = ref 0 in
   for bucket = 0 to config.n_buckets - 1 do
     let bucket_packages = ref [] in
     Hashtbl.replace published bucket bucket_packages;
@@ -68,8 +72,17 @@ let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
           let rejected_by_coverage = quality < 0.6 in
           (* §VI-A.1 self-validation: bad packages are usually caught *)
           let rejected_by_validation = bad && R.bool rng config.validation_catch_rate in
-          if rejected_by_coverage || rejected_by_validation then begin
+          (* §VI-A static verifier: an independent consistency pass over the
+             round-tripped package.  The rate check comes first so the
+             default (0.0, verifier off) consumes no randomness and leaves
+             every existing seeded simulation byte-identical. *)
+          let rejected_by_verifier =
+            config.verifier_catch_rate > 0. && bad && R.bool rng config.verifier_catch_rate
+          in
+          if rejected_by_coverage || rejected_by_validation || rejected_by_verifier then begin
             incr n_rejected;
+            if rejected_by_verifier && not (rejected_by_coverage || rejected_by_validation) then
+              incr n_verifier_rejects;
             attempt (k + 1)
           end
           else begin
@@ -83,7 +96,7 @@ let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
       attempt 0
     done
   done;
-  (published, !n_published, !n_rejected, !n_bad_published)
+  (published, !n_published, !n_rejected, !n_verifier_rejects, !n_bad_published)
 
 let pick_package rng packages =
   match !packages with
@@ -102,7 +115,7 @@ let forced_seeding config app ~bad_per_bucket =
     in
     Hashtbl.replace published bucket (ref packages)
   done;
-  (published, config.n_buckets * n, 0, config.n_buckets * bad_n)
+  (published, config.n_buckets * n, 0, 0, config.n_buckets * bad_n)
 
 let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package_rate
     ~thin_profile_rate ~duration =
@@ -112,14 +125,16 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
     | None -> ()
   in
   let rng = R.create seed in
-  let published, n_published, n_rejected, n_bad_published =
+  let published, n_published, n_rejected, n_verifier_rejects, n_bad_published =
     match force_bad_per_bucket with
     | Some bad_per_bucket -> forced_seeding config app ~bad_per_bucket
     | None -> run_seeders config app rng ~bad_package_rate ~thin_profile_rate
   in
   tel (fun t ->
       Js_telemetry.incr t ~by:n_published "fleet.packages_published";
-      Js_telemetry.incr t ~by:n_rejected "fleet.packages_rejected");
+      Js_telemetry.incr t ~by:n_rejected "fleet.packages_rejected";
+      if n_verifier_rejects > 0 then
+        Js_telemetry.incr t ~by:n_verifier_rejects "fleet.verifier_rejects");
   let fallbacks = ref 0 and jump_started = ref 0 in
   let boot_member ~ix ~bucket ~seed_base ~attempts ~at =
     let source = Printf.sprintf "server.%d" ix in
@@ -219,6 +234,7 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
   {
     packages_published = n_published;
     packages_rejected = n_rejected;
+    verifier_rejects = n_verifier_rejects;
     bad_packages_published = n_bad_published;
     crashes =
       Hashtbl.fold (fun t r acc -> (t, !r) :: acc) crashes [] |> List.sort compare;
@@ -230,7 +246,8 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "@[<v>published=%d rejected=%d bad_published=%d jump_started=%d fallbacks=%d@,crash rounds:"
-    s.packages_published s.packages_rejected s.bad_packages_published s.jump_started s.fallbacks;
+    "@[<v>published=%d rejected=%d (verifier=%d) bad_published=%d jump_started=%d fallbacks=%d@,crash rounds:"
+    s.packages_published s.packages_rejected s.verifier_rejects s.bad_packages_published
+    s.jump_started s.fallbacks;
   List.iter (fun (t, n) -> Format.fprintf fmt "@,  t=%5.0fs crashed=%d" t n) s.crashes;
   Format.fprintf fmt "@]"

@@ -26,6 +26,10 @@ type config = {
   server : Server.config;
   validation_catch_rate : float;
       (** probability seeder self-validation catches a bad package *)
+  verifier_catch_rate : float;
+      (** probability the static verifier's package consistency pass catches
+          a bad package, as an independent second gate (default 0.0 = off;
+          when off the simulation consumes no extra randomness) *)
   max_boot_attempts : int;
   fallback_enabled : bool;
   max_seeder_retries : int;
@@ -35,7 +39,10 @@ val default_config : config
 
 type stats = {
   packages_published : int;
-  packages_rejected : int;  (** caught by validation or the coverage gate *)
+  packages_rejected : int;
+      (** caught by validation, the verifier, or the coverage gate *)
+  verifier_rejects : int;
+      (** subset of [packages_rejected] caught only by the static verifier *)
   bad_packages_published : int;
   crashes : (float * int) list;  (** (time, #servers crashed) per round *)
   fallbacks : int;

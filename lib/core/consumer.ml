@@ -120,6 +120,17 @@ let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bu
           with
           | Error msg -> fail "decode" msg
           | Ok package -> (
+            (* Profile-consistency verification (§VI-A): the package decoded,
+               but do its counters actually describe this repo's CFGs? *)
+            match
+              timed "consumer.verify"
+                ~cost:(fun _ -> float_of_int (Hhbc.Repo.n_funcs repo) *. 1e-7)
+                (fun () -> Package_check.result repo package)
+            with
+            | Error msg ->
+              tel (fun t -> Js_telemetry.incr t "verify.package_rejects");
+              fail "verify" msg
+            | Ok () -> (
             match Package.check_coverage package options with
             | Error msg -> fail "coverage" msg
             | Ok () -> (
@@ -141,7 +152,7 @@ let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bu
                   note_attempt k "jump_started";
                   tel (fun t -> Js_telemetry.incr t "consumer.jump_starts");
                   Jump_started vm
-                | _, Error msg -> fail "health_check" msg))))
+                | _, Error msg -> fail "health_check" msg)))))
     in
     attempt 0 "no attempts made"
   end

@@ -19,7 +19,33 @@ type t = {
 }
 
 let magic = "JSPK"
-let version = 1
+let version = 2
+
+(* The repo shape the seeder profiled against, embedded in every package
+   (version 2).  A consumer running a different build of the application
+   rejects the package at decode with a field-specific message instead of
+   importing counters whose ids silently alias other entities. *)
+let write_repo_shape w repo =
+  W.varint w (Hhbc.Repo.n_units repo);
+  W.varint w (Hhbc.Repo.n_funcs repo);
+  W.varint w (Hhbc.Repo.n_classes repo);
+  W.varint w (Hhbc.Repo.n_strings repo);
+  W.varint w (Hhbc.Repo.n_static_arrays repo);
+  W.varint w (Hhbc.Repo.n_names repo)
+
+let check_repo_shape r repo =
+  let field what expected =
+    let got = Rd.varint r in
+    if got <> expected then
+      raise
+        (B.Corrupt (Printf.sprintf "repo shape mismatch: %s %d (package) <> %d (repo)" what got expected))
+  in
+  field "unit count" (Hhbc.Repo.n_units repo);
+  field "function count" (Hhbc.Repo.n_funcs repo);
+  field "class count" (Hhbc.Repo.n_classes repo);
+  field "string count" (Hhbc.Repo.n_strings repo);
+  field "static array count" (Hhbc.Repo.n_static_arrays repo);
+  field "name count" (Hhbc.Repo.n_names repo)
 
 let to_bytes t =
   let w = W.create () in
@@ -28,6 +54,7 @@ let to_bytes t =
   W.varint w t.meta.seeder_id;
   W.varint w t.meta.n_profiled_funcs;
   W.varint w t.meta.total_entries;
+  write_repo_shape w (Jit_profile.Counters.repo t.counters);
   W.array w (fun uid -> W.varint w uid) t.preload_units;
   W.array w (fun fid -> W.varint w fid) t.func_order;
   Jit_profile.Counters.serialize t.counters w;
@@ -43,6 +70,7 @@ let of_bytes repo data =
     let seeder_id = Rd.varint r in
     let n_profiled_funcs = Rd.varint r in
     let total_entries = Rd.varint r in
+    check_repo_shape r repo;
     let n_funcs = Hhbc.Repo.n_funcs repo in
     let n_units = Hhbc.Repo.n_units repo in
     let preload_units =
@@ -58,7 +86,7 @@ let of_bytes repo data =
           fid)
     in
     let counters = Jit_profile.Counters.deserialize repo r in
-    let vasm = Jit.Vasm_profile.deserialize r in
+    let vasm = Jit.Vasm_profile.deserialize ~n_funcs r in
     Rd.expect_end r;
     Ok
       {

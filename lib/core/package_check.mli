@@ -1,0 +1,32 @@
+(** Semantic validation of a Jump-Start package against the consumer's repo
+    — the profile-consistency half of the static verifier (paper §VI-A).
+
+    {!Package.of_bytes} already rejects framing damage (magic/version/CRC)
+    and out-of-range ids.  This pass goes further and checks that the decoded
+    profile is {e meaningful} for this repo: counter vectors have the arity
+    of the function they describe, profiled arcs are real CFG edges, call
+    sites address call instructions, and the placement/preload lists are
+    well-formed permutation fragments.  A package can pass decode and fail
+    here when seeder and consumer run subtly different builds whose repos
+    happen to agree on table sizes.
+
+    Diagnostic codes are stable and prefixed [P3xx]:
+    - [P300] counters were recorded against a different repo shape
+    - [P301] block-counter vector arity differs from the function's CFG
+    - [P302] profiled bytecode arc endpoint is not a block of the function
+    - [P303] profiled bytecode arc is not an edge of the function's CFG
+    - [P304] call-site pc does not address a call instruction
+    - [P305] property counter references an invalid class/name id
+    - [P306] func_order entry out of range or duplicated
+    - [P307] preload unit out of range or duplicated
+    - [P308] touched unit out of range
+    - [P309] entry/call-graph counter references an invalid function id
+    - [P310] vasm profile references an invalid function id
+    - [P311] vasm arc endpoint exceeds the function's own block vector
+    - [P313] package meta disagrees with its own counters (warning) *)
+
+val check : Hhbc.Repo.t -> Package.t -> Js_analysis.Diag.t list
+
+(** [result repo pkg] is [Ok ()] when no error-severity diagnostic was
+    produced, otherwise [Error msg] quoting the first error and the count. *)
+val result : Hhbc.Repo.t -> Package.t -> (unit, string) result

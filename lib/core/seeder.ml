@@ -101,19 +101,43 @@ let run ?telemetry repo (options : Options.t) ~profile_traffic ~optimized_traffi
       match Package.of_bytes repo bytes with
       | Error msg -> invalid ("round-trip failed: " ^ msg)
       | Ok reread -> (
-        match Consumer.boot_with_package repo options ?jit_bug reread with
-        | Error msg -> invalid ("consumer boot failed: " ^ msg)
-        | Ok vm -> (
-          match validation_traffic with
-          | None -> accept ()
-          | Some traffic -> (
-            let check_engine = Consumer.serving_engine vm () in
-            try
-              traffic check_engine;
-              accept ()
-            with
-            | Interp.Engine.Runtime_error msg -> invalid ("unhealthy: " ^ msg)
-            | Failure msg -> invalid ("unhealthy: " ^ msg))))
+        (* Static verification of the round-tripped package: the same
+           consistency pass the consumer applies (§VI-A), run here so a bad
+           package burns a seeder rebuild, not a fleet of boot retries. *)
+        match Package_check.result repo reread with
+        | Error msg ->
+          tel (fun t -> Js_telemetry.incr t "verify.package_rejects");
+          reject "seeder.verify_rejects" "seeder.verify" msg;
+          Error ("verification: " ^ msg)
+        | Ok () -> (
+          match Consumer.boot_with_package repo options ?jit_bug reread with
+          | Error msg -> invalid ("consumer boot failed: " ^ msg)
+          | Ok vm -> (
+            (* Inline trees in the compiled translations must only reference
+               functions that exist and nest at real call sites. *)
+            let tree_errors =
+              Hashtbl.fold
+                (fun _ vf acc ->
+                  Js_analysis.Diag.errors (Js_analysis.Verify.check_inline_tree repo vf) @ acc)
+                vm.Consumer.compiled.Jit.Compiler.vfuncs []
+            in
+            match tree_errors with
+            | first :: _ ->
+              let msg = Js_analysis.Diag.to_string first in
+              tel (fun t -> Js_telemetry.incr t "verify.inline_tree_rejects");
+              reject "seeder.verify_rejects" "seeder.verify" msg;
+              Error ("verification: " ^ msg)
+            | [] -> (
+              match validation_traffic with
+              | None -> accept ()
+              | Some traffic -> (
+                let check_engine = Consumer.serving_engine vm () in
+                try
+                  traffic check_engine;
+                  accept ()
+                with
+                | Interp.Engine.Runtime_error msg -> invalid ("unhealthy: " ^ msg)
+                | Failure msg -> invalid ("unhealthy: " ^ msg))))))
     end
 
 let run_and_publish ?telemetry repo options store ~profile_traffic ~optimized_traffic

@@ -44,14 +44,30 @@ let selection_counts t ~region ~bucket =
 
 let clear t ~region ~bucket = Hashtbl.remove t.table (region, bucket)
 
-let corrupt_one t rng ~region ~bucket =
+let flip_byte s pos =
+  let b = Bytes.of_string s in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
+  Bytes.to_string b
+
+let corrupt_one ?(semantic = false) t rng ~region ~bucket =
   match Hashtbl.find_opt t.table (region, bucket) with
   | None | Some { contents = [] } -> false
   | Some { contents = entries } ->
     let arr = Array.of_list entries in
     let e = Js_util.Rng.pick rng arr in
-    let b = Bytes.of_string e.bytes in
-    let pos = Bytes.length b / 2 in
-    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5a));
-    e.bytes <- Bytes.to_string b;
+    (if not semantic then e.bytes <- flip_byte e.bytes (String.length e.bytes / 2)
+     else
+       (* Semantic corruption: damage the payload but re-frame with a fresh
+          CRC, so the flip survives the checksum and must be caught (if at
+          all) by decode range checks or the consistency pass downstream. *)
+       match
+         Js_util.Binio.unframe ~magic:Package.magic ~expected_version:Package.version e.bytes
+       with
+       | exception Js_util.Binio.Corrupt _ ->
+         e.bytes <- flip_byte e.bytes (String.length e.bytes / 2)
+       | payload ->
+         let pos = Js_util.Rng.int rng (String.length payload) in
+         e.bytes <-
+           Js_util.Binio.frame ~magic:Package.magic ~version:Package.version
+             (flip_byte payload pos));
     true

@@ -17,6 +17,9 @@ let name t nid = t.names.(nid)
 let n_funcs t = Array.length t.funcs
 let n_classes t = Array.length t.classes
 let n_units t = Array.length t.units
+let n_strings t = Array.length t.strings
+let n_static_arrays t = Array.length t.static_arrays
+let n_names t = Array.length t.names
 
 let find_by_name arr get_name target =
   let n = Array.length arr in

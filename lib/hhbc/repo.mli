@@ -26,6 +26,9 @@ val name : t -> Instr.nid -> string
 val n_funcs : t -> int
 val n_classes : t -> int
 val n_units : t -> int
+val n_strings : t -> int
+val n_static_arrays : t -> int
+val n_names : t -> int
 
 (** Lookup by source name; [None] if undefined. *)
 val find_func_by_name : t -> string -> Func.t option

@@ -167,6 +167,13 @@ let translate t fid =
   | Some c -> c
   | None ->
     let f = Hhbc.Repo.func t.repo fid in
+    (* Static verification gates the fast path: a body is only translated
+       once FuncChecker-style abstract interpretation has proven its stack
+       discipline, jump targets and repo links — the tinstr block maps and
+       per-pc site caches below assume exactly those invariants. *)
+    (match Js_analysis.Diag.errors (Js_analysis.Verify.check_func t.repo f) with
+    | [] -> ()
+    | first :: _ -> error "verification failed: %s" (Js_analysis.Diag.to_string first));
     let body = f.Hhbc.Func.body in
     let n = Array.length body in
     let blim = block_limit t fid in

@@ -75,6 +75,20 @@ let call_graph t =
 
 let entry_count t fid = match Hashtbl.find_opt t.entries fid with Some r -> !r | None -> 0
 
+let profiled_blocks t =
+  Hashtbl.fold (fun fid a acc -> (fid, Array.copy a) :: acc) t.blocks [] |> List.sort compare
+
+let profiled_arcs t =
+  Hashtbl.fold
+    (fun fid tbl acc ->
+      let entries = Hashtbl.fold (fun (s, d) c acc -> (s, d, !c) :: acc) tbl [] in
+      (fid, List.sort compare entries) :: acc)
+    t.arcs []
+  |> List.sort compare
+
+let entry_counts t =
+  Hashtbl.fold (fun fid c acc -> (fid, !c) :: acc) t.entries [] |> List.sort compare
+
 module W = Js_util.Binio.Writer
 module Rd = Js_util.Binio.Reader
 
@@ -116,16 +130,25 @@ let serialize t w =
       W.varint w c)
     (List.sort compare entries)
 
-let deserialize r =
+let deserialize ?n_funcs r =
   let t = create () in
+  let check_fid fid =
+    match n_funcs with
+    | Some n when fid < 0 || fid >= n ->
+      raise (Js_util.Binio.Corrupt "vasm profile: function id out of range")
+    | _ -> ()
+  in
   List.iter
-    (fun (fid, counts) -> Hashtbl.replace t.blocks fid counts)
+    (fun (fid, counts) ->
+      check_fid fid;
+      Hashtbl.replace t.blocks fid counts)
     (Rd.list r (fun r ->
          let fid = Rd.varint r in
          let counts = Rd.array r (fun r -> Rd.f64 r) in
          (fid, counts)));
   List.iter
     (fun (fid, entries) ->
+      check_fid fid;
       let tbl = Hashtbl.create (List.length entries) in
       List.iter (fun (s, d, c) -> Hashtbl.replace tbl (s, d) (ref c)) entries;
       Hashtbl.replace t.arcs fid tbl)
@@ -140,14 +163,19 @@ let deserialize r =
          in
          (fid, entries)));
   List.iter
-    (fun (a, b, c) -> Hashtbl.replace t.cg (a, b) (ref c))
+    (fun (a, b, c) ->
+      check_fid a;
+      check_fid b;
+      Hashtbl.replace t.cg (a, b) (ref c))
     (Rd.list r (fun r ->
          let a = Rd.varint r in
          let b = Rd.varint r in
          let c = Rd.varint r in
          (a, b, c)));
   List.iter
-    (fun (fid, c) -> Hashtbl.replace t.entries fid (ref c))
+    (fun (fid, c) ->
+      check_fid fid;
+      Hashtbl.replace t.entries fid (ref c))
     (Rd.list r (fun r ->
          let fid = Rd.varint r in
          let c = Rd.varint r in

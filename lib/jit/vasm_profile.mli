@@ -34,9 +34,21 @@ val call_graph : t -> (int * int * int) list
     excluded). *)
 val entry_count : t -> Hhbc.Instr.fid -> int
 
+(** All profiled root functions with their per-block count vectors, sorted
+    by fid (consistency-pass enumeration). *)
+val profiled_blocks : t -> (int * float array) list
+
+(** All profiled vasm arcs as [(root_fid, [(src, dst, weight)])], sorted. *)
+val profiled_arcs : t -> (int * (int * int * float) list) list
+
+(** All tier-2 entry counters as [(fid, count)], sorted. *)
+val entry_counts : t -> (int * int) list
+
 (** Binary serialization (the §IV-B category-3 section of a Jump-Start
-    package).  Block indices are validated against nothing here — the
-    package layer checks them against re-lowered translations. *)
+    package).  [deserialize ~n_funcs] range-checks every function id against
+    the consumer repo and raises {!Js_util.Binio.Corrupt}; block indices are
+    only checkable against re-lowered translations, which is the
+    {!Core.Package_check} consistency pass's job. *)
 val serialize : t -> Js_util.Binio.Writer.t -> unit
 
-val deserialize : Js_util.Binio.Reader.t -> t
+val deserialize : ?n_funcs:int -> Js_util.Binio.Reader.t -> t

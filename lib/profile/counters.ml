@@ -81,6 +81,16 @@ let record_unit_load t uid =
     t.touched_units_rev <- uid :: t.touched_units_rev
   end
 
+let repo t = t.repo
+let n_funcs t = Array.length t.entries
+
+let call_site_list t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.call_sites [] |> List.sort compare
+
+let prop_entries t =
+  Hashtbl.fold (fun (cid, nid) count acc -> (cid, nid, !count) :: acc) t.props []
+  |> List.sort compare
+
 let block_counts t fid = Option.map Array.copy t.blocks.(fid)
 
 let arc_counts t fid =
@@ -295,6 +305,7 @@ let deserialize repo r =
   List.iter
     (fun (cid, nid, c) ->
       if cid < 0 || cid >= Hhbc.Repo.n_classes repo then corrupt "class id out of range";
+      if nid < 0 || nid >= Hhbc.Repo.n_names repo then corrupt "property name id out of range";
       Hashtbl.replace t.props (cid, nid) (ref c))
     (Rd.list r (fun r ->
          let cid = Rd.varint r in

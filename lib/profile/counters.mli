@@ -27,6 +27,18 @@ val record_unit_load : t -> int -> unit
 
 (* --- queries --- *)
 
+(** The repo these counters were recorded (or deserialized) against. *)
+val repo : t -> Hhbc.Repo.t
+
+(** Number of functions in that repo (counter-vector arity). *)
+val n_funcs : t -> int
+
+(** All profiled call sites as [(fid, site)], sorted. *)
+val call_site_list : t -> (int * int) list
+
+(** All property counters as [(cid, nid, count)], sorted. *)
+val prop_entries : t -> (int * int * int) list
+
 (** [block_counts t fid] returns per-basic-block execution counts, or [None]
     if the function was never profiled. *)
 val block_counts : t -> Hhbc.Instr.fid -> int array option

@@ -1,0 +1,411 @@
+(* Static verifier: negative corpus of hand-built bad bodies, package
+   decode-gap coverage, and the consumer-boot rejection acceptance path. *)
+
+module I = Hhbc.Instr
+module F = Hhbc.Func
+module D = Js_analysis.Diag
+module V = Js_analysis.Verify
+module B = Js_util.Binio
+module JS = Jumpstart
+
+let mk_func ?(name = "f") ?(n_params = 0) ?(n_locals = 2) ?class_id body =
+  { F.id = 0; name; unit_id = 0; class_id; n_params; n_locals; body = Array.of_list body }
+
+(* One-function repo around a hand-built body. *)
+let repo_of ?n_params ?n_locals body =
+  let b = Hhbc.Repo.Builder.create () in
+  let fid = Hhbc.Repo.Builder.add_func b (mk_func ?n_params ?n_locals body) in
+  ignore
+    (Hhbc.Repo.Builder.add_unit b
+       { Hhbc.Unit_def.id = 0; path = "bad.mh"; funcs = [| fid |]; classes = [||];
+         main = Some fid; load_cost_bytes = 0 });
+  Hhbc.Repo.Builder.finish b
+
+let codes diags = List.map (fun d -> d.D.code) diags
+let has_code c diags = List.mem c (codes diags)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let check_body ?n_params ?n_locals body =
+  let repo = repo_of ?n_params ?n_locals body in
+  V.check_func repo (Hhbc.Repo.func repo 0)
+
+let expect_error what code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reports %s (got: %s)" what code (String.concat "," (codes diags)))
+    true
+    (List.exists (fun d -> d.D.code = code && D.is_error d) diags)
+
+let expect_warning what code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s warns %s (got: %s)" what code (String.concat "," (codes diags)))
+    true
+    (List.exists (fun d -> d.D.code = code && not (D.is_error d)) diags)
+
+(* --- negative corpus: structural bytecode checks --- *)
+
+let test_jump_oob () =
+  expect_error "jump past the end" "V101" (check_body [ I.Jmp 99 ]);
+  expect_error "negative jump" "V101" (check_body [ I.LitBool true; I.JmpZ (-1); I.LitNull; I.Ret ])
+
+let test_stack_underflow () =
+  expect_error "pop of empty stack" "V102" (check_body [ I.Pop; I.LitNull; I.Ret ]);
+  expect_error "binop on 1 operand" "V102" (check_body [ I.LitInt 1; I.BinOp I.Add; I.Ret ])
+
+let test_join_depth_mismatch () =
+  (* then-arm leaves 2 values, else-arm leaves 1; they join at the Ret *)
+  let diags =
+    check_body
+      [ I.LitBool true; I.JmpZ 5; I.LitInt 1; I.LitInt 2; I.Jmp 6; I.LitInt 3; I.Ret ]
+  in
+  expect_error "must-equal depth at join" "V103" diags
+
+let test_fall_off_end () =
+  expect_error "body without terminal" "V104" (check_body [ I.LitInt 1 ]);
+  (* conditional whose fallthrough runs off the end *)
+  expect_error "fallthrough past end" "V104" (check_body [ I.LitBool true; I.JmpZ 0; I.LitNull ])
+
+let test_use_before_def () =
+  let diags = check_body ~n_params:0 ~n_locals:2 [ I.LoadLoc 1; I.Ret ] in
+  expect_warning "read of never-stored local" "V105" diags;
+  Alcotest.(check bool) "use-before-def is only a warning" true (D.ok diags);
+  (* params count as defined *)
+  let ok = check_body ~n_params:1 ~n_locals:1 [ I.LoadLoc 0; I.Ret ] in
+  Alcotest.(check bool) "param read is clean" false (has_code "V105" ok)
+
+let test_local_out_of_range () =
+  expect_error "local index past frame" "V106" (check_body ~n_locals:2 [ I.LoadLoc 5; I.Ret ]);
+  expect_error "store past frame" "V106" (check_body ~n_locals:1 [ I.LitInt 1; I.StoreLoc 3; I.LitNull; I.Ret ])
+
+let test_empty_body () = expect_error "empty body" "V107" (check_body [])
+
+let test_params_exceed_locals () =
+  expect_error "params > locals" "V108"
+    (check_body ~n_params:3 ~n_locals:1 [ I.LitNull; I.Ret ])
+
+let test_unreachable_block () =
+  let diags = check_body [ I.LitNull; I.Ret; I.LitNull; I.Ret ] in
+  expect_warning "code after Ret" "V109" diags;
+  Alcotest.(check bool) "unreachable is only a warning" true (D.ok diags)
+
+let test_ret_depth () =
+  let diags = check_body [ I.LitInt 1; I.LitInt 2; I.Ret ] in
+  expect_warning "two values at Ret" "V110" diags;
+  Alcotest.(check bool) "deep Ret is only a warning" true (D.ok diags)
+
+(* --- negative corpus: repo link resolution --- *)
+
+let test_dangling_links () =
+  expect_error "call of unknown fid" "V201" (check_body [ I.Call (9, 0); I.Ret ]);
+  expect_error "new of unknown cid" "V202" (check_body [ I.New (3, 0); I.Ret ]);
+  expect_error "unknown string id" "V203" (check_body [ I.LitStr 7; I.Ret ]);
+  expect_error "unknown name id" "V204" (check_body [ I.LitNull; I.GetProp 9; I.Ret ]);
+  expect_error "unknown static array id" "V205" (check_body [ I.LitArr 2; I.Ret ])
+
+let test_call_arity () =
+  let b = Hhbc.Repo.Builder.create () in
+  let callee =
+    Hhbc.Repo.Builder.add_func b (mk_func ~name:"g" ~n_params:2 [ I.LitNull; I.Ret ])
+  in
+  let caller = Hhbc.Repo.Builder.add_func b (mk_func ~name:"f" [ I.Call (callee, 0); I.Ret ]) in
+  ignore
+    (Hhbc.Repo.Builder.add_unit b
+       { Hhbc.Unit_def.id = 0; path = "bad.mh"; funcs = [| callee; caller |]; classes = [||];
+         main = Some caller; load_cost_bytes = 0 });
+  let repo = Hhbc.Repo.Builder.finish b in
+  expect_error "arity mismatch" "V208" (V.check_func repo (Hhbc.Repo.func repo caller))
+
+let test_ctor_checks () =
+  (* class with no constructor: New with args cannot deliver them *)
+  let b = Hhbc.Repo.Builder.create () in
+  let cid =
+    Hhbc.Repo.Builder.add_class b
+      { Hhbc.Class_def.id = 0; name = "C"; parent = None; props = [||]; methods = [||]; unit_id = 0 }
+  in
+  let f = Hhbc.Repo.Builder.add_func b (mk_func [ I.LitInt 1; I.New (cid, 1); I.Ret ]) in
+  ignore
+    (Hhbc.Repo.Builder.add_unit b
+       { Hhbc.Unit_def.id = 0; path = "bad.mh"; funcs = [| f |]; classes = [| cid |];
+         main = Some f; load_cost_bytes = 0 });
+  let repo = Hhbc.Repo.Builder.finish b in
+  expect_error "args without a constructor" "V206" (V.check_func repo (Hhbc.Repo.func repo f));
+  (* constructor arity mismatch *)
+  let b = Hhbc.Repo.Builder.create () in
+  let ctor_nid = Hhbc.Repo.Builder.intern_name b "__construct" in
+  let ctor =
+    Hhbc.Repo.Builder.add_func b (mk_func ~name:"C::__construct" ~n_params:2 [ I.LitNull; I.Ret ])
+  in
+  let cid =
+    Hhbc.Repo.Builder.add_class b
+      { Hhbc.Class_def.id = 0; name = "C"; parent = None; props = [||];
+        methods = [| (ctor_nid, ctor) |]; unit_id = 0 }
+  in
+  let f = Hhbc.Repo.Builder.add_func b (mk_func [ I.LitInt 1; I.New (cid, 1); I.Ret ]) in
+  ignore
+    (Hhbc.Repo.Builder.add_unit b
+       { Hhbc.Unit_def.id = 0; path = "bad.mh"; funcs = [| ctor; f |]; classes = [| cid |];
+         main = Some f; load_cost_bytes = 0 });
+  let repo = Hhbc.Repo.Builder.finish b in
+  expect_error "constructor arity" "V207" (V.check_func repo (Hhbc.Repo.func repo f))
+
+let test_deterministic_and_sorted () =
+  let repo = repo_of [ I.Pop; I.Call (9, 0); I.LitStr 7; I.LitNull; I.Ret; I.LitNull ] in
+  let a = V.check_repo repo and b = V.check_repo repo in
+  Alcotest.(check bool) "two runs identical" true (a = b);
+  Alcotest.(check bool) "output is sorted" true (D.sort a = a);
+  Alcotest.(check bool) "several distinct codes" true (List.length (codes a) >= 3)
+
+let test_engine_refuses_bad_repo () =
+  let repo = repo_of [ I.Pop; I.LitNull; I.Ret ] in
+  let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
+  match Interp.Engine.create repo (Mh_runtime.Heap.create repo layouts) with
+  | _ -> Alcotest.fail "translation gate accepted an underflowing body"
+  | exception Interp.Engine.Runtime_error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "gate names the diagnostic (got: %s)" msg)
+      true
+      (contains ~affix:"verification failed" msg && contains ~affix:"V102" msg)
+
+(* --- package decode gap: v2 repo-shape header --- *)
+
+let compile_example name src = Minihack.Compile.compile_source ~path:name src
+
+let shapes_src =
+  {|class P { prop $x = 1; method get() { return $this->x; } }
+function work($n) {
+  $p = new P();
+  $acc = 0;
+  for ($i = 0; $i < $n; $i = $i + 1) { $acc = $acc + $p->get(); }
+  return $acc;
+}
+function main() { echo "v: " . work(25) . "\n"; return 0; }|}
+
+let package_for repo =
+  let options =
+    { JS.Options.default with JS.Options.min_coverage_funcs = 1; min_coverage_entries = 1 }
+  in
+  let traffic n engine =
+    for _ = 1 to n do
+      ignore (Interp.Engine.run_main engine);
+      Mh_runtime.Heap.reset_arena (Interp.Engine.heap engine)
+    done
+  in
+  match
+    JS.Seeder.run repo options ~profile_traffic:(traffic 20) ~optimized_traffic:(traffic 20)
+      ~region:0 ~bucket:0 ~seeder_id:0 ()
+  with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "seeder failed: %s" msg
+
+(* Bump the [k]-th repo-shape varint of a serialized package, re-framing with
+   a valid CRC, so only the per-field decode check can catch it. *)
+let patch_shape_field bytes k =
+  let payload = B.unframe ~magic:JS.Package.magic ~expected_version:JS.Package.version bytes in
+  let r = B.Reader.of_string payload in
+  let total = String.length payload in
+  for _ = 1 to 5 + k do
+    ignore (B.Reader.varint r)
+  done;
+  let start = total - B.Reader.remaining r in
+  let v = B.Reader.varint r in
+  let stop = total - B.Reader.remaining r in
+  let w = B.Writer.create () in
+  B.Writer.varint w (v + 1);
+  B.frame ~magic:JS.Package.magic ~version:JS.Package.version
+    (String.sub payload 0 start ^ B.Writer.contents w ^ String.sub payload stop (total - stop))
+
+let test_shape_fields_checked () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let bytes = outcome.JS.Seeder.bytes in
+  (match JS.Package.of_bytes repo bytes with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "pristine package must decode: %s" msg);
+  List.iteri
+    (fun k field ->
+      match JS.Package.of_bytes repo (patch_shape_field bytes k) with
+      | Ok _ -> Alcotest.failf "corrupt %s accepted" field
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mismatch reported (got: %s)" field msg)
+          true
+          (contains ~affix:field msg))
+    [ "unit count"; "function count"; "class count"; "string count"; "static array count";
+      "name count"
+    ]
+
+let test_old_version_rejected () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let payload =
+    B.unframe ~magic:JS.Package.magic ~expected_version:JS.Package.version outcome.JS.Seeder.bytes
+  in
+  let v1 = B.frame ~magic:JS.Package.magic ~version:1 payload in
+  match JS.Package.of_bytes repo v1 with
+  | Ok _ -> Alcotest.fail "version-1 frame accepted"
+  | Error _ -> ()
+
+let test_props_nid_checked () =
+  (* a counter naming a valid class but a nonexistent property name id must
+     die at decode, not alias another name at consumer time *)
+  let repo = compile_example "shapes.mh" shapes_src in
+  let counters = Jit_profile.Counters.create repo in
+  Jit_profile.Counters.record_prop_access counters 0 (Hhbc.Repo.n_names repo + 5);
+  let w = B.Writer.create () in
+  Jit_profile.Counters.serialize counters w;
+  match
+    Jit_profile.Counters.deserialize repo (B.Reader.of_string (B.Writer.contents w))
+  with
+  | _ -> Alcotest.fail "out-of-range property name id accepted"
+  | exception B.Corrupt msg ->
+    Alcotest.(check bool) "names the field" true (contains ~affix:"name id" msg)
+
+(* --- profile-consistency pass (P3xx) --- *)
+
+let find_fid_with_blocks repo ~min_blocks =
+  let rec go fid =
+    if fid >= Hhbc.Repo.n_funcs repo then Alcotest.fail "no multi-block function"
+    else if Array.length (F.basic_blocks (Hhbc.Repo.func repo fid)) >= min_blocks then fid
+    else go (fid + 1)
+  in
+  go 0
+
+let test_package_check_codes () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let pkg = outcome.JS.Seeder.package in
+  Alcotest.(check bool) "seeder package is consistent" true
+    (D.ok (JS.Package_check.check repo pkg));
+  (* P303: an in-range arc that is not a CFG edge (Ret blocks have no
+     successors, so a self-loop on the last block is never an edge) *)
+  let fid = find_fid_with_blocks repo ~min_blocks:2 in
+  let last = Array.length (F.basic_blocks (Hhbc.Repo.func repo fid)) - 1 in
+  let bad = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_arc bad.JS.Package.counters fid ~src:last ~dst:last;
+  expect_error "phantom arc" "P303" (JS.Package_check.check repo bad);
+  (* P306/P307: malformed placement and preload lists *)
+  let dup = { pkg with JS.Package.func_order = [| 0; 0 |] } in
+  expect_error "duplicate placement" "P306" (JS.Package_check.check repo dup);
+  let oob = { pkg with JS.Package.func_order = [| Hhbc.Repo.n_funcs repo |] } in
+  expect_error "placement out of range" "P306" (JS.Package_check.check repo oob);
+  let dup_u = { pkg with JS.Package.preload_units = [| 0; 0 |] } in
+  expect_error "duplicate preload" "P307" (JS.Package_check.check repo dup_u)
+
+(* Acceptance: a package whose profiled arc is not a real block transition is
+   rejected at consumer boot by the verify stage — telemetry shows the
+   Validation_failed events and the verify.* counter — and never executes. *)
+let test_consumer_rejects_inconsistent_package () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let pkg = outcome.JS.Seeder.package in
+  let fid = find_fid_with_blocks repo ~min_blocks:2 in
+  let last = Array.length (F.basic_blocks (Hhbc.Repo.func repo fid)) - 1 in
+  let bad = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_arc bad.JS.Package.counters fid ~src:last ~dst:last;
+  let bytes = JS.Package.to_bytes bad in
+  (match JS.Package.of_bytes repo bytes with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "bad-arc package must pass decode (the gap): %s" msg);
+  let store = JS.Store.create () in
+  JS.Store.publish store ~region:0 ~bucket:0 bytes bad.JS.Package.meta;
+  let tel = Js_telemetry.create () in
+  let options =
+    { JS.Options.default with JS.Options.min_coverage_funcs = 1; min_coverage_entries = 1 }
+  in
+  let fallback_traffic engine = ignore (Interp.Engine.run_main engine) in
+  (match
+     JS.Consumer.boot ~telemetry:tel repo options store (Js_util.Rng.create 1) ~region:0
+       ~bucket:0 ~fallback_traffic ()
+   with
+  | JS.Consumer.Fell_back (vm, _) ->
+    Alcotest.(check bool) "fell back without a package" true (vm.JS.Consumer.package = None)
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "inconsistent package was jump-started");
+  Alcotest.(check int) "every attempt died in verify" options.JS.Options.max_boot_attempts
+    (Js_telemetry.counter tel "consumer.verify_failures");
+  Alcotest.(check int) "verify.package_rejects pinned" options.JS.Options.max_boot_attempts
+    (Js_telemetry.counter tel "verify.package_rejects");
+  Alcotest.(check int) "nothing reached compile" 0
+    (Js_telemetry.counter tel "consumer.compile_failures");
+  let verify_events =
+    List.filter
+      (fun (_, e) ->
+        match e with
+        | Js_telemetry.Validation_failed { stage; _ } -> stage = "consumer.verify"
+        | _ -> false)
+      (Js_telemetry.events tel)
+  in
+  Alcotest.(check int) "Validation_failed events recorded" options.JS.Options.max_boot_attempts
+    (List.length verify_events)
+
+(* Seeder self-validation catches the same damage before publication. *)
+let test_seeder_rejects_inconsistent_rebuild () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let pkg = outcome.JS.Seeder.package in
+  let fid = find_fid_with_blocks repo ~min_blocks:2 in
+  let last = Array.length (F.basic_blocks (Hhbc.Repo.func repo fid)) - 1 in
+  let bad = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_arc bad.JS.Package.counters fid ~src:last ~dst:last;
+  match JS.Package_check.result repo bad with
+  | Ok () -> Alcotest.fail "consistency pass missed the phantom arc"
+  | Error msg ->
+    Alcotest.(check bool) "names the code" true (contains ~affix:"P303" msg)
+
+(* Semantic store corruption must be caught by decode or the verify stage —
+   never executed, never a crash. *)
+let test_semantic_corruption_handled () =
+  let repo = compile_example "shapes.mh" shapes_src in
+  let outcome = package_for repo in
+  let options =
+    { JS.Options.default with JS.Options.min_coverage_funcs = 1; min_coverage_entries = 1 }
+  in
+  let fallback_traffic engine = ignore (Interp.Engine.run_main engine) in
+  for seed = 1 to 20 do
+    let store = JS.Store.create () in
+    JS.Store.publish store ~region:0 ~bucket:0 outcome.JS.Seeder.bytes
+      outcome.JS.Seeder.package.JS.Package.meta;
+    let rng = Js_util.Rng.create seed in
+    Alcotest.(check bool) "corrupted one package" true
+      (JS.Store.corrupt_one ~semantic:true store rng ~region:0 ~bucket:0);
+    match
+      JS.Consumer.boot repo options store rng ~region:0 ~bucket:0 ~fallback_traffic ()
+    with
+    | JS.Consumer.Fell_back _ | JS.Consumer.Jump_started _ -> ()
+  done
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "negative corpus",
+        [ Alcotest.test_case "jump out of bounds" `Quick test_jump_oob;
+          Alcotest.test_case "stack underflow" `Quick test_stack_underflow;
+          Alcotest.test_case "join depth mismatch" `Quick test_join_depth_mismatch;
+          Alcotest.test_case "fall off the end" `Quick test_fall_off_end;
+          Alcotest.test_case "use before def" `Quick test_use_before_def;
+          Alcotest.test_case "local out of range" `Quick test_local_out_of_range;
+          Alcotest.test_case "empty body" `Quick test_empty_body;
+          Alcotest.test_case "params exceed locals" `Quick test_params_exceed_locals;
+          Alcotest.test_case "unreachable block" `Quick test_unreachable_block;
+          Alcotest.test_case "return depth" `Quick test_ret_depth;
+          Alcotest.test_case "dangling repo links" `Quick test_dangling_links;
+          Alcotest.test_case "call arity" `Quick test_call_arity;
+          Alcotest.test_case "constructor checks" `Quick test_ctor_checks;
+          Alcotest.test_case "deterministic sorted output" `Quick test_deterministic_and_sorted;
+          Alcotest.test_case "engine refuses bad repo" `Quick test_engine_refuses_bad_repo
+        ] );
+      ( "package decode",
+        [ Alcotest.test_case "repo shape fields checked" `Quick test_shape_fields_checked;
+          Alcotest.test_case "old version rejected" `Quick test_old_version_rejected;
+          Alcotest.test_case "prop name id checked" `Quick test_props_nid_checked
+        ] );
+      ( "profile consistency",
+        [ Alcotest.test_case "package check codes" `Quick test_package_check_codes;
+          Alcotest.test_case "consumer rejects inconsistent package" `Quick
+            test_consumer_rejects_inconsistent_package;
+          Alcotest.test_case "seeder rejects inconsistent rebuild" `Quick
+            test_seeder_rejects_inconsistent_rebuild;
+          Alcotest.test_case "semantic corruption handled" `Quick test_semantic_corruption_handled
+        ] )
+    ]

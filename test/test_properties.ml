@@ -226,6 +226,22 @@ let prop_counters_roundtrip =
       && List.sort compare (Jit_profile.Counters.prop_table counters)
          = List.sort compare (Jit_profile.Counters.prop_table back))
 
+(* Compiler soundness against the static verifier: EVERY program the
+   minihack compiler emits — over randomly generated app shapes — must pass
+   the FuncChecker-style verifier with zero error-severity diagnostics, and
+   any warnings must come from the known-benign lint set. *)
+let benign_warnings = [ "V105"; "V109"; "V110" ]
+
+let prop_compiler_output_verifies =
+  QCheck.Test.make ~name:"compiled bytecode passes the verifier" ~count:10
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let spec = { Workload.App_spec.tiny with Workload.App_spec.seed = seed } in
+      let app = Workload.Codegen.generate spec in
+      let diags = Js_analysis.Verify.check_repo app.Workload.Codegen.repo in
+      Js_analysis.Diag.ok diags
+      && List.for_all (fun d -> List.mem d.Js_analysis.Diag.code benign_warnings) diags)
+
 let prop_pp_roundtrip_random_specs =
   QCheck.Test.make ~name:"generated apps round-trip the pretty printer" ~count:6
     QCheck.(int_range 1 500)
@@ -280,11 +296,22 @@ let prop_all_corrupt_store_falls_back =
           ignore (Workload.Request.invoke engine app (Workload.Request.sample trng mix))
         done
       in
+      let tel = Js_telemetry.create () in
       match
-        Jumpstart.Consumer.boot app.Workload.Codegen.repo Jumpstart.Options.default store rng
-          ~region:0 ~bucket:0 ~fallback_traffic ()
+        Jumpstart.Consumer.boot ~telemetry:tel app.Workload.Codegen.repo
+          Jumpstart.Options.default store rng ~region:0 ~bucket:0 ~fallback_traffic ()
       with
-      | Jumpstart.Consumer.Fell_back (vm, _) -> vm.Jumpstart.Consumer.package = None
+      | Jumpstart.Consumer.Fell_back (vm, _) ->
+        (* random single-byte damage to framed bytes is always a CRC/header
+           hit: every attempt must die at decode, never reaching the verify
+           stage, so the verify.* counters stay pinned at zero *)
+        let expect_decode =
+          if copies = 0 then 0 else Jumpstart.Options.default.Jumpstart.Options.max_boot_attempts
+        in
+        vm.Jumpstart.Consumer.package = None
+        && Js_telemetry.counter tel "consumer.decode_failures" = expect_decode
+        && Js_telemetry.counter tel "verify.package_rejects" = 0
+        && Js_telemetry.counter tel "consumer.verify_failures" = 0
       | Jumpstart.Consumer.Jump_started _ -> false)
 
 let prop_interp_deterministic =
@@ -364,7 +391,7 @@ let () =
         q
           [ prop_probes_preserve_semantics; prop_reordered_layout_preserves_semantics;
             prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic;
-            prop_inline_cache_transparent
+            prop_inline_cache_transparent; prop_compiler_output_verifies
           ] );
       ("reliability", q [ prop_all_corrupt_store_falls_back ])
     ]
