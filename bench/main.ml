@@ -689,6 +689,98 @@ let perf () =
   close_out oc;
   Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
 
+(* -------------------------------------------- distribution ablation -- *)
+
+(* How much fetch unreliability the consumer ladder (bounded retries with
+   exponential backoff, then cross-region fallback, then degradation to a
+   no-Jump-Start boot) absorbs before the fleet loses Jump-Start coverage.
+   Writes BENCH_dist.json (BENCH_dist.quick.json under --quick). *)
+let ablation_dist () =
+  section "Ablation: distribution-network robustness (retry/backoff/cross-region)";
+  let quick = !quick_mode in
+  let n_servers = if quick then 60 else 120 in
+  let duration = if quick then 240. else 600. in
+  let d = Cluster.Dist_net.default_config in
+  let scenarios =
+    [ ("baseline", d);
+      ("fail30", { d with Cluster.Dist_net.fetch_fail_rate = 0.3 });
+      ( "fail30+timeout",
+        { d with
+          Cluster.Dist_net.fetch_fail_rate = 0.3;
+          fetch_timeout = 1.0;
+          fetch_latency_mean = 0.5
+        } );
+      ( "fail60+cross-region",
+        { d with
+          Cluster.Dist_net.fetch_fail_rate = 0.6;
+          fetch_timeout = 1.0;
+          fetch_latency_mean = 0.5;
+          cross_region = true;
+          regions = 3
+        } );
+      ("stale20", { d with Cluster.Dist_net.stale_rate = 0.2 })
+    ]
+  in
+  Printf.printf "%22s %12s %10s %9s %9s %9s %7s %7s\n" "scenario" "jumpstarted" "fallbacks"
+    "attempts" "failures" "timeouts" "stale" "xregion";
+  let rows =
+    List.map
+      (fun (name, dist) ->
+        let cfg =
+          { (Lazy.force fleet_base_cfg) with Cluster.Fleet.n_servers; dist }
+        in
+        let stats =
+          Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:424 ~bad_package_rate:0.
+            ~thin_profile_rate:0. ~duration
+        in
+        let c =
+          match stats.Cluster.Fleet.dist with
+          | Some c -> c
+          | None ->
+            (* inactive network: the ladder never ran *)
+            { Cluster.Dist_net.attempts = 0; failures = 0; timeouts = 0; stale_rejects = 0;
+              cross_region_fetches = 0; deliveries = 0; empty_probes = 0 }
+        in
+        Printf.printf "%22s %12d %10d %9d %9d %9d %7d %7d\n" name
+          stats.Cluster.Fleet.jump_started stats.Cluster.Fleet.fallbacks
+          c.Cluster.Dist_net.attempts c.Cluster.Dist_net.failures c.Cluster.Dist_net.timeouts
+          c.Cluster.Dist_net.stale_rejects c.Cluster.Dist_net.cross_region_fetches;
+        (name, stats, c))
+      scenarios
+  in
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-dist/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b "  \"servers\": %d,\n" n_servers;
+  Printf.bprintf b "  \"scenarios\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, stats, c) ->
+      Printf.bprintf b
+        "    { \"name\": %S, \"jump_started\": %d, \"fallbacks\": %d, \
+         \"jump_start_rate\": %.4f,\n      \"attempts\": %d, \"deliveries\": %d, \
+         \"failures\": %d, \"timeouts\": %d, \"stale_rejects\": %d, \"cross_region\": %d }%s\n"
+        name stats.Cluster.Fleet.jump_started stats.Cluster.Fleet.fallbacks
+        (float_of_int stats.Cluster.Fleet.jump_started /. float_of_int n_servers)
+        c.Cluster.Dist_net.attempts c.Cluster.Dist_net.deliveries c.Cluster.Dist_net.failures
+        c.Cluster.Dist_net.timeouts c.Cluster.Dist_net.stale_rejects
+        c.Cluster.Dist_net.cross_region_fetches
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ]\n";
+  Printf.bprintf b "}\n";
+  let json = Buffer.contents b in
+  let out = if quick then "BENCH_dist.quick.json" else "BENCH_dist.json" in
+  if not (Js_telemetry.Json.parses json) then begin
+    Printf.eprintf "dist: generated %s is not valid JSON\n" out;
+    exit 1
+  end;
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
+
 (* ----------------------------------------------------------------- cli -- *)
 
 let experiments =
@@ -696,7 +788,7 @@ let experiments =
     ("fig5", fig5);
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
-    ("micro", micro); ("perf", perf)
+    ("micro", micro); ("perf", perf); ("dist", ablation_dist)
   ]
 
 let () =

@@ -20,3 +20,21 @@ dune exec bin/minihack_run.exe -- verify --codegen tiny > /dev/null
 dune exec bench/main.exe -- fig4b
 dune exec bench/main.exe -- perf --quick
 test -s BENCH_interp.quick.json
+
+# Distribution-network smoke test: a push through a faulty delivery network
+# must finish with zero crashes and must actually exercise the fetch ladder
+# (nonzero dist.* counters in the telemetry document).
+dune exec bin/fleet_sim.exe -- push --servers 60 --minutes 5 \
+  --fetch-fail-rate 0.3 --fetch-timeout 1.0 --stale-rate 0.1 \
+  --telemetry json > /tmp/dist_smoke.json
+grep -q '"dist.fetch_attempts"' /tmp/dist_smoke.json
+grep -q '"dist.fetch_failures"' /tmp/dist_smoke.json
+if grep -q '"fleet.crashes"' /tmp/dist_smoke.json; then
+  echo "dist smoke: unexpected crashes" >&2
+  exit 1
+fi
+rm -f /tmp/dist_smoke.json
+
+# Quick distribution ablation; validates its own JSON.
+dune exec bench/main.exe -- dist --quick
+test -s BENCH_dist.quick.json

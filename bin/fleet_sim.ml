@@ -74,7 +74,43 @@ let push_term, push_cmd =
           ~doc:"static-verifier catch rate for bad packages (independent second gate; 0 = off)")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed") in
-  let action servers seeders bad_rate validation verifier minutes seed telemetry_fmt =
+  let fetch_fail =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fetch-fail-rate" ] ~docv:"P"
+          ~doc:"probability one package-fetch attempt fails transiently (0 = reliable network)")
+  in
+  let fetch_timeout =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "fetch-timeout" ] ~docv:"SEC"
+          ~doc:
+            "per-attempt fetch timeout in seconds; implies a latency distribution with mean \
+             SEC/2 unless $(b,--fetch-latency) is given (0 = no timeouts)")
+  in
+  let fetch_latency =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fetch-latency" ] ~docv:"SEC" ~doc:"mean package-fetch latency in seconds")
+  in
+  let stale_rate =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "stale-rate" ] ~docv:"P"
+          ~doc:"probability a replica serves a stale (previous-release) package")
+  in
+  let cross_region =
+    Arg.(
+      value & flag
+      & info [ "cross-region" ]
+          ~doc:"simulate 3 replica regions and allow cross-region fallback fetches")
+  in
+  let action servers seeders bad_rate validation verifier minutes seed fetch_fail fetch_timeout
+      fetch_latency stale_rate cross_region telemetry_fmt =
     let app =
       Workload.Macro_app.generate
         { Workload.Macro_app.default_params with
@@ -83,12 +119,28 @@ let push_term, push_cmd =
           instrs_per_request = 30.0e6
         }
     in
+    let dist =
+      let latency_mean =
+        match fetch_latency with
+        | Some l -> l
+        | None -> if fetch_timeout > 0. then fetch_timeout /. 2. else 0.
+      in
+      { Cluster.Dist_net.default_config with
+        Cluster.Dist_net.fetch_fail_rate = fetch_fail;
+        fetch_timeout;
+        fetch_latency_mean = latency_mean;
+        stale_rate;
+        cross_region;
+        regions = (if cross_region then 3 else 1)
+      }
+    in
     let cfg =
       { Cluster.Fleet.default_config with
         Cluster.Fleet.n_servers = servers;
         seeders_per_bucket = seeders;
         validation_catch_rate = validation;
-        verifier_catch_rate = verifier
+        verifier_catch_rate = verifier;
+        dist
       }
     in
     let tel =
@@ -124,7 +176,7 @@ let push_term, push_cmd =
   let term =
     Term.(
       const action $ servers $ seeders $ bad_rate $ validation $ verifier $ minutes_arg $ seed
-      $ telemetry_arg)
+      $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region $ telemetry_arg)
   in
   ( term,
     Cmd.v

@@ -1,0 +1,84 @@
+(** Simulated package-delivery network for the fleet simulation (macro
+    level; the micro-level twin is {!Jumpstart.Dist_store}).
+
+    Models the distributed-storage service between C2 seeders and C3
+    consumers: per-(region, bucket) replica sets of {!Server.package}s,
+    publish (replication) latency, transient fetch failures, a latency
+    distribution (exponential body + optional Pareto tail) with per-attempt
+    timeouts, and stale replicas that still hold the previous release's
+    package.  Consumers fetch through a policy ladder: bounded retries with
+    exponential backoff and deterministic jitter ({!Js_util.Backoff}), then
+    one cross-region fallback fetch per foreign region, then
+    {!Unavailable} — the fleet degrades that server to a no-Jump-Start
+    boot.
+
+    {b RNG neutrality}: with the {!default_config} (all rates and latencies
+    zero, one region, cross-region off), {!active} is [false] and a fetch
+    consumes exactly one draw per successful pick — byte-identical to the
+    historical direct-pick behaviour — and emits no [dist.*] telemetry. *)
+
+type config = {
+  regions : int;  (** replica regions; region 0 is the fleet's home *)
+  fetch_fail_rate : float;  (** probability one fetch attempt fails *)
+  fetch_timeout : float;  (** per-attempt timeout in seconds; 0 = none *)
+  fetch_latency_mean : float;  (** mean fetch latency; 0 = instantaneous *)
+  tail_prob : float;  (** probability a latency sample is tail-distributed *)
+  tail_alpha : float;  (** Pareto shape of the latency tail *)
+  stale_rate : float;  (** probability a replica serves a stale package *)
+  cross_region : bool;  (** enable the cross-region fallback fetch *)
+  backoff : Js_util.Backoff.config;  (** retry schedule per boot fetch *)
+  publish_latency_mean : float;
+      (** mean replication delay from publish to fetchability; 0 = instant *)
+}
+
+val default_config : config
+
+(** Does this config change behaviour at all vs. a direct store pick? *)
+val active : config -> bool
+
+(** Live counters, updated by {!fetch} (only when {!active}).  The ladder
+    invariant: [attempts = deliveries + failures + timeouts + stale_rejects
+    + empty_probes]. *)
+type counters = {
+  mutable attempts : int;
+  mutable failures : int;
+  mutable timeouts : int;
+  mutable stale_rejects : int;
+  mutable cross_region_fetches : int;  (** subset of [attempts] *)
+  mutable deliveries : int;
+  mutable empty_probes : int;  (** attempts that found no visible replica *)
+}
+
+type t
+
+val create : config -> t
+val counters : t -> counters
+val config : t -> config
+
+(** [publish t rng ~now ~bucket pkg] replicates [pkg] into every region;
+    with publish latency, each region's copy becomes fetchable after an
+    independent exponential delay (no randomness is consumed otherwise). *)
+val publish : t -> Js_util.Rng.t -> now:float -> bucket:int -> Server.package -> unit
+
+type outcome =
+  | Delivered of Server.package * float  (** package + total fetch delay *)
+  | Unavailable of float  (** ladder exhausted; seconds wasted waiting *)
+  | Not_found  (** no reachable region holds a visible replica *)
+
+(** [fetch t rng ~now ~region ~bucket] — one consumer's package fetch at
+    simulation time [now].  With [telemetry] (and an {!active} config):
+    attempts bump [dist.fetch_attempts] (foreign-region ones also
+    [dist.cross_region]), failures [dist.fetch_failures], timeouts
+    [dist.timeouts], stale deliveries [dist.stale_rejects]; successful
+    deliveries observe their latency in the [dist.fetch_seconds]
+    histogram. *)
+val fetch :
+  ?telemetry:Js_telemetry.t ->
+  t ->
+  Js_util.Rng.t ->
+  now:float ->
+  region:int ->
+  bucket:int ->
+  outcome
+
+val pp_counters : Format.formatter -> counters -> unit

@@ -10,6 +10,7 @@ type config = {
   max_boot_attempts : int;
   fallback_enabled : bool;
   max_seeder_retries : int;
+  dist : Dist_net.config;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     max_boot_attempts = 3;
     fallback_enabled = true;
     max_seeder_retries = 4;
+    dist = Dist_net.default_config;
   }
 
 type stats = {
@@ -35,6 +37,7 @@ type stats = {
   jump_started : int;
   fleet_rps : Js_util.Stats.Series.t;
   fleet_peak_rps : float;
+  dist : Dist_net.counters option;
 }
 
 (* One fleet member during C3. *)
@@ -98,11 +101,6 @@ let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
   done;
   (published, !n_published, !n_rejected, !n_verifier_rejects, !n_bad_published)
 
-let pick_package rng packages =
-  match !packages with
-  | [] -> None
-  | l -> Some (R.pick rng (Array.of_list l))
-
 let forced_seeding config app ~bad_per_bucket =
   let published = Hashtbl.create 16 in
   let n = config.seeders_per_bucket in
@@ -135,25 +133,39 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
       Js_telemetry.incr t ~by:n_rejected "fleet.packages_rejected";
       if n_verifier_rejects > 0 then
         Js_telemetry.incr t ~by:n_verifier_rejects "fleet.verifier_rejects");
+  (* The distribution network sits between C2's published packages and C3's
+     consumers.  Replicas are published oldest-first so the prepend order
+     inside the network reproduces the historical per-bucket list exactly
+     (neutral configs must pick draw-identically). *)
+  let net = Dist_net.create config.dist in
+  for bucket = 0 to config.n_buckets - 1 do
+    match Hashtbl.find_opt published bucket with
+    | None -> ()
+    | Some packages ->
+      List.iter (fun pkg -> Dist_net.publish net rng ~now:0. ~bucket pkg) (List.rev !packages)
+  done;
   let fallbacks = ref 0 and jump_started = ref 0 in
   let boot_member ~ix ~bucket ~seed_base ~attempts ~at =
     let source = Printf.sprintf "server.%d" ix in
     let packages = Hashtbl.find published bucket in
-    let role =
+    let role, fetch_delay, fetch_failed =
       if (not config.fallback_enabled) || attempts < config.max_boot_attempts then begin
-        match pick_package rng packages with
-        | Some pkg -> Server.Consumer pkg
-        | None -> Server.No_jumpstart
+        match Dist_net.fetch ?telemetry net rng ~now:at ~region:0 ~bucket with
+        | Dist_net.Delivered (pkg, d) -> (Server.Consumer pkg, d, false)
+        | Dist_net.Unavailable d -> (Server.No_jumpstart, d, true)
+        | Dist_net.Not_found -> (Server.No_jumpstart, 0., false)
       end
-      else Server.No_jumpstart
+      else (Server.No_jumpstart, 0., false)
     in
     (match role with
     | Server.No_jumpstart ->
-      if attempts > 0 || !packages = [] then begin
+      if attempts > 0 || !packages = [] || fetch_failed then begin
         incr fallbacks;
         tel (fun t ->
             let outcome, reason =
               if !packages = [] then ("no_package", "no profile package available")
+              else if fetch_failed then
+                ("fetch_failed", "package fetch failed: distribution network unavailable")
               else
                 ( "fallback",
                   Printf.sprintf "exhausted %d boot attempts (bad package)" attempts )
@@ -172,7 +184,11 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
             (Js_telemetry.Boot_attempt
                { source; attempt = attempts + 1; outcome = "jump_started" }))
     | Server.Seeder -> ());
-    let server = Server.create ~discovery_seed:(seed_base + (attempts * 7919)) config.server app role in
+    let server =
+      Server.create
+        ~discovery_seed:(seed_base + (attempts * 7919))
+        ~extra_boot_seconds:fetch_delay config.server app role
+    in
     tel (fun t ->
         let boot = Server.boot_seconds server in
         Js_telemetry.add_span t (source ^ ".boot") ~start:at ~dur:boot;
@@ -242,6 +258,7 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
     jump_started = !jump_started;
     fleet_rps;
     fleet_peak_rps;
+    dist = (if Dist_net.active config.dist then Some (Dist_net.counters net) else None);
   }
 
 let pp_stats fmt s =
@@ -249,5 +266,8 @@ let pp_stats fmt s =
     "@[<v>published=%d rejected=%d (verifier=%d) bad_published=%d jump_started=%d fallbacks=%d@,crash rounds:"
     s.packages_published s.packages_rejected s.verifier_rejects s.bad_packages_published
     s.jump_started s.fallbacks;
+  (match s.dist with
+  | Some c -> Format.fprintf fmt "@,%a" Dist_net.pp_counters c
+  | None -> ());
   List.iter (fun (t, n) -> Format.fprintf fmt "@,  t=%5.0fs crashed=%d" t n) s.crashes;
   Format.fprintf fmt "@]"

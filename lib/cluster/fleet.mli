@@ -33,6 +33,12 @@ type config = {
   max_boot_attempts : int;
   fallback_enabled : bool;
   max_seeder_retries : int;
+  dist : Dist_net.config;
+      (** the package-delivery network between seeders and consumers; the
+          default (inactive) config is draw-identical to a direct pick.
+          When a fetch ladder exhausts retries and cross-region fallback,
+          the member boots without Jump-Start ([fetch_failed]); successful
+          fetch delay is added to that member's boot span. *)
 }
 
 val default_config : config
@@ -49,6 +55,9 @@ type stats = {
   jump_started : int;
   fleet_rps : Js_util.Stats.Series.t;  (** aggregate over the C3 window *)
   fleet_peak_rps : float;
+  dist : Dist_net.counters option;
+      (** distribution-network counters; [None] when the configured network
+          is inactive (so legacy runs stay bit-identical) *)
 }
 
 (** [simulate_push config app ~seed ~bad_package_rate ~thin_profile_rate

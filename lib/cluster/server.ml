@@ -159,7 +159,7 @@ let compute_peak cfg (app : MA.t) role discovery cyc =
     order;
   !total
 
-let create ?(discovery_seed = 1234) cfg app role =
+let create ?(discovery_seed = 1234) ?(extra_boot_seconds = 0.) cfg app role =
   let rng = Js_util.Rng.create discovery_seed in
   let discovery = MA.sample_discovery app rng in
   let n = Array.length app.MA.funcs in
@@ -192,6 +192,11 @@ let create ?(discovery_seed = 1234) cfg app role =
         agg.(m_undiscovered) <- agg.(m_undiscovered) +. (mf.MA.p_touch *. mf.MA.weight))
       app.MA.funcs);
   let serve_start =
+    (* extra_boot_seconds: time the boot spent outside this model, e.g.
+       waiting on the distribution network's fetch ladder (0 adds nothing
+       and keeps serve_start bit-identical) *)
+    extra_boot_seconds
+    +.
     match role with
     | No_jumpstart | Seeder -> cfg.init_seconds_sequential
     | Consumer p ->

@@ -71,8 +71,16 @@ type crash_kind = Bad_package  (** more kinds can appear later *)
 type t
 
 (** [create ?discovery_seed config app role] — a freshly restarted server at
-    time 0. *)
-val create : ?discovery_seed:int -> config -> Workload.Macro_app.t -> js_role -> t
+    time 0.  [extra_boot_seconds] (default 0) is added to the boot span for
+    time spent outside this model, e.g. the distribution network's package
+    fetch ladder. *)
+val create :
+  ?discovery_seed:int ->
+  ?extra_boot_seconds:float ->
+  config ->
+  Workload.Macro_app.t ->
+  js_role ->
+  t
 
 (** [step t ~dt] advances the simulation. *)
 val step : t -> dt:float -> unit

@@ -71,7 +71,18 @@ let health_check vm traffic =
     in
     (Interp.Engine.steps engine, verdict)
 
-let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bug
+(* How one boot attempt obtained (or failed to obtain) package bytes.  The
+   plain store source only ever yields [Fetched]/[Fetch_none]; the
+   distribution-network source adds gate rejects (burn a boot attempt, like
+   any other validation failure) and network exhaustion (degrade straight to
+   the no-Jump-Start fallback). *)
+type fetched =
+  | Fetched of string * Package.meta
+  | Fetch_rejected of string
+  | Fetch_unavailable of string
+  | Fetch_none of string
+
+let boot_via ?telemetry repo (options : Options.t) ~(fetch : unit -> fetched) ?jit_bug
     ?health_traffic ~fallback_traffic () =
   let tel f =
     match telemetry with
@@ -110,9 +121,11 @@ let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bu
           note_attempt k (stage ^ "_failed");
           attempt (k + 1) msg
         in
-        match Store.pick_random ?telemetry store rng ~region ~bucket with
-        | None -> fall_back "no profile package available"
-        | Some (bytes, _meta) -> (
+        match fetch () with
+        | Fetch_none reason -> fall_back reason
+        | Fetch_unavailable reason -> fall_back reason
+        | Fetch_rejected msg -> fail "fetch" msg
+        | Fetched (bytes, _meta) -> (
           match
             timed "consumer.decode"
               ~cost:(fun _ -> float_of_int (String.length bytes) /. 25.0e6)
@@ -156,3 +169,24 @@ let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bu
     in
     attempt 0 "no attempts made"
   end
+
+let boot ?telemetry repo (options : Options.t) store rng ~region ~bucket ?jit_bug
+    ?health_traffic ~fallback_traffic () =
+  let fetch () =
+    match Store.pick_random ?telemetry store rng ~region ~bucket with
+    | None -> Fetch_none "no profile package available"
+    | Some (bytes, meta) -> Fetched (bytes, meta)
+  in
+  boot_via ?telemetry repo options ~fetch ?jit_bug ?health_traffic ~fallback_traffic ()
+
+let boot_dist ?telemetry repo (options : Options.t) dist rng ?(now = 0.) ~region ~bucket
+    ?jit_bug ?health_traffic ~fallback_traffic () =
+  let fetch () =
+    match Dist_store.fetch ?telemetry dist rng ~now ~region ~bucket with
+    | Dist_store.Delivered { bytes; meta; _ } -> Fetched (bytes, meta)
+    | Dist_store.Rejected { reason; _ } -> Fetch_rejected reason
+    | Dist_store.Unavailable { reason; _ } ->
+      Fetch_unavailable ("package fetch failed: " ^ reason)
+    | Dist_store.No_package -> Fetch_none "no profile package available"
+  in
+  boot_via ?telemetry repo options ~fetch ?jit_bug ?health_traffic ~fallback_traffic ()

@@ -73,3 +73,36 @@ val boot :
   fallback_traffic:traffic ->
   unit ->
   outcome
+
+(** [boot_dist repo options dist rng ~region ~bucket ...] — the same §VI-A
+    boot protocol, but every package fetch goes through the simulated
+    distribution network ({!Dist_store}) instead of hitting the store
+    directly:
+
+    - a {e delivered} package proceeds through decode → verify → coverage →
+      compile → health-check exactly as in {!boot};
+    - a staleness-gate reject (fingerprint mismatch, TTL expiry, stale
+      replica) burns a boot attempt via the [Validation_failed] machinery
+      as the new stage [consumer.fetch] (counter
+      [consumer.fetch_failures]) — a fresh attempt re-runs the whole fetch
+      ladder and usually draws a different replica;
+    - an exhausted network (retries + cross-region fallback all failed)
+      degrades gracefully to the no-Jump-Start fallback, like a store with
+      no packages.
+
+    [now] (default 0) is the boot's position on the simulated clock,
+    driving the TTL gate. *)
+val boot_dist :
+  ?telemetry:Js_telemetry.t ->
+  Hhbc.Repo.t ->
+  Options.t ->
+  Dist_store.t ->
+  Js_util.Rng.t ->
+  ?now:float ->
+  region:int ->
+  bucket:int ->
+  ?jit_bug:(Package.t -> bool) ->
+  ?health_traffic:traffic ->
+  fallback_traffic:traffic ->
+  unit ->
+  outcome

@@ -1,0 +1,172 @@
+module R = Js_util.Rng
+module Backoff = Js_util.Backoff
+
+type network = {
+  fetch_fail_rate : float;
+  fetch_timeout : float;
+  latency_mean : float;
+  tail_prob : float;
+  tail_alpha : float;
+  stale_rate : float;
+}
+
+let default_network =
+  {
+    fetch_fail_rate = 0.;
+    fetch_timeout = 0.;
+    latency_mean = 0.;
+    tail_prob = 0.;
+    tail_alpha = 1.5;
+    stale_rate = 0.;
+  }
+
+let network_active n =
+  n.fetch_fail_rate > 0. || n.fetch_timeout > 0. || n.latency_mean > 0. || n.stale_rate > 0.
+
+type t = {
+  store : Store.t;
+  net : network;
+  backoff : Backoff.config;
+  ttl_seconds : float;
+  regions : int array;
+  cross_region : bool;
+  expected_fingerprint : int option;
+}
+
+let create ?(network = default_network) ?(backoff = Backoff.default) ?(ttl_seconds = 0.)
+    ?(cross_region = false) ?(regions = [| 0 |]) ?repo store =
+  {
+    store;
+    net = network;
+    backoff;
+    ttl_seconds;
+    regions;
+    cross_region;
+    (* O(bytecode), so hash the build once here rather than per fetch *)
+    expected_fingerprint = Option.map Hhbc.Repo.fingerprint repo;
+  }
+
+let store t = t.store
+let active t = network_active t.net
+
+type fetch_result =
+  | Delivered of { bytes : string; meta : Package.meta; region : int; delay : float }
+  | Rejected of { reason : string; delay : float }
+  | Unavailable of { reason : string; delay : float }
+  | No_package
+
+(* The staleness gate (§VII profile reuse): a delivered package is unusable —
+   as opposed to unreachable — when it was built against a different repo or
+   has outlived its TTL.  Gate verdicts are deterministic; [forced_stale]
+   models a replica that still serves the previous release's package. *)
+let gate t ~now ~forced_stale (meta : Package.meta) =
+  if forced_stale then Error "stale replica: package from a previous release"
+  else
+    match t.expected_fingerprint with
+    | Some fp when meta.Package.repo_fingerprint <> fp ->
+      Error
+        (Printf.sprintf "repo fingerprint mismatch: package %x <> repo %x (stale release)"
+           (meta.Package.repo_fingerprint land 0xffffff)
+           (fp land 0xffffff))
+    | Some _ | None ->
+      let age = now -. float_of_int meta.Package.published_at in
+      if t.ttl_seconds > 0. && age > t.ttl_seconds then
+        Error (Printf.sprintf "package expired: age %.0fs > ttl %.0fs" age t.ttl_seconds)
+      else Ok ()
+
+let fetch ?telemetry t rng ~now ~region:home ~bucket =
+  let tel f =
+    match telemetry with
+    | Some s -> f s
+    | None -> ()
+  in
+  let delay = ref 0. in
+  let failures = ref 0 and timeouts = ref 0 and saw_package = ref false in
+  (* One network attempt against one region's replica set.  Randomness is
+     consumed strictly in this order, each draw guarded by its rate so an
+     all-zero network performs exactly the one selection draw Store does. *)
+  let try_once ~region ~cross =
+    tel (fun s ->
+        Js_telemetry.incr s "dist.fetch_attempts";
+        if cross then Js_telemetry.incr s "dist.cross_region");
+    if t.net.fetch_fail_rate > 0. && R.bool rng t.net.fetch_fail_rate then begin
+      incr failures;
+      tel (fun s -> Js_telemetry.incr s "dist.fetch_failures");
+      `Retry
+    end
+    else begin
+      let lat =
+        if t.net.latency_mean <= 0. then 0.
+        else if t.net.tail_prob > 0. && R.bool rng t.net.tail_prob then
+          R.pareto rng ~alpha:t.net.tail_alpha ~x_min:t.net.latency_mean
+        else R.exponential rng ~mean:t.net.latency_mean
+      in
+      if t.net.fetch_timeout > 0. && lat > t.net.fetch_timeout then begin
+        incr timeouts;
+        delay := !delay +. t.net.fetch_timeout;
+        tel (fun s -> Js_telemetry.incr s "dist.timeouts");
+        `Retry
+      end
+      else
+        match Store.pick_random ?telemetry t.store rng ~region ~bucket with
+        | None -> `Empty
+        | Some (bytes, meta) -> (
+          saw_package := true;
+          delay := !delay +. lat;
+          let forced_stale = t.net.stale_rate > 0. && R.bool rng t.net.stale_rate in
+          match gate t ~now ~forced_stale meta with
+          | Ok () ->
+            tel (fun s ->
+                Js_telemetry.observe s ~lo:0. ~hi:120. ~buckets:24 "dist.fetch_seconds" lat);
+            `Delivered (bytes, meta, region)
+          | Error reason ->
+            tel (fun s -> Js_telemetry.incr s "dist.stale_rejects");
+            `Stale reason)
+    end
+  in
+  (* The fetch ladder: bounded retries with backoff against the home region,
+     then one attempt per foreign region, then give up. *)
+  let rec home_attempts k =
+    if k >= t.backoff.Backoff.max_attempts then `Exhausted
+    else
+      match try_once ~region:home ~cross:false with
+      | (`Delivered _ | `Stale _) as final -> final
+      | `Empty -> `Exhausted (* the replica set is static; retrying cannot help *)
+      | `Retry ->
+        if k + 1 < t.backoff.Backoff.max_attempts then
+          delay := !delay +. Backoff.delay t.backoff rng ~attempt:k;
+        home_attempts (k + 1)
+  in
+  let rec foreign_regions = function
+    | [] -> `Exhausted
+    | r :: rest -> (
+      match try_once ~region:r ~cross:true with
+      | (`Delivered _ | `Stale _) as final -> final
+      | `Empty | `Retry -> foreign_regions rest)
+  in
+  let verdict =
+    match home_attempts 0 with
+    | `Exhausted when t.cross_region ->
+      foreign_regions (List.filter (fun r -> r <> home) (Array.to_list t.regions))
+    | v -> v
+  in
+  tel (fun s ->
+      if !delay > 0. then begin
+        let clock = Js_telemetry.clock s in
+        Js_telemetry.add_span s "dist.fetch_wait" ~start:(Js_telemetry.Clock.now clock)
+          ~dur:!delay;
+        Js_telemetry.Clock.advance clock !delay
+      end);
+  match verdict with
+  | `Delivered (bytes, meta, region) -> Delivered { bytes; meta; region; delay = !delay }
+  | `Stale reason -> Rejected { reason; delay = !delay }
+  | `Exhausted ->
+    if (not !saw_package) && !failures = 0 && !timeouts = 0 then No_package
+    else
+      Unavailable
+        {
+          reason =
+            Printf.sprintf "network unavailable after %d failures and %d timeouts" !failures
+              !timeouts;
+          delay = !delay;
+        }

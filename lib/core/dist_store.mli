@@ -1,0 +1,93 @@
+(** Simulated distribution network in front of {!Store} (micro level).
+
+    The paper's packages travel through a real distributed-storage service:
+    fetches have latency, fail transiently, time out, and can return {e
+    stale} profiles from a previous release.  This module wraps a {!Store}
+    with that delivery model so the consumer boot path exercises it for
+    real:
+
+    - {b network model}: per-fetch transient failure probability, a
+      latency distribution (exponential body with an optional Pareto tail,
+      reusing {!Js_util.Rng}), and a per-attempt timeout;
+    - {b fetch policy}: bounded retries with exponential backoff and
+      deterministic jitter ({!Js_util.Backoff}) against the home region,
+      then one cross-region fallback fetch per foreign region, then give up
+      (the caller degrades to a no-Jump-Start boot);
+    - {b staleness gate}: a delivered package is rejected — without
+      retrying, the reject feeds the consumer's [Validation_failed] retry
+      machinery as stage [consumer.fetch] — when its
+      {!Package.meta.repo_fingerprint} disagrees with the consumer's repo,
+      when its age exceeds the TTL, or when the replica is forced stale by
+      the [stale_rate] fault injection.
+
+    Determinism: every stochastic draw is guarded by its rate, so an
+    all-zero network consumes exactly the one selection draw {!Store}
+    itself performs and the run stays byte-identical to a direct store
+    fetch.
+
+    With [telemetry], attempts bump [dist.fetch_attempts] (plus
+    [dist.cross_region] for foreign-region attempts), failures
+    [dist.fetch_failures], timeouts [dist.timeouts], gate rejects
+    [dist.stale_rejects]; a delivery observes its latency in the
+    [dist.fetch_seconds] histogram, and the accumulated wait (latencies,
+    timeouts, backoff) advances the clock under a [dist.fetch_wait] span. *)
+
+type network = {
+  fetch_fail_rate : float;  (** probability one attempt fails outright *)
+  fetch_timeout : float;  (** per-attempt timeout in seconds; 0 = none *)
+  latency_mean : float;  (** mean fetch latency; 0 = instantaneous *)
+  tail_prob : float;  (** probability a latency sample comes from the tail *)
+  tail_alpha : float;  (** Pareto shape of the latency tail *)
+  stale_rate : float;  (** probability a replica serves a stale package *)
+}
+
+(** All rates/latencies zero: a perfect, instantaneous network. *)
+val default_network : network
+
+(** Does this network model any fault or latency at all?  When [false], a
+    fetch draws exactly as much randomness as {!Store.pick_random}. *)
+val network_active : network -> bool
+
+type t
+
+(** [create store] wraps [store].  [repo] enables the fingerprint gate
+    (packages hashed against a different build are rejected);
+    [ttl_seconds > 0] enables the TTL gate; [regions]/[cross_region]
+    configure the fallback ladder ([regions] lists every region replicas
+    live in, home first or not — the home region passed to {!fetch} is
+    skipped). *)
+val create :
+  ?network:network ->
+  ?backoff:Js_util.Backoff.config ->
+  ?ttl_seconds:float ->
+  ?cross_region:bool ->
+  ?regions:int array ->
+  ?repo:Hhbc.Repo.t ->
+  Store.t ->
+  t
+
+val store : t -> Store.t
+val active : t -> bool
+
+type fetch_result =
+  | Delivered of { bytes : string; meta : Package.meta; region : int; delay : float }
+      (** a usable package, after [delay] seconds of fetch latency/retries *)
+  | Rejected of { reason : string; delay : float }
+      (** delivered but unusable: stale replica, fingerprint mismatch, or
+          TTL expiry — burns a consumer boot attempt (stage
+          [consumer.fetch]) *)
+  | Unavailable of { reason : string; delay : float }
+      (** retries and cross-region fallback exhausted — the consumer
+          degrades gracefully to a no-Jump-Start boot *)
+  | No_package  (** no replica in any reachable region holds a package *)
+
+(** [fetch t rng ~now ~region ~bucket] runs the full fetch ladder.  [now] is
+    the consumer's boot time on the simulated clock (drives the TTL gate). *)
+val fetch :
+  ?telemetry:Js_telemetry.t ->
+  t ->
+  Js_util.Rng.t ->
+  now:float ->
+  region:int ->
+  bucket:int ->
+  fetch_result

@@ -8,6 +8,8 @@ type meta = {
   seeder_id : int;
   n_profiled_funcs : int;
   total_entries : int;
+  repo_fingerprint : int;
+  published_at : int;
 }
 
 type t = {
@@ -19,7 +21,7 @@ type t = {
 }
 
 let magic = "JSPK"
-let version = 2
+let version = 3
 
 (* The repo shape the seeder profiled against, embedded in every package
    (version 2).  A consumer running a different build of the application
@@ -54,6 +56,9 @@ let to_bytes t =
   W.varint w t.meta.seeder_id;
   W.varint w t.meta.n_profiled_funcs;
   W.varint w t.meta.total_entries;
+  (* version 3: provenance for the distribution layer's staleness gate *)
+  W.varint w t.meta.repo_fingerprint;
+  W.varint w t.meta.published_at;
   write_repo_shape w (Jit_profile.Counters.repo t.counters);
   W.array w (fun uid -> W.varint w uid) t.preload_units;
   W.array w (fun fid -> W.varint w fid) t.func_order;
@@ -70,6 +75,8 @@ let of_bytes repo data =
     let seeder_id = Rd.varint r in
     let n_profiled_funcs = Rd.varint r in
     let total_entries = Rd.varint r in
+    let repo_fingerprint = Rd.varint r in
+    let published_at = Rd.varint r in
     check_repo_shape r repo;
     let n_funcs = Hhbc.Repo.n_funcs repo in
     let n_units = Hhbc.Repo.n_units repo in
@@ -90,7 +97,16 @@ let of_bytes repo data =
     Rd.expect_end r;
     Ok
       {
-        meta = { region; bucket; seeder_id; n_profiled_funcs; total_entries };
+        meta =
+          {
+            region;
+            bucket;
+            seeder_id;
+            n_profiled_funcs;
+            total_entries;
+            repo_fingerprint;
+            published_at;
+          };
         counters;
         vasm;
         func_order;
@@ -112,5 +128,6 @@ let check_coverage t (options : Options.t) =
 let payload_size t = String.length (to_bytes t)
 
 let pp_meta fmt m =
-  Format.fprintf fmt "package[region=%d bucket=%d seeder=%d funcs=%d entries=%d]" m.region
-    m.bucket m.seeder_id m.n_profiled_funcs m.total_entries
+  Format.fprintf fmt "package[region=%d bucket=%d seeder=%d funcs=%d entries=%d fp=%x t=%d]"
+    m.region m.bucket m.seeder_id m.n_profiled_funcs m.total_entries
+    (m.repo_fingerprint land 0xffffff) m.published_at

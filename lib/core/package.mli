@@ -22,6 +22,11 @@ type meta = {
   seeder_id : int;
   n_profiled_funcs : int;
   total_entries : int;
+  repo_fingerprint : int;
+      (** {!Hhbc.Repo.fingerprint} of the build the seeder profiled; the
+          distribution layer rejects packages whose fingerprint disagrees
+          with the consumer's repo (stale profile from a previous release) *)
+  published_at : int;  (** publish time in whole simulated seconds *)
 }
 
 type t = {

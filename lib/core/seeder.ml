@@ -4,7 +4,7 @@ type outcome = {
   profile_requests_steps : int;
 }
 
-let run ?telemetry repo (options : Options.t) ~profile_traffic ~optimized_traffic
+let run ?telemetry ?(now = 0.) repo (options : Options.t) ~profile_traffic ~optimized_traffic
     ?validation_traffic ?jit_bug ~region ~bucket ~seeder_id () =
   let tel f =
     match telemetry with
@@ -68,6 +68,8 @@ let run ?telemetry repo (options : Options.t) ~profile_traffic ~optimized_traffi
           seeder_id;
           n_profiled_funcs = List.length profiled;
           total_entries = Jit_profile.Counters.total_entries counters;
+          repo_fingerprint = Hhbc.Repo.fingerprint repo;
+          published_at = int_of_float now;
         };
       counters = Jit_profile.Counters.copy counters;
       vasm = measured;
@@ -140,10 +142,10 @@ let run ?telemetry repo (options : Options.t) ~profile_traffic ~optimized_traffi
                 | Failure msg -> invalid ("unhealthy: " ^ msg))))))
     end
 
-let run_and_publish ?telemetry repo options store ~profile_traffic ~optimized_traffic
+let run_and_publish ?telemetry ?now repo options store ~profile_traffic ~optimized_traffic
     ?validation_traffic ?jit_bug ~region ~bucket ~seeder_id () =
   match
-    run ?telemetry repo options ~profile_traffic ~optimized_traffic ?validation_traffic
+    run ?telemetry ?now repo options ~profile_traffic ~optimized_traffic ?validation_traffic
       ?jit_bug ~region ~bucket ~seeder_id ()
   with
   | Error _ as e -> e

@@ -20,7 +20,10 @@ type outcome = {
       code (Vasm profile collection);
     - [validation_traffic]: health-check load for self-validation (defaults
       to skipping the run-traffic part of validation);
-    - [jit_bug]: fault injection passed through to validation (§VI-A.1).
+    - [jit_bug]: fault injection passed through to validation (§VI-A.1);
+    - [now]: simulated publish time (default 0); stamped into the package
+      meta together with the repo fingerprint for the distribution layer's
+      staleness gate.
 
     Returns [Error reason] when the §VI-B coverage gate or §VI-A.1
     validation rejects the package — a real seeder would then restart in
@@ -34,6 +37,7 @@ type outcome = {
     [seeder.packages_built]. *)
 val run :
   ?telemetry:Js_telemetry.t ->
+  ?now:float ->
   Hhbc.Repo.t ->
   Options.t ->
   profile_traffic:Consumer.traffic ->
@@ -52,6 +56,7 @@ val run :
     event carrying the package size. *)
 val run_and_publish :
   ?telemetry:Js_telemetry.t ->
+  ?now:float ->
   Hhbc.Repo.t ->
   Options.t ->
   Store.t ->

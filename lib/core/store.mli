@@ -39,10 +39,13 @@ val clear : t -> region:int -> bucket:int -> unit
 (** Test/fault-injection hook: corrupt one stored package by flipping a byte
     mid-payload.  Returns [false] if the key holds no packages.
 
-    By default the flip lands inside the framed bytes, so the CRC catches it
-    at decode.  With [~semantic:true] the frame is stripped, a random
-    payload byte is flipped, and the package is re-framed with a fresh CRC —
-    modelling a seeder that {e wrote} bad data rather than a channel that
-    damaged good data.  Such packages pass the checksum and must be rejected
-    by decode range checks or the {!Package_check} consistency pass. *)
+    By default the flip lands inside the frame's {e payload span} (never the
+    magic/version/length header or the trailing CRC word), so the CRC check
+    is what catches it at decode.  With [~semantic:true] the frame is
+    stripped, a random payload byte is flipped, and the package is re-framed
+    with a fresh CRC — modelling a seeder that {e wrote} bad data rather
+    than a channel that damaged good data.  Such packages pass the checksum
+    and must be rejected by decode range checks or the {!Package_check}
+    consistency pass.  Unframeable or empty-payload entries fall back to a
+    whole-frame flip rather than raising. *)
 val corrupt_one : ?semantic:bool -> t -> Js_util.Rng.t -> region:int -> bucket:int -> bool

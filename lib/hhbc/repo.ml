@@ -91,6 +91,33 @@ let compute_ctors (classes : Class_def.t array) (names : string array) =
 
 let total_bytecode_size t = Array.fold_left (fun acc f -> acc + Func.bytecode_size f) 0 t.funcs
 
+(* FNV-1a over the repo's structure: entity counts, function names/bodies,
+   interned strings and names.  Two different application builds virtually
+   never collide, while re-loading the same build always agrees — which is
+   all the package staleness gate needs (it is not a cryptographic hash). *)
+let fingerprint t =
+  (* FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit int *)
+  let h = ref 0x4bf29ce484222325 in
+  let mix v = h := (!h lxor v) * 0x100000001b3 in
+  mix (Array.length t.units);
+  mix (Array.length t.funcs);
+  mix (Array.length t.classes);
+  mix (Array.length t.strings);
+  mix (Array.length t.static_arrays);
+  mix (Array.length t.names);
+  Array.iter
+    (fun (f : Func.t) ->
+      mix (Hashtbl.hash f.Func.name);
+      mix (Array.length f.Func.body);
+      Array.iter (fun instr -> mix (Hashtbl.hash instr)) f.Func.body)
+    t.funcs;
+  Array.iter (fun (c : Class_def.t) -> mix (Hashtbl.hash c.Class_def.name)) t.classes;
+  Array.iter (fun s -> mix (Hashtbl.hash s)) t.strings;
+  Array.iter (fun s -> mix (Hashtbl.hash s)) t.names;
+  (* varint-encodable: the package wire format carries it as a non-negative
+     integer *)
+  !h land max_int
+
 let validate t =
   let n_f = Array.length t.funcs in
   let n_c = Array.length t.classes in

@@ -58,6 +58,14 @@ val validate : t -> (unit, string) result
 (** Total bytecode bytes across all functions (for sizing experiments). *)
 val total_bytecode_size : t -> int
 
+(** [fingerprint t] — a deterministic, non-negative structural hash of the
+    repo (entity counts, function names and bodies, interned strings/names).
+    Stamped into every published package so consumers on a {e different}
+    application build reject the profile as stale instead of importing
+    counters collected against other code (paper §VII profile reuse across
+    releases).  O(bytecode) — compute once and cache at boot. *)
+val fingerprint : t -> int
+
 (** Incremental construction, used by the minihack compiler and the synthetic
     workload generator.  Ids are handed out in insertion order.  The builder
     interns strings and names, deduplicating. *)

@@ -206,7 +206,9 @@ let patch_shape_field bytes k =
   let payload = B.unframe ~magic:JS.Package.magic ~expected_version:JS.Package.version bytes in
   let r = B.Reader.of_string payload in
   let total = String.length payload in
-  for _ = 1 to 5 + k do
+  (* skip the 7 meta varints (region, bucket, seeder, funcs, entries,
+     fingerprint, published_at) to land on the k-th shape field *)
+  for _ = 1 to 7 + k do
     ignore (B.Reader.varint r)
   done;
   let start = total - B.Reader.remaining r in

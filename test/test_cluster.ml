@@ -229,6 +229,61 @@ let test_fleet_telemetry_cache_invariant () =
   Alcotest.(check string) "telemetry byte-identical cached vs uncached" (run_with true)
     (run_with false)
 
+let test_fleet_dist_faults_absorbed () =
+  (* ISSUE acceptance: at 30% transient fetch failure plus timeouts, the
+     retry/backoff ladder keeps (well over) 99% of servers jump-started *)
+  let app = Lazy.force small_app in
+  let cfg =
+    { (Lazy.force fleet_cfg) with
+      Cluster.Fleet.dist =
+        { Cluster.Dist_net.default_config with
+          Cluster.Dist_net.fetch_fail_rate = 0.3;
+          fetch_timeout = 1.0;
+          fetch_latency_mean = 0.5
+        }
+    }
+  in
+  let stats =
+    Cluster.Fleet.simulate_push cfg app ~seed:21 ~bad_package_rate:0. ~thin_profile_rate:0.
+      ~duration:200.
+  in
+  Alcotest.(check bool) ">=99% jump-started" true
+    (float_of_int stats.Cluster.Fleet.jump_started
+    >= 0.99 *. float_of_int cfg.Cluster.Fleet.n_servers);
+  Alcotest.(check int) "no crashes" 0 (List.length stats.Cluster.Fleet.crashes);
+  match stats.Cluster.Fleet.dist with
+  | None -> Alcotest.fail "active network must report counters"
+  | Some c ->
+    Alcotest.(check bool) "retries happened" true
+      (c.Cluster.Dist_net.failures > 0 && c.Cluster.Dist_net.attempts > c.Cluster.Dist_net.deliveries);
+    Alcotest.(check int) "ladder invariant" c.Cluster.Dist_net.attempts
+      (c.Cluster.Dist_net.deliveries + c.Cluster.Dist_net.failures + c.Cluster.Dist_net.timeouts
+      + c.Cluster.Dist_net.stale_rejects + c.Cluster.Dist_net.empty_probes)
+
+let test_fleet_dist_outage_degrades () =
+  (* a fully unreachable network: every server degrades to a no-Jump-Start
+     boot, nobody crashes, the fleet still serves *)
+  let app = Lazy.force small_app in
+  let cfg =
+    { (Lazy.force fleet_cfg) with
+      Cluster.Fleet.dist =
+        { Cluster.Dist_net.default_config with Cluster.Dist_net.fetch_fail_rate = 1.0 }
+    }
+  in
+  let stats =
+    Cluster.Fleet.simulate_push cfg app ~seed:22 ~bad_package_rate:0. ~thin_profile_rate:0.
+      ~duration:400.
+  in
+  Alcotest.(check int) "nobody jump-started" 0 stats.Cluster.Fleet.jump_started;
+  Alcotest.(check int) "everyone fell back" cfg.Cluster.Fleet.n_servers
+    stats.Cluster.Fleet.fallbacks;
+  Alcotest.(check int) "no crashes" 0 (List.length stats.Cluster.Fleet.crashes);
+  (match stats.Cluster.Fleet.dist with
+  | Some c -> Alcotest.(check int) "nothing delivered" 0 c.Cluster.Dist_net.deliveries
+  | None -> Alcotest.fail "active network must report counters");
+  Alcotest.(check bool) "fleet serves on fallback code" true
+    (Js_util.Stats.Series.value_at stats.Cluster.Fleet.fleet_rps 399. > 0.)
+
 let test_fleet_telemetry_crash_accounting () =
   let app = Lazy.force small_app in
   let cfg = { (Lazy.force fleet_cfg) with Cluster.Fleet.validation_catch_rate = 0. } in
@@ -266,6 +321,8 @@ let () =
           Alcotest.test_case "fallback bounds damage" `Quick test_fleet_fallback_bounds_damage;
           Alcotest.test_case "thin profiles rejected" `Quick test_fleet_thin_profiles_rejected;
           Alcotest.test_case "telemetry deterministic" `Quick test_fleet_telemetry_deterministic;
+          Alcotest.test_case "dist faults absorbed" `Quick test_fleet_dist_faults_absorbed;
+          Alcotest.test_case "dist outage degrades" `Quick test_fleet_dist_outage_degrades;
           Alcotest.test_case "telemetry cache-invariant" `Quick
             test_fleet_telemetry_cache_invariant;
           Alcotest.test_case "telemetry crash accounting" `Quick

@@ -118,6 +118,65 @@ let test_store_publish_pick () =
   JS.Store.clear store ~region:0 ~bucket:3;
   Alcotest.(check int) "cleared" 0 (JS.Store.count store ~region:0 ~bucket:3)
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_store_corrupt_empty_payload () =
+  (* regression: an empty-payload frame used to crash [corrupt_one
+     ~semantic:true] with [Invalid_argument] from [Rng.int ~bound:0] *)
+  let outcome = make_package () in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  let store = JS.Store.create () in
+  let empty = Js_util.Binio.frame ~magic:JS.Package.magic ~version:JS.Package.version "" in
+  JS.Store.publish store ~region:0 ~bucket:1 empty meta;
+  let rng = Js_util.Rng.create 5 in
+  Alcotest.(check bool) "returns true instead of raising" true
+    (JS.Store.corrupt_one ~semantic:true store rng ~region:0 ~bucket:1);
+  match JS.Store.pick_random store (Js_util.Rng.create 1) ~region:0 ~bucket:1 with
+  | None -> Alcotest.fail "package vanished"
+  | Some (bytes, _) -> Alcotest.(check bool) "frame was damaged" true (bytes <> empty)
+
+let test_store_pick_draw_identical () =
+  (* [pick_random] no longer materializes an array per call; it must stay
+     draw-identical to the historical [Rng.pick rng (Array.of_list entries)]
+     so every seeded simulation replays bit-for-bit *)
+  let outcome = make_package () in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  let store = JS.Store.create () in
+  for i = 0 to 4 do
+    JS.Store.publish store ~region:0 ~bucket:2 (Printf.sprintf "pkg-%d" i) meta
+  done;
+  (* publish prepends, so the internal entry order is newest-first *)
+  let reference = [| "pkg-4"; "pkg-3"; "pkg-2"; "pkg-1"; "pkg-0" |] in
+  let rng = Js_util.Rng.create 77 in
+  let witness = Js_util.Rng.copy rng in
+  for _ = 1 to 50 do
+    match JS.Store.pick_random store rng ~region:0 ~bucket:2 with
+    | None -> Alcotest.fail "pick missed"
+    | Some (bytes, _) ->
+      Alcotest.(check string) "draw-identical pick" (Js_util.Rng.pick witness reference) bytes
+  done
+
+let test_store_corrupt_hits_payload_span () =
+  (* the non-semantic flip must land inside the payload span — never the
+     magic/version/length header or the CRC word — so the CRC check is the
+     rejection path exercised *)
+  let a = Lazy.force app in
+  let outcome = make_package () in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  let store = JS.Store.create () in
+  JS.Store.publish store ~region:0 ~bucket:6 outcome.JS.Seeder.bytes meta;
+  let rng = Js_util.Rng.create 9 in
+  Alcotest.(check bool) "corrupted" true (JS.Store.corrupt_one store rng ~region:0 ~bucket:6);
+  match JS.Store.pick_random store (Js_util.Rng.create 1) ~region:0 ~bucket:6 with
+  | None -> Alcotest.fail "package vanished"
+  | Some (bytes, _) -> (
+    match JS.Package.of_bytes a.Workload.Codegen.repo bytes with
+    | Ok _ -> Alcotest.fail "corruption undetected"
+    | Error msg -> Alcotest.(check bool) "rejected by the CRC check" true (contains msg "CRC"))
+
 (* --- seeder --- *)
 
 let test_seeder_produces_valid_package () =
@@ -370,7 +429,13 @@ let () =
         ] );
       ( "store",
         [ Alcotest.test_case "publish/pick/clear" `Quick test_store_publish_pick;
-          Alcotest.test_case "selection counts" `Quick test_store_selection_counts
+          Alcotest.test_case "selection counts" `Quick test_store_selection_counts;
+          Alcotest.test_case "semantic corrupt of empty payload" `Quick
+            test_store_corrupt_empty_payload;
+          Alcotest.test_case "pick draw-identical to array pick" `Quick
+            test_store_pick_draw_identical;
+          Alcotest.test_case "flip lands in payload span" `Quick
+            test_store_corrupt_hits_payload_span
         ] );
       ( "seeder",
         [ Alcotest.test_case "valid package" `Quick test_seeder_produces_valid_package;

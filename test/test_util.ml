@@ -285,6 +285,38 @@ let test_pqueue_peek () =
   Alcotest.(check bool) "peek keeps" true (Pqueue.peek q = Some (5., "x"));
   Alcotest.(check int) "length" 1 (Pqueue.length q)
 
+(* --- backoff --- *)
+
+let test_backoff_raw_schedule () =
+  let cfg = { Js_util.Backoff.default with Js_util.Backoff.base_delay = 0.5; multiplier = 2.0; max_delay = 30. } in
+  check_float "attempt 0" 0.5 (Js_util.Backoff.raw_delay cfg ~attempt:0);
+  check_float "attempt 1" 1.0 (Js_util.Backoff.raw_delay cfg ~attempt:1);
+  check_float "attempt 2" 2.0 (Js_util.Backoff.raw_delay cfg ~attempt:2);
+  check_float "attempt 5" 16.0 (Js_util.Backoff.raw_delay cfg ~attempt:5);
+  (* 0.5 * 2^7 = 64 caps at 30 *)
+  check_float "cap" 30.0 (Js_util.Backoff.raw_delay cfg ~attempt:7);
+  check_float "total of first 3" 3.5 (Js_util.Backoff.total_raw_delay cfg ~attempts:3);
+  Alcotest.check_raises "negative attempt"
+    (Invalid_argument "Backoff.raw_delay: negative attempt") (fun () ->
+      ignore (Js_util.Backoff.raw_delay cfg ~attempt:(-1)))
+
+let test_backoff_jitter () =
+  let rng = Rng.create 99 in
+  let cfg = { Js_util.Backoff.default with Js_util.Backoff.jitter = 0.1 } in
+  for attempt = 0 to 6 do
+    let raw = Js_util.Backoff.raw_delay cfg ~attempt in
+    let d = Js_util.Backoff.delay cfg rng ~attempt in
+    Alcotest.(check bool) "jitter only inflates" true (d >= raw);
+    Alcotest.(check bool) "jitter bounded at 10%" true (d <= raw *. 1.1 +. 1e-9)
+  done
+
+let test_backoff_zero_jitter_draws_nothing () =
+  let cfg = { Js_util.Backoff.default with Js_util.Backoff.jitter = 0. } in
+  let rng = Rng.create 3 and witness = Rng.create 3 in
+  let d = Js_util.Backoff.delay cfg rng ~attempt:2 in
+  check_float "deterministic delay" (Js_util.Backoff.raw_delay cfg ~attempt:2) d;
+  Alcotest.(check int64) "rng untouched" (Rng.bits64 witness) (Rng.bits64 rng)
+
 let () =
   Alcotest.run "util"
     [ ( "rng",
@@ -320,6 +352,12 @@ let () =
             test_binio_frame_every_truncation;
           Alcotest.test_case "varint overflow" `Quick test_binio_varint_overflow;
           Alcotest.test_case "crc32 vector" `Quick test_crc32_known
+        ] );
+      ( "backoff",
+        [ Alcotest.test_case "raw schedule + cap" `Quick test_backoff_raw_schedule;
+          Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter;
+          Alcotest.test_case "zero jitter draws nothing" `Quick
+            test_backoff_zero_jitter_draws_nothing
         ] );
       ( "pqueue",
         [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
