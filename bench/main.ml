@@ -487,6 +487,24 @@ let micro () =
 
 let quick_mode = ref false
 
+(* --out PATH overrides the default artifact filename of whichever
+   JSON-writing bench runs (perf, dist, push).  Meant for single-experiment
+   invocations; with several JSON benches in one run the last write wins. *)
+let out_path = ref None
+
+let artifact_path ~default = match !out_path with Some p -> p | None -> default
+
+let write_artifact ~tag ~default json =
+  let out = artifact_path ~default in
+  if not (Js_telemetry.Json.parses json) then begin
+    Printf.eprintf "%s: generated %s is not valid JSON\n" tag out;
+    exit 1
+  end;
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
+
 let perf () =
   section "perf: interpreter throughput + core-algorithm micro-benches";
   let quick = !quick_mode in
@@ -676,18 +694,11 @@ let perf () =
     cs;
   Printf.bprintf b "  }\n";
   Printf.bprintf b "}\n";
-  let json = Buffer.contents b in
   (* quick (CI) runs keep their own file so they never clobber the committed
      full-run BENCH_interp.json *)
-  let out = if quick then "BENCH_interp.quick.json" else "BENCH_interp.json" in
-  if not (Js_telemetry.Json.parses json) then begin
-    Printf.eprintf "perf: generated %s is not valid JSON\n" out;
-    exit 1
-  end;
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
-  Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
+  write_artifact ~tag:"perf"
+    ~default:(if quick then "BENCH_interp.quick.json" else "BENCH_interp.json")
+    (Buffer.contents b)
 
 (* -------------------------------------------- distribution ablation -- *)
 
@@ -770,16 +781,144 @@ let ablation_dist () =
     rows;
   Printf.bprintf b "  ]\n";
   Printf.bprintf b "}\n";
-  let json = Buffer.contents b in
-  let out = if quick then "BENCH_dist.quick.json" else "BENCH_dist.json" in
-  if not (Js_telemetry.Json.parses json) then begin
-    Printf.eprintf "dist: generated %s is not valid JSON\n" out;
+  write_artifact ~tag:"dist"
+    ~default:(if quick then "BENCH_dist.quick.json" else "BENCH_dist.json")
+    (Buffer.contents b)
+
+(* ------------------------------------------------- push (DES) bench -- *)
+
+(* Discrete-event rolling-push comparison (Fig. 1's capacity story at
+   request granularity): Jump-Start vs no-Jump-Start pushes under random
+   and warmup-aware routing.  Acceptance: Jump-Start beats no-Jump-Start on
+   the capacity-loss integral and time-to-full-capacity, and warmup-aware
+   routing is no worse than random on p99 latency during the push.  Writes
+   BENCH_push.json (BENCH_push.quick.json under --quick). *)
+let bench_push () =
+  section "push: discrete-event rolling deployment (js_sim)";
+  let quick = !quick_mode in
+  let n_servers = if quick then 16 else 48 in
+  let warm_rps = if quick then 40. else 60. in
+  let duration = if quick then 300. else 900. in
+  let push_at = if quick then 60. else 120. in
+  let drain_cap = max 2 (n_servers / 8) in
+  let fleet =
+    { (Lazy.force fleet_base_cfg) with
+      Cluster.Fleet.n_servers;
+      n_buckets = 4;
+      seeders_per_bucket = 3
+    }
+  in
+  let base =
+    { Js_sim.Push.default_config with
+      Js_sim.Push.fleet;
+      warm_rps;
+      arrival =
+        { Js_sim.Arrival.default_config with
+          Js_sim.Arrival.base_rps = float_of_int n_servers *. warm_rps *. 0.7
+        };
+      push_at;
+      drain_cap;
+      duration
+    }
+  in
+  let scenarios =
+    [ ("nojs-random", { base with Js_sim.Push.jumpstart = false; policy = Js_sim.Balancer.Random });
+      ( "nojs-aware",
+        { base with Js_sim.Push.jumpstart = false; policy = Js_sim.Balancer.Warmup_weighted } );
+      ("js-random", { base with Js_sim.Push.policy = Js_sim.Balancer.Random });
+      ("js-aware", { base with Js_sim.Push.policy = Js_sim.Balancer.Warmup_weighted })
+    ]
+  in
+  let app = Lazy.force fleet_app in
+  let seed = 42 in
+  Printf.printf "%12s %12s %10s %10s %10s %10s\n" "scenario" "cap-loss" "ttfc(s)" "p99(s)"
+    "p99push(s)" "shed";
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+        let stats = Js_sim.Push.run cfg app ~seed in
+        let shed =
+          stats.Js_sim.Push.shed_queue_full + stats.Js_sim.Push.shed_timeout
+          + stats.Js_sim.Push.shed_no_server + stats.Js_sim.Push.shed_drain
+        in
+        let q s q = Js_util.Stats.Quantile.quantile s q in
+        Printf.printf "%12s %12.0f %10.0f %10.3f %10.3f %10d\n" name
+          stats.Js_sim.Push.capacity_loss_integral stats.Js_sim.Push.time_to_full_capacity
+          (q stats.Js_sim.Push.latency 0.99)
+          (q stats.Js_sim.Push.latency_push 0.99)
+          shed;
+        (name, stats, shed))
+      scenarios
+  in
+  let find name = match List.find (fun (n, _, _) -> n = name) rows with _, s, _ -> s in
+  let nojs_r = find "nojs-random" and js_r = find "js-random" and js_a = find "js-aware" in
+  let ttfc_or s = if s.Js_sim.Push.time_to_full_capacity >= 0. then s.Js_sim.Push.time_to_full_capacity else duration in
+  let crit_loss =
+    js_r.Js_sim.Push.capacity_loss_integral < nojs_r.Js_sim.Push.capacity_loss_integral
+  in
+  let crit_ttfc = ttfc_or js_r < ttfc_or nojs_r in
+  let p99_push s = Js_util.Stats.Quantile.quantile s.Js_sim.Push.latency_push 0.99 in
+  (* the DDSketch is 1%-relative-accurate; allow that much slack *)
+  let crit_p99 = p99_push js_a <= p99_push js_r *. 1.02 in
+  (* determinism: an identical re-run must produce an identical digest *)
+  let rerun = Js_sim.Push.run (List.assoc "js-aware" scenarios) app ~seed in
+  let deterministic = Js_sim.Push.digest rerun = Js_sim.Push.digest js_a in
+  Printf.printf
+    "\ncriteria: js beats nojs on capacity loss: %b | on time-to-full-capacity: %b |\n\
+    \          aware <= random p99 during push: %b | same-seed deterministic: %b\n"
+    crit_loss crit_ttfc crit_p99 deterministic;
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-push/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b
+    "  \"config\": { \"servers\": %d, \"warm_rps\": %.0f, \"utilization\": 0.7, \
+     \"duration\": %.0f, \"push_at\": %.0f, \"drain_cap\": %d, \"seed\": %d },\n"
+    n_servers warm_rps duration push_at drain_cap seed;
+  Printf.bprintf b "  \"scenarios\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, s, shed) ->
+      let q sk p =
+        if Js_util.Stats.Quantile.count sk = 0 then -1.
+        else Js_util.Stats.Quantile.quantile sk p
+      in
+      Printf.bprintf b
+        "    { \"name\": %S, \"jumpstart\": %b, \"policy\": %S,\n\
+        \      \"capacity_loss_integral\": %.3f, \"time_to_full_capacity\": %.3f, \
+         \"push_done\": %.3f,\n\
+        \      \"latency_p50\": %.6f, \"latency_p95\": %.6f, \"latency_p99\": %.6f,\n\
+        \      \"push_latency_p50\": %.6f, \"push_latency_p95\": %.6f, \
+         \"push_latency_p99\": %.6f,\n\
+        \      \"arrived\": %d, \"completed\": %d, \"shed\": %d, \"crashes\": %d,\n\
+        \      \"jump_started\": %d, \"fallbacks\": %d, \"aborted\": %b,\n\
+        \      \"digest_md5\": %S }%s\n"
+        name s.Js_sim.Push.jumpstart
+        (Js_sim.Balancer.policy_to_string s.Js_sim.Push.policy)
+        s.Js_sim.Push.capacity_loss_integral s.Js_sim.Push.time_to_full_capacity
+        s.Js_sim.Push.push_done (q s.Js_sim.Push.latency 0.5) (q s.Js_sim.Push.latency 0.95)
+        (q s.Js_sim.Push.latency 0.99)
+        (q s.Js_sim.Push.latency_push 0.5)
+        (q s.Js_sim.Push.latency_push 0.95)
+        (q s.Js_sim.Push.latency_push 0.99)
+        s.Js_sim.Push.arrived s.Js_sim.Push.completed shed s.Js_sim.Push.crashes
+        s.Js_sim.Push.jump_started s.Js_sim.Push.fallbacks s.Js_sim.Push.aborted
+        (Digest.to_hex (Digest.string (Js_sim.Push.digest s)))
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b
+    "  \"criteria\": { \"js_beats_nojs_capacity_loss\": %b, \"js_beats_nojs_ttfc\": %b, \
+     \"aware_no_worse_p99_during_push\": %b, \"same_seed_deterministic\": %b }\n"
+    crit_loss crit_ttfc crit_p99 deterministic;
+  Printf.bprintf b "}\n";
+  write_artifact ~tag:"push"
+    ~default:(if quick then "BENCH_push.quick.json" else "BENCH_push.json")
+    (Buffer.contents b);
+  if not (crit_loss && crit_ttfc && crit_p99 && deterministic) then begin
+    prerr_endline "bench push: acceptance criteria failed";
     exit 1
-  end;
-  let oc = open_out out in
-  output_string oc json;
-  close_out oc;
-  Printf.printf "wrote %s (valid per the telemetry JSON parser)\n" out
+  end
 
 (* ----------------------------------------------------------------- cli -- *)
 
@@ -788,13 +927,22 @@ let experiments =
     ("fig5", fig5);
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
-    ("micro", micro); ("perf", perf); ("dist", ablation_dist)
+    ("micro", micro); ("perf", perf); ("dist", ablation_dist); ("push", bench_push)
   ]
 
 let () =
   let all_args = Array.to_list Sys.argv |> List.tl in
-  let flags, args = List.partition (fun a -> a = "--quick") all_args in
-  if flags <> [] then quick_mode := true;
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+      quick_mode := true;
+      strip_flags acc rest
+    | "--out" :: path :: rest ->
+      out_path := Some path;
+      strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
+  in
+  let args = strip_flags [] all_args in
   match args with
   | [ "list" ] ->
     sub "available experiments";

@@ -38,3 +38,24 @@ rm -f /tmp/dist_smoke.json
 # Quick distribution ablation; validates its own JSON.
 dune exec bench/main.exe -- dist --quick
 test -s BENCH_dist.quick.json
+
+# Discrete-event push smoke test: a short rolling push routed through a
+# faulty delivery network must serve traffic (nonzero sim.* counters),
+# jump-start every restarted server and finish with zero crashes.
+dune exec bin/push_sim.exe -- --servers 16 --duration 300 --push-at 60 \
+  --fetch-fail-rate 0.3 --fetch-timeout 1.0 --stale-rate 0.1 \
+  --telemetry json > /tmp/push_smoke.json
+grep -q '"sim.requests"' /tmp/push_smoke.json
+grep -q '"sim.completed"' /tmp/push_smoke.json
+grep -q '"sim.jump_started"' /tmp/push_smoke.json
+if grep -q '"sim.crashes"' /tmp/push_smoke.json; then
+  echo "push smoke: unexpected crashes" >&2
+  exit 1
+fi
+rm -f /tmp/push_smoke.json
+
+# Quick push A/B (Jump-Start vs baseline, warmup-aware vs random routing);
+# validates its own JSON and fails if Jump-Start loses on capacity loss,
+# time-to-full-capacity or push-window p99.
+dune exec bench/main.exe -- push --quick
+test -s BENCH_push.quick.json

@@ -1,0 +1,240 @@
+(* push_sim: discrete-event traffic + deployment simulator.
+
+     dune exec bin/push_sim.exe -- [--servers N] [--policy P] [--no-jumpstart]
+         [--push-at SEC] [--duration SEC] [--bad-rate P] [--fetch-fail-rate P]
+         [--telemetry text|json] ...
+
+   Simulates an open-loop Poisson request stream over a warm fleet, then a
+   staged rolling push (C2 seeding gates -> distribution network -> batched
+   consumer restarts) and reports shed/latency/capacity statistics.  With
+   `--telemetry json` the JSON document is the only output. *)
+
+open Cmdliner
+module S = Cluster.Server
+module Stats = Js_util.Stats
+
+let app =
+  lazy
+    (Workload.Macro_app.generate
+       { Workload.Macro_app.default_params with
+         Workload.Macro_app.n_funcs = 6_000;
+         core_funcs = 600;
+         instrs_per_request = 30.0e6
+       })
+
+let server_cfg =
+  { S.default_config with
+    S.profile_request_target = 600;
+    init_seconds_sequential = 30.;
+    init_seconds_parallel = 12.;
+    traffic_ramp_seconds = 90.;
+    cold_decay_seconds = 40.
+  }
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum
+      (List.concat_map
+         (fun p ->
+           let canonical = Js_sim.Balancer.policy_to_string p in
+           let dashed = String.map (fun c -> if c = '_' then '-' else c) canonical in
+           if dashed = canonical then [ (canonical, p) ] else [ (canonical, p); (dashed, p) ])
+         Js_sim.Balancer.all_policies)
+  in
+  Arg.(
+    value
+    & opt policy_conv Js_sim.Balancer.Warmup_weighted
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "load-balancing policy: $(b,random), $(b,round_robin), $(b,least_outstanding) or \
+           $(b,warmup_weighted)")
+
+let telemetry_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt (some fmt) None
+    & info [ "telemetry" ] ~docv:"FMT"
+        ~doc:
+          "emit collected telemetry: $(b,text) appends a report, $(b,json) prints only the \
+           JSON document")
+
+let report ?(show_digest = false) stats =
+  Format.printf "%a@." Js_sim.Push.pp_stats stats;
+  let until =
+    match Stats.Series.to_array stats.Js_sim.Push.capacity_series with
+    | [||] -> 0.
+    | a -> fst a.(Array.length a - 1)
+  in
+  if until > 0. then begin
+    Printf.printf "\nestimated capacity / warm (and completion rate / warm):\n";
+    let steps = Float.max 1. (Float.round (until /. 15.)) in
+    let t = ref steps in
+    while !t <= until do
+      Printf.printf "  t=%5.0fs %6.2f  (%.2f)\n" !t
+        (Stats.Series.value_at stats.Js_sim.Push.capacity_series !t
+        /. stats.Js_sim.Push.fleet_warm_rps)
+        (Stats.Series.value_at stats.Js_sim.Push.served_series !t
+        /. stats.Js_sim.Push.fleet_warm_rps);
+      t := !t +. steps
+    done
+  end;
+  if show_digest then Printf.printf "\ndigest: %s\n" (Digest.to_hex (Digest.string (Js_sim.Push.digest stats)))
+
+let main servers buckets seeders warm_rps concurrency queue timeout utilization diurnal_amp
+    diurnal_period policy no_jumpstart push_at drain_cap duration bad_rate thin_rate validation
+    verifier abort_window abort_threshold fetch_fail fetch_timeout fetch_latency stale_rate
+    cross_region seed show_digest telemetry_fmt =
+  let dist =
+    let latency_mean =
+      match fetch_latency with
+      | Some l -> l
+      | None -> if fetch_timeout > 0. then fetch_timeout /. 2. else 0.
+    in
+    { Cluster.Dist_net.default_config with
+      Cluster.Dist_net.fetch_fail_rate = fetch_fail;
+      fetch_timeout;
+      fetch_latency_mean = latency_mean;
+      stale_rate;
+      cross_region;
+      regions = (if cross_region then 3 else 1)
+    }
+  in
+  let fleet =
+    { Cluster.Fleet.default_config with
+      Cluster.Fleet.n_servers = servers;
+      n_buckets = buckets;
+      seeders_per_bucket = seeders;
+      validation_catch_rate = validation;
+      verifier_catch_rate = verifier;
+      server = server_cfg;
+      dist
+    }
+  in
+  let cfg =
+    { Js_sim.Push.default_config with
+      Js_sim.Push.fleet;
+      warm_rps;
+      concurrency;
+      queue_capacity = queue;
+      request_timeout = timeout;
+      arrival =
+        { Js_sim.Arrival.base_rps = float_of_int servers *. warm_rps *. utilization;
+          diurnal_amplitude = diurnal_amp;
+          diurnal_period
+        };
+      policy;
+      jumpstart = not no_jumpstart;
+      push_at;
+      drain_cap;
+      abort_window;
+      abort_threshold;
+      bad_package_rate = bad_rate;
+      thin_profile_rate = thin_rate;
+      duration
+    }
+  in
+  let tel = match telemetry_fmt with None -> None | Some _ -> Some (Js_telemetry.create ()) in
+  let stats = Js_sim.Push.run ?telemetry:tel cfg (Lazy.force app) ~seed in
+  match (telemetry_fmt, tel) with
+  | Some `Json, Some t ->
+    print_string (Js_telemetry.to_json t);
+    print_newline ()
+  | _ ->
+    report ~show_digest stats;
+    (match (telemetry_fmt, tel) with
+    | Some `Text, Some t -> Format.printf "@.%a@." Js_telemetry.pp_text t
+    | _ -> ())
+
+let () =
+  let open Arg in
+  let servers = value & opt int 24 & info [ "servers" ] ~docv:"N" ~doc:"fleet size" in
+  let buckets = value & opt int 4 & info [ "buckets" ] ~docv:"N" ~doc:"semantic buckets" in
+  let seeders = value & opt int 3 & info [ "seeders" ] ~docv:"N" ~doc:"seeders per bucket" in
+  let warm_rps =
+    value & opt float 50. & info [ "warm-rps" ] ~docv:"RPS" ~doc:"per-server warm capacity"
+  in
+  let concurrency =
+    value & opt int 8 & info [ "concurrency" ] ~docv:"N" ~doc:"worker slots per server"
+  in
+  let queue = value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc:"run-queue capacity" in
+  let timeout =
+    value & opt float 10. & info [ "timeout" ] ~docv:"SEC" ~doc:"request timeout (shed on dequeue)"
+  in
+  let utilization =
+    value & opt float 0.7
+    & info [ "utilization" ] ~docv:"U" ~doc:"offered load as a fraction of warm fleet capacity"
+  in
+  let diurnal_amp =
+    value & opt float 0. & info [ "diurnal-amp" ] ~docv:"A" ~doc:"diurnal swing in [0,1)"
+  in
+  let diurnal_period =
+    value & opt float 3600. & info [ "diurnal-period" ] ~docv:"SEC" ~doc:"diurnal cycle length"
+  in
+  let no_jumpstart =
+    value & flag & info [ "no-jumpstart" ] ~doc:"push without Jump-Start packages (baseline)"
+  in
+  let push_at =
+    value & opt float 120. & info [ "push-at" ] ~docv:"SEC" ~doc:"when the rolling push starts"
+  in
+  let drain_cap =
+    value & opt int 4 & info [ "drain-cap" ] ~docv:"N" ~doc:"max servers draining concurrently"
+  in
+  let duration =
+    value & opt float 900. & info [ "duration" ] ~docv:"SEC" ~doc:"simulated seconds"
+  in
+  let bad_rate =
+    value & opt float 0. & info [ "bad-rate" ] ~docv:"P" ~doc:"bad-package probability"
+  in
+  let thin_rate =
+    value & opt float 0. & info [ "thin-rate" ] ~docv:"P" ~doc:"thin-profile probability"
+  in
+  let validation =
+    value & opt float 0.95 & info [ "validation" ] ~docv:"P" ~doc:"validation catch rate"
+  in
+  let verifier =
+    value & opt float 0.
+    & info [ "verifier-catch-rate" ] ~docv:"P" ~doc:"static-verifier catch rate (0 = off)"
+  in
+  let abort_window =
+    value & opt float 60. & info [ "abort-window" ] ~docv:"SEC" ~doc:"crash-spike window"
+  in
+  let abort_threshold =
+    value & opt int 8
+    & info [ "abort-threshold" ] ~docv:"N" ~doc:"crashes within the window that abort the push"
+  in
+  let fetch_fail =
+    value & opt float 0.
+    & info [ "fetch-fail-rate" ] ~docv:"P" ~doc:"probability one package-fetch attempt fails"
+  in
+  let fetch_timeout =
+    value & opt float 0. & info [ "fetch-timeout" ] ~docv:"SEC" ~doc:"per-attempt fetch timeout"
+  in
+  let fetch_latency =
+    value & opt (some float) None
+    & info [ "fetch-latency" ] ~docv:"SEC" ~doc:"mean package-fetch latency"
+  in
+  let stale_rate =
+    value & opt float 0.
+    & info [ "stale-rate" ] ~docv:"P" ~doc:"probability a replica serves a stale package"
+  in
+  let cross_region =
+    value & flag & info [ "cross-region" ] ~doc:"3 replica regions with cross-region fallback"
+  in
+  let seed = value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed" in
+  let show_digest =
+    value & flag & info [ "digest" ] ~doc:"print a hash of the canonical stats digest"
+  in
+  let term =
+    Term.(
+      const main $ servers $ buckets $ seeders $ warm_rps $ concurrency $ queue $ timeout
+      $ utilization $ diurnal_amp $ diurnal_period $ policy_arg $ no_jumpstart $ push_at
+      $ drain_cap $ duration $ bad_rate $ thin_rate $ validation $ verifier $ abort_window
+      $ abort_threshold $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region
+      $ seed $ show_digest $ telemetry_arg)
+  in
+  let info =
+    Cmd.info "push_sim"
+      ~doc:"discrete-event simulation of traffic and rolling deployments over a Jump-Start fleet"
+  in
+  exit (Cmd.eval (Cmd.v info term))

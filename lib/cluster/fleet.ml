@@ -35,9 +35,19 @@ type stats = {
   crashes : (float * int) list;
   fallbacks : int;
   jump_started : int;
+  bucket_jump_started : int array;
+  bucket_fallbacks : int array;
   fleet_rps : Js_util.Stats.Series.t;
   fleet_peak_rps : float;
   dist : Dist_net.counters option;
+}
+
+type seeding = {
+  per_bucket : Server.package list array;
+  published : int;
+  rejected : int;
+  seed_verifier_rejects : int;
+  bad_published : int;
 }
 
 (* One fleet member during C3. *)
@@ -53,12 +63,11 @@ type member = {
 
 (* C2: run seeders, with fault injection and the §VI gates. *)
 let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
-  let published : (int, Server.package list ref) Hashtbl.t = Hashtbl.create 16 in
+  let published = Array.make config.n_buckets [] in
   let n_published = ref 0 and n_rejected = ref 0 and n_bad_published = ref 0 in
   let n_verifier_rejects = ref 0 in
   for bucket = 0 to config.n_buckets - 1 do
     let bucket_packages = ref [] in
-    Hashtbl.replace published bucket bucket_packages;
     for s = 0 to config.seeders_per_bucket - 1 do
       (* each seeder retries until it publishes or gives up *)
       let rec attempt k =
@@ -97,23 +106,38 @@ let run_seeders config app rng ~bad_package_rate ~thin_profile_rate =
       in
       ignore s;
       attempt 0
-    done
+    done;
+    (* store oldest-published first so the network's prepend order (and any
+       direct pick) reproduces the historical per-bucket list exactly *)
+    published.(bucket) <- List.rev !bucket_packages
   done;
-  (published, !n_published, !n_rejected, !n_verifier_rejects, !n_bad_published)
+  {
+    per_bucket = published;
+    published = !n_published;
+    rejected = !n_rejected;
+    seed_verifier_rejects = !n_verifier_rejects;
+    bad_published = !n_bad_published;
+  }
 
 let forced_seeding config app ~bad_per_bucket =
-  let published = Hashtbl.create 16 in
   let n = config.seeders_per_bucket in
   let bad_n = min bad_per_bucket n in
-  for bucket = 0 to config.n_buckets - 1 do
-    let packages =
-      List.init n (fun i ->
-          Server.make_package config.server app ~bad:(i < bad_n)
-            ~coverage_target:config.server.Server.profile_request_target ())
-    in
-    Hashtbl.replace published bucket (ref packages)
-  done;
-  (published, config.n_buckets * n, 0, 0, config.n_buckets * bad_n)
+  let published =
+    (* reversed so the publish order (and the resulting replica lists) stay
+       byte-identical to the historical hashtable-of-refs representation *)
+    Array.init config.n_buckets (fun _ ->
+        List.rev
+          (List.init n (fun i ->
+               Server.make_package config.server app ~bad:(i < bad_n)
+                 ~coverage_target:config.server.Server.profile_request_target ())))
+  in
+  {
+    per_bucket = published;
+    published = config.n_buckets * n;
+    rejected = 0;
+    seed_verifier_rejects = 0;
+    bad_published = config.n_buckets * bad_n;
+  }
 
 let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package_rate
     ~thin_profile_rate ~duration =
@@ -123,31 +147,32 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
     | None -> ()
   in
   let rng = R.create seed in
-  let published, n_published, n_rejected, n_verifier_rejects, n_bad_published =
+  let seeding =
     match force_bad_per_bucket with
     | Some bad_per_bucket -> forced_seeding config app ~bad_per_bucket
     | None -> run_seeders config app rng ~bad_package_rate ~thin_profile_rate
   in
   tel (fun t ->
-      Js_telemetry.incr t ~by:n_published "fleet.packages_published";
-      Js_telemetry.incr t ~by:n_rejected "fleet.packages_rejected";
-      if n_verifier_rejects > 0 then
-        Js_telemetry.incr t ~by:n_verifier_rejects "fleet.verifier_rejects");
+      Js_telemetry.incr t ~by:seeding.published "fleet.packages_published";
+      Js_telemetry.incr t ~by:seeding.rejected "fleet.packages_rejected";
+      if seeding.seed_verifier_rejects > 0 then
+        Js_telemetry.incr t ~by:seeding.seed_verifier_rejects "fleet.verifier_rejects");
   (* The distribution network sits between C2's published packages and C3's
      consumers.  Replicas are published oldest-first so the prepend order
      inside the network reproduces the historical per-bucket list exactly
      (neutral configs must pick draw-identically). *)
   let net = Dist_net.create config.dist in
   for bucket = 0 to config.n_buckets - 1 do
-    match Hashtbl.find_opt published bucket with
-    | None -> ()
-    | Some packages ->
-      List.iter (fun pkg -> Dist_net.publish net rng ~now:0. ~bucket pkg) (List.rev !packages)
+    List.iter
+      (fun pkg -> Dist_net.publish net rng ~now:0. ~bucket pkg)
+      seeding.per_bucket.(bucket)
   done;
   let fallbacks = ref 0 and jump_started = ref 0 in
+  let bucket_jump_started = Array.make config.n_buckets 0 in
+  let bucket_fallbacks = Array.make config.n_buckets 0 in
   let boot_member ~ix ~bucket ~seed_base ~attempts ~at =
     let source = Printf.sprintf "server.%d" ix in
-    let packages = Hashtbl.find published bucket in
+    let no_packages = seeding.per_bucket.(bucket) = [] in
     let role, fetch_delay, fetch_failed =
       if (not config.fallback_enabled) || attempts < config.max_boot_attempts then begin
         match Dist_net.fetch ?telemetry net rng ~now:at ~region:0 ~bucket with
@@ -159,11 +184,12 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
     in
     (match role with
     | Server.No_jumpstart ->
-      if attempts > 0 || !packages = [] || fetch_failed then begin
+      if attempts > 0 || no_packages || fetch_failed then begin
         incr fallbacks;
+        bucket_fallbacks.(bucket) <- bucket_fallbacks.(bucket) + 1;
         tel (fun t ->
             let outcome, reason =
-              if !packages = [] then ("no_package", "no profile package available")
+              if no_packages then ("no_package", "no profile package available")
               else if fetch_failed then
                 ("fetch_failed", "package fetch failed: distribution network unavailable")
               else
@@ -177,7 +203,10 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
             Js_telemetry.record t (Js_telemetry.Fallback { source; reason }))
       end
     | Server.Consumer _ ->
-      if attempts = 0 then incr jump_started;
+      if attempts = 0 then begin
+        incr jump_started;
+        bucket_jump_started.(bucket) <- bucket_jump_started.(bucket) + 1
+      end;
       tel (fun t ->
           Js_telemetry.incr t "fleet.boot_attempts";
           Js_telemetry.record t
@@ -248,14 +277,16 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
       Js_telemetry.set_gauge t "fleet.jump_start_rate" (float_of_int !jump_started /. n);
       Js_telemetry.set_gauge t "fleet.crash_blast_radius" (float_of_int blast_radius));
   {
-    packages_published = n_published;
-    packages_rejected = n_rejected;
-    verifier_rejects = n_verifier_rejects;
-    bad_packages_published = n_bad_published;
+    packages_published = seeding.published;
+    packages_rejected = seeding.rejected;
+    verifier_rejects = seeding.seed_verifier_rejects;
+    bad_packages_published = seeding.bad_published;
     crashes =
       Hashtbl.fold (fun t r acc -> (t, !r) :: acc) crashes [] |> List.sort compare;
     fallbacks = !fallbacks;
     jump_started = !jump_started;
+    bucket_jump_started;
+    bucket_fallbacks;
     fleet_rps;
     fleet_peak_rps;
     dist = (if Dist_net.active config.dist then Some (Dist_net.counters net) else None);

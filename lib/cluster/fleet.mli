@@ -53,12 +53,42 @@ type stats = {
   crashes : (float * int) list;  (** (time, #servers crashed) per round *)
   fallbacks : int;
   jump_started : int;
+  bucket_jump_started : int array;
+      (** per-bucket count of first-attempt jump-started boots; sums to
+          [jump_started] *)
+  bucket_fallbacks : int array;
+      (** per-bucket count of no-Jump-Start boots (all reasons); sums to
+          [fallbacks] *)
   fleet_rps : Js_util.Stats.Series.t;  (** aggregate over the C3 window *)
   fleet_peak_rps : float;
   dist : Dist_net.counters option;
       (** distribution-network counters; [None] when the configured network
           is inactive (so legacy runs stay bit-identical) *)
 }
+
+(** The outcome of the C2 seeding phase: per-bucket published package lists
+    (oldest-published first) plus gate accounting.  Exposed so external
+    drivers — notably the discrete-event push simulator — can reuse the
+    §VI-A/§VI-B seeding gates (fault injection, validation, coverage and
+    verifier checks, retries) without running the macro C3 phase. *)
+type seeding = {
+  per_bucket : Server.package list array;
+  published : int;
+  rejected : int;
+  seed_verifier_rejects : int;
+  bad_published : int;
+}
+
+(** [run_seeders config app rng ~bad_package_rate ~thin_profile_rate] runs
+    the C2 seeding phase alone.  Consumes draws from [rng] exactly as
+    {!simulate_push} does for its seeding stage. *)
+val run_seeders :
+  config ->
+  Workload.Macro_app.t ->
+  Js_util.Rng.t ->
+  bad_package_rate:float ->
+  thin_profile_rate:float ->
+  seeding
 
 (** [simulate_push config app ~seed ~bad_package_rate ~thin_profile_rate
     ~duration] runs C2 (seeding) then C3 (fleet restart) and simulates

@@ -1,0 +1,39 @@
+module R = Js_util.Rng
+
+type config = {
+  base_rps : float;
+  diurnal_amplitude : float;
+  diurnal_period : float;
+}
+
+let default_config = { base_rps = 100.; diurnal_amplitude = 0.; diurnal_period = 86_400. }
+
+let validate c =
+  if c.base_rps <= 0. then invalid_arg "Arrival: base_rps must be positive";
+  if c.diurnal_amplitude < 0. || c.diurnal_amplitude >= 1. then
+    invalid_arg "Arrival: diurnal_amplitude must be in [0, 1)";
+  if c.diurnal_period <= 0. then invalid_arg "Arrival: diurnal_period must be positive"
+
+let rate_at c t =
+  c.base_rps
+  *. (1. +. (c.diurnal_amplitude *. sin (2. *. Float.pi *. t /. c.diurnal_period)))
+
+let peak_rate c = c.base_rps *. (1. +. c.diurnal_amplitude)
+
+type t = { config : config; rng : R.t }
+
+let create config rng =
+  validate config;
+  { config; rng = R.split rng }
+
+(* Thinning (Lewis-Shedler): candidate arrivals from a homogeneous Poisson
+   process at the peak rate, each kept with probability rate(t)/peak. *)
+let next t ~after =
+  let peak = peak_rate t.config in
+  let rec gen at =
+    let at = at +. R.exponential t.rng ~mean:(1. /. peak) in
+    if t.config.diurnal_amplitude = 0. then at
+    else if R.float t.rng 1. < rate_at t.config at /. peak then at
+    else gen at
+  in
+  gen after

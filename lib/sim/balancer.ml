@@ -1,0 +1,48 @@
+module R = Js_util.Rng
+
+type policy = Random | Round_robin | Least_outstanding | Warmup_weighted
+
+let policy_to_string = function
+  | Random -> "random"
+  | Round_robin -> "round_robin"
+  | Least_outstanding -> "least_outstanding"
+  | Warmup_weighted -> "warmup_weighted"
+
+let policy_of_string = function
+  | "random" -> Some Random
+  | "round_robin" | "round-robin" | "rr" -> Some Round_robin
+  | "least_outstanding" | "least-outstanding" | "lo" -> Some Least_outstanding
+  | "warmup_weighted" | "warmup-weighted" | "aware" | "warmup" -> Some Warmup_weighted
+  | _ -> None
+
+let all_policies = [ Random; Round_robin; Least_outstanding; Warmup_weighted ]
+
+type t = { policy : policy; mutable cursor : int }
+
+let create policy = { policy; cursor = 0 }
+let policy t = t.policy
+
+let pick t rng ~candidates ~outstanding ~capacity =
+  let n = Array.length candidates in
+  if n = 0 then None
+  else
+    match t.policy with
+    | Random -> Some (R.pick rng candidates)
+    | Round_robin ->
+      let i = t.cursor mod n in
+      t.cursor <- t.cursor + 1;
+      Some candidates.(i)
+    | Least_outstanding ->
+      let best = ref candidates.(0) in
+      let best_o = ref (outstanding candidates.(0)) in
+      for i = 1 to n - 1 do
+        let o = outstanding candidates.(i) in
+        if o < !best_o then begin
+          best := candidates.(i);
+          best_o := o
+        end
+      done;
+      Some !best
+    | Warmup_weighted ->
+      let weights = Array.map (fun ix -> Float.max 1e-9 (capacity ix)) candidates in
+      Some candidates.(R.sample_weighted rng weights)

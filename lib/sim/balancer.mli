@@ -1,0 +1,37 @@
+(** Load-balancing policies for the discrete-event simulator.
+
+    The warmup-aware policy is the simulator's stand-in for the slow-start /
+    capacity-aware routing production balancers apply to freshly restarted
+    HHVM servers (paper §II-B): routing probability proportional to each
+    server's {e estimated current capacity}, so cold servers receive little
+    traffic until their warmup curve flattens. *)
+
+type policy =
+  | Random  (** uniform over serving servers *)
+  | Round_robin  (** cycles the candidate set *)
+  | Least_outstanding  (** fewest in-flight requests; ties to lowest index *)
+  | Warmup_weighted  (** probability proportional to estimated capacity *)
+
+val policy_to_string : policy -> string
+
+(** Accepts the canonical names plus short aliases ("rr", "aware", ...). *)
+val policy_of_string : string -> policy option
+
+val all_policies : policy list
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+(** [pick t rng ~candidates ~outstanding ~capacity] chooses one of
+    [candidates] (server indices); [None] iff the array is empty.  Only
+    [Random] and [Warmup_weighted] consume randomness; only the accessors a
+    policy needs are called. *)
+val pick :
+  t ->
+  Js_util.Rng.t ->
+  candidates:int array ->
+  outstanding:(int -> int) ->
+  capacity:(int -> float) ->
+  int option

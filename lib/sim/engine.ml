@@ -1,0 +1,43 @@
+type t = {
+  mutable now : float;
+  mutable dispatched : int;
+  queue : (unit -> unit) Js_util.Pqueue.t;
+  telemetry : Js_telemetry.t option;
+}
+
+let create ?telemetry () =
+  { now = 0.; dispatched = 0; queue = Js_util.Pqueue.create (); telemetry }
+
+let now t = t.now
+let dispatched t = t.dispatched
+let pending t = Js_util.Pqueue.length t.queue
+
+let schedule t ~at f =
+  if Float.is_nan at then invalid_arg "Engine.schedule: NaN time";
+  (* Events scheduled "in the past" fire immediately-next: the queue is a
+     min-heap, so clamping to [now] keeps time monotone without reordering
+     same-time events (insertion order breaks ties). *)
+  Js_util.Pqueue.push t.queue ~priority:(Float.max at t.now) f
+
+let after t ~delay f = schedule t ~at:(t.now +. Float.max 0. delay) f
+
+let run t ~until =
+  let continue = ref true in
+  while !continue do
+    match Js_util.Pqueue.peek t.queue with
+    | Some (at, _) when at <= until ->
+      (match Js_util.Pqueue.pop t.queue with
+      | Some (at, f) ->
+        t.now <- Float.max t.now at;
+        (match t.telemetry with
+        | Some tel -> Js_telemetry.Clock.set (Js_telemetry.clock tel) t.now
+        | None -> ());
+        t.dispatched <- t.dispatched + 1;
+        f ()
+      | None -> continue := false)
+    | _ -> continue := false
+  done;
+  t.now <- Float.max t.now until;
+  match t.telemetry with
+  | Some tel -> Js_telemetry.Clock.set (Js_telemetry.clock tel) t.now
+  | None -> ()

@@ -1,0 +1,35 @@
+(** Discrete-event simulation core.
+
+    A monotone simulated clock plus an event queue ({!Js_util.Pqueue}: binary
+    min-heap keyed by event time, ties broken by insertion order), so a run
+    is a deterministic function of the scheduled closures and the seeds they
+    consume.  When a telemetry sink is attached, its simulated clock is kept
+    in sync with the engine clock at every dispatch, so spans and events
+    recorded from inside handlers carry simulation timestamps. *)
+
+type t
+
+val create : ?telemetry:Js_telemetry.t -> unit -> t
+
+(** Current simulation time in seconds. *)
+val now : t -> float
+
+(** Events dispatched so far. *)
+val dispatched : t -> int
+
+(** Events still queued. *)
+val pending : t -> int
+
+(** [schedule t ~at f] queues [f] to run at absolute time [at] (clamped to
+    [now t]: the clock never goes backwards).  @raise Invalid_argument on
+    NaN. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [after t ~delay f] = [schedule t ~at:(now t +. max 0. delay) f]. *)
+val after : t -> delay:float -> (unit -> unit) -> unit
+
+(** [run t ~until] dispatches events in (time, insertion) order until the
+    queue holds nothing at or before [until], then advances the clock to
+    [until].  Handlers may schedule further events, including at the current
+    time. *)
+val run : t -> until:float -> unit

@@ -106,6 +106,91 @@ module Series = struct
     1. -. (served /. (peak *. until))
 end
 
+module Quantile = struct
+  (* DDSketch-style relative-error quantile estimator: geometric buckets
+     index = ceil(ln x / ln gamma) with gamma = (1+a)/(1-a), so the bucket
+     midpoint estimate 2*gamma^i/(gamma+1) is within relative error [a] of
+     any value mapped into bucket i.  Two sketches with the same accuracy
+     share bucket boundaries, which makes merging exact: merging the
+     per-server sketches and sketching the concatenated stream produce the
+     same counts, hence identical quantile answers. *)
+  type t = {
+    accuracy : float;
+    gamma : float;
+    inv_log_gamma : float;
+    mutable zero_count : int;  (** values below the resolution floor *)
+    buckets : (int, int) Hashtbl.t;
+    mutable total : int;
+  }
+
+  let min_value = 1e-9
+
+  let create ?(accuracy = 0.01) () =
+    if accuracy <= 0. || accuracy >= 1. then invalid_arg "Stats.Quantile.create: accuracy";
+    let gamma = (1. +. accuracy) /. (1. -. accuracy) in
+    {
+      accuracy;
+      gamma;
+      inv_log_gamma = 1. /. log gamma;
+      zero_count = 0;
+      buckets = Hashtbl.create 64;
+      total = 0;
+    }
+
+  let accuracy t = t.accuracy
+  let count t = t.total
+
+  let add t x =
+    if x < 0. || Float.is_nan x then invalid_arg "Stats.Quantile.add: negative or NaN";
+    if x < min_value then t.zero_count <- t.zero_count + 1
+    else begin
+      let i = int_of_float (Float.ceil (log x *. t.inv_log_gamma)) in
+      let c = match Hashtbl.find_opt t.buckets i with Some c -> c | None -> 0 in
+      Hashtbl.replace t.buckets i (c + 1)
+    end;
+    t.total <- t.total + 1
+
+  let merge t other =
+    if t.accuracy <> other.accuracy then
+      invalid_arg "Stats.Quantile.merge: mismatched accuracy";
+    t.zero_count <- t.zero_count + other.zero_count;
+    Hashtbl.iter
+      (fun i c ->
+        let c0 = match Hashtbl.find_opt t.buckets i with Some c0 -> c0 | None -> 0 in
+        Hashtbl.replace t.buckets i (c0 + c))
+      other.buckets;
+    t.total <- t.total + other.total
+
+  let quantile t q =
+    if t.total = 0 then invalid_arg "Stats.Quantile.quantile: empty";
+    if q < 0. || q > 1. then invalid_arg "Stats.Quantile.quantile: q out of range";
+    let rank = int_of_float (q *. float_of_int (t.total - 1)) in
+    if rank < t.zero_count then 0.
+    else begin
+      let indices =
+        Hashtbl.fold (fun i _ acc -> i :: acc) t.buckets [] |> List.sort compare
+      in
+      let rec scan cum = function
+        | [] -> 0. (* unreachable: counts sum to total *)
+        | i :: rest ->
+          let cum = cum + Hashtbl.find t.buckets i in
+          if cum > rank then
+            2. *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.)
+          else scan cum rest
+      in
+      scan t.zero_count indices
+    end
+
+  let p50 t = quantile t 0.50
+  let p95 t = quantile t 0.95
+  let p99 t = quantile t 0.99
+
+  let of_series s =
+    let t = create () in
+    Array.iter (fun (_, v) -> add t (Float.max 0. v)) (Series.to_array s);
+    t
+end
+
 module Histogram = struct
   type t = { lo : float; hi : float; counts : int array; mutable total : int }
 

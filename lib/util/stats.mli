@@ -45,6 +45,44 @@ module Series : sig
   val capacity_loss : t -> peak:float -> until:float -> float
 end
 
+(** Mergeable streaming quantile estimator (DDSketch-style geometric
+    buckets) with a configurable {e relative} accuracy guarantee: the value
+    returned for any quantile is within a factor [1 ± accuracy] of some
+    value actually observed at that rank.  Used for the discrete-event
+    simulator's p50/p95/p99 latency accounting (per-server sketches merged
+    into fleet-wide ones) and for fleet-RPS summaries.  Deterministic: the
+    answer depends only on the multiset of added values. *)
+module Quantile : sig
+  type t
+
+  (** [create ?accuracy ()] — default accuracy 0.01 (1% relative error).
+      @raise Invalid_argument unless [0 < accuracy < 1]. *)
+  val create : ?accuracy:float -> unit -> t
+
+  val accuracy : t -> float
+  val count : t -> int
+
+  (** [add t x] records a non-negative sample.  Values below 1e-9 land in a
+      dedicated zero bucket.  @raise Invalid_argument on negatives/NaN. *)
+  val add : t -> float -> unit
+
+  (** [merge t other] folds [other]'s counts into [t] ([other] unchanged).
+      Exact: equivalent to having added both streams into one sketch.
+      @raise Invalid_argument on mismatched accuracy. *)
+  val merge : t -> t -> unit
+
+  (** [quantile t q], [q] in [\[0,1\]].  @raise Invalid_argument on empty. *)
+  val quantile : t -> float -> float
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+
+  (** Sketch of a series' values (times ignored; negatives clamped to 0),
+      for summarizing e.g. a fleet-RPS curve. *)
+  val of_series : Series.t -> t
+end
+
 (** Fixed-width histogram over [\[lo, hi)]. *)
 module Histogram : sig
   type t

@@ -77,6 +77,19 @@ let sample_discovery t rng =
       end)
     t.funcs
 
+let request_weight_moments t =
+  (* Per-request executed instructions W = sum_f Bernoulli(p_f) * w_f with
+     independent touches: mean = sum p w, var = sum p (1-p) w^2.  The
+     discrete-event simulator samples per-request service demand from a
+     distribution matched to these two moments. *)
+  let mean = ref 0. and var = ref 0. in
+  Array.iter
+    (fun f ->
+      mean := !mean +. (f.p_touch *. f.weight);
+      var := !var +. (f.p_touch *. (1. -. f.p_touch) *. f.weight *. f.weight))
+    t.funcs;
+  (!mean, sqrt !var)
+
 let coverage t ~discovered =
   let total = ref 0. and got = ref 0. in
   Array.iteri

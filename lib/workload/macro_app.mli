@@ -60,3 +60,9 @@ val sample_discovery : t -> Js_util.Rng.t -> int array
 (** [coverage t ~discovered] — fraction of per-request instruction weight
     covered by a predicate over function indices. *)
 val coverage : t -> discovered:(int -> bool) -> float
+
+(** [request_weight_moments t] — (mean, stddev) of the per-request executed
+    instruction count over the function population (independent Bernoulli
+    touches).  The discrete-event simulator draws per-request service
+    demand from a lognormal matched to these moments. *)
+val request_weight_moments : t -> float * float

@@ -119,6 +119,10 @@ let test_fleet_healthy_push () =
   Alcotest.(check int) "no crashes" 0 (List.length stats.Cluster.Fleet.crashes);
   Alcotest.(check int) "no fallbacks" 0 stats.Cluster.Fleet.fallbacks;
   Alcotest.(check int) "everyone jump-started" 40 stats.Cluster.Fleet.jump_started;
+  Alcotest.(check (array int)) "per-bucket jump-starts (40 servers / 4 buckets)"
+    [| 10; 10; 10; 10 |] stats.Cluster.Fleet.bucket_jump_started;
+  Alcotest.(check (array int)) "no per-bucket fallbacks" [| 0; 0; 0; 0 |]
+    stats.Cluster.Fleet.bucket_fallbacks;
   Alcotest.(check bool) "fleet serves at end" true
     (Js_util.Stats.Series.value_at stats.Cluster.Fleet.fleet_rps 399.
     > 0.5 *. stats.Cluster.Fleet.fleet_peak_rps)
@@ -160,6 +164,11 @@ let test_fleet_fallback_bounds_damage () =
       ~duration:1_200.
   in
   Alcotest.(check bool) "servers fell back" true (stats.Cluster.Fleet.fallbacks > 0);
+  let sum = Array.fold_left ( + ) 0 in
+  Alcotest.(check int) "per-bucket fallbacks sum to total" stats.Cluster.Fleet.fallbacks
+    (sum stats.Cluster.Fleet.bucket_fallbacks);
+  Alcotest.(check int) "per-bucket jump-starts sum to total" stats.Cluster.Fleet.jump_started
+    (sum stats.Cluster.Fleet.bucket_jump_started);
   Alcotest.(check bool) "fleet recovers" true
     (Js_util.Stats.Series.value_at stats.Cluster.Fleet.fleet_rps 1_199. > 0.)
 

@@ -365,6 +365,89 @@ let prop_fleet_dist_partition =
              + c.Cluster.Dist_net.timeouts + c.Cluster.Dist_net.stale_rejects
              + c.Cluster.Dist_net.empty_probes)
 
+(* Small, fast discrete-event push configs for the js_sim properties: a
+   handful of servers, a short horizon and a reduced warmup-curve reference
+   run, with distribution-network faults dialed in per generated case. *)
+let des_push_cfg ~fail10 ~stale10 ~cross ~policy ~jumpstart =
+  let dist =
+    { Cluster.Dist_net.default_config with
+      Cluster.Dist_net.fetch_fail_rate = float_of_int fail10 /. 10.;
+      fetch_timeout = 1.0;
+      fetch_latency_mean = 0.5;
+      stale_rate = float_of_int stale10 /. 10.;
+      cross_region = cross;
+      regions = (if cross then 2 else 1)
+    }
+  in
+  let server =
+    { Cluster.Server.default_config with
+      Cluster.Server.profile_request_target = 400;
+      init_seconds_sequential = 20.;
+      init_seconds_parallel = 8.;
+      seeder_collect_seconds = 60.;
+      traffic_ramp_seconds = 60.;
+      cold_decay_seconds = 30.
+    }
+  in
+  let fleet =
+    { Cluster.Fleet.default_config with
+      Cluster.Fleet.n_servers = 8;
+      n_buckets = 2;
+      seeders_per_bucket = 2;
+      server;
+      dist
+    }
+  in
+  { Js_sim.Push.default_config with
+    Js_sim.Push.fleet;
+    warm_rps = 30.;
+    concurrency = 4;
+    arrival =
+      { Js_sim.Arrival.default_config with Js_sim.Arrival.base_rps = 8. *. 30. *. 0.5 };
+    policy;
+    jumpstart;
+    push_at = 40.;
+    drain_cap = 2;
+    duration = 200.;
+    curve_horizon = 600.
+  }
+
+let prop_push_sim_deterministic =
+  QCheck.Test.make
+    ~name:"same seed reproduces byte-identical push_sim stats" ~count:4
+    QCheck.(triple small_nat (int_range 0 3) bool)
+    (fun (seed, policy_ix, jumpstart) ->
+      let policy = List.nth Js_sim.Balancer.all_policies policy_ix in
+      let cfg =
+        des_push_cfg ~fail10:(seed mod 4) ~stale10:(seed mod 3)
+          ~cross:(seed mod 2 = 0) ~policy ~jumpstart
+      in
+      let app = Lazy.force dist_fleet_app in
+      Js_sim.Push.digest (Js_sim.Push.run cfg app ~seed)
+      = Js_sim.Push.digest (Js_sim.Push.run cfg app ~seed))
+
+let prop_push_sim_dist_ladder =
+  QCheck.Test.make
+    ~name:"DES pushes keep the dist-net counter ladder exact" ~count:6
+    QCheck.(triple small_nat (int_range 1 5) (int_range 0 3))
+    (fun (seed, fail10, stale10) ->
+      let cfg =
+        des_push_cfg ~fail10 ~stale10 ~cross:(seed mod 2 = 0)
+          ~policy:Js_sim.Balancer.Warmup_weighted ~jumpstart:true
+      in
+      let stats = Js_sim.Push.run cfg (Lazy.force dist_fleet_app) ~seed:(seed + 1) in
+      (stats.Js_sim.Push.aborted
+      || stats.Js_sim.Push.jump_started + stats.Js_sim.Push.fallbacks
+         = cfg.Js_sim.Push.fleet.Cluster.Fleet.n_servers)
+      &&
+      match stats.Js_sim.Push.dist with
+      | None -> false (* nonzero fault rates always activate the network *)
+      | Some c ->
+        c.Cluster.Dist_net.attempts
+        = c.Cluster.Dist_net.deliveries + c.Cluster.Dist_net.failures
+          + c.Cluster.Dist_net.timeouts + c.Cluster.Dist_net.stale_rejects
+          + c.Cluster.Dist_net.empty_probes)
+
 let prop_interp_deterministic =
   QCheck.Test.make ~name:"interpreter fully deterministic" ~count:8 QCheck.small_nat (fun seed ->
       run_requests ~probes:Interp.Probes.none ~seed ~n:6
@@ -444,5 +527,6 @@ let () =
             prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic;
             prop_inline_cache_transparent; prop_compiler_output_verifies
           ] );
-      ("reliability", q [ prop_all_corrupt_store_falls_back; prop_fleet_dist_partition ])
+      ("reliability", q [ prop_all_corrupt_store_falls_back; prop_fleet_dist_partition ]);
+      ("sim", q [ prop_push_sim_deterministic; prop_push_sim_dist_ladder ])
     ]

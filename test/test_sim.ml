@@ -1,0 +1,360 @@
+(* Discrete-event simulator tests: engine, arrivals, balancer policies,
+   warmup curves and the rolling-push model. *)
+
+module Engine = Js_sim.Engine
+module Arrival = Js_sim.Arrival
+module Balancer = Js_sim.Balancer
+module Warmup_curve = Js_sim.Warmup_curve
+module Push = Js_sim.Push
+module S = Cluster.Server
+module MA = Workload.Macro_app
+
+let small_app =
+  lazy
+    (MA.generate
+       { MA.default_params with
+         MA.n_funcs = 4_000;
+         core_funcs = 400;
+         tail_p_max = 5e-3;
+         instrs_per_request = 20.0e6
+       })
+
+let small_cfg =
+  lazy
+    { S.default_config with
+      S.profile_request_target = 400;
+      init_seconds_sequential = 20.;
+      init_seconds_parallel = 8.;
+      seeder_collect_seconds = 60.;
+      traffic_ramp_seconds = 60.;
+      cold_decay_seconds = 30.
+    }
+
+(* --- engine --- *)
+
+let test_engine_order () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  let mark tag () = fired := (tag, Engine.now eng) :: !fired in
+  Engine.schedule eng ~at:5. (mark "c");
+  Engine.schedule eng ~at:1. (mark "a");
+  Engine.schedule eng ~at:3. (mark "b");
+  (* same-time events fire in insertion order *)
+  Engine.schedule eng ~at:3. (mark "b2");
+  Engine.run eng ~until:10.;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "time order with fifo ties"
+    [ ("a", 1.); ("b", 3.); ("b2", 3.); ("c", 5.) ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 10. (Engine.now eng)
+
+let test_engine_cascade_and_clamp () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule eng ~at:2. (fun () ->
+      (* events scheduled in the past fire at the current time, not before *)
+      Engine.schedule eng ~at:1. (fun () ->
+          fired := ("late", Engine.now eng) :: !fired);
+      Engine.after eng ~delay:1. (fun () -> fired := ("next", Engine.now eng) :: !fired));
+  Engine.run eng ~until:10.;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "clamped then cascaded"
+    [ ("late", 2.); ("next", 3.) ]
+    (List.rev !fired);
+  Alcotest.(check int) "all dispatched" 3 (Engine.dispatched eng);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending eng)
+
+let test_engine_run_stops_at_until () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule eng ~at:5. (fun () -> incr fired);
+  Engine.run eng ~until:4.;
+  Alcotest.(check int) "not yet" 0 !fired;
+  Engine.run eng ~until:6.;
+  Alcotest.(check int) "fired on resume" 1 !fired
+
+(* --- arrivals --- *)
+
+let test_arrival_monotone_and_rate () =
+  let cfg = { Arrival.base_rps = 50.; diurnal_amplitude = 0.; diurnal_period = 3600. } in
+  let a = Arrival.create cfg (Js_util.Rng.create 11) in
+  let t = ref 0. and count = ref 0 in
+  while !t < 200. do
+    let next = Arrival.next a ~after:!t in
+    Alcotest.(check bool) "strictly increasing" true (next > !t);
+    t := next;
+    incr count
+  done;
+  (* 50 rps over 200 s = 10_000 expected; Poisson sd ~ 100 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rate about 50 rps (got %d/200s)" !count)
+    true
+    (!count > 9_000 && !count < 11_000)
+
+let test_arrival_diurnal_peak_rate () =
+  let cfg = { Arrival.base_rps = 100.; diurnal_amplitude = 0.5; diurnal_period = 1000. } in
+  Alcotest.(check (float 1e-9)) "peak" 150. (Arrival.peak_rate cfg);
+  Alcotest.(check (float 1e-6)) "crest" 150. (Arrival.rate_at cfg 250.);
+  Alcotest.(check (float 1e-6)) "trough" 50. (Arrival.rate_at cfg 750.);
+  (* thinning must still produce roughly base_rps on average over a cycle *)
+  let a = Arrival.create cfg (Js_util.Rng.create 3) in
+  let t = ref 0. and count = ref 0 in
+  while !t < 1000. do
+    t := Arrival.next a ~after:!t;
+    incr count
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "mean rate about 100 rps (got %d/1000s)" !count)
+    true
+    (!count > 90_000 && !count < 110_000)
+
+let test_arrival_validates () =
+  Alcotest.check_raises "negative rate" (Invalid_argument "Arrival: base_rps must be positive")
+    (fun () ->
+      ignore
+        (Arrival.create
+           { Arrival.base_rps = -1.; diurnal_amplitude = 0.; diurnal_period = 1. }
+           (Js_util.Rng.create 1)))
+
+(* --- balancer --- *)
+
+let outstanding_of arr ix = arr.(ix)
+
+let test_balancer_least_outstanding () =
+  let b = Balancer.create Balancer.Least_outstanding in
+  let rng = Js_util.Rng.create 1 in
+  let picked =
+    Balancer.pick b rng ~candidates:[| 3; 1; 7 |]
+      ~outstanding:(outstanding_of [| 9; 5; 9; 2; 9; 9; 9; 1 |])
+      ~capacity:(fun _ -> 0.)
+  in
+  Alcotest.(check (option int)) "argmin outstanding" (Some 7) picked
+
+let test_balancer_round_robin_cycles () =
+  let b = Balancer.create Balancer.Round_robin in
+  let rng = Js_util.Rng.create 1 in
+  let picks =
+    List.init 6 (fun _ ->
+        match
+          Balancer.pick b rng ~candidates:[| 4; 5; 6 |]
+            ~outstanding:(fun _ -> 0)
+            ~capacity:(fun _ -> 0.)
+        with
+        | Some ix -> ix
+        | None -> -1)
+  in
+  Alcotest.(check (list int)) "cycles candidates" [ 4; 5; 6; 4; 5; 6 ] picks
+
+let test_balancer_weighted_prefers_capacity () =
+  let b = Balancer.create Balancer.Warmup_weighted in
+  let rng = Js_util.Rng.create 5 in
+  let capacity = function 0 -> 99. | _ -> 1. in
+  let hits = Array.make 2 0 in
+  for _ = 1 to 500 do
+    match
+      Balancer.pick b rng ~candidates:[| 0; 1 |] ~outstanding:(fun _ -> 0) ~capacity
+    with
+    | Some ix -> hits.(ix) <- hits.(ix) + 1
+    | None -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hot server gets most traffic (%d/500)" hits.(0))
+    true
+    (hits.(0) > 450)
+
+let test_balancer_empty () =
+  let rng = Js_util.Rng.create 1 in
+  List.iter
+    (fun p ->
+      let b = Balancer.create p in
+      Alcotest.(check (option int))
+        (Balancer.policy_to_string p ^ " empty")
+        None
+        (Balancer.pick b rng ~candidates:[||] ~outstanding:(fun _ -> 0)
+           ~capacity:(fun _ -> 0.)))
+    Balancer.all_policies
+
+let test_balancer_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Balancer.policy_to_string p)
+        true
+        (Balancer.policy_of_string (Balancer.policy_to_string p) = Some p))
+    Balancer.all_policies
+
+(* --- warmup curves --- *)
+
+let test_warmup_curve_shapes () =
+  let app = Lazy.force small_app and cfg = Lazy.force small_cfg in
+  let nojs = Warmup_curve.build ~horizon:1200. cfg app S.No_jumpstart in
+  let pkg = S.make_package cfg app ~coverage_target:cfg.S.profile_request_target () in
+  let consumer = Warmup_curve.build ~horizon:1200. cfg app (S.Consumer pkg) in
+  (* cold servers are slower than warm ones, and the curve decays *)
+  let cold = Warmup_curve.multiplier nojs ~served:0. in
+  let warm = Warmup_curve.multiplier nojs ~served:(Warmup_curve.warm_served nojs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold multiplier > warm (%.2f > %.2f)" cold warm)
+    true (cold > warm);
+  Alcotest.(check bool) "warm multiplier about 1" true (warm < 1.1);
+  Alcotest.(check bool) "multiplier never below 1" true (warm >= 1.);
+  (* Jump-Start consumers boot faster (parallel warmup, no seq requests) *)
+  Alcotest.(check bool)
+    (Printf.sprintf "consumer boots faster (%.0fs < %.0fs)"
+       (Warmup_curve.boot_seconds consumer) (Warmup_curve.boot_seconds nojs))
+    true
+    (Warmup_curve.boot_seconds consumer < Warmup_curve.boot_seconds nojs);
+  (* and their early-life multiplier is lower: optimized code from request 1 *)
+  let cold_consumer = Warmup_curve.multiplier consumer ~served:0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "consumer starts warmer (%.2f < %.2f)" cold_consumer cold)
+    true (cold_consumer < cold)
+
+let test_warmup_curve_cache_reuses () =
+  let app = Lazy.force small_app and cfg = Lazy.force small_cfg in
+  let cache = Warmup_curve.create_cache ~horizon:400. cfg app in
+  let a = Warmup_curve.get cache S.No_jumpstart in
+  let b = Warmup_curve.get cache S.No_jumpstart in
+  Alcotest.(check bool) "no-js slot memoized" true (a == b);
+  let pkg = S.make_package cfg app ~coverage_target:cfg.S.profile_request_target () in
+  let c1 = Warmup_curve.get cache (S.Consumer pkg) in
+  let c2 = Warmup_curve.get cache (S.Consumer pkg) in
+  Alcotest.(check bool) "per-package slot memoized" true (c1 == c2);
+  Alcotest.(check bool) "distinct from no-js" true (c1 != a)
+
+(* --- push --- *)
+
+let push_cfg =
+  lazy
+    (let fleet =
+       { Cluster.Fleet.default_config with
+         Cluster.Fleet.n_servers = 8;
+         n_buckets = 2;
+         seeders_per_bucket = 2;
+         server = Lazy.force small_cfg
+       }
+     in
+     { Push.default_config with
+       Push.fleet;
+       warm_rps = 30.;
+       arrival =
+         { Arrival.default_config with Arrival.base_rps = 8. *. 30. *. 0.7 };
+       push_at = 40.;
+       drain_cap = 2;
+       duration = 240.;
+       curve_horizon = 900.
+     })
+
+let test_push_conservation () =
+  let stats = Push.run (Lazy.force push_cfg) (Lazy.force small_app) ~seed:1 in
+  let shed =
+    stats.Push.shed_queue_full + stats.Push.shed_timeout + stats.Push.shed_no_server
+    + stats.Push.shed_drain
+  in
+  (* every arrival either completed, was shed, or is still in the system *)
+  let in_system = stats.Push.arrived - stats.Push.completed - shed in
+  Alcotest.(check bool)
+    (Printf.sprintf "in-system requests bounded (%d)" in_system)
+    true
+    (in_system >= 0 && in_system <= 8 * (8 + 64));
+  Alcotest.(check int) "everyone restarted jump-started" 8 stats.Push.jump_started;
+  Alcotest.(check int) "no fallbacks" 0 stats.Push.fallbacks;
+  Alcotest.(check int) "no crashes" 0 stats.Push.crashes;
+  Alcotest.(check int) "bucket jump-start sum" stats.Push.jump_started
+    (Array.fold_left ( + ) 0 stats.Push.bucket_jump_started);
+  Alcotest.(check bool) "push completed" true (stats.Push.push_done >= 0.);
+  Alcotest.(check bool) "capacity recovered" true (stats.Push.time_to_full_capacity >= 0.);
+  Alcotest.(check bool) "latency recorded" true
+    (Js_util.Stats.Quantile.count stats.Push.latency > 0);
+  Alcotest.(check bool) "push-window latency recorded" true
+    (Js_util.Stats.Quantile.count stats.Push.latency_push > 0)
+
+let test_push_jumpstart_beats_baseline () =
+  let cfg = Lazy.force push_cfg in
+  let app = Lazy.force small_app in
+  let js = Push.run cfg app ~seed:7 in
+  let nojs = Push.run { cfg with Push.jumpstart = false } app ~seed:7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "smaller capacity loss (%.0f < %.0f)" js.Push.capacity_loss_integral
+       nojs.Push.capacity_loss_integral)
+    true
+    (js.Push.capacity_loss_integral < nojs.Push.capacity_loss_integral);
+  let ttfc s = if s.Push.time_to_full_capacity >= 0. then s.Push.time_to_full_capacity else infinity in
+  Alcotest.(check bool) "faster back to full capacity" true (ttfc js < ttfc nojs);
+  Alcotest.(check int) "baseline never jump-starts" 0 nojs.Push.jump_started
+
+let test_push_deterministic () =
+  let cfg = Lazy.force push_cfg in
+  let app = Lazy.force small_app in
+  let a = Push.run cfg app ~seed:3 and b = Push.run cfg app ~seed:3 in
+  Alcotest.(check string) "same digest" (Push.digest a) (Push.digest b);
+  let c = Push.run cfg app ~seed:4 in
+  Alcotest.(check bool) "different seed differs" true (Push.digest a <> Push.digest c)
+
+let test_push_bad_packages_crash_and_guardrail () =
+  let cfg = Lazy.force push_cfg in
+  let app = Lazy.force small_app in
+  let server =
+    (* crash fast enough that the spike lands while restarts are pending *)
+    { (Lazy.force small_cfg) with S.crash_delay_seconds = 5. }
+  in
+  let cfg =
+    { cfg with
+      Push.fleet =
+        { cfg.Push.fleet with Cluster.Fleet.validation_catch_rate = 0.; server };
+      bad_package_rate = 1.0;
+      abort_window = 120.;
+      abort_threshold = 2
+    }
+  in
+  let stats = Push.run cfg app ~seed:2 in
+  Alcotest.(check bool) "consumers crashed" true (stats.Push.crashes > 0);
+  Alcotest.(check bool) "guardrail aborted the push" true stats.Push.aborted;
+  Alcotest.(check int) "bucket fallback sum" stats.Push.fallbacks
+    (Array.fold_left ( + ) 0 stats.Push.bucket_fallbacks)
+
+let test_push_telemetry () =
+  let tel = Js_telemetry.create () in
+  let stats = Push.run ~telemetry:tel (Lazy.force push_cfg) (Lazy.force small_app) ~seed:1 in
+  Alcotest.(check int) "sim.requests counter" stats.Push.arrived
+    (Js_telemetry.counter tel "sim.requests");
+  Alcotest.(check int) "sim.completed counter" stats.Push.completed
+    (Js_telemetry.counter tel "sim.completed");
+  Alcotest.(check int) "sim.jump_started counter" stats.Push.jump_started
+    (Js_telemetry.counter tel "sim.jump_started");
+  Alcotest.(check bool) "json exports" true
+    (Js_telemetry.Json.parses (Js_telemetry.to_json tel))
+
+let () =
+  Alcotest.run "sim"
+    [ ( "engine",
+        [ Alcotest.test_case "event order + fifo ties" `Quick test_engine_order;
+          Alcotest.test_case "cascade + past clamp" `Quick test_engine_cascade_and_clamp;
+          Alcotest.test_case "run stops at until" `Quick test_engine_run_stops_at_until
+        ] );
+      ( "arrival",
+        [ Alcotest.test_case "monotone, correct rate" `Quick test_arrival_monotone_and_rate;
+          Alcotest.test_case "diurnal curve" `Quick test_arrival_diurnal_peak_rate;
+          Alcotest.test_case "validation" `Quick test_arrival_validates
+        ] );
+      ( "balancer",
+        [ Alcotest.test_case "least outstanding" `Quick test_balancer_least_outstanding;
+          Alcotest.test_case "round robin" `Quick test_balancer_round_robin_cycles;
+          Alcotest.test_case "warmup weighted" `Quick test_balancer_weighted_prefers_capacity;
+          Alcotest.test_case "empty candidates" `Quick test_balancer_empty;
+          Alcotest.test_case "policy names" `Quick test_balancer_policy_names_roundtrip
+        ] );
+      ( "warmup curve",
+        [ Alcotest.test_case "shapes" `Quick test_warmup_curve_shapes;
+          Alcotest.test_case "cache" `Quick test_warmup_curve_cache_reuses
+        ] );
+      ( "push",
+        [ Alcotest.test_case "conservation + smoke" `Quick test_push_conservation;
+          Alcotest.test_case "jump-start beats baseline" `Quick
+            test_push_jumpstart_beats_baseline;
+          Alcotest.test_case "deterministic" `Quick test_push_deterministic;
+          Alcotest.test_case "bad packages + guardrail" `Quick
+            test_push_bad_packages_crash_and_guardrail;
+          Alcotest.test_case "telemetry" `Quick test_push_telemetry
+        ] )
+    ]

@@ -150,6 +150,75 @@ let test_histogram () =
   let counts = Stats.Histogram.bucket_counts h in
   Alcotest.(check int) "overflow clamps to last bucket" 2 counts.(9)
 
+(* --- quantile sketch --- *)
+
+let test_quantile_relative_accuracy () =
+  let q = Stats.Quantile.create () in
+  for i = 1 to 10_000 do
+    Stats.Quantile.add q (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 10_000 (Stats.Quantile.count q);
+  List.iter
+    (fun p ->
+      (* exact answer at rank floor(p * (n-1)) of the sorted stream *)
+      let exact = float_of_int (1 + int_of_float (p *. 9999.)) in
+      let est = Stats.Quantile.quantile q p in
+      let rel = Float.abs (est -. exact) /. exact in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f within 2*accuracy (rel=%.4f)" (100. *. p) rel)
+        true
+        (rel <= 2. *. Stats.Quantile.accuracy q))
+    [ 0.; 0.5; 0.9; 0.95; 0.99; 1.0 ]
+
+let test_quantile_merge_exact () =
+  (* merging sketches must equal sketching the concatenated stream *)
+  let a = Stats.Quantile.create () and b = Stats.Quantile.create () in
+  let whole = Stats.Quantile.create () in
+  let rng = Rng.create 9 in
+  for i = 0 to 1_999 do
+    let x = Rng.exponential rng ~mean:25. in
+    Stats.Quantile.add (if i mod 2 = 0 then a else b) x;
+    Stats.Quantile.add whole x
+  done;
+  Stats.Quantile.merge a b;
+  Alcotest.(check int) "merged count" (Stats.Quantile.count whole) (Stats.Quantile.count a);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "p%.0f identical" (100. *. p))
+        (Stats.Quantile.quantile whole p) (Stats.Quantile.quantile a p))
+    [ 0.01; 0.25; 0.5; 0.75; 0.95; 0.99 ]
+
+let test_quantile_zero_bucket () =
+  let q = Stats.Quantile.create () in
+  List.iter (Stats.Quantile.add q) [ 0.; 0.; 0.; 1e-12; 5. ];
+  check_float "p50 is zero" 0. (Stats.Quantile.p50 q);
+  check_float "p0 is zero" 0. (Stats.Quantile.quantile q 0.);
+  Alcotest.(check bool) "max positive" true (Stats.Quantile.quantile q 1.0 > 4.)
+
+let test_quantile_errors () =
+  let q = Stats.Quantile.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.Quantile.quantile: empty") (fun () ->
+      ignore (Stats.Quantile.quantile q 0.5));
+  Alcotest.check_raises "negative" (Invalid_argument "Stats.Quantile.add: negative or NaN")
+    (fun () -> Stats.Quantile.add q (-1.));
+  Alcotest.check_raises "bad accuracy" (Invalid_argument "Stats.Quantile.create: accuracy")
+    (fun () -> ignore (Stats.Quantile.create ~accuracy:1.5 ()));
+  let other = Stats.Quantile.create ~accuracy:0.05 () in
+  Alcotest.check_raises "mismatched merge"
+    (Invalid_argument "Stats.Quantile.merge: mismatched accuracy") (fun () ->
+      Stats.Quantile.merge q other)
+
+let test_quantile_of_series () =
+  let s = Stats.Series.create () in
+  for i = 0 to 99 do
+    Stats.Series.add s ~time:(float_of_int i) ~value:(float_of_int (i mod 10))
+  done;
+  let q = Stats.Quantile.of_series s in
+  Alcotest.(check int) "count" 100 (Stats.Quantile.count q);
+  Alcotest.(check bool) "p50 about 4-5" true
+    (Stats.Quantile.p50 q >= 3.5 && Stats.Quantile.p50 q <= 5.5)
+
 (* --- binio --- *)
 
 let test_binio_scalars () =
@@ -340,7 +409,13 @@ let () =
           Alcotest.test_case "series time order" `Quick test_series_out_of_order;
           Alcotest.test_case "capacity loss" `Quick test_series_capacity_loss;
           Alcotest.test_case "resample" `Quick test_series_resample;
-          Alcotest.test_case "histogram" `Quick test_histogram
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "quantile relative accuracy" `Quick
+            test_quantile_relative_accuracy;
+          Alcotest.test_case "quantile merge is exact" `Quick test_quantile_merge_exact;
+          Alcotest.test_case "quantile zero bucket" `Quick test_quantile_zero_bucket;
+          Alcotest.test_case "quantile errors" `Quick test_quantile_errors;
+          Alcotest.test_case "quantile of series" `Quick test_quantile_of_series
         ] );
       ( "binio",
         [ Alcotest.test_case "scalars" `Quick test_binio_scalars;
