@@ -920,6 +920,178 @@ let bench_push () =
     exit 1
   end
 
+(* The tentpole gate of the flat-engine refactor: at the 100k-source
+   configuration, the flat (struct-of-arrays, variant-payload) engine must
+   dispatch the exact same event sequence as the closure-per-event baseline
+   at >= 3x the events/sec, and a 100k-server multi-region global fleet run
+   must complete with reproducible digests.  Writes BENCH_scale.json. *)
+let bench_scale () =
+  section "scale: flat event engine + 100k-server multi-region fleet";
+  let quick = !quick_mode in
+  (* -- engine A/B: pure event churn, self-rescheduling sources ----------- *)
+  let sources = if quick then 10_000 else 100_000 in
+  let horizon = if quick then 5. else 20. in
+  let mix id now h =
+    (* fold (source, time) into a running checksum so the two engines must
+       agree on the full dispatch sequence, not just the event count *)
+    (h * 1_000_003) lxor id lxor int_of_float (now *. 1024.)
+  in
+  let phase i = float_of_int i /. float_of_int sources in
+  let run_closure () =
+    let eng = Js_sim.Engine.Closure.create () in
+    let h = ref 0 in
+    let rec fire id () =
+      h := mix id (Js_sim.Engine.Closure.now eng) !h;
+      if Js_sim.Engine.Closure.now eng +. 1. <= horizon then
+        Js_sim.Engine.Closure.after eng ~delay:1. (fire id)
+    in
+    for i = 0 to sources - 1 do
+      Js_sim.Engine.Closure.schedule eng ~at:(phase i) (fire i)
+    done;
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    Js_sim.Engine.Closure.run eng ~until:horizon;
+    let dt = Unix.gettimeofday () -. t0 in
+    (Js_sim.Engine.Closure.dispatched eng, !h, dt)
+  in
+  let run_flat () =
+    let eng = Js_sim.Engine.create ~dummy:(-1) () in
+    let h = ref 0 in
+    let dispatch eng id =
+      h := mix id (Js_sim.Engine.now eng) !h;
+      if Js_sim.Engine.now eng +. 1. <= horizon then Js_sim.Engine.after eng ~delay:1. id
+    in
+    for i = 0 to sources - 1 do
+      Js_sim.Engine.schedule eng ~at:(phase i) i
+    done;
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    Js_sim.Engine.run eng ~until:horizon ~dispatch;
+    let dt = Unix.gettimeofday () -. t0 in
+    (Js_sim.Engine.dispatched eng, !h, dt)
+  in
+  ignore (run_flat ());
+  (* warm the allocator/caches *)
+  let c_events, c_sum, c_dt = run_closure () in
+  let f_events, f_sum, f_dt = run_flat () in
+  let c_eps = float_of_int c_events /. c_dt and f_eps = float_of_int f_events /. f_dt in
+  let speedup = f_eps /. c_eps in
+  let same_sequence = c_events = f_events && c_sum = f_sum in
+  Printf.printf "engine A/B (%d sources, %d events):\n" sources c_events;
+  Printf.printf "  closure %.2fs (%.0f events/s)\n" c_dt c_eps;
+  Printf.printf "  flat    %.2fs (%.0f events/s)  speedup %.2fx\n" f_dt f_eps speedup;
+  (* -- 100k-server multi-region global fleet ----------------------------- *)
+  let n_regions = if quick then 3 else 5 in
+  let servers_per_region = if quick then 2_000 else 20_000 in
+  let duration = if quick then 60. else 120. in
+  let fleet =
+    { (Lazy.force fleet_base_cfg) with
+      Cluster.Fleet.n_servers = servers_per_region;
+      n_buckets = 4;
+      seeders_per_bucket = 3
+    }
+  in
+  let base =
+    { Js_sim.Push.default_config with
+      Js_sim.Push.fleet;
+      warm_rps = 50.;
+      (* the scale axis is the server count (routing structures, restart
+         train, event-pool footprint), not per-server load: light traffic
+         keeps the event total bounded at 100k servers *)
+      arrival =
+        { Js_sim.Arrival.default_config with
+          Js_sim.Arrival.base_rps = float_of_int servers_per_region *. 0.1
+        };
+      policy = Js_sim.Balancer.Random;
+      push_at = duration /. 4.;
+      drain_cap = servers_per_region / 40;
+      duration
+    }
+  in
+  let gcfg =
+    { Js_sim.Region.default_global_config with
+      Js_sim.Region.base;
+      n_regions;
+      region_phase = 600.;
+      push_stagger = duration /. 40.;
+      spillover = true;
+      spill_latency = 15.;
+      epoch = 15.
+    }
+  in
+  let app = Lazy.force fleet_app in
+  Gc.full_major ();
+  let t0 = Unix.gettimeofday () in
+  let gs = Js_sim.Region.run_global ~mode:`Epoch gcfg app ~seed:42 in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total_servers = n_regions * servers_per_region in
+  let g_eps = float_of_int gs.Js_sim.Region.g_events /. wall in
+  let wall_per_hour = wall /. (duration /. 3600.) in
+  Printf.printf
+    "\nglobal fleet: %d regions x %d servers = %d servers, %.0f sim-seconds\n"
+    n_regions servers_per_region total_servers duration;
+  Printf.printf "  %d events in %.2fs wall (%.0f events/s, %.1fs wall per sim-hour)\n"
+    gs.Js_sim.Region.g_events wall g_eps wall_per_hour;
+  let jump_started =
+    Array.fold_left (fun a r -> a + r.Js_sim.Region.jump_started) 0 gs.Js_sim.Region.g_regions
+  in
+  Printf.printf "  jump-started %d/%d, spilled %d\n" jump_started total_servers
+    gs.Js_sim.Region.g_spilled;
+  (* -- determinism: epoch barriers == merged queue, same seed reproduces -- *)
+  let small =
+    { gcfg with
+      Js_sim.Region.base =
+        { base with
+          Js_sim.Push.fleet = { fleet with Cluster.Fleet.n_servers = 32 };
+          arrival =
+            { Js_sim.Arrival.default_config with Js_sim.Arrival.base_rps = 32. *. 50. *. 0.5 };
+          drain_cap = 4;
+          duration = 300.
+        };
+      n_regions = 3;
+      disasters = [ Js_sim.Region.Region_loss { region = 2; at = 150. } ]
+    }
+  in
+  let d mode seed =
+    Js_sim.Region.global_digest (Js_sim.Region.run_global ~mode small app ~seed)
+  in
+  let epoch_eq_merged = d `Epoch 7 = d `Merged 7 in
+  let deterministic = d `Epoch 7 = d `Epoch 7 in
+  let crit_speedup = speedup >= if quick then 1.5 else 3.0 in
+  Printf.printf
+    "\ncriteria: flat sequence == closure sequence: %b | flat >= %.1fx events/s: %b |\n\
+    \          epoch digest == merged digest: %b | same-seed deterministic: %b\n"
+    same_sequence
+    (if quick then 1.5 else 3.0)
+    crit_speedup epoch_eq_merged deterministic;
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-scale/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b
+    "  \"engine\": { \"sources\": %d, \"events\": %d, \"closure_events_per_sec\": %.0f, \
+     \"flat_events_per_sec\": %.0f, \"speedup\": %.3f, \"same_sequence\": %b },\n"
+    sources c_events c_eps f_eps speedup same_sequence;
+  Printf.bprintf b
+    "  \"fleet\": { \"regions\": %d, \"servers_per_region\": %d, \"total_servers\": %d, \
+     \"sim_seconds\": %.0f, \"events\": %d, \"events_per_sec\": %.0f, \
+     \"wall_seconds\": %.3f, \"wall_seconds_per_sim_hour\": %.2f, \"jump_started\": %d, \
+     \"spilled\": %d },\n"
+    n_regions servers_per_region total_servers duration gs.Js_sim.Region.g_events g_eps wall
+    wall_per_hour jump_started gs.Js_sim.Region.g_spilled;
+  Printf.bprintf b
+    "  \"criteria\": { \"flat_sequence_matches_closure\": %b, \"flat_speedup_gate\": %b, \
+     \"epoch_digest_equals_merged\": %b, \"same_seed_deterministic\": %b }\n"
+    same_sequence crit_speedup epoch_eq_merged deterministic;
+  Printf.bprintf b "}\n";
+  write_artifact ~tag:"scale"
+    ~default:(if quick then "BENCH_scale.quick.json" else "BENCH_scale.json")
+    (Buffer.contents b);
+  if not (same_sequence && crit_speedup && epoch_eq_merged && deterministic) then begin
+    prerr_endline "bench scale: acceptance criteria failed";
+    exit 1
+  end
+
 (* ----------------------------------------------------------------- cli -- *)
 
 let experiments =
@@ -927,7 +1099,8 @@ let experiments =
     ("fig5", fig5);
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
-    ("micro", micro); ("perf", perf); ("dist", ablation_dist); ("push", bench_push)
+    ("micro", micro); ("perf", perf); ("dist", ablation_dist); ("push", bench_push);
+    ("scale", bench_scale)
   ]
 
 let () =

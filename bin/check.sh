@@ -59,3 +59,26 @@ rm -f /tmp/push_smoke.json
 # time-to-full-capacity or push-window p99.
 dune exec bench/main.exe -- push --quick
 test -s BENCH_push.quick.json
+
+# Multi-region disaster smoke test: a 3-region global fleet loses one whole
+# region mid-push.  The loss must drain via generation bumps (zero crashes)
+# while spillover reroutes the lost region's traffic (nonzero spill
+# counters in the telemetry document).
+dune exec bin/push_sim.exe -- --servers 12 --duration 300 --push-at 60 \
+  --regions 3 --spillover --spill-latency 15 --epoch 15 \
+  --lose-region 1 --lose-at 120 \
+  --telemetry json > /tmp/region_smoke.json
+grep -q '"sim.spill_out"' /tmp/region_smoke.json
+grep -q '"sim.spill_in"' /tmp/region_smoke.json
+grep -q '"sim.region_lost"' /tmp/region_smoke.json
+if grep -q '"sim.crashes"' /tmp/region_smoke.json; then
+  echo "region smoke: unexpected crashes" >&2
+  exit 1
+fi
+rm -f /tmp/region_smoke.json
+
+# Quick scale bench: flat engine must reproduce the closure engine's event
+# sequence faster, and epoch-barrier multi-region runs must match merged
+# runs byte-for-byte; validates its own JSON.
+dune exec bench/main.exe -- scale --quick
+test -s BENCH_scale.quick.json

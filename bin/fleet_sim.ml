@@ -117,8 +117,14 @@ let push_term, push_cmd =
             "simulate the push with the discrete-event engine (request-level queueing, \
              warmup-aware routing, staged rolling restarts) instead of the macro fleet model")
   in
+  let home_region =
+    Arg.(
+      value & opt int 0
+      & info [ "home-region" ] ~docv:"R"
+          ~doc:"replica region this fleet's consumers fetch from first (needs --cross-region)")
+  in
   let action servers seeders bad_rate validation verifier minutes seed fetch_fail fetch_timeout
-      fetch_latency stale_rate cross_region des telemetry_fmt =
+      fetch_latency stale_rate cross_region des home_region telemetry_fmt =
     let app =
       Workload.Macro_app.generate
         { Workload.Macro_app.default_params with
@@ -148,6 +154,7 @@ let push_term, push_cmd =
         seeders_per_bucket = seeders;
         validation_catch_rate = validation;
         verifier_catch_rate = verifier;
+        home_region;
         dist
       }
     in
@@ -231,7 +238,7 @@ let push_term, push_cmd =
     Term.(
       const action $ servers $ seeders $ bad_rate $ validation $ verifier $ minutes_arg $ seed
       $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region $ des
-      $ telemetry_arg)
+      $ home_region $ telemetry_arg)
   in
   ( term,
     Cmd.v

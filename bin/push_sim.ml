@@ -81,10 +81,18 @@ let report ?(show_digest = false) stats =
   end;
   if show_digest then Printf.printf "\ndigest: %s\n" (Digest.to_hex (Digest.string (Js_sim.Push.digest stats)))
 
+let report_global ?(show_digest = false) gs =
+  Format.printf "%a@." Js_sim.Region.pp_global_stats gs;
+  if show_digest then
+    Printf.printf "\nglobal digest: %s\n"
+      (Digest.to_hex (Digest.string (Js_sim.Region.global_digest gs)))
+
 let main servers buckets seeders warm_rps concurrency queue timeout utilization diurnal_amp
     diurnal_period policy no_jumpstart push_at drain_cap duration bad_rate thin_rate validation
     verifier abort_window abort_threshold fetch_fail fetch_timeout fetch_latency stale_rate
-    cross_region seed show_digest telemetry_fmt =
+    cross_region regions region_phase push_stagger spillover spill_latency spill_threshold
+    epoch mode lose_region lose_at partition_region partition_at partition_duration
+    seeder_outage seed show_digest telemetry_fmt =
   let dist =
     let latency_mean =
       match fetch_latency with
@@ -121,7 +129,8 @@ let main servers buckets seeders warm_rps concurrency queue timeout utilization 
       arrival =
         { Js_sim.Arrival.base_rps = float_of_int servers *. warm_rps *. utilization;
           diurnal_amplitude = diurnal_amp;
-          diurnal_period
+          diurnal_period;
+          phase = 0.
         };
       policy;
       jumpstart = not no_jumpstart;
@@ -135,16 +144,57 @@ let main servers buckets seeders warm_rps concurrency queue timeout utilization 
     }
   in
   let tel = match telemetry_fmt with None -> None | Some _ -> Some (Js_telemetry.create ()) in
-  let stats = Js_sim.Push.run ?telemetry:tel cfg (Lazy.force app) ~seed in
-  match (telemetry_fmt, tel) with
-  | Some `Json, Some t ->
-    print_string (Js_telemetry.to_json t);
-    print_newline ()
-  | _ ->
-    report ~show_digest stats;
-    (match (telemetry_fmt, tel) with
-    | Some `Text, Some t -> Format.printf "@.%a@." Js_telemetry.pp_text t
-    | _ -> ())
+  if regions <= 1 then begin
+    let stats = Js_sim.Push.run ?telemetry:tel cfg (Lazy.force app) ~seed in
+    match (telemetry_fmt, tel) with
+    | Some `Json, Some t ->
+      print_string (Js_telemetry.to_json t);
+      print_newline ()
+    | _ ->
+      report ~show_digest stats;
+      (match (telemetry_fmt, tel) with
+      | Some `Text, Some t -> Format.printf "@.%a@." Js_telemetry.pp_text t
+      | _ -> ())
+  end
+  else begin
+    let disasters =
+      (match lose_region with
+      | Some r -> [ Js_sim.Region.Region_loss { region = r; at = lose_at } ]
+      | None -> [])
+      @ (match partition_region with
+        | Some r ->
+          [ Js_sim.Region.Dist_partition
+              { region = r; at = partition_at; duration = partition_duration }
+          ]
+        | None -> [])
+      @
+      match seeder_outage with
+      | Some at -> [ Js_sim.Region.Seeder_outage { at } ]
+      | None -> []
+    in
+    let gcfg =
+      { Js_sim.Region.base = cfg;
+        n_regions = regions;
+        region_phase;
+        push_stagger;
+        spillover;
+        spill_latency;
+        spill_threshold;
+        epoch;
+        disasters
+      }
+    in
+    let gs = Js_sim.Region.run_global ?telemetry:tel ~mode gcfg (Lazy.force app) ~seed in
+    match (telemetry_fmt, tel) with
+    | Some `Json, Some t ->
+      print_string (Js_telemetry.to_json t);
+      print_newline ()
+    | _ ->
+      report_global ~show_digest gs;
+      (match (telemetry_fmt, tel) with
+      | Some `Text, Some t -> Format.printf "@.%a@." Js_telemetry.pp_text t
+      | _ -> ())
+  end
 
 let () =
   let open Arg in
@@ -221,6 +271,62 @@ let () =
   let cross_region =
     value & flag & info [ "cross-region" ] ~doc:"3 replica regions with cross-region fallback"
   in
+  let regions =
+    value & opt int 1 & info [ "regions" ] ~docv:"N" ~doc:"number of regions (each $(b,--servers) wide)"
+  in
+  let region_phase =
+    value & opt float 0.
+    & info [ "region-phase" ] ~docv:"SEC" ~doc:"diurnal phase offset between consecutive regions"
+  in
+  let push_stagger =
+    value & opt float 0.
+    & info [ "push-stagger" ] ~docv:"SEC" ~doc:"delay between consecutive regions' pushes"
+  in
+  let spillover =
+    value & flag & info [ "spillover" ] ~doc:"route overflow arrivals to healthy foreign regions"
+  in
+  let spill_latency =
+    value & opt float 60.
+    & info [ "spill-latency" ] ~docv:"SEC" ~doc:"cross-region forwarding latency (>= --epoch)"
+  in
+  let spill_threshold =
+    value & opt float 0.5
+    & info [ "spill-threshold" ] ~docv:"F"
+        ~doc:"accepting fraction below which marginal arrivals spill"
+  in
+  let epoch =
+    value & opt float 30. & info [ "epoch" ] ~docv:"SEC" ~doc:"epoch-barrier interval"
+  in
+  let mode =
+    value
+    & opt (Arg.enum [ ("epoch", `Epoch); ("merged", `Merged) ]) `Epoch
+    & info [ "mode" ] ~docv:"MODE" ~doc:"multi-region execution: $(b,epoch) or $(b,merged)"
+  in
+  let lose_region =
+    value & opt (some int) None
+    & info [ "lose-region" ] ~docv:"R" ~doc:"disaster: region R goes dark at --lose-at"
+  in
+  let lose_at =
+    value & opt float 150. & info [ "lose-at" ] ~docv:"SEC" ~doc:"when --lose-region fires"
+  in
+  let partition_region =
+    value & opt (some int) None
+    & info [ "partition-region" ] ~docv:"R"
+        ~doc:"disaster: region R is cut off from the dist net at --partition-at"
+  in
+  let partition_at =
+    value & opt float 120.
+    & info [ "partition-at" ] ~docv:"SEC" ~doc:"when --partition-region fires"
+  in
+  let partition_duration =
+    value & opt float 120.
+    & info [ "partition-duration" ] ~docv:"SEC" ~doc:"length of the dist-net partition"
+  in
+  let seeder_outage =
+    value & opt (some float) None
+    & info [ "seeder-outage-at" ] ~docv:"SEC"
+        ~doc:"disaster: region 0's replica store goes down at SEC"
+  in
   let seed = value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed" in
   let show_digest =
     value & flag & info [ "digest" ] ~doc:"print a hash of the canonical stats digest"
@@ -231,7 +337,9 @@ let () =
       $ utilization $ diurnal_amp $ diurnal_period $ policy_arg $ no_jumpstart $ push_at
       $ drain_cap $ duration $ bad_rate $ thin_rate $ validation $ verifier $ abort_window
       $ abort_threshold $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region
-      $ seed $ show_digest $ telemetry_arg)
+      $ regions $ region_phase $ push_stagger $ spillover $ spill_latency $ spill_threshold
+      $ epoch $ mode $ lose_region $ lose_at $ partition_region $ partition_at
+      $ partition_duration $ seeder_outage $ seed $ show_digest $ telemetry_arg)
   in
   let info =
     Cmd.info "push_sim"

@@ -54,6 +54,13 @@ type t = {
   cfg : config;
   replicas : (int * int, replica list ref) Hashtbl.t;
   counters : counters;
+  (* Disaster schedules, fixed before the run starts.  Reachability is a pure
+     function of simulation time, never of run order, which is what keeps
+     epoch-barrier and merged multi-region runs byte-identical. *)
+  down_from : float array;  (* region's replica store unreachable from t on *)
+  part_from : float array;  (* fetcher-side partition window per region ... *)
+  part_until : float array;  (* ... all of a region's attempts fail inside it *)
+  mutable has_faults : bool;
 }
 
 let create cfg =
@@ -71,10 +78,36 @@ let create cfg =
         deliveries = 0;
         empty_probes = 0;
       };
+    down_from = Array.make cfg.regions infinity;
+    part_from = Array.make cfg.regions infinity;
+    part_until = Array.make cfg.regions infinity;
+    has_faults = false;
   }
 
 let counters t = t.counters
 let config t = t.cfg
+
+let check_region t region name =
+  if region < 0 || region >= t.cfg.regions then invalid_arg name
+
+let set_region_down t ~region ~from_ =
+  check_region t region "Dist_net.set_region_down";
+  if Float.is_nan from_ then invalid_arg "Dist_net.set_region_down: NaN";
+  t.down_from.(region) <- from_;
+  t.has_faults <- true
+
+let set_region_partition t ~region ~from_ ~until =
+  check_region t region "Dist_net.set_region_partition";
+  if Float.is_nan from_ || Float.is_nan until || until < from_ then
+    invalid_arg "Dist_net.set_region_partition: bad window";
+  t.part_from.(region) <- from_;
+  t.part_until.(region) <- until;
+  t.has_faults <- true
+
+let region_down t ~region ~now = now >= t.down_from.(region)
+
+let partitioned t ~region ~now =
+  now >= t.part_from.(region) && now < t.part_until.(region)
 
 let slot t ~region ~bucket =
   match Hashtbl.find_opt t.replicas (region, bucket) with
@@ -91,12 +124,17 @@ let slot t ~region ~bucket =
    without consuming randomness. *)
 let publish t rng ~now ~bucket pkg =
   for region = 0 to t.cfg.regions - 1 do
-    let visible_from =
-      if t.cfg.publish_latency_mean <= 0. then now
-      else now +. R.exponential rng ~mean:t.cfg.publish_latency_mean
-    in
-    let l = slot t ~region ~bucket in
-    l := { pkg; visible_from } :: !l
+    (* Replication into a down region fails outright; its consumers must go
+       cross-region.  Skipping the latency draw too keeps reachability a pure
+       function of time. *)
+    if not (region_down t ~region ~now) then begin
+      let visible_from =
+        if t.cfg.publish_latency_mean <= 0. then now
+        else now +. R.exponential rng ~mean:t.cfg.publish_latency_mean
+      in
+      let l = slot t ~region ~bucket in
+      l := { pkg; visible_from } :: !l
+    end
   done
 
 let bucket_replicas t ~region ~bucket =
@@ -111,7 +149,7 @@ type outcome =
 
 let fetch ?telemetry t rng ~now ~region:home ~bucket =
   let all = bucket_replicas t ~region:home ~bucket in
-  if not (active t.cfg) then
+  if not (active t.cfg || t.has_faults) then
     (* draw-identical to the historical [Rng.pick rng (Array.of_list l)] *)
     match all with
     | [] -> Not_found
@@ -131,7 +169,18 @@ let fetch ?telemetry t rng ~now ~region:home ~bucket =
           Js_telemetry.incr s "dist.fetch_attempts";
           if cross then Js_telemetry.incr s "dist.cross_region");
       if cross then c.cross_region_fetches <- c.cross_region_fetches + 1;
-      if t.cfg.fetch_fail_rate > 0. && R.bool rng t.cfg.fetch_fail_rate then begin
+      if
+        (* disaster windows first: a down target store or a partitioned
+           fetcher fails the attempt before any randomness is consumed *)
+        region_down t ~region ~now:(now +. !delay)
+        || partitioned t ~region:home ~now:(now +. !delay)
+      then begin
+        c.failures <- c.failures + 1;
+        incr failed;
+        tel (fun s -> Js_telemetry.incr s "dist.fetch_failures");
+        `Retry
+      end
+      else if t.cfg.fetch_fail_rate > 0. && R.bool rng t.cfg.fetch_fail_rate then begin
         c.failures <- c.failures + 1;
         incr failed;
         tel (fun s -> Js_telemetry.incr s "dist.fetch_failures");

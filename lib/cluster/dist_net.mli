@@ -55,7 +55,36 @@ val create : config -> t
 val counters : t -> counters
 val config : t -> config
 
-(** [publish t rng ~now ~bucket pkg] replicates [pkg] into every region;
+(** {2 Disaster schedules}
+
+    Fault windows are fixed before the run starts and reachability is a pure
+    function of simulation time — never of event-processing order — so
+    epoch-barrier and merged multi-region simulations stay byte-identical.
+    Setting any window activates the full fetch ladder (and its counters)
+    even under an otherwise-inactive config. *)
+
+(** [set_region_down t ~region ~from_] makes [region]'s replica store
+    unreachable from time [from_] on: publishes skip it and fetch attempts
+    against it fail, forcing its consumers onto the cross-region fallback
+    (the seeder-outage scenario when [region] is the seeder's). *)
+val set_region_down : t -> region:int -> from_:float -> unit
+
+(** [set_region_partition t ~region ~from_ ~until] cuts [region]'s consumers
+    off from the whole network during [\[from_, until)]: every attempt they
+    make (home or cross-region) fails — the dist-net-partition-during-publish
+    scenario. *)
+val set_region_partition : t -> region:int -> from_:float -> until:float -> unit
+
+(** [region_down t ~region ~now] — is the region's store unreachable at
+    [now]? *)
+val region_down : t -> region:int -> now:float -> bool
+
+(** [partitioned t ~region ~now] — is the region's fetcher side inside its
+    partition window at [now]? *)
+val partitioned : t -> region:int -> now:float -> bool
+
+(** [publish t rng ~now ~bucket pkg] replicates [pkg] into every region
+    whose store is reachable at [now];
     with publish latency, each region's copy becomes fetchable after an
     independent exponential delay (no randomness is consumed otherwise). *)
 val publish : t -> Js_util.Rng.t -> now:float -> bucket:int -> Server.package -> unit

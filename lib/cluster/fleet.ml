@@ -11,6 +11,7 @@ type config = {
   fallback_enabled : bool;
   max_seeder_retries : int;
   dist : Dist_net.config;
+  home_region : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     fallback_enabled = true;
     max_seeder_retries = 4;
     dist = Dist_net.default_config;
+    home_region = 0;
   }
 
 type stats = {
@@ -175,7 +177,9 @@ let simulate_push ?telemetry config ?force_bad_per_bucket app ~seed ~bad_package
     let no_packages = seeding.per_bucket.(bucket) = [] in
     let role, fetch_delay, fetch_failed =
       if (not config.fallback_enabled) || attempts < config.max_boot_attempts then begin
-        match Dist_net.fetch ?telemetry net rng ~now:at ~region:0 ~bucket with
+        match
+          Dist_net.fetch ?telemetry net rng ~now:at ~region:config.home_region ~bucket
+        with
         | Dist_net.Delivered (pkg, d) -> (Server.Consumer pkg, d, false)
         | Dist_net.Unavailable d -> (Server.No_jumpstart, d, true)
         | Dist_net.Not_found -> (Server.No_jumpstart, 0., false)

@@ -39,6 +39,9 @@ type config = {
           When a fetch ladder exhausts retries and cross-region fallback,
           the member boots without Jump-Start ([fetch_failed]); successful
           fetch delay is added to that member's boot span. *)
+  home_region : int;
+      (** which {!Dist_net} region this fleet's members fetch from (default
+          0); multi-region simulations give each regional fleet its own. *)
 }
 
 val default_config : config

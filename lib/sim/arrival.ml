@@ -4,19 +4,24 @@ type config = {
   base_rps : float;
   diurnal_amplitude : float;
   diurnal_period : float;
+  phase : float;
 }
 
-let default_config = { base_rps = 100.; diurnal_amplitude = 0.; diurnal_period = 86_400. }
+let default_config =
+  { base_rps = 100.; diurnal_amplitude = 0.; diurnal_period = 86_400.; phase = 0. }
 
 let validate c =
   if c.base_rps <= 0. then invalid_arg "Arrival: base_rps must be positive";
   if c.diurnal_amplitude < 0. || c.diurnal_amplitude >= 1. then
     invalid_arg "Arrival: diurnal_amplitude must be in [0, 1)";
-  if c.diurnal_period <= 0. then invalid_arg "Arrival: diurnal_period must be positive"
+  if c.diurnal_period <= 0. then invalid_arg "Arrival: diurnal_period must be positive";
+  if Float.is_nan c.phase then invalid_arg "Arrival: phase must not be NaN"
 
 let rate_at c t =
   c.base_rps
-  *. (1. +. (c.diurnal_amplitude *. sin (2. *. Float.pi *. t /. c.diurnal_period)))
+  *. (1.
+     +. (c.diurnal_amplitude *. sin (2. *. Float.pi *. (t +. c.phase) /. c.diurnal_period))
+     )
 
 let peak_rate c = c.base_rps *. (1. +. c.diurnal_amplitude)
 

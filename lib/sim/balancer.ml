@@ -22,12 +22,12 @@ type t = { policy : policy; mutable cursor : int }
 let create policy = { policy; cursor = 0 }
 let policy t = t.policy
 
-let pick t rng ~candidates ~outstanding ~capacity =
-  let n = Array.length candidates in
+let pick t rng ?n ~candidates ~outstanding ~capacity () =
+  let n = match n with Some n -> n | None -> Array.length candidates in
   if n = 0 then None
   else
     match t.policy with
-    | Random -> Some (R.pick rng candidates)
+    | Random -> Some candidates.(R.int rng n)
     | Round_robin ->
       let i = t.cursor mod n in
       t.cursor <- t.cursor + 1;
@@ -44,5 +44,25 @@ let pick t rng ~candidates ~outstanding ~capacity =
       done;
       Some !best
     | Warmup_weighted ->
-      let weights = Array.map (fun ix -> Float.max 1e-9 (capacity ix)) candidates in
+      let weights =
+        Array.init n (fun i -> Float.max 1e-9 (capacity candidates.(i)))
+      in
       Some candidates.(R.sample_weighted rng weights)
+
+(* Cross-region spillover target: round-robin over the currently-up foreign
+   regions, deterministic given [cursor].  Returns the chosen region plus the
+   advanced cursor, or [None] when no foreign region is up. *)
+let pick_region ~home ~n_regions ~cursor ~up =
+  if n_regions <= 1 then None
+  else begin
+    let chosen = ref None in
+    let k = ref 0 in
+    while !chosen = None && !k < n_regions do
+      let r = (cursor + !k) mod n_regions in
+      if r <> home && up r then chosen := Some r;
+      incr k
+    done;
+    match !chosen with
+    | None -> None
+    | Some r -> Some (r, (cursor + !k) mod n_regions)
+  end

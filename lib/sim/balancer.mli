@@ -24,14 +24,28 @@ type t
 val create : policy -> t
 val policy : t -> policy
 
-(** [pick t rng ~candidates ~outstanding ~capacity] chooses one of
-    [candidates] (server indices); [None] iff the array is empty.  Only
-    [Random] and [Warmup_weighted] consume randomness; only the accessors a
-    policy needs are called. *)
+(** [pick t rng ?n ~candidates ~outstanding ~capacity ()] chooses one of the
+    first [n] entries of [candidates] (server indices; [n] defaults to the
+    whole array); [None] iff that prefix is empty.  Passing [?n] lets callers
+    keep a persistent dense "accepting" array and route in O(1)/O(n) without
+    rebuilding candidate arrays per arrival.  Only [Random] and
+    [Warmup_weighted] consume randomness; only the accessors a policy needs
+    are called.  [Random]/[Round_robin] are O(1); the scanning policies are
+    O(n) per pick and intended for modest fleets. *)
 val pick :
   t ->
   Js_util.Rng.t ->
+  ?n:int ->
   candidates:int array ->
   outstanding:(int -> int) ->
   capacity:(int -> float) ->
+  unit ->
   int option
+
+(** [pick_region ~home ~n_regions ~cursor ~up] chooses a cross-region
+    spillover target: the first region [<> home] satisfying [up], scanning
+    round-robin from [cursor].  Returns the region and the advanced cursor.
+    Pure and rng-free, so spillover routing cannot perturb the per-region
+    random streams (part of the epoch-barrier determinism argument). *)
+val pick_region :
+  home:int -> n_regions:int -> cursor:int -> up:(int -> bool) -> (int * int) option

@@ -1,35 +1,64 @@
 (** Discrete-event simulation core.
 
-    A monotone simulated clock plus an event queue ({!Js_util.Pqueue}: binary
-    min-heap keyed by event time, ties broken by insertion order), so a run
-    is a deterministic function of the scheduled closures and the seeds they
-    consume.  When a telemetry sink is attached, its simulated clock is kept
-    in sync with the engine clock at every dispatch, so spans and events
-    recorded from inside handlers carry simulation timestamps. *)
+    A monotone simulated clock plus a flat event queue
+    ({!Js_util.Pqueue.Flat}: struct-of-arrays binary min-heap keyed by event
+    time, ties broken by insertion order), so a run is a deterministic
+    function of the scheduled events and the seeds their handlers consume.
 
-type t
+    Events are values of a caller-chosen variant type ['ev] rather than
+    closures: scheduling an immediate-carrying variant allocates at most the
+    variant block itself (nothing for constant constructors), where the old
+    closure representation allocated a closure plus heap entry per event.
+    At fleet scale — 100k servers x millions of events — that difference is
+    the allocation churn the flat engine exists to avoid; {!Closure} keeps
+    the original representation for comparison benches and small sims.
 
-val create : ?telemetry:Js_telemetry.t -> unit -> t
+    When a telemetry sink is attached, its simulated clock is kept in sync
+    with the engine clock at every dispatch, so spans and events recorded
+    from inside handlers carry simulation timestamps. *)
+
+type 'ev t
+
+(** [create ?telemetry ~dummy ()] — [dummy] is an inert ['ev] used to pad
+    empty queue slots; it is never dispatched. *)
+val create : ?telemetry:Js_telemetry.t -> dummy:'ev -> unit -> 'ev t
 
 (** Current simulation time in seconds. *)
-val now : t -> float
+val now : 'ev t -> float
 
 (** Events dispatched so far. *)
-val dispatched : t -> int
+val dispatched : 'ev t -> int
 
 (** Events still queued. *)
-val pending : t -> int
+val pending : 'ev t -> int
 
-(** [schedule t ~at f] queues [f] to run at absolute time [at] (clamped to
+(** [schedule t ~at ev] queues [ev] at absolute time [at] (clamped to
     [now t]: the clock never goes backwards).  @raise Invalid_argument on
     NaN. *)
-val schedule : t -> at:float -> (unit -> unit) -> unit
+val schedule : 'ev t -> at:float -> 'ev -> unit
 
-(** [after t ~delay f] = [schedule t ~at:(now t +. max 0. delay) f]. *)
-val after : t -> delay:float -> (unit -> unit) -> unit
+(** [after t ~delay ev] = [schedule t ~at:(now t +. max 0. delay) ev]. *)
+val after : 'ev t -> delay:float -> 'ev -> unit
 
-(** [run t ~until] dispatches events in (time, insertion) order until the
-    queue holds nothing at or before [until], then advances the clock to
-    [until].  Handlers may schedule further events, including at the current
-    time. *)
-val run : t -> until:float -> unit
+(** [run t ~until ~dispatch] pops events in (time, insertion) order, calling
+    [dispatch t ev] for each with the clock advanced to the event's time,
+    until the queue holds nothing at or before [until]; then advances the
+    clock to [until].  Handlers may schedule further events, including at the
+    current time.  Resumable: successive [run] calls with increasing [until]
+    advance the same simulation epoch by epoch. *)
+val run : 'ev t -> until:float -> dispatch:('ev t -> 'ev -> unit) -> unit
+
+(** The original closure-per-event engine, preserved as the baseline for
+    [bench scale] and for small closures-are-convenient simulations.  Same
+    clock/ordering semantics as the flat engine. *)
+module Closure : sig
+  type t
+
+  val create : ?telemetry:Js_telemetry.t -> unit -> t
+  val now : t -> float
+  val dispatched : t -> int
+  val pending : t -> int
+  val schedule : t -> at:float -> (unit -> unit) -> unit
+  val after : t -> delay:float -> (unit -> unit) -> unit
+  val run : t -> until:float -> unit
+end

@@ -1,11 +1,8 @@
-module R = Js_util.Rng
-module Stats = Js_util.Stats
-module Server = Cluster.Server
-module Fleet = Cluster.Fleet
-module Dist_net = Cluster.Dist_net
+(* Single-region facade over {!Region}: the historical Push API, now backed
+   by the multi-region machinery (one region, merged engine). *)
 
-type config = {
-  fleet : Fleet.config;
+type config = Region.config = {
+  fleet : Cluster.Fleet.config;
   warm_rps : float;
   concurrency : int;
   queue_capacity : int;
@@ -24,28 +21,10 @@ type config = {
   tick : float;
 }
 
-let default_config =
-  {
-    fleet = { Fleet.default_config with Fleet.n_servers = 24; n_buckets = 4 };
-    warm_rps = 50.;
-    concurrency = 8;
-    queue_capacity = 64;
-    request_timeout = 10.;
-    arrival = { Arrival.default_config with Arrival.base_rps = 24. *. 50. *. 0.7 };
-    policy = Balancer.Warmup_weighted;
-    jumpstart = true;
-    push_at = 120.;
-    drain_cap = 4;
-    abort_window = 60.;
-    abort_threshold = 8;
-    bad_package_rate = 0.;
-    thin_profile_rate = 0.;
-    duration = 900.;
-    curve_horizon = 1800.;
-    tick = 1.;
-  }
+let default_config = Region.default_config
 
-type stats = {
+type stats = Region.stats = {
+  region : int;
   policy : Balancer.policy;
   jumpstart : bool;
   arrived : int;
@@ -57,537 +36,28 @@ type stats = {
   crashes : int;
   jump_started : int;
   fallbacks : int;
+  spilled_out : int;
+  spilled_in : int;
   bucket_jump_started : int array;
   bucket_fallbacks : int array;
   packages_published : int;
   packages_rejected : int;
   bad_packages_published : int;
   aborted : bool;
+  lost : bool;
   push_started : float;
   push_done : float;
   time_to_full_capacity : float;
   capacity_loss_integral : float;
   fleet_warm_rps : float;
-  latency : Stats.Quantile.t;
-  latency_push : Stats.Quantile.t;
-  capacity_series : Stats.Series.t;
-  served_series : Stats.Series.t;
+  latency : Js_util.Stats.Quantile.t;
+  latency_push : Js_util.Stats.Quantile.t;
+  capacity_series : Js_util.Stats.Series.t;
+  served_series : Js_util.Stats.Series.t;
   events_dispatched : int;
-  dist : Dist_net.counters option;
+  dist : Cluster.Dist_net.counters option;
 }
 
-type srv = {
-  ix : int;
-  bucket : int;
-  mutable accepting : bool;
-  mutable gen : int;  (* bumped on every restart; stale events check it *)
-  mutable served : int;
-  mutable outstanding : int;
-  waiting : float Queue.t;  (* arrival times of queued requests *)
-  mutable curve : Warmup_curve.t;
-  mutable scale : float;  (* macro requests represented by one DES request *)
-  mutable attempts : int;
-  latency : Stats.Quantile.t;
-}
-
-type sim = {
-  cfg : config;
-  app : Workload.Macro_app.t;
-  eng : Engine.t;
-  rng_route : R.t;
-  rng_service : R.t;
-  rng_net : R.t;  (* seeding gates + distribution-network draws *)
-  arrival : Arrival.t;
-  servers : srv array;
-  net : Dist_net.t;
-  curves : Warmup_curve.cache;
-  telemetry : Js_telemetry.t option;
-  base_service : float;  (* concurrency / warm_rps: warm mean service time *)
-  demand_mu : float;
-  demand_sigma : float;
-  fleet_warm : float;
-  mutable arrived : int;
-  mutable completed : int;
-  mutable shed_queue_full : int;
-  mutable shed_timeout : int;
-  mutable shed_no_server : int;
-  mutable shed_drain : int;
-  mutable crashes : int;
-  mutable crash_times : float list;
-  mutable jump_started : int;
-  mutable fallbacks : int;
-  bucket_jump_started : int array;
-  bucket_fallbacks : int array;
-  mutable seeding : Fleet.seeding option;
-  mutable pending_restarts : int list;
-  mutable restarts_in_flight : int;
-  mutable push_started : float;
-  mutable push_done : float;
-  mutable ttfc : float;
-  mutable aborted : bool;
-  mutable loss : float;
-  mutable completed_at_tick : int;
-  latency_push : Stats.Quantile.t;
-  capacity_series : Stats.Series.t;
-  served_series : Stats.Series.t;
-}
-
-let tel sim f = match sim.telemetry with Some t -> f t | None -> ()
-
-let validate cfg =
-  if cfg.warm_rps <= 0. then invalid_arg "Push: warm_rps must be positive";
-  if cfg.concurrency <= 0 then invalid_arg "Push: concurrency must be positive";
-  if cfg.queue_capacity < 0 then invalid_arg "Push: queue_capacity must be >= 0";
-  if cfg.request_timeout <= 0. then invalid_arg "Push: request_timeout must be positive";
-  if cfg.drain_cap <= 0 then invalid_arg "Push: drain_cap must be positive";
-  if cfg.tick <= 0. then invalid_arg "Push: tick must be positive";
-  if cfg.duration <= cfg.push_at then invalid_arg "Push: duration must exceed push_at"
-
-(* Per-request service demand: lognormal with unit mean, matched to the
-   coefficient of variation of the workload's per-request instruction
-   count. *)
-let demand_params app =
-  let mean, std = Workload.Macro_app.request_weight_moments app in
-  let cv = if mean > 0. then std /. mean else 0. in
-  let sigma2 = log (1. +. (cv *. cv)) in
-  (-0.5 *. sigma2, sqrt sigma2)
-
-let sample_demand sim =
-  if sim.demand_sigma = 0. then 1.
-  else exp (R.gaussian sim.rng_service ~mu:sim.demand_mu ~sigma:sim.demand_sigma)
-
-let macro_served srv = float_of_int srv.served *. srv.scale
-
-let est_capacity sim srv =
-  if not srv.accepting then 0.
-  else sim.cfg.warm_rps /. Warmup_curve.multiplier srv.curve ~served:(macro_served srv)
-
-let in_push_window sim = sim.push_started >= 0. && sim.ttfc < 0.
-
-let rec start_service sim srv ~arrived =
-  let demand = sample_demand sim in
-  let m = Warmup_curve.multiplier srv.curve ~served:(macro_served srv) in
-  let service = sim.base_service *. demand *. m in
-  srv.outstanding <- srv.outstanding + 1;
-  let gen = srv.gen in
-  Engine.after sim.eng ~delay:service (fun () ->
-      if gen = srv.gen then complete sim srv ~arrived)
-
-and complete sim srv ~arrived =
-  let now = Engine.now sim.eng in
-  srv.outstanding <- srv.outstanding - 1;
-  srv.served <- srv.served + 1;
-  sim.completed <- sim.completed + 1;
-  let l = now -. arrived in
-  Stats.Quantile.add srv.latency l;
-  if in_push_window sim then Stats.Quantile.add sim.latency_push l;
-  (* lazy timeout shedding: expired waiters are dropped at dequeue time *)
-  let continue = ref true in
-  while !continue && srv.outstanding < sim.cfg.concurrency && not (Queue.is_empty srv.waiting) do
-    let arrived = Queue.pop srv.waiting in
-    if arrived +. sim.cfg.request_timeout < now then begin
-      sim.shed_timeout <- sim.shed_timeout + 1;
-      tel sim (fun t -> Js_telemetry.incr t "sim.shed_timeout")
-    end
-    else begin
-      start_service sim srv ~arrived;
-      continue := false
-    end
-  done
-
-let offer sim srv ~arrived =
-  if srv.outstanding < sim.cfg.concurrency then start_service sim srv ~arrived
-  else if Queue.length srv.waiting < sim.cfg.queue_capacity then Queue.push arrived srv.waiting
-  else begin
-    sim.shed_queue_full <- sim.shed_queue_full + 1;
-    tel sim (fun t -> Js_telemetry.incr t "sim.shed_queue_full")
-  end
-
-(* Boot-role selection mirrors Cluster.Fleet.boot_member's §VI-A ladder:
-   fetch through the distribution network while attempts remain, fall back
-   to a no-Jump-Start boot after [max_boot_attempts] (or on fetch
-   failure). *)
-let choose_role sim srv ~now =
-  let fc = sim.cfg.fleet in
-  if not sim.cfg.jumpstart then (Server.No_jumpstart, 0., false)
-  else if (not fc.Fleet.fallback_enabled) || srv.attempts < fc.Fleet.max_boot_attempts then begin
-    match
-      Dist_net.fetch ?telemetry:sim.telemetry sim.net sim.rng_net ~now ~region:0
-        ~bucket:srv.bucket
-    with
-    | Dist_net.Delivered (pkg, d) -> (Server.Consumer pkg, d, false)
-    | Dist_net.Unavailable d -> (Server.No_jumpstart, d, true)
-    | Dist_net.Not_found -> (Server.No_jumpstart, 0., false)
-  end
-  else (Server.No_jumpstart, 0., false)
-
-let rec restart sim srv ~push =
-  let now = Engine.now sim.eng in
-  srv.gen <- srv.gen + 1;
-  srv.accepting <- false;
-  (* immediate drain: queued and in-flight requests on this server are
-     lost (their completion events are invalidated by the gen bump) *)
-  let dropped = Queue.length srv.waiting + srv.outstanding in
-  if dropped > 0 then begin
-    sim.shed_drain <- sim.shed_drain + dropped;
-    tel sim (fun t -> Js_telemetry.incr t ~by:dropped "sim.shed_drain")
-  end;
-  Queue.clear srv.waiting;
-  srv.outstanding <- 0;
-  let role, fetch_delay, fetch_failed = choose_role sim srv ~now in
-  let source = Printf.sprintf "sim.server.%d" srv.ix in
-  (match role with
-  | Server.No_jumpstart when sim.cfg.jumpstart ->
-    let no_packages =
-      match sim.seeding with
-      | Some s -> s.Fleet.per_bucket.(srv.bucket) = []
-      | None -> true
-    in
-    if srv.attempts > 0 || no_packages || fetch_failed then begin
-      sim.fallbacks <- sim.fallbacks + 1;
-      sim.bucket_fallbacks.(srv.bucket) <- sim.bucket_fallbacks.(srv.bucket) + 1;
-      tel sim (fun t ->
-          let reason =
-            if no_packages then "no profile package available"
-            else if fetch_failed then "package fetch failed: distribution network unavailable"
-            else Printf.sprintf "exhausted %d boot attempts (bad package)" srv.attempts
-          in
-          Js_telemetry.incr t "sim.fallbacks";
-          Js_telemetry.record t (Js_telemetry.Fallback { source; reason }))
-    end
-  | Server.No_jumpstart | Server.Seeder -> ()
-  | Server.Consumer _ ->
-    if srv.attempts = 0 then begin
-      sim.jump_started <- sim.jump_started + 1;
-      sim.bucket_jump_started.(srv.bucket) <- sim.bucket_jump_started.(srv.bucket) + 1;
-      tel sim (fun t -> Js_telemetry.incr t "sim.jump_started")
-    end);
-  srv.curve <- Warmup_curve.get sim.curves role;
-  srv.scale <- Float.max 1e-9 (Warmup_curve.peak_rps srv.curve) /. sim.cfg.warm_rps;
-  srv.served <- 0;
-  let boot = Warmup_curve.boot_seconds srv.curve +. fetch_delay in
-  tel sim (fun t -> Js_telemetry.add_span t (source ^ ".boot") ~start:now ~dur:boot);
-  let gen = srv.gen in
-  Engine.after sim.eng ~delay:boot (fun () ->
-      if gen = srv.gen then begin
-        srv.accepting <- true;
-        if push then begin
-          sim.restarts_in_flight <- sim.restarts_in_flight - 1;
-          launch_restarts sim
-        end
-      end);
-  (* a bad package crashes shortly after the server starts serving *)
-  match role with
-  | Server.Consumer pkg when pkg.Server.bad ->
-    let crash_delay = boot +. sim.cfg.fleet.Fleet.server.Server.crash_delay_seconds in
-    Engine.after sim.eng ~delay:crash_delay (fun () ->
-        if gen = srv.gen then crash sim srv)
-  | Server.Consumer _ | Server.No_jumpstart | Server.Seeder -> ()
-
-and crash sim srv =
-  let now = Engine.now sim.eng in
-  sim.crashes <- sim.crashes + 1;
-  sim.crash_times <- now :: List.filter (fun t -> t >= now -. sim.cfg.abort_window) sim.crash_times;
-  tel sim (fun t ->
-      Js_telemetry.incr t "sim.crashes";
-      Js_telemetry.record t
-        (Js_telemetry.Server_crashed { server = srv.ix; kind = "bad_package" }));
-  (* §VI-A guardrail: a crash spike during the rolling push aborts the
-     remaining restarts (the fleet keeps running the previous release) *)
-  if
-    (not sim.aborted)
-    && sim.pending_restarts <> []
-    && List.length sim.crash_times >= sim.cfg.abort_threshold
-  then begin
-    sim.aborted <- true;
-    sim.pending_restarts <- [];
-    tel sim (fun t ->
-        Js_telemetry.record t
-          (Js_telemetry.Mark { name = "sim.push_aborted"; detail = "crash spike" }))
-  end;
-  srv.attempts <- srv.attempts + 1;
-  restart sim srv ~push:false
-
-and launch_restarts sim =
-  let continue = ref true in
-  while !continue do
-    match sim.pending_restarts with
-    | ix :: rest when sim.restarts_in_flight < sim.cfg.drain_cap ->
-      sim.pending_restarts <- rest;
-      sim.restarts_in_flight <- sim.restarts_in_flight + 1;
-      restart sim sim.servers.(ix) ~push:true
-    | _ -> continue := false
-  done;
-  if sim.pending_restarts = [] && sim.restarts_in_flight = 0 && sim.push_done < 0. then
-    sim.push_done <- Engine.now sim.eng
-
-let start_push sim =
-  let now = Engine.now sim.eng in
-  sim.push_started <- now;
-  tel sim (fun t ->
-      Js_telemetry.record t
-        (Js_telemetry.Mark { name = "sim.push_started"; detail = "rolling restart" }));
-  if sim.cfg.jumpstart then begin
-    (* C2 seeding through the §VI-A/§VI-B gates, then publication into the
-       distribution network *)
-    let seeding =
-      Fleet.run_seeders sim.cfg.fleet sim.app sim.rng_net
-        ~bad_package_rate:sim.cfg.bad_package_rate
-        ~thin_profile_rate:sim.cfg.thin_profile_rate
-    in
-    sim.seeding <- Some seeding;
-    for bucket = 0 to sim.cfg.fleet.Fleet.n_buckets - 1 do
-      List.iter
-        (fun pkg -> Dist_net.publish sim.net sim.rng_net ~now ~bucket pkg)
-        seeding.Fleet.per_bucket.(bucket)
-    done
-  end;
-  sim.pending_restarts <- List.init sim.cfg.fleet.Fleet.n_servers (fun i -> i);
-  launch_restarts sim
-
-let rec schedule_arrival sim lb ~after =
-  let at = Arrival.next sim.arrival ~after in
-  if at <= sim.cfg.duration then
-    Engine.schedule sim.eng ~at (fun () ->
-        let now = Engine.now sim.eng in
-        sim.arrived <- sim.arrived + 1;
-        let candidates =
-          let acc = ref [] in
-          for i = Array.length sim.servers - 1 downto 0 do
-            if sim.servers.(i).accepting then acc := i :: !acc
-          done;
-          Array.of_list !acc
-        in
-        (match
-           Balancer.pick lb sim.rng_route ~candidates
-             ~outstanding:(fun ix -> sim.servers.(ix).outstanding)
-             ~capacity:(fun ix -> est_capacity sim sim.servers.(ix))
-         with
-        | None ->
-          sim.shed_no_server <- sim.shed_no_server + 1;
-          tel sim (fun t -> Js_telemetry.incr t "sim.shed_no_server")
-        | Some ix -> offer sim sim.servers.(ix) ~arrived:now);
-        schedule_arrival sim lb ~after:at)
-
-let rec tick sim ~at =
-  Engine.schedule sim.eng ~at (fun () ->
-      let now = Engine.now sim.eng in
-      let cap = ref 0. in
-      let all_up = ref true in
-      Array.iter
-        (fun srv ->
-          if srv.accepting then cap := !cap +. est_capacity sim srv else all_up := false)
-        sim.servers;
-      Stats.Series.add sim.capacity_series ~time:now ~value:!cap;
-      let delta = sim.completed - sim.completed_at_tick in
-      sim.completed_at_tick <- sim.completed;
-      Stats.Series.add sim.served_series ~time:now
-        ~value:(float_of_int delta /. sim.cfg.tick);
-      if sim.push_started >= 0. && now > sim.push_started then
-        sim.loss <- sim.loss +. (sim.cfg.tick *. Float.max 0. (sim.fleet_warm -. !cap));
-      if
-        sim.push_started >= 0. && sim.ttfc < 0. && sim.push_done >= 0. && !all_up
-        && !cap >= 0.95 *. sim.fleet_warm
-      then begin
-        sim.ttfc <- now -. sim.push_started;
-        tel sim (fun t ->
-            Js_telemetry.set_gauge t "sim.time_to_full_capacity" sim.ttfc)
-      end;
-      if at +. sim.cfg.tick <= sim.cfg.duration then tick sim ~at:(at +. sim.cfg.tick))
-
-let run ?telemetry cfg app ~seed =
-  validate cfg;
-  let root = R.create seed in
-  let rng_route = R.split root in
-  let rng_service = R.split root in
-  let rng_net = R.split root in
-  let arrival = Arrival.create cfg.arrival root in
-  let eng = Engine.create ?telemetry () in
-  let curves = Warmup_curve.create_cache ~horizon:cfg.curve_horizon cfg.fleet.Fleet.server app in
-  let demand_mu, demand_sigma = demand_params app in
-  let warm_curve = Warmup_curve.get curves Server.No_jumpstart in
-  let warm_scale = Float.max 1e-9 (Warmup_curve.peak_rps warm_curve) /. cfg.warm_rps in
-  let servers =
-    Array.init cfg.fleet.Fleet.n_servers (fun i ->
-        {
-          ix = i;
-          bucket = i * cfg.fleet.Fleet.n_buckets / cfg.fleet.Fleet.n_servers;
-          accepting = true;
-          gen = 0;
-          (* pre-push members run the previous release fully warm *)
-          served = int_of_float (Warmup_curve.warm_served warm_curve /. warm_scale);
-          outstanding = 0;
-          waiting = Queue.create ();
-          curve = warm_curve;
-          scale = warm_scale;
-          attempts = 0;
-          latency = Stats.Quantile.create ();
-        })
-  in
-  let sim =
-    {
-      cfg;
-      app;
-      eng;
-      rng_route;
-      rng_service;
-      rng_net;
-      arrival;
-      servers;
-      net = Dist_net.create cfg.fleet.Fleet.dist;
-      curves;
-      telemetry;
-      base_service = float_of_int cfg.concurrency /. cfg.warm_rps;
-      demand_mu;
-      demand_sigma;
-      fleet_warm = float_of_int cfg.fleet.Fleet.n_servers *. cfg.warm_rps;
-      arrived = 0;
-      completed = 0;
-      shed_queue_full = 0;
-      shed_timeout = 0;
-      shed_no_server = 0;
-      shed_drain = 0;
-      crashes = 0;
-      crash_times = [];
-      jump_started = 0;
-      fallbacks = 0;
-      bucket_jump_started = Array.make cfg.fleet.Fleet.n_buckets 0;
-      bucket_fallbacks = Array.make cfg.fleet.Fleet.n_buckets 0;
-      seeding = None;
-      pending_restarts = [];
-      restarts_in_flight = 0;
-      push_started = -1.;
-      push_done = -1.;
-      ttfc = -1.;
-      aborted = false;
-      loss = 0.;
-      completed_at_tick = 0;
-      latency_push = Stats.Quantile.create ();
-      capacity_series = Stats.Series.create ();
-      served_series = Stats.Series.create ();
-    }
-  in
-  let lb = Balancer.create cfg.policy in
-  schedule_arrival sim lb ~after:0.;
-  tick sim ~at:cfg.tick;
-  Engine.schedule eng ~at:cfg.push_at (fun () -> start_push sim);
-  Engine.run eng ~until:cfg.duration;
-  let latency = Stats.Quantile.create () in
-  Array.iter (fun srv -> Stats.Quantile.merge latency srv.latency) servers;
-  (match telemetry with
-  | Some t ->
-    Js_telemetry.incr t ~by:sim.arrived "sim.requests";
-    Js_telemetry.incr t ~by:sim.completed "sim.completed";
-    Js_telemetry.set_gauge t "sim.capacity_loss_integral" sim.loss
-  | None -> ());
-  let published, rejected, bad_published =
-    match sim.seeding with
-    | Some s -> (s.Fleet.published, s.Fleet.rejected, s.Fleet.bad_published)
-    | None -> (0, 0, 0)
-  in
-  {
-    policy = cfg.policy;
-    jumpstart = cfg.jumpstart;
-    arrived = sim.arrived;
-    completed = sim.completed;
-    shed_queue_full = sim.shed_queue_full;
-    shed_timeout = sim.shed_timeout;
-    shed_no_server = sim.shed_no_server;
-    shed_drain = sim.shed_drain;
-    crashes = sim.crashes;
-    jump_started = sim.jump_started;
-    fallbacks = sim.fallbacks;
-    bucket_jump_started = sim.bucket_jump_started;
-    bucket_fallbacks = sim.bucket_fallbacks;
-    packages_published = published;
-    packages_rejected = rejected;
-    bad_packages_published = bad_published;
-    aborted = sim.aborted;
-    push_started = sim.push_started;
-    push_done = sim.push_done;
-    time_to_full_capacity = sim.ttfc;
-    capacity_loss_integral = sim.loss;
-    fleet_warm_rps = sim.fleet_warm;
-    latency;
-    latency_push = sim.latency_push;
-    capacity_series = sim.capacity_series;
-    served_series = sim.served_series;
-    events_dispatched = Engine.dispatched eng;
-    dist =
-      (if Dist_net.active cfg.fleet.Fleet.dist then Some (Dist_net.counters sim.net)
-       else None);
-  }
-
-let q_or sketch q default =
-  if Stats.Quantile.count sketch = 0 then default else Stats.Quantile.quantile sketch q
-
-let digest s =
-  let b = Buffer.create 512 in
-  let f x = Buffer.add_string b (Printf.sprintf "%.17g;" x) in
-  let i x = Buffer.add_string b (Printf.sprintf "%d;" x) in
-  Buffer.add_string b (Balancer.policy_to_string s.policy);
-  Buffer.add_char b ';';
-  Buffer.add_string b (if s.jumpstart then "js;" else "nojs;");
-  i s.arrived;
-  i s.completed;
-  i s.shed_queue_full;
-  i s.shed_timeout;
-  i s.shed_no_server;
-  i s.shed_drain;
-  i s.crashes;
-  i s.jump_started;
-  i s.fallbacks;
-  Array.iter i s.bucket_jump_started;
-  Array.iter i s.bucket_fallbacks;
-  i s.packages_published;
-  i s.packages_rejected;
-  i s.bad_packages_published;
-  Buffer.add_string b (if s.aborted then "aborted;" else "ok;");
-  f s.push_started;
-  f s.push_done;
-  f s.time_to_full_capacity;
-  f s.capacity_loss_integral;
-  f s.fleet_warm_rps;
-  f (q_or s.latency 0.5 (-1.));
-  f (q_or s.latency 0.95 (-1.));
-  f (q_or s.latency 0.99 (-1.));
-  f (q_or s.latency_push 0.5 (-1.));
-  f (q_or s.latency_push 0.95 (-1.));
-  f (q_or s.latency_push 0.99 (-1.));
-  i (Stats.Series.length s.capacity_series);
-  i (Stats.Series.length s.served_series);
-  f (Stats.Series.integral s.capacity_series ~until:infinity);
-  f (Stats.Series.integral s.served_series ~until:infinity);
-  i s.events_dispatched;
-  (match s.dist with
-  | Some c ->
-    i c.Dist_net.attempts;
-    i c.Dist_net.failures;
-    i c.Dist_net.timeouts;
-    i c.Dist_net.stale_rejects;
-    i c.Dist_net.cross_region_fetches;
-    i c.Dist_net.deliveries;
-    i c.Dist_net.empty_probes
-  | None -> Buffer.add_string b "nodist;");
-  Buffer.contents b
-
-let pp_stats fmt s =
-  Format.fprintf fmt
-    "@[<v>%s %s: arrived=%d completed=%d shed(queue=%d timeout=%d no_server=%d drain=%d)@,\
-     crashes=%d jump_started=%d fallbacks=%d published=%d rejected=%d bad_published=%d%s@,\
-     push: start=%.0fs done=%s time_to_full_capacity=%s@,\
-     capacity loss=%.0f rps*s (warm fleet %.0f rps)@,\
-     latency p50/p95/p99 = %.3f/%.3f/%.3f s  (during push: %.3f/%.3f/%.3f s)@]"
-    (if s.jumpstart then "jump-start" else "no-jump-start")
-    (Balancer.policy_to_string s.policy)
-    s.arrived s.completed s.shed_queue_full s.shed_timeout s.shed_no_server s.shed_drain
-    s.crashes s.jump_started s.fallbacks s.packages_published s.packages_rejected
-    s.bad_packages_published
-    (if s.aborted then " ABORTED" else "")
-    s.push_started
-    (if s.push_done >= 0. then Printf.sprintf "%.0fs" s.push_done else "never")
-    (if s.time_to_full_capacity >= 0. then Printf.sprintf "%.0fs" s.time_to_full_capacity
-     else "never")
-    s.capacity_loss_integral s.fleet_warm_rps (q_or s.latency 0.5 nan)
-    (q_or s.latency 0.95 nan) (q_or s.latency 0.99 nan) (q_or s.latency_push 0.5 nan)
-    (q_or s.latency_push 0.95 nan) (q_or s.latency_push 0.99 nan)
+let run = Region.run
+let digest = Region.digest
+let pp_stats = Region.pp_stats

@@ -21,9 +21,14 @@
     consumers fetch through the network's retry/fallback ladder; bad
     packages crash their consumers after [crash_delay_seconds] and the
     §VI-A crash-spike guardrail aborts the remaining rollout when
-    [abort_threshold] crashes land within [abort_window] seconds. *)
+    [abort_threshold] crashes land within [abort_window] seconds.
 
-type config = {
+    This module is the single-region facade over {!Region}, which runs the
+    same machinery across a multi-region global fleet (phase-offset arrival
+    curves, staggered push trains, cross-region spillover, disasters); the
+    [config]/[stats] types are shared with it. *)
+
+type config = Region.config = {
   fleet : Cluster.Fleet.config;
       (** servers, buckets, seeding gates, boot-attempt ladder and the
           distribution network all come from the macro fleet config *)
@@ -51,7 +56,10 @@ type config = {
     120 s, 900 s horizon. *)
 val default_config : config
 
-type stats = {
+(** Single-region runs have [region = 0], [spilled_out = spilled_in = 0] and
+    [lost = false]; see {!Region.stats} for the field-by-field story. *)
+type stats = Region.stats = {
+  region : int;
   policy : Balancer.policy;
   jumpstart : bool;
   arrived : int;
@@ -63,12 +71,15 @@ type stats = {
   crashes : int;
   jump_started : int;  (** first-attempt consumer boots *)
   fallbacks : int;  (** no-Jump-Start boots while Jump-Start was on *)
+  spilled_out : int;
+  spilled_in : int;
   bucket_jump_started : int array;
   bucket_fallbacks : int array;
   packages_published : int;
   packages_rejected : int;
   bad_packages_published : int;
   aborted : bool;  (** crash-spike guardrail fired *)
+  lost : bool;
   push_started : float;  (** -1 if the push never started *)
   push_done : float;  (** all batches dispatched and booted; -1 if never *)
   time_to_full_capacity : float;

@@ -12,8 +12,11 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN sample")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -75,7 +78,7 @@ module Series = struct
     end
 
   let integral t ~until =
-    if t.len < 2 then 0.
+    if t.len = 0 then 0.
     else begin
       let acc = ref 0. in
       let i = ref 0 in
@@ -84,12 +87,17 @@ module Series = struct
         acc := !acc +. (dt *. (t.values.(!i) +. t.values.(!i + 1)) /. 2.);
         incr i
       done;
-      (* Partial last trapezoid up to [until]. *)
       if !i < t.len - 1 && t.times.(!i) < until then begin
+        (* Partial last trapezoid up to [until] inside the sampled range. *)
         let v_end = value_at t until in
         let dt = until -. t.times.(!i) in
         acc := !acc +. (dt *. (t.values.(!i) +. v_end) /. 2.)
-      end;
+      end
+      else if !i = t.len - 1 && until > t.times.(!i) && Float.is_finite until then
+        (* Flat tail beyond the last sample: the series clamps to its last
+           value ([value_at] semantics), so the window [t_last, until]
+           contributes a rectangle rather than zero. *)
+        acc := !acc +. ((until -. t.times.(!i)) *. t.values.(!i));
       !acc
     end
 

@@ -7,7 +7,10 @@ val mean : float array -> float
 val stddev : float array -> float
 
 (** [percentile xs p] returns the [p]-th percentile ([p] in [\[0,100\]]) using
-    linear interpolation between closest ranks.  Does not mutate [xs]. *)
+    linear interpolation between closest ranks.  Does not mutate [xs].
+    Sorts with [Float.compare]; [-inf]/[+inf] order correctly.
+    @raise Invalid_argument on empty input or if any sample is NaN (a NaN
+    would otherwise silently poison the sort order). *)
 val percentile : float array -> float -> float
 
 (** [geomean xs] is the geometric mean (all values must be positive). *)
@@ -27,7 +30,9 @@ module Series : sig
   val to_array : t -> (float * float) array
 
   (** [integral t ~until] integrates value over time (trapezoidal) from the
-      first sample up to time [until]. *)
+      first sample up to time [until].  Consistent with [value_at]'s clamping,
+      a finite [until] beyond the final sample extends the series flat at its
+      last value; an infinite [until] integrates exactly the sampled range. *)
   val integral : t -> until:float -> float
 
   (** [value_at t time] linearly interpolates the series at [time]; clamps to

@@ -436,9 +436,14 @@ let prop_push_sim_dist_ladder =
           ~policy:Js_sim.Balancer.Warmup_weighted ~jumpstart:true
       in
       let stats = Js_sim.Push.run cfg (Lazy.force dist_fleet_app) ~seed:(seed + 1) in
-      (stats.Js_sim.Push.aborted
-      || stats.Js_sim.Push.jump_started + stats.Js_sim.Push.fallbacks
-         = cfg.Js_sim.Push.fleet.Cluster.Fleet.n_servers)
+      let restarted = stats.Js_sim.Push.jump_started + stats.Js_sim.Push.fallbacks in
+      let n_servers = cfg.Js_sim.Push.fleet.Cluster.Fleet.n_servers in
+      (* every server restarts exactly once — unless the guardrail aborted
+         or a slow-fetch seed leaves the push still rolling at the horizon *)
+      restarted <= n_servers
+      && (stats.Js_sim.Push.aborted
+         || stats.Js_sim.Push.push_done < 0.
+         || restarted = n_servers)
       &&
       match stats.Js_sim.Push.dist with
       | None -> false (* nonzero fault rates always activate the network *)
@@ -447,6 +452,60 @@ let prop_push_sim_dist_ladder =
         = c.Cluster.Dist_net.deliveries + c.Cluster.Dist_net.failures
           + c.Cluster.Dist_net.timeouts + c.Cluster.Dist_net.stale_rejects
           + c.Cluster.Dist_net.empty_probes)
+
+let prop_epoch_barrier_equals_merged =
+  (* the tentpole invariant of the multi-region engine: a run advanced
+     per-region to epoch barriers is byte-identical to the same run on one
+     merged event queue *)
+  QCheck.Test.make ~name:"epoch-barrier run == merged run (global digest)" ~count:3
+    QCheck.(pair small_nat (int_range 2 3))
+    (fun (seed, n_regions) ->
+      let gcfg =
+        { Js_sim.Region.default_global_config with
+          Js_sim.Region.base =
+            des_push_cfg ~fail10:(seed mod 3) ~stale10:0 ~cross:true
+              ~policy:Js_sim.Balancer.Warmup_weighted ~jumpstart:true;
+          n_regions;
+          region_phase = 120.;
+          push_stagger = 25.;
+          spillover = true;
+          spill_latency = 15.;
+          epoch = 15.;
+          disasters =
+            (if seed mod 2 = 0 then
+               [ Js_sim.Region.Region_loss { region = n_regions - 1; at = 90. } ]
+             else [])
+        }
+      in
+      let app = Lazy.force dist_fleet_app in
+      let e = Js_sim.Region.run_global ~mode:`Epoch gcfg app ~seed in
+      let m = Js_sim.Region.run_global ~mode:`Merged gcfg app ~seed in
+      Js_sim.Region.global_digest e = Js_sim.Region.global_digest m)
+
+let prop_quantile_region_merge =
+  (* per-region sketches merged == one sketch fed the concatenated stream *)
+  QCheck.Test.make ~name:"per-region quantile merge == concatenated stream" ~count:50
+    QCheck.(pair (list_of_size Gen.(1 -- 4) (small_list (float_bound_exclusive 1000.)))
+              (float_bound_exclusive 1000.))
+    (fun (regions, extra) ->
+      let module Q = Js_util.Stats.Quantile in
+      let merged = Q.create () in
+      let concat = Q.create () in
+      List.iter
+        (fun samples ->
+          let per_region = Q.create () in
+          List.iter
+            (fun x ->
+              Q.add per_region (x +. extra);
+              Q.add concat (x +. extra))
+            samples;
+          Q.merge merged per_region)
+        regions;
+      Q.count merged = Q.count concat
+      && (Q.count merged = 0
+         || Q.p50 merged = Q.p50 concat
+            && Q.p95 merged = Q.p95 concat
+            && Q.p99 merged = Q.p99 concat))
 
 let prop_interp_deterministic =
   QCheck.Test.make ~name:"interpreter fully deterministic" ~count:8 QCheck.small_nat (fun seed ->
@@ -528,5 +587,7 @@ let () =
             prop_inline_cache_transparent; prop_compiler_output_verifies
           ] );
       ("reliability", q [ prop_all_corrupt_store_falls_back; prop_fleet_dist_partition ]);
-      ("sim", q [ prop_push_sim_deterministic; prop_push_sim_dist_ladder ])
+      ("sim", q [ prop_push_sim_deterministic; prop_push_sim_dist_ladder ]);
+      ( "region",
+        q [ prop_epoch_barrier_equals_merged; prop_quantile_region_merge ] )
     ]

@@ -30,53 +30,126 @@ let small_cfg =
       cold_decay_seconds = 30.
     }
 
-(* --- engine --- *)
+(* --- engine (closure baseline) --- *)
 
 let test_engine_order () =
-  let eng = Engine.create () in
+  let eng = Engine.Closure.create () in
   let fired = ref [] in
-  let mark tag () = fired := (tag, Engine.now eng) :: !fired in
-  Engine.schedule eng ~at:5. (mark "c");
-  Engine.schedule eng ~at:1. (mark "a");
-  Engine.schedule eng ~at:3. (mark "b");
+  let mark tag () = fired := (tag, Engine.Closure.now eng) :: !fired in
+  Engine.Closure.schedule eng ~at:5. (mark "c");
+  Engine.Closure.schedule eng ~at:1. (mark "a");
+  Engine.Closure.schedule eng ~at:3. (mark "b");
   (* same-time events fire in insertion order *)
-  Engine.schedule eng ~at:3. (mark "b2");
-  Engine.run eng ~until:10.;
+  Engine.Closure.schedule eng ~at:3. (mark "b2");
+  Engine.Closure.run eng ~until:10.;
   Alcotest.(check (list (pair string (float 1e-9))))
     "time order with fifo ties"
     [ ("a", 1.); ("b", 3.); ("b2", 3.); ("c", 5.) ]
     (List.rev !fired);
-  Alcotest.(check (float 1e-9)) "clock at horizon" 10. (Engine.now eng)
+  Alcotest.(check (float 1e-9)) "clock at horizon" 10. (Engine.Closure.now eng)
 
 let test_engine_cascade_and_clamp () =
-  let eng = Engine.create () in
+  let eng = Engine.Closure.create () in
   let fired = ref [] in
-  Engine.schedule eng ~at:2. (fun () ->
+  Engine.Closure.schedule eng ~at:2. (fun () ->
       (* events scheduled in the past fire at the current time, not before *)
-      Engine.schedule eng ~at:1. (fun () ->
-          fired := ("late", Engine.now eng) :: !fired);
-      Engine.after eng ~delay:1. (fun () -> fired := ("next", Engine.now eng) :: !fired));
-  Engine.run eng ~until:10.;
+      Engine.Closure.schedule eng ~at:1. (fun () ->
+          fired := ("late", Engine.Closure.now eng) :: !fired);
+      Engine.Closure.after eng ~delay:1. (fun () ->
+          fired := ("next", Engine.Closure.now eng) :: !fired));
+  Engine.Closure.run eng ~until:10.;
   Alcotest.(check (list (pair string (float 1e-9))))
     "clamped then cascaded"
     [ ("late", 2.); ("next", 3.) ]
     (List.rev !fired);
-  Alcotest.(check int) "all dispatched" 3 (Engine.dispatched eng);
-  Alcotest.(check int) "queue drained" 0 (Engine.pending eng)
+  Alcotest.(check int) "all dispatched" 3 (Engine.Closure.dispatched eng);
+  Alcotest.(check int) "queue drained" 0 (Engine.Closure.pending eng)
 
 let test_engine_run_stops_at_until () =
-  let eng = Engine.create () in
+  let eng = Engine.Closure.create () in
   let fired = ref 0 in
-  Engine.schedule eng ~at:5. (fun () -> incr fired);
-  Engine.run eng ~until:4.;
+  Engine.Closure.schedule eng ~at:5. (fun () -> incr fired);
+  Engine.Closure.run eng ~until:4.;
   Alcotest.(check int) "not yet" 0 !fired;
-  Engine.run eng ~until:6.;
+  Engine.Closure.run eng ~until:6.;
   Alcotest.(check int) "fired on resume" 1 !fired
+
+(* --- engine (flat event representation) --- *)
+
+type flat_ev = Fnone | Mark of string | Cascade
+
+let test_flat_engine_order () =
+  let eng = Engine.create ~dummy:Fnone () in
+  let fired = ref [] in
+  let dispatch eng ev =
+    match ev with
+    | Mark tag -> fired := (tag, Engine.now eng) :: !fired
+    | Fnone | Cascade -> Alcotest.fail "unexpected event"
+  in
+  Engine.schedule eng ~at:5. (Mark "c");
+  Engine.schedule eng ~at:1. (Mark "a");
+  Engine.schedule eng ~at:3. (Mark "b");
+  Engine.schedule eng ~at:3. (Mark "b2");
+  Engine.run eng ~until:10. ~dispatch;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "time order with fifo ties"
+    [ ("a", 1.); ("b", 3.); ("b2", 3.); ("c", 5.) ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 10. (Engine.now eng);
+  Alcotest.(check int) "dispatched" 4 (Engine.dispatched eng);
+  Alcotest.(check int) "drained" 0 (Engine.pending eng)
+
+let test_flat_engine_cascade_clamp_resume () =
+  let eng = Engine.create ~dummy:Fnone () in
+  let fired = ref [] in
+  let dispatch eng ev =
+    match ev with
+    | Cascade ->
+      (* events scheduled in the past fire at the current time, not before *)
+      Engine.schedule eng ~at:1. (Mark "late");
+      Engine.after eng ~delay:1. (Mark "next")
+    | Mark tag -> fired := (tag, Engine.now eng) :: !fired
+    | Fnone -> Alcotest.fail "dummy dispatched"
+  in
+  Engine.schedule eng ~at:2. Cascade;
+  Engine.schedule eng ~at:8. (Mark "tail");
+  Engine.run eng ~until:4. ~dispatch;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "clamped then cascaded, stops at until"
+    [ ("late", 2.); ("next", 3.) ]
+    (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "clock at barrier" 4. (Engine.now eng);
+  Engine.run eng ~until:10. ~dispatch;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "resumed past barrier"
+    [ ("late", 2.); ("next", 3.); ("tail", 8.) ]
+    (List.rev !fired);
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Engine.schedule: NaN time")
+    (fun () -> Engine.schedule eng ~at:Float.nan Fnone)
+
+let test_flat_engine_churn () =
+  (* self-rescheduling sources: the queue stays small while dispatching many
+     events, exercising the slot-pool reuse path *)
+  let eng = Engine.create ~dummy:Fnone () in
+  let count = ref 0 in
+  let dispatch eng ev =
+    match ev with
+    | Mark _ ->
+      incr count;
+      if Engine.now eng < 999. then Engine.after eng ~delay:1. ev
+    | Fnone | Cascade -> Alcotest.fail "unexpected event"
+  in
+  for i = 0 to 9 do
+    Engine.schedule eng ~at:(float_of_int i /. 10.) (Mark (string_of_int i))
+  done;
+  Engine.run eng ~until:2000. ~dispatch;
+  Alcotest.(check int) "all dispatched" 10_000 !count;
+  Alcotest.(check int) "drained" 0 (Engine.pending eng)
 
 (* --- arrivals --- *)
 
 let test_arrival_monotone_and_rate () =
-  let cfg = { Arrival.base_rps = 50.; diurnal_amplitude = 0.; diurnal_period = 3600. } in
+  let cfg = { Arrival.base_rps = 50.; diurnal_amplitude = 0.; diurnal_period = 3600.; phase = 0. } in
   let a = Arrival.create cfg (Js_util.Rng.create 11) in
   let t = ref 0. and count = ref 0 in
   while !t < 200. do
@@ -92,10 +165,15 @@ let test_arrival_monotone_and_rate () =
     (!count > 9_000 && !count < 11_000)
 
 let test_arrival_diurnal_peak_rate () =
-  let cfg = { Arrival.base_rps = 100.; diurnal_amplitude = 0.5; diurnal_period = 1000. } in
+  let cfg = { Arrival.base_rps = 100.; diurnal_amplitude = 0.5; diurnal_period = 1000.; phase = 0. } in
   Alcotest.(check (float 1e-9)) "peak" 150. (Arrival.peak_rate cfg);
   Alcotest.(check (float 1e-6)) "crest" 150. (Arrival.rate_at cfg 250.);
   Alcotest.(check (float 1e-6)) "trough" 50. (Arrival.rate_at cfg 750.);
+  (* a phase offset slides the whole curve: region at phase p sees at t what
+     the base region sees at t + p *)
+  let shifted = { cfg with Arrival.phase = 250. } in
+  Alcotest.(check (float 1e-6)) "phase shifts crest" 150. (Arrival.rate_at shifted 0.);
+  Alcotest.(check (float 1e-6)) "phase shifts trough" 50. (Arrival.rate_at shifted 500.);
   (* thinning must still produce roughly base_rps on average over a cycle *)
   let a = Arrival.create cfg (Js_util.Rng.create 3) in
   let t = ref 0. and count = ref 0 in
@@ -113,7 +191,7 @@ let test_arrival_validates () =
     (fun () ->
       ignore
         (Arrival.create
-           { Arrival.base_rps = -1.; diurnal_amplitude = 0.; diurnal_period = 1. }
+           { Arrival.base_rps = -1.; diurnal_amplitude = 0.; diurnal_period = 1.; phase = 0. }
            (Js_util.Rng.create 1)))
 
 (* --- balancer --- *)
@@ -127,8 +205,18 @@ let test_balancer_least_outstanding () =
     Balancer.pick b rng ~candidates:[| 3; 1; 7 |]
       ~outstanding:(outstanding_of [| 9; 5; 9; 2; 9; 9; 9; 1 |])
       ~capacity:(fun _ -> 0.)
+      ()
   in
-  Alcotest.(check (option int)) "argmin outstanding" (Some 7) picked
+  Alcotest.(check (option int)) "argmin outstanding" (Some 7) picked;
+  (* the ?n prefix restricts the candidate set without rebuilding the array:
+     server 7 (outstanding 1) is beyond the prefix, so server 3 (2) wins *)
+  let picked2 =
+    Balancer.pick b rng ~n:2 ~candidates:[| 3; 1; 7 |]
+      ~outstanding:(outstanding_of [| 9; 5; 9; 2; 9; 9; 9; 1 |])
+      ~capacity:(fun _ -> 0.)
+      ()
+  in
+  Alcotest.(check (option int)) "argmin over prefix" (Some 3) picked2
 
 let test_balancer_round_robin_cycles () =
   let b = Balancer.create Balancer.Round_robin in
@@ -139,6 +227,7 @@ let test_balancer_round_robin_cycles () =
           Balancer.pick b rng ~candidates:[| 4; 5; 6 |]
             ~outstanding:(fun _ -> 0)
             ~capacity:(fun _ -> 0.)
+            ()
         with
         | Some ix -> ix
         | None -> -1)
@@ -152,7 +241,7 @@ let test_balancer_weighted_prefers_capacity () =
   let hits = Array.make 2 0 in
   for _ = 1 to 500 do
     match
-      Balancer.pick b rng ~candidates:[| 0; 1 |] ~outstanding:(fun _ -> 0) ~capacity
+      Balancer.pick b rng ~candidates:[| 0; 1 |] ~outstanding:(fun _ -> 0) ~capacity ()
     with
     | Some ix -> hits.(ix) <- hits.(ix) + 1
     | None -> ()
@@ -171,8 +260,25 @@ let test_balancer_empty () =
         (Balancer.policy_to_string p ^ " empty")
         None
         (Balancer.pick b rng ~candidates:[||] ~outstanding:(fun _ -> 0)
-           ~capacity:(fun _ -> 0.)))
+           ~capacity:(fun _ -> 0.)
+           ()))
     Balancer.all_policies
+
+let test_balancer_pick_region () =
+  (* scans round-robin from the cursor, skipping home and down regions *)
+  let up r = r <> 2 in
+  (match Balancer.pick_region ~home:0 ~n_regions:4 ~cursor:0 ~up with
+  | Some (r, cur) ->
+    Alcotest.(check int) "first up foreign region" 1 r;
+    Alcotest.(check int) "cursor advanced" 2 cur
+  | None -> Alcotest.fail "expected a target");
+  (match Balancer.pick_region ~home:0 ~n_regions:4 ~cursor:2 ~up with
+  | Some (r, _) -> Alcotest.(check int) "skips down region" 3 r
+  | None -> Alcotest.fail "expected a target");
+  Alcotest.(check bool) "no target when all else down" true
+    (Balancer.pick_region ~home:0 ~n_regions:4 ~cursor:0 ~up:(fun r -> r = 0) = None);
+  Alcotest.(check bool) "single region has no foreign target" true
+    (Balancer.pick_region ~home:0 ~n_regions:1 ~cursor:0 ~up:(fun _ -> true) = None)
 
 let test_balancer_policy_names_roundtrip () =
   List.iter
@@ -325,12 +431,79 @@ let test_push_telemetry () =
   Alcotest.(check bool) "json exports" true
     (Js_telemetry.Json.parses (Js_telemetry.to_json tel))
 
+(* --- multi-region --- *)
+
+module Region = Js_sim.Region
+
+let global_cfg =
+  lazy
+    { Region.default_global_config with
+      Region.base = Lazy.force push_cfg;
+      n_regions = 3;
+      region_phase = 300.;
+      push_stagger = 30.;
+      spillover = true;
+      spill_latency = 20.;
+      epoch = 20.
+    }
+
+let test_multiregion_region_loss () =
+  let gcfg =
+    { (Lazy.force global_cfg) with
+      Region.disasters = [ Region.Region_loss { region = 1; at = 100. } ]
+    }
+  in
+  let gs = Region.run_global gcfg (Lazy.force small_app) ~seed:5 in
+  let r = gs.Region.g_regions in
+  Alcotest.(check int) "three regions" 3 (Array.length r);
+  Alcotest.(check bool) "region 1 lost" true r.(1).Region.lost;
+  Alcotest.(check bool) "others not lost" true
+    ((not r.(0).Region.lost) && not r.(2).Region.lost);
+  (* a region loss drains servers via generation bumps — never crashes *)
+  Array.iter (fun s -> Alcotest.(check int) "zero crashes" 0 s.Region.crashes) r;
+  Alcotest.(check bool)
+    (Printf.sprintf "lost region spills its load out (%d)" r.(1).Region.spilled_out)
+    true
+    (r.(1).Region.spilled_out > 0);
+  let spilled_in = Array.fold_left (fun a s -> a + s.Region.spilled_in) 0 r in
+  Alcotest.(check bool)
+    (Printf.sprintf "surviving regions absorb spills (%d)" spilled_in)
+    true (spilled_in > 0);
+  Alcotest.(check bool) "global spill total" true (gs.Region.g_spilled > 0);
+  (* seeding runs in region 0 only *)
+  Alcotest.(check bool) "seeder region published" true (r.(0).Region.packages_published > 0);
+  Alcotest.(check int) "non-seeder regions do not publish" 0 r.(2).Region.packages_published
+
+let test_multiregion_epoch_equals_merged () =
+  let gcfg = Lazy.force global_cfg in
+  let app = Lazy.force small_app in
+  let epoch = Region.run_global ~mode:`Epoch gcfg app ~seed:11 in
+  let merged = Region.run_global ~mode:`Merged gcfg app ~seed:11 in
+  Alcotest.(check string) "epoch-barrier run == merged run"
+    (Region.global_digest merged) (Region.global_digest epoch);
+  let epoch2 = Region.run_global ~mode:`Epoch gcfg app ~seed:11 in
+  Alcotest.(check string) "same seed reproduces" (Region.global_digest epoch)
+    (Region.global_digest epoch2);
+  let other = Region.run_global ~mode:`Epoch gcfg app ~seed:12 in
+  Alcotest.(check bool) "different seed differs" true
+    (Region.global_digest epoch <> Region.global_digest other)
+
+let test_multiregion_validates () =
+  let gcfg = { (Lazy.force global_cfg) with Region.spill_latency = 5.; epoch = 20. } in
+  Alcotest.check_raises "spill latency below epoch"
+    (Invalid_argument "Region: spill_latency must be >= epoch") (fun () ->
+      ignore (Region.run_global gcfg (Lazy.force small_app) ~seed:1))
+
 let () =
   Alcotest.run "sim"
     [ ( "engine",
         [ Alcotest.test_case "event order + fifo ties" `Quick test_engine_order;
           Alcotest.test_case "cascade + past clamp" `Quick test_engine_cascade_and_clamp;
-          Alcotest.test_case "run stops at until" `Quick test_engine_run_stops_at_until
+          Alcotest.test_case "run stops at until" `Quick test_engine_run_stops_at_until;
+          Alcotest.test_case "flat: order + fifo ties" `Quick test_flat_engine_order;
+          Alcotest.test_case "flat: cascade/clamp/resume" `Quick
+            test_flat_engine_cascade_clamp_resume;
+          Alcotest.test_case "flat: slot-pool churn" `Quick test_flat_engine_churn
         ] );
       ( "arrival",
         [ Alcotest.test_case "monotone, correct rate" `Quick test_arrival_monotone_and_rate;
@@ -342,7 +515,8 @@ let () =
           Alcotest.test_case "round robin" `Quick test_balancer_round_robin_cycles;
           Alcotest.test_case "warmup weighted" `Quick test_balancer_weighted_prefers_capacity;
           Alcotest.test_case "empty candidates" `Quick test_balancer_empty;
-          Alcotest.test_case "policy names" `Quick test_balancer_policy_names_roundtrip
+          Alcotest.test_case "policy names" `Quick test_balancer_policy_names_roundtrip;
+          Alcotest.test_case "pick_region round-robin" `Quick test_balancer_pick_region
         ] );
       ( "warmup curve",
         [ Alcotest.test_case "shapes" `Quick test_warmup_curve_shapes;
@@ -356,5 +530,12 @@ let () =
           Alcotest.test_case "bad packages + guardrail" `Quick
             test_push_bad_packages_crash_and_guardrail;
           Alcotest.test_case "telemetry" `Quick test_push_telemetry
+        ] );
+      ( "region",
+        [ Alcotest.test_case "region loss spills, never crashes" `Quick
+            test_multiregion_region_loss;
+          Alcotest.test_case "epoch == merged digest" `Quick
+            test_multiregion_epoch_equals_merged;
+          Alcotest.test_case "validation" `Quick test_multiregion_validates
         ] )
     ]

@@ -102,6 +102,20 @@ let test_stats_percentile () =
   check_float "p100" 50. (Stats.percentile xs 100.);
   check_float "p25 interpolates" 20. (Stats.percentile xs 25.)
 
+let test_stats_percentile_total_order () =
+  (* Float.compare gives a total order: negative zero, infinities and
+     subnormals sort correctly (the old polymorphic compare did too, but this
+     pins the behavior) *)
+  let xs = [| infinity; -0.; 0.; neg_infinity; 1e-310 |] in
+  check_float "min" neg_infinity (Stats.percentile xs 0.);
+  check_float "max" infinity (Stats.percentile xs 100.);
+  check_float "median is the subnormal" 1e-310 (Stats.percentile xs 50.)
+
+let test_stats_percentile_nan_rejected () =
+  Alcotest.check_raises "NaN sample raises"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.; Float.nan; 3. |] 50.))
+
 let test_stats_geomean () =
   check_float "geomean" 2. (Stats.geomean [| 1.; 4. |])
 
@@ -120,6 +134,22 @@ let test_series_partial_integral () =
   Stats.Series.add s ~time:0. ~value:2.;
   Stats.Series.add s ~time:10. ~value:2.;
   check_float "half window" 10. (Stats.Series.integral s ~until:5.)
+
+let test_series_integral_flat_tail () =
+  (* regression: [until] beyond the last sample extends the curve flat at the
+     final value instead of silently truncating the window *)
+  let s = Stats.Series.create () in
+  Stats.Series.add s ~time:0. ~value:2.;
+  Stats.Series.add s ~time:10. ~value:4.;
+  check_float "sampled range" 30. (Stats.Series.integral s ~until:10.);
+  check_float "flat tail past last sample" 50. (Stats.Series.integral s ~until:15.);
+  (* an infinite window integrates the sampled range only (digest call sites) *)
+  check_float "infinite window = sampled range" 30.
+    (Stats.Series.integral s ~until:infinity);
+  (* a single sample held flat *)
+  let one = Stats.Series.create () in
+  Stats.Series.add one ~time:5. ~value:3.;
+  check_float "single sample flat tail" 6. (Stats.Series.integral one ~until:7.)
 
 let test_series_out_of_order () =
   let s = Stats.Series.create () in
@@ -354,6 +384,107 @@ let test_pqueue_peek () =
   Alcotest.(check bool) "peek keeps" true (Pqueue.peek q = Some (5., "x"));
   Alcotest.(check int) "length" 1 (Pqueue.length q)
 
+let test_pqueue_popped_values_collectible () =
+  (* space-leak regression: a popped value must not stay reachable from the
+     queue's backing array.  Finalisers on boxed payloads tell us when the GC
+     can actually reclaim them. *)
+  let q = Pqueue.create () in
+  let finalised = ref 0 in
+  let n = 64 in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    (* keep a couple of live entries to prove clearing is per-slot *)
+    Gc.finalise (fun _ -> incr finalised) v;
+    Pqueue.push q ~priority:(float_of_int i) v
+  done;
+  for _ = 1 to n - 2 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int)
+    (Printf.sprintf "popped payloads reclaimed (%d/%d)" !finalised (n - 2))
+    (n - 2) !finalised;
+  Alcotest.(check int) "live entries stay" 2 (Pqueue.length q)
+
+let test_pqueue_capacity_shrinks () =
+  let q = Pqueue.create () in
+  for i = 0 to 1023 do
+    Pqueue.push q ~priority:(float_of_int i) i
+  done;
+  let high_water = Pqueue.capacity q in
+  Alcotest.(check bool) "grew past 1024" true (high_water >= 1024);
+  for _ = 1 to 1020 do
+    ignore (Pqueue.pop q)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank after drain (%d < %d)" (Pqueue.capacity q) high_water)
+    true
+    (Pqueue.capacity q < high_water / 4);
+  (* the queue still works after shrinking *)
+  Pqueue.push q ~priority:0.5 (-1);
+  Alcotest.(check bool) "min first after shrink" true (Pqueue.pop q = Some (0.5, -1))
+
+(* --- flat pqueue --- *)
+
+let test_flat_pqueue_order_and_ties () =
+  let q = Pqueue.Flat.create ~dummy:"" () in
+  Alcotest.(check bool) "empty min is infinity" true
+    (Pqueue.Flat.min_priority q = infinity);
+  List.iter
+    (fun (p, v) -> Pqueue.Flat.push q ~priority:p v)
+    [ (3., "c"); (1., "a1"); (2., "b"); (1., "a2"); (1., "a3") ];
+  Alcotest.(check int) "length" 5 (Pqueue.Flat.length q);
+  check_float "min priority" 1. (Pqueue.Flat.min_priority q);
+  let drained = List.init 5 (fun _ -> Pqueue.Flat.pop_exn q) in
+  Alcotest.(check (list string)) "sorted, fifo on ties"
+    [ "a1"; "a2"; "a3"; "b"; "c" ] drained;
+  Alcotest.(check bool) "drained" true (Pqueue.Flat.is_empty q)
+
+let test_flat_pqueue_errors () =
+  let q = Pqueue.Flat.create ~dummy:0 () in
+  Alcotest.check_raises "NaN priority"
+    (Invalid_argument "Pqueue.Flat.push: NaN priority") (fun () ->
+      Pqueue.Flat.push q ~priority:Float.nan 1);
+  Alcotest.check_raises "pop of empty"
+    (Invalid_argument "Pqueue.Flat.pop_exn: empty") (fun () ->
+      ignore (Pqueue.Flat.pop_exn q))
+
+let test_flat_pqueue_pool_reuse () =
+  (* steady-state churn must not grow the slot pool: push/pop at a bounded
+     live count reuses the same slots *)
+  let q = Pqueue.Flat.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Pqueue.Flat.push q ~priority:(float_of_int i) i
+  done;
+  let cap = Pqueue.Flat.capacity q in
+  let t = ref 100. in
+  for _ = 1 to 10_000 do
+    let v = Pqueue.Flat.pop_exn q in
+    Alcotest.(check bool) "payload is live, not dummy" true (v >= 0);
+    Pqueue.Flat.push q ~priority:!t v;
+    t := !t +. 1.
+  done;
+  Alcotest.(check int) "capacity unchanged under churn" cap (Pqueue.Flat.capacity q);
+  Alcotest.(check int) "length preserved" 100 (Pqueue.Flat.length q)
+
+let test_flat_pqueue_popped_slots_cleared () =
+  let q = Pqueue.Flat.create ~dummy:(ref (-1)) () in
+  let finalised = ref 0 in
+  for i = 0 to 31 do
+    let v = ref i in
+    Gc.finalise (fun _ -> incr finalised) v;
+    Pqueue.Flat.push q ~priority:(float_of_int i) v
+  done;
+  for _ = 1 to 32 do
+    ignore (Pqueue.Flat.pop_exn q)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int)
+    (Printf.sprintf "popped payloads reclaimed (%d/32)" !finalised)
+    32 !finalised
+
 (* --- backoff --- *)
 
 let test_backoff_raw_schedule () =
@@ -403,6 +534,12 @@ let () =
       ( "stats",
         [ Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile total order" `Quick
+            test_stats_percentile_total_order;
+          Alcotest.test_case "percentile rejects NaN" `Quick
+            test_stats_percentile_nan_rejected;
+          Alcotest.test_case "series integral flat tail" `Quick
+            test_series_integral_flat_tail;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "series basics" `Quick test_series_basics;
           Alcotest.test_case "series partial integral" `Quick test_series_partial_integral;
@@ -437,6 +574,15 @@ let () =
       ( "pqueue",
         [ Alcotest.test_case "ordering" `Quick test_pqueue_order;
           Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
-          Alcotest.test_case "peek/length" `Quick test_pqueue_peek
+          Alcotest.test_case "peek/length" `Quick test_pqueue_peek;
+          Alcotest.test_case "popped values collectible" `Quick
+            test_pqueue_popped_values_collectible;
+          Alcotest.test_case "capacity shrinks after drain" `Quick
+            test_pqueue_capacity_shrinks;
+          Alcotest.test_case "flat: order + ties" `Quick test_flat_pqueue_order_and_ties;
+          Alcotest.test_case "flat: errors" `Quick test_flat_pqueue_errors;
+          Alcotest.test_case "flat: slot-pool reuse" `Quick test_flat_pqueue_pool_reuse;
+          Alcotest.test_case "flat: popped slots cleared" `Quick
+            test_flat_pqueue_popped_slots_cleared
         ] )
     ]
