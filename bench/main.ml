@@ -487,6 +487,11 @@ let micro () =
 
 let quick_mode = ref false
 
+(* --domains N sets the domain count for `bench scale`'s parallel-mode
+   section (clamped to the region count by the simulator).  Default 4: the
+   configuration the full-size speedup gate is specified against. *)
+let par_domains = ref 4
+
 (* --out PATH overrides the default artifact filename of whichever
    JSON-writing bench runs (perf, dist, push).  Meant for single-experiment
    invocations; with several JSON benches in one run the last write wins. *)
@@ -1020,10 +1025,14 @@ let bench_scale () =
     }
   in
   let app = Lazy.force fleet_app in
-  Gc.full_major ();
-  let t0 = Unix.gettimeofday () in
-  let gs = Js_sim.Region.run_global ~mode:`Epoch gcfg app ~seed:42 in
-  let wall = Unix.gettimeofday () -. t0 in
+  let timed_run mode g =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let gs = Js_sim.Region.run_global ~mode g app ~seed:42 in
+    (gs, Unix.gettimeofday () -. t0)
+  in
+  let gs, wall = timed_run `Epoch gcfg in
+  let epoch_digest = Js_sim.Region.global_digest gs in
   let total_servers = n_regions * servers_per_region in
   let g_eps = float_of_int gs.Js_sim.Region.g_events /. wall in
   let wall_per_hour = wall /. (duration /. 3600.) in
@@ -1037,7 +1046,41 @@ let bench_scale () =
   in
   Printf.printf "  jump-started %d/%d, spilled %d\n" jump_started total_servers
     gs.Js_sim.Region.g_spilled;
-  (* -- determinism: epoch barriers == merged queue, same seed reproduces -- *)
+  (* -- arrival batching A/B: same run with the heap round-trip restored --- *)
+  let gs_nb, wall_nb = timed_run `Epoch { gcfg with Js_sim.Region.batch = false } in
+  let nb_eps = float_of_int gs_nb.Js_sim.Region.g_events /. wall_nb in
+  let batch_neutral = Js_sim.Region.global_digest gs_nb = epoch_digest in
+  let batch_delta = (g_eps -. nb_eps) /. nb_eps *. 100. in
+  Printf.printf
+    "\narrival batching A/B: batched %.0f events/s vs unbatched %.0f events/s (%+.1f%%), \
+     digest-neutral %b\n"
+    g_eps nb_eps batch_delta batch_neutral;
+  (* -- parallel mode: same barriers on [par_domains] domains --------------- *)
+  let domains = !par_domains in
+  let host_cores = Domain.recommended_domain_count () in
+  let gs_par, wall_par = timed_run (`Parallel domains) gcfg in
+  let par_eps = float_of_int gs_par.Js_sim.Region.g_events /. wall_par in
+  let par_digest_eq = Js_sim.Region.global_digest gs_par = epoch_digest in
+  let par_speedup = wall /. wall_par in
+  (* The >= 2x wall-clock gate needs real cores to be meaningful: it is
+     enforced on the full-size run when the host offers at least [domains]
+     cores (override with JS_BENCH_PAR_GATE=force|skip); otherwise the
+     measurement is recorded but the gate reports itself as skipped.  The
+     digest-equality gates above/below are unconditional. *)
+  let par_gate_enforced =
+    match Sys.getenv_opt "JS_BENCH_PAR_GATE" with
+    | Some "force" -> true
+    | Some "skip" -> false
+    | _ -> (not quick) && host_cores >= domains
+  in
+  let crit_par_speedup = (not par_gate_enforced) || par_speedup >= 2.0 in
+  Printf.printf
+    "parallel x%d (%d host cores): %.2fs wall (%.0f events/s), speedup %.2fx vs epoch, \
+     digest == epoch: %b, speedup gate %s\n"
+    domains host_cores wall_par par_eps par_speedup par_digest_eq
+    (if par_gate_enforced then Printf.sprintf "enforced (>= 2.0x): %b" crit_par_speedup
+     else "skipped (recorded only)");
+  (* -- determinism: epoch barriers == merged queue == parallel domains ---- *)
   let small =
     { gcfg with
       Js_sim.Region.base =
@@ -1055,15 +1098,21 @@ let bench_scale () =
   let d mode seed =
     Js_sim.Region.global_digest (Js_sim.Region.run_global ~mode small app ~seed)
   in
-  let epoch_eq_merged = d `Epoch 7 = d `Merged 7 in
-  let deterministic = d `Epoch 7 = d `Epoch 7 in
+  let e7 = d `Epoch 7 in
+  let epoch_eq_merged = e7 = d `Merged 7 in
+  let epoch_eq_parallel = e7 = d (`Parallel 2) 7 in
+  let three_way = epoch_eq_merged && epoch_eq_parallel in
+  let deterministic = e7 = d `Epoch 7 in
   let crit_speedup = speedup >= if quick then 1.5 else 3.0 in
   Printf.printf
     "\ncriteria: flat sequence == closure sequence: %b | flat >= %.1fx events/s: %b |\n\
-    \          epoch digest == merged digest: %b | same-seed deterministic: %b\n"
+    \          epoch == merged == parallel digest (disaster run): %b | \
+     same-seed deterministic: %b |\n\
+    \          batching digest-neutral: %b | parallel digest == epoch (fleet run): %b | \
+     parallel speedup gate: %b\n"
     same_sequence
     (if quick then 1.5 else 3.0)
-    crit_speedup epoch_eq_merged deterministic;
+    crit_speedup three_way deterministic batch_neutral par_digest_eq crit_par_speedup;
   let b = Buffer.create 2048 in
   Printf.bprintf b "{\n";
   Printf.bprintf b "  \"schema\": \"jumpstart-bench-scale/1\",\n";
@@ -1080,14 +1129,30 @@ let bench_scale () =
     n_regions servers_per_region total_servers duration gs.Js_sim.Region.g_events g_eps wall
     wall_per_hour jump_started gs.Js_sim.Region.g_spilled;
   Printf.bprintf b
+    "  \"batching\": { \"batched_events_per_sec\": %.0f, \"unbatched_events_per_sec\": %.0f, \
+     \"events_per_sec_delta_pct\": %.2f, \"digest_neutral\": %b },\n"
+    g_eps nb_eps batch_delta batch_neutral;
+  Printf.bprintf b
+    "  \"parallel\": { \"domains\": %d, \"host_cores\": %d, \"wall_seconds\": %.3f, \
+     \"events_per_sec\": %.0f, \"speedup_vs_epoch\": %.3f, \"digest_equals_epoch\": %b, \
+     \"speedup_gate_enforced\": %b },\n"
+    domains host_cores wall_par par_eps par_speedup par_digest_eq par_gate_enforced;
+  Printf.bprintf b
     "  \"criteria\": { \"flat_sequence_matches_closure\": %b, \"flat_speedup_gate\": %b, \
-     \"epoch_digest_equals_merged\": %b, \"same_seed_deterministic\": %b }\n"
-    same_sequence crit_speedup epoch_eq_merged deterministic;
+     \"epoch_digest_equals_merged\": %b, \"epoch_digest_equals_parallel\": %b, \
+     \"same_seed_deterministic\": %b, \"batching_digest_neutral\": %b, \
+     \"parallel_fleet_digest_equals_epoch\": %b, \"parallel_speedup_gate\": %b }\n"
+    same_sequence crit_speedup epoch_eq_merged epoch_eq_parallel deterministic batch_neutral
+    par_digest_eq crit_par_speedup;
   Printf.bprintf b "}\n";
   write_artifact ~tag:"scale"
     ~default:(if quick then "BENCH_scale.quick.json" else "BENCH_scale.json")
     (Buffer.contents b);
-  if not (same_sequence && crit_speedup && epoch_eq_merged && deterministic) then begin
+  if
+    not
+      (same_sequence && crit_speedup && three_way && deterministic && batch_neutral
+     && par_digest_eq && crit_par_speedup)
+  then begin
     prerr_endline "bench scale: acceptance criteria failed";
     exit 1
   end
@@ -1112,6 +1177,13 @@ let () =
       strip_flags acc rest
     | "--out" :: path :: rest ->
       out_path := Some path;
+      strip_flags acc rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> par_domains := d
+      | _ ->
+        Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+        exit 1);
       strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest
   in

@@ -77,8 +77,39 @@ if grep -q '"sim.crashes"' /tmp/region_smoke.json; then
 fi
 rm -f /tmp/region_smoke.json
 
+# Parallel-mode disaster smoke test: the same region-loss scenario on two
+# OCaml domains must survive (zero crashes, spill + loss telemetry present)
+# and produce the exact digest of the sequential epoch-barrier run.
+dune exec bin/push_sim.exe -- --servers 12 --duration 300 --push-at 60 \
+  --regions 3 --spillover --spill-latency 15 --epoch 15 \
+  --lose-region 1 --lose-at 120 \
+  --mode parallel --domains 2 \
+  --telemetry json > /tmp/par_smoke.json
+grep -q '"sim.spill_out"' /tmp/par_smoke.json
+grep -q '"sim.region_lost"' /tmp/par_smoke.json
+if grep -q '"sim.crashes"' /tmp/par_smoke.json; then
+  echo "parallel smoke: unexpected crashes" >&2
+  exit 1
+fi
+rm -f /tmp/par_smoke.json
+epoch_digest=$(dune exec bin/push_sim.exe -- --servers 12 --duration 300 --push-at 60 \
+  --regions 3 --spillover --spill-latency 15 --epoch 15 \
+  --lose-region 1 --lose-at 120 --mode epoch --digest | grep 'global digest')
+par_digest=$(dune exec bin/push_sim.exe -- --servers 12 --duration 300 --push-at 60 \
+  --regions 3 --spillover --spill-latency 15 --epoch 15 \
+  --lose-region 1 --lose-at 120 --mode parallel --domains 2 --digest | grep 'global digest')
+if [ "$epoch_digest" != "$par_digest" ]; then
+  echo "parallel smoke: digest diverged from epoch mode" >&2
+  echo "  epoch:    $epoch_digest" >&2
+  echo "  parallel: $par_digest" >&2
+  exit 1
+fi
+
 # Quick scale bench: flat engine must reproduce the closure engine's event
-# sequence faster, and epoch-barrier multi-region runs must match merged
-# runs byte-for-byte; validates its own JSON.
+# sequence faster, epoch-barrier multi-region runs must match merged AND
+# parallel runs byte-for-byte, and arrival batching must be digest-neutral;
+# validates its own JSON and must emit the parallel section.
 dune exec bench/main.exe -- scale --quick
 test -s BENCH_scale.quick.json
+grep -q '"parallel"' BENCH_scale.quick.json
+grep -q '"batching"' BENCH_scale.quick.json

@@ -91,8 +91,8 @@ let main servers buckets seeders warm_rps concurrency queue timeout utilization 
     diurnal_period policy no_jumpstart push_at drain_cap duration bad_rate thin_rate validation
     verifier abort_window abort_threshold fetch_fail fetch_timeout fetch_latency stale_rate
     cross_region regions region_phase push_stagger spillover spill_latency spill_threshold
-    epoch mode lose_region lose_at partition_region partition_at partition_duration
-    seeder_outage seed show_digest telemetry_fmt =
+    epoch mode domains no_batch lose_region lose_at partition_region partition_at
+    partition_duration seeder_outage seed show_digest telemetry_fmt =
   let dist =
     let latency_mean =
       match fetch_latency with
@@ -181,8 +181,18 @@ let main servers buckets seeders warm_rps concurrency queue timeout utilization 
         spill_latency;
         spill_threshold;
         epoch;
-        disasters
+        disasters;
+        batch = not no_batch
       }
+    in
+    let mode =
+      match mode with
+      | `Parallel ->
+        let d =
+          match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+        in
+        `Parallel d
+      | (`Epoch | `Merged) as m -> m
     in
     let gs = Js_sim.Region.run_global ?telemetry:tel ~mode gcfg (Lazy.force app) ~seed in
     match (telemetry_fmt, tel) with
@@ -299,8 +309,25 @@ let () =
   in
   let mode =
     value
-    & opt (Arg.enum [ ("epoch", `Epoch); ("merged", `Merged) ]) `Epoch
-    & info [ "mode" ] ~docv:"MODE" ~doc:"multi-region execution: $(b,epoch) or $(b,merged)"
+    & opt (Arg.enum [ ("epoch", `Epoch); ("merged", `Merged); ("parallel", `Parallel) ]) `Epoch
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "multi-region execution: $(b,epoch) (lockstep barriers), $(b,merged) (one shared \
+           queue) or $(b,parallel) (epoch barriers, one OCaml domain per region slice; same \
+           digests)"
+  in
+  let domains =
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "domain count for $(b,--mode parallel) (clamped to the region count; default: the \
+           machine's recommended domain count)"
+  in
+  let no_batch =
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:"disable same-burst arrival batching (digest-neutral; for A/B benching)"
   in
   let lose_region =
     value & opt (some int) None
@@ -338,8 +365,8 @@ let () =
       $ drain_cap $ duration $ bad_rate $ thin_rate $ validation $ verifier $ abort_window
       $ abort_threshold $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region
       $ regions $ region_phase $ push_stagger $ spillover $ spill_latency $ spill_threshold
-      $ epoch $ mode $ lose_region $ lose_at $ partition_region $ partition_at
-      $ partition_duration $ seeder_outage $ seed $ show_digest $ telemetry_arg)
+      $ epoch $ mode $ domains $ no_batch $ lose_region $ lose_at $ partition_region
+      $ partition_at $ partition_duration $ seeder_outage $ seed $ show_digest $ telemetry_arg)
   in
   let info =
     Cmd.info "push_sim"

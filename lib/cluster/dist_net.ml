@@ -53,7 +53,12 @@ type replica = { pkg : Server.package; visible_from : float }
 type t = {
   cfg : config;
   replicas : (int * int, replica list ref) Hashtbl.t;
-  counters : counters;
+  (* One counter shard per fetcher home region.  [fetch ~region:home] only
+     touches [shards.(home)], so when the parallel simulator runs each region
+     on its own domain every shard has a single writer and the fold in
+     [counters] — pure integer addition, commutative — reconstructs the same
+     totals a sequential run accumulates. *)
+  shards : counters array;
   (* Disaster schedules, fixed before the run starts.  Reachability is a pure
      function of simulation time, never of run order, which is what keeps
      epoch-barrier and merged multi-region runs byte-identical. *)
@@ -63,28 +68,42 @@ type t = {
   mutable has_faults : bool;
 }
 
+let fresh_counters () =
+  {
+    attempts = 0;
+    failures = 0;
+    timeouts = 0;
+    stale_rejects = 0;
+    cross_region_fetches = 0;
+    deliveries = 0;
+    empty_probes = 0;
+  }
+
 let create cfg =
   if cfg.regions < 1 then invalid_arg "Dist_net.create: regions < 1";
   {
     cfg;
     replicas = Hashtbl.create 16;
-    counters =
-      {
-        attempts = 0;
-        failures = 0;
-        timeouts = 0;
-        stale_rejects = 0;
-        cross_region_fetches = 0;
-        deliveries = 0;
-        empty_probes = 0;
-      };
+    shards = Array.init cfg.regions (fun _ -> fresh_counters ());
     down_from = Array.make cfg.regions infinity;
     part_from = Array.make cfg.regions infinity;
     part_until = Array.make cfg.regions infinity;
     has_faults = false;
   }
 
-let counters t = t.counters
+let counters t =
+  let acc = fresh_counters () in
+  Array.iter
+    (fun c ->
+      acc.attempts <- acc.attempts + c.attempts;
+      acc.failures <- acc.failures + c.failures;
+      acc.timeouts <- acc.timeouts + c.timeouts;
+      acc.stale_rejects <- acc.stale_rejects + c.stale_rejects;
+      acc.cross_region_fetches <- acc.cross_region_fetches + c.cross_region_fetches;
+      acc.deliveries <- acc.deliveries + c.deliveries;
+      acc.empty_probes <- acc.empty_probes + c.empty_probes)
+    t.shards;
+  acc
 let config t = t.cfg
 
 let check_region t region name =
@@ -148,6 +167,7 @@ type outcome =
   | Not_found
 
 let fetch ?telemetry t rng ~now ~region:home ~bucket =
+  check_region t home "Dist_net.fetch";
   let all = bucket_replicas t ~region:home ~bucket in
   if not (active t.cfg || t.has_faults) then
     (* draw-identical to the historical [Rng.pick rng (Array.of_list l)] *)
@@ -160,7 +180,7 @@ let fetch ?telemetry t rng ~now ~region:home ~bucket =
       | Some s -> f s
       | None -> ()
     in
-    let c = t.counters in
+    let c = t.shards.(home) in
     let delay = ref 0. in
     let failed = ref 0 and timed_out = ref 0 and saw_package = ref false in
     let try_once ~region ~cross =

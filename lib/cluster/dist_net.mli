@@ -36,9 +36,16 @@ val default_config : config
 (** Does this config change behaviour at all vs. a direct store pick? *)
 val active : config -> bool
 
-(** Live counters, updated by {!fetch} (only when {!active}).  The ladder
+(** Fetch-ladder counters (updated only when {!active}).  The ladder
     invariant: [attempts = deliveries + failures + timeouts + stale_rejects
-    + empty_probes]. *)
+    + empty_probes].
+
+    Internally the store keeps one shard per fetcher {e home} region and
+    [fetch ~region:home] touches only that shard — the single-writer
+    discipline the parallel simulator relies on when regions run on separate
+    domains.  {!counters} folds the shards (commutative integer addition)
+    into a fresh snapshot, so totals are independent of region execution
+    order; the returned record is a snapshot, not a live view. *)
 type counters = {
   mutable attempts : int;
   mutable failures : int;
@@ -52,6 +59,8 @@ type counters = {
 type t
 
 val create : config -> t
+
+(** Snapshot of the summed per-region counter shards (see {!type-counters}). *)
 val counters : t -> counters
 val config : t -> config
 

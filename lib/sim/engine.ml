@@ -1,6 +1,7 @@
 type 'ev t = {
   mutable now : float;
   mutable dispatched : int;
+  mutable horizon : float;  (* [until] bound of the in-progress/last [run] *)
   queue : 'ev Js_util.Pqueue.Flat.t;
   telemetry : Js_telemetry.t option;
 }
@@ -9,6 +10,7 @@ let create ?telemetry ~dummy () =
   {
     now = 0.;
     dispatched = 0;
+    horizon = 0.;
     queue = Js_util.Pqueue.Flat.create ~dummy ();
     telemetry;
   }
@@ -16,6 +18,16 @@ let create ?telemetry ~dummy () =
 let now t = t.now
 let dispatched t = t.dispatched
 let pending t = Js_util.Pqueue.Flat.length t.queue
+let horizon t = t.horizon
+let next_event_at t = Js_util.Pqueue.Flat.min_priority t.queue
+
+let step_to t ~at =
+  if Float.is_nan at then invalid_arg "Engine.step_to: NaN time";
+  if at > t.now then t.now <- at;
+  (match t.telemetry with
+  | Some tel -> Js_telemetry.Clock.set (Js_telemetry.clock tel) t.now
+  | None -> ());
+  t.dispatched <- t.dispatched + 1
 
 let schedule t ~at ev =
   if Float.is_nan at then invalid_arg "Engine.schedule: NaN time";
@@ -27,6 +39,7 @@ let schedule t ~at ev =
 let after t ~delay ev = schedule t ~at:(t.now +. Float.max 0. delay) ev
 
 let run t ~until ~dispatch =
+  t.horizon <- until;
   let q = t.queue in
   (match t.telemetry with
   | None ->

@@ -32,6 +32,24 @@ val dispatched : 'ev t -> int
 (** Events still queued. *)
 val pending : 'ev t -> int
 
+(** The [until] bound of the in-progress (or most recent) {!run} call; [0.]
+    before the first run.  Lets a dispatch handler ask how far the current
+    drain is allowed to advance — the guard the arrival-batching fast path
+    uses to avoid stepping past an epoch barrier. *)
+val horizon : 'ev t -> float
+
+(** Timestamp of the earliest queued event, or [infinity] when the queue is
+    empty.  O(1). *)
+val next_event_at : 'ev t -> float
+
+(** [step_to t ~at] advances the clock to [max (now t) at], syncs the
+    attached telemetry clock, and counts one dispatched event — the
+    bookkeeping {!run} performs per pop, exposed so a handler that consumes
+    a logical event {e inline} (without a queue round-trip) keeps
+    [dispatched] and the clock byte-identical to the unbatched schedule.
+    @raise Invalid_argument on NaN. *)
+val step_to : 'ev t -> at:float -> unit
+
 (** [schedule t ~at ev] queues [ev] at absolute time [at] (clamped to
     [now t]: the clock never goes backwards).  @raise Invalid_argument on
     NaN. *)

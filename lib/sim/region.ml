@@ -60,6 +60,7 @@ type global_config = {
   spill_threshold : float;
   epoch : float;
   disasters : disaster list;
+  batch : bool;
 }
 
 let default_global_config =
@@ -73,6 +74,7 @@ let default_global_config =
     spill_threshold = 0.5;
     epoch = 30.;
     disasters = [];
+    batch = true;
   }
 
 type stats = {
@@ -111,7 +113,7 @@ type stats = {
 }
 
 type global_stats = {
-  g_mode : string;  (** "epoch" or "merged"; excluded from {!global_digest} *)
+  g_mode : string;  (** "epoch", "merged" or "parallel"; excluded from {!global_digest} *)
   g_regions : stats array;
   g_latency : Stats.Quantile.t;
   g_latency_push : Stats.Quantile.t;
@@ -192,6 +194,15 @@ type region = {
   r_latency_push : Stats.Quantile.t;
   r_capacity_series : Stats.Series.t;
   r_served_series : Stats.Series.t;
+  (* This region's telemetry sink.  In epoch/merged mode every region shares
+     the caller's registry; in parallel mode each region owns a private shard
+     (with its own clock — no cross-domain clock pushes) that is merged into
+     the caller's registry after the run. *)
+  r_tel : Js_telemetry.t option;
+  (* Per-destination spill mailboxes, used only in parallel mode: a domain
+     never touches a foreign engine mid-epoch; it posts (at, ev) here and the
+     barrier phase drains every (src, dst) pair in index order. *)
+  outbox : (float * ev) Js_util.Par.Mailbox.t array;
 }
 
 type g = {
@@ -200,17 +211,17 @@ type g = {
   app : Workload.Macro_app.t;
   net : Dist_net.t;  (* shared across regions *)
   curves : Warmup_curve.cache;  (* shared: same app, same packages *)
-  telemetry : Js_telemetry.t option;
   base_service : float;  (* concurrency / warm_rps: warm mean service time *)
   demand_mu : float;
   demand_sigma : float;
   fleet_warm : float;  (* per region *)
   loss_at : float array;  (* Region_loss schedule; infinity = never *)
+  par : bool;  (* parallel mode: spills go via mailboxes, telemetry is sharded *)
   regions : region array;
   mutable seeding : Fleet.seeding option;
 }
 
-let tel g f = match g.telemetry with Some t -> f t | None -> ()
+let tel reg f = match reg.r_tel with Some t -> f t | None -> ()
 
 let validate cfg =
   if cfg.warm_rps <= 0. then invalid_arg "Push: warm_rps must be positive";
@@ -331,7 +342,7 @@ let complete g reg srv ~arrived =
     let arrived = Queue.pop srv.waiting in
     if arrived +. g.cfg.request_timeout < now then begin
       reg.r_shed_timeout <- reg.r_shed_timeout + 1;
-      tel g (fun t -> Js_telemetry.incr t "sim.shed_timeout")
+      tel reg (fun t -> Js_telemetry.incr t "sim.shed_timeout")
     end
     else begin
       start_service g reg srv ~arrived;
@@ -345,7 +356,7 @@ let offer g reg srv ~arrived =
     Queue.push arrived srv.waiting
   else begin
     reg.r_shed_queue_full <- reg.r_shed_queue_full + 1;
-    tel g (fun t -> Js_telemetry.incr t "sim.shed_queue_full")
+    tel reg (fun t -> Js_telemetry.incr t "sim.shed_queue_full")
   end
 
 (* Boot-role selection mirrors Cluster.Fleet.boot_member's §VI-A ladder:
@@ -358,7 +369,7 @@ let choose_role g reg srv ~now =
   else if (not fc.Fleet.fallback_enabled) || srv.attempts < fc.Fleet.max_boot_attempts
   then begin
     match
-      Dist_net.fetch ?telemetry:g.telemetry g.net reg.rng_net ~now ~region:reg.rix
+      Dist_net.fetch ?telemetry:reg.r_tel g.net reg.rng_net ~now ~region:reg.rix
         ~bucket:srv.bucket
     with
     | Dist_net.Delivered (pkg, d) -> (Server.Consumer pkg, d, false)
@@ -376,7 +387,7 @@ let restart g reg srv ~push =
   let dropped = Queue.length srv.waiting + srv.outstanding in
   if dropped > 0 then begin
     reg.r_shed_drain <- reg.r_shed_drain + dropped;
-    tel g (fun t -> Js_telemetry.incr t ~by:dropped "sim.shed_drain")
+    tel reg (fun t -> Js_telemetry.incr t ~by:dropped "sim.shed_drain")
   end;
   Queue.clear srv.waiting;
   srv.outstanding <- 0;
@@ -392,7 +403,7 @@ let restart g reg srv ~push =
     if srv.attempts > 0 || no_packages || fetch_failed then begin
       reg.r_fallbacks <- reg.r_fallbacks + 1;
       reg.r_bucket_fallbacks.(srv.bucket) <- reg.r_bucket_fallbacks.(srv.bucket) + 1;
-      tel g (fun t ->
+      tel reg (fun t ->
           let reason =
             if no_packages then "no profile package available"
             else if fetch_failed then
@@ -408,13 +419,13 @@ let restart g reg srv ~push =
       reg.r_jump_started <- reg.r_jump_started + 1;
       reg.r_bucket_jump_started.(srv.bucket) <-
         reg.r_bucket_jump_started.(srv.bucket) + 1;
-      tel g (fun t -> Js_telemetry.incr t "sim.jump_started")
+      tel reg (fun t -> Js_telemetry.incr t "sim.jump_started")
     end);
   srv.curve <- Warmup_curve.get g.curves role;
   srv.scale <- Float.max 1e-9 (Warmup_curve.peak_rps srv.curve) /. g.cfg.warm_rps;
   srv.served <- 0;
   let boot = Warmup_curve.boot_seconds srv.curve +. fetch_delay in
-  tel g (fun t -> Js_telemetry.add_span t (source ^ ".boot") ~start:now ~dur:boot);
+  tel reg (fun t -> Js_telemetry.add_span t (source ^ ".boot") ~start:now ~dur:boot);
   Engine.after reg.eng ~delay:boot
     (Ev_boot { r = reg.rix; six = srv.six; gen = srv.gen; push });
   (* a bad package crashes shortly after the server starts serving *)
@@ -443,7 +454,7 @@ let crash g reg srv =
   reg.r_crashes <- reg.r_crashes + 1;
   reg.crash_times <-
     now :: List.filter (fun t -> t >= now -. g.cfg.abort_window) reg.crash_times;
-  tel g (fun t ->
+  tel reg (fun t ->
       Js_telemetry.incr t "sim.crashes";
       Js_telemetry.record t
         (Js_telemetry.Server_crashed
@@ -460,7 +471,7 @@ let crash g reg srv =
   then begin
     reg.r_aborted <- true;
     reg.pending_restarts <- [];
-    tel g (fun t ->
+    tel reg (fun t ->
         Js_telemetry.record t
           (Js_telemetry.Mark { name = "sim.push_aborted"; detail = "crash spike" }))
   end;
@@ -471,7 +482,7 @@ let start_push g reg =
   if reg.up then begin
     let now = Engine.now reg.eng in
     reg.r_push_started <- now;
-    tel g (fun t ->
+    tel reg (fun t ->
         Js_telemetry.record t
           (Js_telemetry.Mark { name = "sim.push_started"; detail = "rolling restart" }));
     (* Region 0 is the seeder region: the global push train starts there, so
@@ -500,9 +511,9 @@ let schedule_arrival g reg ~after =
   let at = Arrival.next reg.arrival ~after in
   if at <= g.cfg.duration then Engine.schedule reg.eng ~at (Ev_arrival reg.rix)
 
-let shed_no_server g reg =
+let shed_no_server _g reg =
   reg.r_shed_no_server <- reg.r_shed_no_server + 1;
-  tel g (fun t -> Js_telemetry.incr t "sim.shed_no_server")
+  tel reg (fun t -> Js_telemetry.incr t "sim.shed_no_server")
 
 let route_local g reg ~arrived =
   match
@@ -530,13 +541,27 @@ let try_spill g reg ~now ~arrived =
     | Some (q, cursor) ->
       reg.spill_cursor <- cursor;
       reg.r_spilled_out <- reg.r_spilled_out + 1;
-      tel g (fun t -> Js_telemetry.incr t "sim.spill_out");
-      Engine.schedule g.regions.(q).eng
-        ~at:(now +. g.gcfg.spill_latency)
-        (Ev_spill { r = q; arrived });
+      tel reg (fun t -> Js_telemetry.incr t "sim.spill_out");
+      let at = now +. g.gcfg.spill_latency in
+      (* In parallel mode a domain must not push into a foreign engine's
+         queue mid-epoch; the spill goes into this region's per-destination
+         mailbox and the barrier phase delivers it.  [spill_latency >= epoch]
+         guarantees [at] lies beyond the current barrier, so delivery at the
+         barrier is never late. *)
+      if g.par then Js_util.Par.Mailbox.post reg.outbox.(q) (at, Ev_spill { r = q; arrived })
+      else Engine.schedule g.regions.(q).eng ~at (Ev_spill { r = q; arrived });
       true
 
-let arrival_ev g reg =
+(* One arrival at the engine's current time, then schedule — or inline — the
+   next one.  Batching fast path: when the next pre-drawn arrival is still
+   inside the current run's horizon and strictly earlier than every queued
+   event, pushing it through the heap is pure overhead — it would pop
+   immediately.  [Engine.step_to] performs the same clock/dispatch
+   bookkeeping the pop would have, and [reg.events] is bumped exactly as
+   {!dispatch} would, so digests are byte-identical batched or not.  The
+   strict [<] keeps FIFO tie semantics: an equal-time queued event still pops
+   first, as it was inserted first. *)
+let rec arrival_ev g reg =
   let now = Engine.now reg.eng in
   reg.r_arrived <- reg.r_arrived + 1;
   (if reg.acc_len = 0 then begin
@@ -555,11 +580,23 @@ let arrival_ev g reg =
      then ()
      else route_local g reg ~arrived:now
    end);
-  schedule_arrival g reg ~after:now
+  let at = Arrival.next reg.arrival ~after:now in
+  if at <= g.cfg.duration then begin
+    if
+      g.gcfg.batch
+      && at <= Engine.horizon reg.eng
+      && at < Engine.next_event_at reg.eng
+    then begin
+      Engine.step_to reg.eng ~at;
+      reg.events <- reg.events + 1;
+      arrival_ev g reg
+    end
+    else Engine.schedule reg.eng ~at (Ev_arrival reg.rix)
+  end
 
 let spill_ev g reg ~arrived =
   reg.r_spilled_in <- reg.r_spilled_in + 1;
-  tel g (fun t -> Js_telemetry.incr t "sim.spill_in");
+  tel reg (fun t -> Js_telemetry.incr t "sim.spill_in");
   if reg.acc_len = 0 then shed_no_server g reg else route_local g reg ~arrived
 
 let tick_ev g reg =
@@ -582,7 +619,7 @@ let tick_ev g reg =
     && !cap >= 0.95 *. g.fleet_warm
   then begin
     reg.ttfc <- now -. reg.r_push_started;
-    tel g (fun t -> Js_telemetry.set_gauge t "sim.time_to_full_capacity" reg.ttfc)
+    tel reg (fun t -> Js_telemetry.set_gauge t "sim.time_to_full_capacity" reg.ttfc)
   end;
   if now +. g.cfg.tick <= g.cfg.duration then
     Engine.schedule reg.eng ~at:(now +. g.cfg.tick) (Ev_tick reg.rix)
@@ -591,10 +628,10 @@ let tick_ev g reg =
    all in-flight completion/boot/crash events (so a lost region records zero
    crashes), queued work counts as drained, and the remaining push batch is
    cancelled.  Offered load keeps arriving and spills cross-region. *)
-let loss_ev g reg =
+let loss_ev _g reg =
   if reg.up then begin
     reg.up <- false;
-    tel g (fun t ->
+    tel reg (fun t ->
         Js_telemetry.record t
           (Js_telemetry.Mark
              { name = "sim.region_lost"; detail = Printf.sprintf "region %d" reg.rix }));
@@ -609,7 +646,7 @@ let loss_ev g reg =
       reg.servers;
     if !dropped > 0 then begin
       reg.r_shed_drain <- reg.r_shed_drain + !dropped;
-      tel g (fun t -> Js_telemetry.incr t ~by:!dropped "sim.shed_drain")
+      tel reg (fun t -> Js_telemetry.incr t ~by:!dropped "sim.shed_drain")
     end;
     reg.pending_restarts <- [];
     reg.restarts_in_flight <- 0
@@ -706,6 +743,21 @@ let stats_of_region g reg : stats =
        else None);
   }
 
+(* After the epoch that ran region 0's push, every package a consumer can
+   ever fetch has been published; touching each one's curve here — on the
+   barrier thread, before any parallel epoch resumes — makes the memo cache
+   a cache-hit-only (hence read-only) structure for the rest of the run. *)
+let prewarm_curves g =
+  match g.seeding with
+  | None -> ()
+  | Some s ->
+    Array.iter
+      (fun pkgs ->
+        List.iter
+          (fun pkg -> ignore (Warmup_curve.get g.curves (Server.Consumer pkg)))
+          pkgs)
+      s.Fleet.per_bucket
+
 let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
   validate_global gcfg;
   let cfg = gcfg.base in
@@ -735,10 +787,11 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
       | Seeder_outage { at } -> Dist_net.set_region_down net ~region:0 ~from_:at)
     gcfg.disasters;
   let root = R.create seed in
+  let par = match mode with `Parallel _ -> true | `Epoch | `Merged -> false in
   let merged_eng =
     match mode with
     | `Merged -> Some (Engine.create ?telemetry ~dummy:Ev_none ())
-    | `Epoch -> None
+    | `Epoch | `Parallel _ -> None
   in
   let curves = Warmup_curve.create_cache ~horizon:cfg.curve_horizon fc.Fleet.server app in
   let demand_mu, demand_sigma = demand_params app in
@@ -746,10 +799,20 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
   let warm_scale = Float.max 1e-9 (Warmup_curve.peak_rps warm_curve) /. cfg.warm_rps in
   let regions =
     Array.init n_regions (fun rix ->
+        (* Parallel mode gives each region a private telemetry shard with its
+           own clock: no two domains ever push the same registry (or the same
+           clock) concurrently.  Shards merge into the caller's registry
+           after the run.  Sequential modes share the caller's registry
+           directly, as before. *)
+        let r_tel =
+          match telemetry with
+          | Some _ when par -> Some (Js_telemetry.create ())
+          | t -> t
+        in
         let eng =
           match merged_eng with
           | Some e -> e
-          | None -> Engine.create ?telemetry ~dummy:Ev_none ()
+          | None -> Engine.create ?telemetry:r_tel ~dummy:Ev_none ()
         in
         let rng_route = R.split root in
         let rng_service = R.split root in
@@ -819,6 +882,8 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
           r_latency_push = Stats.Quantile.create ();
           r_capacity_series = Stats.Series.create ();
           r_served_series = Stats.Series.create ();
+          r_tel;
+          outbox = Array.init n_regions (fun _ -> Js_util.Par.Mailbox.create ());
         })
   in
   let g =
@@ -828,12 +893,12 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
       app;
       net;
       curves;
-      telemetry;
       base_service = float_of_int cfg.concurrency /. cfg.warm_rps;
       demand_mu;
       demand_sigma;
       fleet_warm = float_of_int n_servers *. cfg.warm_rps;
       loss_at;
+      par;
       regions;
       seeding = None;
     }
@@ -870,7 +935,68 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
       Array.iter (fun reg -> Engine.run reg.eng ~until:b ~dispatch:dispatch_ev) regions;
       incr epochs;
       if b >= cfg.duration then continue := false else incr k
+    done
+  | `Parallel domains ->
+    (* Same barriers as [`Epoch], but between barriers the regions advance on
+       [domains] concurrent domains (round-robin assignment: domain d owns
+       regions d, d+domains, ...).  Three rules keep the digest byte-identical
+       to the sequential modes:
+       - the epoch in which region 0's push fires runs sequentially — seeding
+         writes shared state (the replica store, [g.seeding]) and
+         [prewarm_curves] then freezes the curve cache, so all of it is
+         read-only for every later epoch;
+       - spills cross domains through per-(src, dst) mailboxes drained at the
+         barrier in index order; [spill_latency >= epoch] (validated) puts
+         every spill beyond the next barrier, so barrier delivery is never
+         late, and spill timestamps are continuous draws, so cross-mode
+         insertion-order differences are tie-breaks on measure-zero events;
+       - everything else a handler writes is region-partitioned (engine,
+         RNG streams, stats, telemetry shard, dist-net counter shard) and
+         the fork/join edges publish those writes between rounds. *)
+    let domains = max 1 (min domains n_regions) in
+    let k = ref 1 in
+    let continue = ref true in
+    while !continue do
+      let lo = float_of_int (!k - 1) *. gcfg.epoch in
+      let b = Float.min (float_of_int !k *. gcfg.epoch) cfg.duration in
+      let push_epoch = cfg.push_at <= b && (cfg.push_at > lo || !k = 1) in
+      if push_epoch then begin
+        Array.iter (fun reg -> Engine.run reg.eng ~until:b ~dispatch:dispatch_ev) regions;
+        prewarm_curves g
+      end
+      else
+        Js_util.Par.fork_join ~domains (fun d ->
+            let i = ref d in
+            while !i < n_regions do
+              Engine.run regions.(!i).eng ~until:b ~dispatch:dispatch_ev;
+              i := !i + domains
+            done);
+      (* Barrier phase: deliver cross-region spills posted during this epoch,
+         (src, dst) pairs in index order — a deterministic insertion order. *)
+      Array.iter
+        (fun src ->
+          Array.iteri
+            (fun q mb ->
+              List.iter
+                (fun (at, ev) -> Engine.schedule regions.(q).eng ~at ev)
+                (Js_util.Par.Mailbox.drain mb))
+            src.outbox)
+        regions;
+      incr epochs;
+      if b >= cfg.duration then continue := false else incr k
     done);
+  (* Parallel telemetry shards fold into the caller's registry in region
+     order: counters and histograms commutatively, so totals match a shared
+     single-registry run counter-for-counter. *)
+  (match telemetry with
+  | Some t when par ->
+    Array.iter
+      (fun reg ->
+        match reg.r_tel with
+        | Some shard -> Js_telemetry.merge ~into:t shard
+        | None -> ())
+      regions
+  | _ -> ());
   (match telemetry with
   | Some t ->
     let arrived = Array.fold_left (fun a reg -> a + reg.r_arrived) 0 regions in
@@ -888,7 +1014,11 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
       Stats.Quantile.merge g_latency_push reg.r_latency_push)
     regions;
   {
-    g_mode = (match mode with `Merged -> "merged" | `Epoch -> "epoch");
+    g_mode =
+      (match mode with
+      | `Merged -> "merged"
+      | `Epoch -> "epoch"
+      | `Parallel _ -> "parallel");
     g_regions = Array.map (stats_of_region g) regions;
     g_latency;
     g_latency_push;

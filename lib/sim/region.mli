@@ -11,19 +11,39 @@
     {b Execution modes.}  [`Merged] runs every region on one shared engine —
     a plain single event queue, trivially correct.  [`Epoch] gives each
     region its own {!Engine} and advances them in lockstep to barriers
-    [k * epoch] (regions in index order within an epoch).  Both produce
+    [k * epoch] (regions in index order within an epoch).
+    [`Parallel domains] keeps the same barriers but advances the regions
+    between them on [domains] concurrent OCaml domains (round-robin region
+    assignment, clamped to [\[1, n_regions\]]).  All three produce
     byte-identical {!global_digest}s for the same seed because:
     {ul
     {- every event belongs to exactly one region, and a region's events are
-       dispatched in the same (time, insertion) order in both modes — the
+       dispatched in the same (time, insertion) order in every mode — the
        merged queue's per-region projection {e is} the regional queue;}
     {- cross-region interactions go through state that is either commutative
-       (shared {!Cluster.Dist_net} counters), time-gated (replica visibility,
-       disaster windows — pure functions of the simulated clock), or carried
-       by spill events whose latency is validated [>= epoch], so they land
-       strictly after the next barrier;}
-    {- seeding happens in region 0's push event, which both modes order
-       before every logically-later fetch.}}
+       (shared {!Cluster.Dist_net} counters, sharded per fetcher region),
+       time-gated (replica visibility, disaster windows — pure functions of
+       the simulated clock), or carried by spill events whose latency is
+       validated [>= epoch], so they land strictly after the next barrier
+       (in parallel mode they travel via per-(src, dst) mailboxes drained at
+       the barrier in index order — fork/join edges are the only
+       synchronization);}
+    {- seeding happens in region 0's push event, which every mode orders
+       before every logically-later fetch ([`Parallel] runs the push's whole
+       epoch sequentially and pre-warms the shared warmup-curve cache at
+       that barrier, after which shared state is read-only).}}
+
+    In parallel mode each region also gets a private telemetry shard (own
+    clock — no cross-domain clock writes) merged into the caller's registry
+    after the run: counters and histograms fold commutatively, so they match
+    a sequential shared-registry run counter-for-counter.
+
+    {b Arrival batching.}  When [batch] is on (the default), a same-tick
+    burst of pre-drawn arrivals is coalesced: an arrival whose successor is
+    inside the current run horizon and strictly earlier than every queued
+    event dispatches it inline instead of round-tripping the heap
+    ({!Engine.step_to} keeps clock/dispatch accounting identical), which
+    preserves the (time, insertion) order — and therefore digests — exactly.
 
     {b Spillover.}  When a region has no accepting servers — or its accepting
     fraction drops below [spill_threshold] — the marginal share of its
@@ -81,11 +101,13 @@ type global_config = {
   spill_latency : float;  (** cross-region forwarding latency; >= [epoch] *)
   spill_threshold : float;
       (** accepting fraction below which marginal arrivals spill, in (0,1] *)
-  epoch : float;  (** barrier interval for [`Epoch] mode, seconds *)
+  epoch : float;  (** barrier interval for [`Epoch]/[`Parallel] modes, s *)
   disasters : disaster list;
+  batch : bool;  (** coalesce same-burst arrivals (digest-neutral); on by default *)
 }
 
-(** 1 region, no spillover, 30 s epochs, 60 s spill latency, no disasters. *)
+(** 1 region, no spillover, 30 s epochs, 60 s spill latency, no disasters,
+    batching on. *)
 val default_global_config : global_config
 
 (** Per-region results — the historical [Push.stats] plus [region],
@@ -128,7 +150,8 @@ type stats = {
 }
 
 type global_stats = {
-  g_mode : string;  (** "epoch" or "merged"; excluded from {!global_digest} *)
+  g_mode : string;
+      (** "epoch", "merged" or "parallel"; excluded from {!global_digest} *)
   g_regions : stats array;
   g_latency : Js_util.Stats.Quantile.t;  (** all regions merged *)
   g_latency_push : Js_util.Stats.Quantile.t;
@@ -139,14 +162,16 @@ type global_stats = {
 }
 
 (** [run_global ?telemetry ?mode gcfg app ~seed] — deterministic: same
-    inputs produce identical {!global_digest}s, and [`Epoch] vs [`Merged]
-    (the default) produce identical digests too (see above).  With
-    [n_regions > 1] the dist-net config is widened to cover every region
-    with [cross_region] forced on.  @raise Invalid_argument on invalid
-    configs, including [spillover] with [spill_latency < epoch]. *)
+    inputs produce identical {!global_digest}s across [`Epoch] (the
+    default), [`Merged] and [`Parallel domains] (see above; the domain count
+    is clamped to [\[1, n_regions\]], so [`Parallel 1] is an exact
+    sequential replay of the barrier schedule).  With [n_regions > 1] the
+    dist-net config is widened to cover every region with [cross_region]
+    forced on.  @raise Invalid_argument on invalid configs, including
+    [spillover] with [spill_latency < epoch]. *)
 val run_global :
   ?telemetry:Js_telemetry.t ->
-  ?mode:[ `Epoch | `Merged ] ->
+  ?mode:[ `Epoch | `Merged | `Parallel of int ] ->
   global_config ->
   Workload.Macro_app.t ->
   seed:int ->

@@ -104,7 +104,7 @@ let histograms t = sorted_bindings t.hst view
 
 (* --- events --- *)
 
-let record t ev =
+let record_at t at ev =
   let cap = Array.length t.ring in
   if t.ring_len = cap then begin
     (* full: evict the oldest *)
@@ -112,14 +112,45 @@ let record t ev =
     t.ring_len <- t.ring_len - 1;
     t.dropped <- t.dropped + 1
   end;
-  t.ring.((t.ring_start + t.ring_len) mod cap) <- (now t, ev);
+  t.ring.((t.ring_start + t.ring_len) mod cap) <- (at, ev);
   t.ring_len <- t.ring_len + 1
+
+let record t ev = record_at t (now t) ev
 
 let events t =
   let cap = Array.length t.ring in
   List.init t.ring_len (fun i -> t.ring.((t.ring_start + i) mod cap))
 
 let dropped_events t = t.dropped
+
+(* --- merge (per-domain shard reconciliation) --- *)
+
+let merge ~into src =
+  if into == src then invalid_arg "Js_telemetry.merge: registry merged into itself";
+  (* Counters add and histograms fold bucket-wise — both commutative, so the
+     totals are independent of shard iteration order.  Gauges overwrite (the
+     caller picks a deterministic shard order to make last-writer-wins
+     meaningful), events append with their original timestamps. *)
+  List.iter (fun (name, v) -> incr ~by:v into name) (counters src);
+  List.iter (fun (name, v) -> set_gauge into name v) (gauges src);
+  Hashtbl.iter
+    (fun name src_h ->
+      match Hashtbl.find_opt into.hst name with
+      | Some dst_h -> Js_util.Stats.Histogram.merge ~into:dst_h.h src_h.h
+      | None ->
+        let buckets = Array.length (Js_util.Stats.Histogram.bucket_counts src_h.h) in
+        let fresh =
+          { h_lo = src_h.h_lo;
+            h_hi = src_h.h_hi;
+            h = Js_util.Stats.Histogram.create ~lo:src_h.h_lo ~hi:src_h.h_hi ~buckets
+          }
+        in
+        Js_util.Stats.Histogram.merge ~into:fresh.h src_h.h;
+        Hashtbl.add into.hst name fresh)
+    src.hst;
+  List.iter (fun (at, ev) -> record_at into at ev) (events src);
+  into.dropped <- into.dropped + src.dropped;
+  Clock.set into.clk (now src)
 
 (* --- spans --- *)
 

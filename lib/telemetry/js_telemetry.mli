@@ -119,6 +119,19 @@ val events : t -> (float * event) list
 (** Events evicted from the ring buffer so far. *)
 val dropped_events : t -> int
 
+(** [merge ~into src] folds the shard [src] into [into], leaving [src]
+    unchanged: counters add, histograms fold bucket-wise (same-name
+    histograms must share bucketing — @raise Invalid_argument otherwise),
+    gauges overwrite [into]'s values, buffered events append with their
+    original timestamps (subject to [into]'s ring capacity; [src]'s dropped
+    count carries over), and [into]'s clock advances to [max] of the two.
+    Counter and histogram totals are commutative, so merging per-domain
+    shards in any order reproduces exactly what a single shared registry
+    would have counted; gauge values and event ordering follow the caller's
+    merge order — merge shards in region-index order for deterministic
+    output.  @raise Invalid_argument if [into == src]. *)
+val merge : into:t -> t -> unit
+
 (** Aggregated {!Fallback} reasons (reason, occurrences), sorted by reason —
     the "why did servers fall back" rollup the §VI ablations print. *)
 val fallback_reasons : t -> (string * int) list

@@ -10,8 +10,25 @@ type t
 (** [create seed] returns a fresh generator seeded with [seed]. *)
 val create : int -> t
 
-(** [split t] derives a new, statistically independent generator.  The parent
-    generator advances, so successive splits differ. *)
+(** [split t] derives a new, statistically independent generator.
+
+    The split-stream contract the simulators build their per-region /
+    per-server stream layouts on:
+    {ul
+    {- {b draw-compatibility}: a split costs the parent {e exactly one}
+       {!bits64} draw — after [split t], the parent's stream continues
+       exactly as if one value had been drawn and discarded.  Stream layouts
+       can therefore mix splits and draws freely: the position of every
+       later draw is a pure function of how many draws-or-splits preceded
+       it, never of which they were;}
+    {- {b independence}: the child stream is seeded by remixing the parent
+       draw, so children taken at different positions (and the parent's own
+       continuation) are pairwise independent streams for simulation
+       purposes — overlaps are as likely as SplitMix64 collisions;}
+    {- {b reproducibility}: splitting is deterministic — the same parent
+       state yields the same child stream, so a layout that hands each
+       subsystem a split at a fixed position is reproducible from the root
+       seed alone.}} *)
 val split : t -> t
 
 (** [copy t] duplicates the current state (both copies then evolve

@@ -219,6 +219,13 @@ module Histogram = struct
   let count t = t.total
   let bucket_counts t = Array.copy t.counts
 
+  let merge ~into src =
+    if into.lo <> src.lo || into.hi <> src.hi
+       || Array.length into.counts <> Array.length src.counts
+    then invalid_arg "Histogram.merge: shape mismatch";
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.total <- into.total + src.total
+
   let quantile t q =
     if t.total = 0 then invalid_arg "Histogram.quantile: empty";
     if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q out of range";

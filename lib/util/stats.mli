@@ -97,6 +97,12 @@ module Histogram : sig
   val count : t -> int
   val bucket_counts : t -> int array
 
+  (** [merge ~into src] folds [src]'s bucket counts into [into] — the
+      commutative shard fold used when per-domain telemetry registries are
+      reconciled at a barrier.  Both histograms must share [lo]/[hi] and the
+      bucket count.  @raise Invalid_argument on a shape mismatch. *)
+  val merge : into:t -> t -> unit
+
   (** Approximate quantile from bucket midpoints. *)
   val quantile : t -> float -> float
 end

@@ -49,6 +49,59 @@ let prop_rng_deterministic =
       let a = Js_util.Rng.create seed and b = Js_util.Rng.create seed in
       List.init 20 (fun _ -> Js_util.Rng.bits64 a) = List.init 20 (fun _ -> Js_util.Rng.bits64 b))
 
+let prop_rng_split_draw_compatible =
+  (* the split-stream contract the simulators lean on: [split] costs the
+     parent exactly one [bits64] draw — no more, no less — so a layout that
+     splits child streams up front consumes the parent stream at exactly the
+     positions a sequential draw layout would, and inserting or removing a
+     split shifts later draws by exactly one *)
+  QCheck.Test.make ~name:"rng split costs exactly one parent draw" ~count:200
+    QCheck.(pair small_nat (int_range 0 10))
+    (fun (seed, skip) ->
+      let a = Js_util.Rng.create seed and b = Js_util.Rng.create seed in
+      for _ = 1 to skip do
+        ignore (Js_util.Rng.bits64 a);
+        ignore (Js_util.Rng.bits64 b)
+      done;
+      let _child = Js_util.Rng.split a in
+      ignore (Js_util.Rng.bits64 b);
+      (* after the split, parent streams coincide draw-for-draw *)
+      List.init 16 (fun _ -> Js_util.Rng.bits64 a)
+      = List.init 16 (fun _ -> Js_util.Rng.bits64 b))
+
+let prop_rng_split_independent_streams =
+  (* children derived at different split positions are pairwise distinct
+     streams, and all are distinct from the parent's continuation — the
+     independence the per-region/per-server stream assignment relies on *)
+  QCheck.Test.make ~name:"rng split streams pairwise distinct" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let parent = Js_util.Rng.create seed in
+      let children = List.init 4 (fun _ -> Js_util.Rng.split parent) in
+      let prefix rng = List.init 8 (fun _ -> Js_util.Rng.bits64 rng) in
+      let streams = prefix parent :: List.map prefix children in
+      (* all 5 prefixes mutually distinct *)
+      let rec all_distinct = function
+        | [] -> true
+        | s :: rest -> (not (List.mem s rest)) && all_distinct rest
+      in
+      all_distinct streams)
+
+let prop_rng_split_reproducible =
+  (* splitting is itself deterministic: the same seed and split position
+     yields an identical child stream (copy taken before the split replays
+     both parent and child) *)
+  QCheck.Test.make ~name:"rng split reproducible from copy" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let a = Js_util.Rng.create seed in
+      let b = Js_util.Rng.copy a in
+      let ca = Js_util.Rng.split a and cb = Js_util.Rng.split b in
+      List.init 8 (fun _ -> Js_util.Rng.bits64 ca)
+      = List.init 8 (fun _ -> Js_util.Rng.bits64 cb)
+      && List.init 8 (fun _ -> Js_util.Rng.bits64 a)
+         = List.init 8 (fun _ -> Js_util.Rng.bits64 b))
+
 (* --- pqueue sorts --- *)
 
 let prop_pqueue_sorts =
@@ -453,34 +506,59 @@ let prop_push_sim_dist_ladder =
           + c.Cluster.Dist_net.timeouts + c.Cluster.Dist_net.stale_rejects
           + c.Cluster.Dist_net.empty_probes)
 
+let region_prop_gcfg ~seed ~n_regions =
+  { Js_sim.Region.default_global_config with
+    Js_sim.Region.base =
+      des_push_cfg ~fail10:(seed mod 3) ~stale10:0 ~cross:true
+        ~policy:Js_sim.Balancer.Warmup_weighted ~jumpstart:true;
+    n_regions;
+    region_phase = 120.;
+    push_stagger = 25.;
+    spillover = true;
+    spill_latency = 15.;
+    epoch = 15.;
+    disasters =
+      (if seed mod 2 = 0 then
+         [ Js_sim.Region.Region_loss { region = n_regions - 1; at = 90. } ]
+       else [])
+  }
+
 let prop_epoch_barrier_equals_merged =
-  (* the tentpole invariant of the multi-region engine: a run advanced
-     per-region to epoch barriers is byte-identical to the same run on one
-     merged event queue *)
-  QCheck.Test.make ~name:"epoch-barrier run == merged run (global digest)" ~count:3
+  (* the tentpole invariant of the multi-region engine, now three-way: a run
+     advanced per-region to epoch barriers is byte-identical to the same run
+     on one merged event queue AND to the same barrier schedule executed on
+     two concurrent domains; arrival batching is digest-neutral on top *)
+  QCheck.Test.make
+    ~name:"epoch == merged == parallel run (global digest), batching neutral" ~count:3
     QCheck.(pair small_nat (int_range 2 3))
     (fun (seed, n_regions) ->
-      let gcfg =
-        { Js_sim.Region.default_global_config with
-          Js_sim.Region.base =
-            des_push_cfg ~fail10:(seed mod 3) ~stale10:0 ~cross:true
-              ~policy:Js_sim.Balancer.Warmup_weighted ~jumpstart:true;
-          n_regions;
-          region_phase = 120.;
-          push_stagger = 25.;
-          spillover = true;
-          spill_latency = 15.;
-          epoch = 15.;
-          disasters =
-            (if seed mod 2 = 0 then
-               [ Js_sim.Region.Region_loss { region = n_regions - 1; at = 90. } ]
-             else [])
-        }
-      in
+      let gcfg = region_prop_gcfg ~seed ~n_regions in
       let app = Lazy.force dist_fleet_app in
-      let e = Js_sim.Region.run_global ~mode:`Epoch gcfg app ~seed in
-      let m = Js_sim.Region.run_global ~mode:`Merged gcfg app ~seed in
-      Js_sim.Region.global_digest e = Js_sim.Region.global_digest m)
+      let digest mode g =
+        Js_sim.Region.global_digest (Js_sim.Region.run_global ~mode g app ~seed)
+      in
+      let e = digest `Epoch gcfg in
+      e = digest `Merged gcfg
+      && e = digest (`Parallel 2) gcfg
+      && e = digest `Epoch { gcfg with Js_sim.Region.batch = false })
+
+let prop_parallel_telemetry_merge_equals_shared =
+  (* per-domain telemetry shards folded at the barriers must reproduce what
+     one shared registry counted in the sequential run — counter-for-counter
+     and bucket-for-bucket (gauges/events are ordering-sensitive by contract
+     and compared via counters' superset, the digest property above) *)
+  QCheck.Test.make ~name:"parallel shard-merged telemetry == shared registry" ~count:2
+    QCheck.(pair small_nat (int_range 2 3))
+    (fun (seed, n_regions) ->
+      let gcfg = region_prop_gcfg ~seed ~n_regions in
+      let app = Lazy.force dist_fleet_app in
+      let t_seq = Js_telemetry.create () in
+      let t_par = Js_telemetry.create () in
+      ignore (Js_sim.Region.run_global ~telemetry:t_seq ~mode:`Epoch gcfg app ~seed);
+      ignore
+        (Js_sim.Region.run_global ~telemetry:t_par ~mode:(`Parallel 2) gcfg app ~seed);
+      Js_telemetry.counters t_seq = Js_telemetry.counters t_par
+      && Js_telemetry.histograms t_seq = Js_telemetry.histograms t_par)
 
 let prop_quantile_region_merge =
   (* per-region sketches merged == one sketch fed the concatenated stream *)
@@ -571,7 +649,11 @@ let () =
     [ ( "binio",
         q [ prop_varint_roundtrip; prop_svarint_roundtrip; prop_string_roundtrip; prop_frame_roundtrip ]
       );
-      ("rng", q [ prop_rng_int_in_bounds; prop_rng_deterministic ]);
+      ( "rng",
+        q
+          [ prop_rng_int_in_bounds; prop_rng_deterministic; prop_rng_split_draw_compatible;
+            prop_rng_split_independent_streams; prop_rng_split_reproducible
+          ] );
       ("pqueue", q [ prop_pqueue_sorts ]);
       ( "layout",
         q
@@ -589,5 +671,8 @@ let () =
       ("reliability", q [ prop_all_corrupt_store_falls_back; prop_fleet_dist_partition ]);
       ("sim", q [ prop_push_sim_deterministic; prop_push_sim_dist_ladder ]);
       ( "region",
-        q [ prop_epoch_barrier_equals_merged; prop_quantile_region_merge ] )
+        q
+          [ prop_epoch_barrier_equals_merged; prop_parallel_telemetry_merge_equals_shared;
+            prop_quantile_region_merge
+          ] )
     ]

@@ -146,6 +146,35 @@ let test_flat_engine_churn () =
   Alcotest.(check int) "all dispatched" 10_000 !count;
   Alcotest.(check int) "drained" 0 (Engine.pending eng)
 
+let test_flat_engine_step_to () =
+  (* the arrival-batching hooks: [horizon] exposes the active run's [until],
+     [next_event_at] the queue head (infinity when empty), and [step_to]
+     performs the clock/dispatch bookkeeping of an inline-consumed event *)
+  let eng = Engine.create ~dummy:Fnone () in
+  Alcotest.(check (float 1e-9)) "horizon before any run" 0. (Engine.horizon eng);
+  Alcotest.(check bool) "empty queue head is infinity" true
+    (Engine.next_event_at eng = infinity);
+  let dispatch eng ev =
+    match ev with
+    | Mark "probe" ->
+      Alcotest.(check (float 1e-9)) "horizon inside run" 10. (Engine.horizon eng);
+      Alcotest.(check (float 1e-9)) "queue head visible" 7. (Engine.next_event_at eng);
+      (* consume a synthetic event strictly before the queue head *)
+      Engine.step_to eng ~at:5.;
+      Alcotest.(check (float 1e-9)) "clock moved to the inline event" 5. (Engine.now eng)
+    | Mark _ -> ()
+    | Fnone | Cascade -> Alcotest.fail "unexpected event"
+  in
+  Engine.schedule eng ~at:2. (Mark "probe");
+  Engine.schedule eng ~at:7. (Mark "tail");
+  Engine.run eng ~until:10. ~dispatch;
+  Alcotest.(check int) "inline step counted as dispatched" 3 (Engine.dispatched eng);
+  (* step_to is monotone: stepping into the past leaves the clock alone *)
+  Engine.step_to eng ~at:1.;
+  Alcotest.(check (float 1e-9)) "no clock rewind" 10. (Engine.now eng);
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Engine.step_to: NaN time")
+    (fun () -> Engine.step_to eng ~at:Float.nan)
+
 (* --- arrivals --- *)
 
 let test_arrival_monotone_and_rate () =
@@ -488,6 +517,41 @@ let test_multiregion_epoch_equals_merged () =
   Alcotest.(check bool) "different seed differs" true
     (Region.global_digest epoch <> Region.global_digest other)
 
+let test_multiregion_parallel_equals_epoch () =
+  (* the parallel tentpole under fire: a region loss mid-push on concurrent
+     domains must reproduce the sequential epoch-barrier digest exactly, for
+     any domain count (1 = sequential replay; 4 clamps to n_regions = 3) *)
+  let gcfg =
+    { (Lazy.force global_cfg) with
+      Region.disasters = [ Region.Region_loss { region = 1; at = 100. } ]
+    }
+  in
+  let app = Lazy.force small_app in
+  let e = Region.global_digest (Region.run_global ~mode:`Epoch gcfg app ~seed:5) in
+  List.iter
+    (fun domains ->
+      let p = Region.run_global ~mode:(`Parallel domains) gcfg app ~seed:5 in
+      Alcotest.(check string)
+        (Printf.sprintf "parallel(%d) digest == epoch" domains)
+        e (Region.global_digest p);
+      Array.iter
+        (fun s -> Alcotest.(check int) "zero crashes" 0 s.Region.crashes)
+        p.Region.g_regions)
+    [ 1; 2; 4 ]
+
+let test_multiregion_batching_digest_neutral () =
+  (* arrival batching is a pure fast path: turning it off must not move a
+     single byte of the digest, in either execution mode *)
+  let gcfg = Lazy.force global_cfg in
+  let app = Lazy.force small_app in
+  let off = { gcfg with Region.batch = false } in
+  Alcotest.(check string) "epoch: batch on == off"
+    (Region.global_digest (Region.run_global ~mode:`Epoch off app ~seed:11))
+    (Region.global_digest (Region.run_global ~mode:`Epoch gcfg app ~seed:11));
+  Alcotest.(check string) "parallel: batch on == off"
+    (Region.global_digest (Region.run_global ~mode:(`Parallel 2) off app ~seed:11))
+    (Region.global_digest (Region.run_global ~mode:(`Parallel 2) gcfg app ~seed:11))
+
 let test_multiregion_validates () =
   let gcfg = { (Lazy.force global_cfg) with Region.spill_latency = 5.; epoch = 20. } in
   Alcotest.check_raises "spill latency below epoch"
@@ -503,7 +567,9 @@ let () =
           Alcotest.test_case "flat: order + fifo ties" `Quick test_flat_engine_order;
           Alcotest.test_case "flat: cascade/clamp/resume" `Quick
             test_flat_engine_cascade_clamp_resume;
-          Alcotest.test_case "flat: slot-pool churn" `Quick test_flat_engine_churn
+          Alcotest.test_case "flat: slot-pool churn" `Quick test_flat_engine_churn;
+          Alcotest.test_case "flat: step_to/horizon/next_event_at" `Quick
+            test_flat_engine_step_to
         ] );
       ( "arrival",
         [ Alcotest.test_case "monotone, correct rate" `Quick test_arrival_monotone_and_rate;
@@ -536,6 +602,10 @@ let () =
             test_multiregion_region_loss;
           Alcotest.test_case "epoch == merged digest" `Quick
             test_multiregion_epoch_equals_merged;
+          Alcotest.test_case "parallel == epoch digest under region loss" `Quick
+            test_multiregion_parallel_equals_epoch;
+          Alcotest.test_case "arrival batching digest-neutral" `Quick
+            test_multiregion_batching_digest_neutral;
           Alcotest.test_case "validation" `Quick test_multiregion_validates
         ] )
     ]

@@ -86,6 +86,97 @@ let test_fallback_reasons () =
   Alcotest.(check (list (pair string int)))
     "aggregated" [ ("r1", 2); ("r2", 1) ] (T.fallback_reasons t)
 
+(* --- merge (per-domain shard reconciliation) --- *)
+
+let test_merge_combines () =
+  let a = T.create () and b = T.create () in
+  T.incr a ~by:2 "c";
+  T.incr b ~by:3 "c";
+  T.incr b "only_b";
+  T.set_gauge a "g" 1.;
+  T.set_gauge b "g" 2.;
+  T.observe a ~lo:0. ~hi:10. ~buckets:10 "h" 1.5;
+  T.observe b ~lo:0. ~hi:10. ~buckets:10 "h" 1.6;
+  T.observe b ~lo:0. ~hi:10. ~buckets:10 "h" 9.5;
+  T.observe b ~lo:0. ~hi:10. ~buckets:10 "new_h" 5.;
+  T.Clock.set (T.clock a) 5.;
+  T.record a (T.Mark { name = "from_a"; detail = "" });
+  T.Clock.set (T.clock b) 9.;
+  T.record b (T.Mark { name = "from_b"; detail = "" });
+  T.merge ~into:a b;
+  Alcotest.(check int) "counters add" 5 (T.counter a "c");
+  Alcotest.(check int) "src-only counters appear" 1 (T.counter a "only_b");
+  Alcotest.(check (option (float 1e-9))) "gauges overwrite with src" (Some 2.) (T.gauge a "g");
+  (match T.histograms a with
+  | [ ("h", v); ("new_h", n) ] ->
+    Alcotest.(check int) "hist total adds" 3 v.T.total;
+    Alcotest.(check int) "bucket folds" 2 v.T.counts.(1);
+    Alcotest.(check int) "src bucket carried" 1 v.T.counts.(9);
+    Alcotest.(check int) "src-only histogram appears" 1 n.T.total
+  | other -> Alcotest.failf "unexpected histogram list (%d entries)" (List.length other));
+  (* events append with their original timestamps, src after into *)
+  (match T.events a with
+  | [ (t1, T.Mark { name = "from_a"; _ }); (t2, T.Mark { name = "from_b"; _ }) ] ->
+    Alcotest.(check (float 1e-9)) "into stamp kept" 5. t1;
+    Alcotest.(check (float 1e-9)) "src stamp kept" 9. t2
+  | other -> Alcotest.failf "unexpected event list (%d entries)" (List.length other));
+  Alcotest.(check (float 1e-9)) "clock advances to max" 9. (T.now a);
+  (* the source shard is left untouched *)
+  Alcotest.(check int) "src counter unchanged" 3 (T.counter b "c");
+  Alcotest.(check int) "src events unchanged" 1 (List.length (T.events b))
+
+let test_merge_order_independent_totals () =
+  (* counters and histograms are commutative: shard merge order cannot
+     change the totals (the property parallel-mode shard folding relies on) *)
+  let shard1 t =
+    T.incr t ~by:2 "x";
+    T.observe t ~lo:0. ~hi:10. ~buckets:5 "h" 1.
+  in
+  let shard2 t =
+    T.incr t ~by:5 "x";
+    T.incr t "y";
+    T.observe t ~lo:0. ~hi:10. ~buckets:5 "h" 9.
+  in
+  let merged order =
+    let into = T.create () in
+    List.iter
+      (fun populate ->
+        let s = T.create () in
+        populate s;
+        T.merge ~into s)
+      order;
+    (T.counters into, T.histograms into)
+  in
+  let c12, h12 = merged [ shard1; shard2 ] in
+  let c21, h21 = merged [ shard2; shard1 ] in
+  Alcotest.(check (list (pair string int))) "counters commute" c12 c21;
+  Alcotest.(check bool) "histograms commute" true (h12 = h21)
+
+let test_merge_dropped_carry_and_capacity () =
+  (* src's ring spills through into's capacity: overflow counts as dropped,
+     and src's own dropped tally carries over *)
+  let a = T.create ~capacity:2 () and b = T.create ~capacity:2 () in
+  for i = 1 to 3 do
+    T.record b (T.Mark { name = "m"; detail = string_of_int i })
+  done;
+  Alcotest.(check int) "src dropped one" 1 (T.dropped_events b);
+  T.record a (T.Mark { name = "a"; detail = "" });
+  T.merge ~into:a b;
+  Alcotest.(check int) "into ring stays bounded" 2 (List.length (T.events a));
+  (* 1 evicted from into's ring during append + 1 carried from src *)
+  Alcotest.(check int) "dropped accumulates" 2 (T.dropped_events a)
+
+let test_merge_errors () =
+  let t = T.create () in
+  Alcotest.check_raises "self merge rejected"
+    (Invalid_argument "Js_telemetry.merge: registry merged into itself") (fun () ->
+      T.merge ~into:t t);
+  let a = T.create () and b = T.create () in
+  T.observe a ~lo:0. ~hi:10. ~buckets:10 "h" 1.;
+  T.observe b ~lo:0. ~hi:20. ~buckets:10 "h" 1.;
+  Alcotest.check_raises "histogram shape mismatch"
+    (Invalid_argument "Histogram.merge: shape mismatch") (fun () -> T.merge ~into:a b)
+
 (* --- exporters --- *)
 
 let populate t =
@@ -156,6 +247,14 @@ let () =
       ( "events",
         [ Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
           Alcotest.test_case "fallback reasons" `Quick test_fallback_reasons
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "combines all channels" `Quick test_merge_combines;
+          Alcotest.test_case "order-independent totals" `Quick
+            test_merge_order_independent_totals;
+          Alcotest.test_case "dropped carry + ring capacity" `Quick
+            test_merge_dropped_carry_and_capacity;
+          Alcotest.test_case "errors" `Quick test_merge_errors
         ] );
       ( "export",
         [ Alcotest.test_case "json validity" `Quick test_json_valid;

@@ -1,9 +1,10 @@
-(* Unit tests for Js_util: rng, stats, binio, pqueue. *)
+(* Unit tests for Js_util: rng, stats, binio, pqueue, par. *)
 
 module Rng = Js_util.Rng
 module Stats = Js_util.Stats
 module Binio = Js_util.Binio
 module Pqueue = Js_util.Pqueue
+module Par = Js_util.Par
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -179,6 +180,25 @@ let test_histogram () =
   Alcotest.(check int) "count" 4 (Stats.Histogram.count h);
   let counts = Stats.Histogram.bucket_counts h in
   Alcotest.(check int) "overflow clamps to last bucket" 2 counts.(9)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  let b = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  let whole = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iteri
+    (fun i x ->
+      Stats.Histogram.add (if i mod 2 = 0 then a else b) x;
+      Stats.Histogram.add whole x)
+    [ 0.5; 1.5; 1.6; 9.5; 100.; 3.3 ];
+  Stats.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" (Stats.Histogram.count whole) (Stats.Histogram.count a);
+  Alcotest.(check (array int)) "merged buckets == concatenated stream"
+    (Stats.Histogram.bucket_counts whole) (Stats.Histogram.bucket_counts a);
+  (* src is left untouched *)
+  Alcotest.(check int) "src count unchanged" 3 (Stats.Histogram.count b);
+  let narrow = Stats.Histogram.create ~lo:0. ~hi:5. ~buckets:10 in
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Histogram.merge: shape mismatch")
+    (fun () -> Stats.Histogram.merge ~into:a narrow)
 
 (* --- quantile sketch --- *)
 
@@ -485,6 +505,86 @@ let test_flat_pqueue_popped_slots_cleared () =
     (Printf.sprintf "popped payloads reclaimed (%d/32)" !finalised)
     32 !finalised
 
+(* --- par --- *)
+
+let test_fork_join_covers_all_indices () =
+  (* every slice index runs exactly once, slice 0 on the calling domain *)
+  let domains = 4 in
+  let hits = Array.make domains 0 in
+  let caller = Domain.self () in
+  let slice0_domain = ref None in
+  Par.fork_join ~domains (fun d ->
+      hits.(d) <- hits.(d) + 1;
+      if d = 0 then slice0_domain := Some (Domain.self ()));
+  Alcotest.(check (array int)) "each slice ran once" (Array.make domains 1) hits;
+  Alcotest.(check bool) "slice 0 on the calling domain" true
+    (!slice0_domain = Some caller)
+
+let test_fork_join_single_domain_spawns_nothing () =
+  (* domains <= 1 must run inline: observable as slice 0 on the caller *)
+  let ran = ref 0 in
+  let caller = Domain.self () in
+  let on_caller = ref false in
+  Par.fork_join ~domains:1 (fun d ->
+      Alcotest.(check int) "only slice 0" 0 d;
+      incr ran;
+      on_caller := Domain.self () = caller);
+  Alcotest.(check int) "ran once" 1 !ran;
+  Alcotest.(check bool) "inline" true !on_caller
+
+let test_fork_join_is_a_barrier () =
+  (* writes made by worker domains are visible after the join: the fork-join
+     edge is the only synchronization the epoch protocol uses *)
+  let domains = 3 in
+  let cells = Array.make (domains * 100) 0 in
+  Par.fork_join ~domains (fun d ->
+      for i = d * 100 to (d * 100) + 99 do
+        cells.(i) <- i + 1
+      done);
+  Alcotest.(check int) "all worker writes visible"
+    (Array.length cells) (Array.fold_left (fun a x -> a + min x 1) 0 cells)
+
+let test_fork_join_reraises_after_joining_all () =
+  (* a raising slice must not leak unjoined domains, and every other slice
+     still completes *)
+  let done_ = Array.make 3 false in
+  (match
+     Par.fork_join ~domains:3 (fun d ->
+         if d = 1 then failwith "slice 1 boom";
+         done_.(d) <- true)
+   with
+  | () -> Alcotest.fail "expected the slice failure to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "worker error surfaces" "slice 1 boom" msg);
+  Alcotest.(check bool) "other slices completed" true (done_.(0) && done_.(2))
+
+let test_mailbox_fifo_and_counters () =
+  let mb = Par.Mailbox.create () in
+  Alcotest.(check bool) "fresh is empty" true (Par.Mailbox.is_empty mb);
+  Alcotest.(check (list int)) "fresh drains nothing" [] (Par.Mailbox.drain mb);
+  List.iter (Par.Mailbox.post mb) [ 1; 2; 3 ];
+  Alcotest.(check bool) "non-empty" false (Par.Mailbox.is_empty mb);
+  Alcotest.(check (list int)) "drains oldest first" [ 1; 2; 3 ] (Par.Mailbox.drain mb);
+  Alcotest.(check bool) "drained empty" true (Par.Mailbox.is_empty mb);
+  List.iter (Par.Mailbox.post mb) [ 4; 5 ];
+  Alcotest.(check (list int)) "second round drains only new posts" [ 4; 5 ]
+    (Par.Mailbox.drain mb);
+  Alcotest.(check int) "posted counts across drains" 5 (Par.Mailbox.posted mb)
+
+let test_mailbox_cross_domain_round () =
+  (* the intended usage: worker domains post during a fork-join round, the
+     barrier owner drains after the join and sees every message *)
+  let domains = 3 in
+  let boxes = Array.init domains (fun _ -> Par.Mailbox.create ()) in
+  Par.fork_join ~domains (fun d ->
+      for i = 0 to 9 do
+        Par.Mailbox.post boxes.(d) ((d * 10) + i)
+      done);
+  let all = Array.to_list boxes |> List.concat_map Par.Mailbox.drain in
+  Alcotest.(check int) "every message delivered" (domains * 10) (List.length all);
+  Alcotest.(check (list int)) "per-box order preserved"
+    (List.init (domains * 10) (fun i -> i))
+    all
+
 (* --- backoff --- *)
 
 let test_backoff_raw_schedule () =
@@ -547,6 +647,7 @@ let () =
           Alcotest.test_case "capacity loss" `Quick test_series_capacity_loss;
           Alcotest.test_case "resample" `Quick test_series_resample;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "quantile relative accuracy" `Quick
             test_quantile_relative_accuracy;
           Alcotest.test_case "quantile merge is exact" `Quick test_quantile_merge_exact;
@@ -564,6 +665,18 @@ let () =
             test_binio_frame_every_truncation;
           Alcotest.test_case "varint overflow" `Quick test_binio_varint_overflow;
           Alcotest.test_case "crc32 vector" `Quick test_crc32_known
+        ] );
+      ( "par",
+        [ Alcotest.test_case "fork_join covers all indices" `Quick
+            test_fork_join_covers_all_indices;
+          Alcotest.test_case "single domain runs inline" `Quick
+            test_fork_join_single_domain_spawns_nothing;
+          Alcotest.test_case "join is a memory barrier" `Quick test_fork_join_is_a_barrier;
+          Alcotest.test_case "re-raises after joining all" `Quick
+            test_fork_join_reraises_after_joining_all;
+          Alcotest.test_case "mailbox fifo + counters" `Quick test_mailbox_fifo_and_counters;
+          Alcotest.test_case "mailbox cross-domain round" `Quick
+            test_mailbox_cross_domain_round
         ] );
       ( "backoff",
         [ Alcotest.test_case "raw schedule + cap" `Quick test_backoff_raw_schedule;
