@@ -518,9 +518,10 @@ let perf () =
   let repo = app.Workload.Codegen.repo in
   let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
   let mix = Workload.Request.uniform_mix app in
-  let run ~inline_cache n =
+  let run ?(typed = true) ~inline_cache n =
     let engine =
-      Interp.Engine.create ~fuel:max_int ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
+      Interp.Engine.create ~fuel:max_int ~inline_cache ~typed repo
+        (Mh_runtime.Heap.create repo layouts)
     in
     let rng = Js_util.Rng.create 7 in
     Gc.full_major ();
@@ -570,6 +571,44 @@ let perf () =
   let prop_rate =
     rate (s.Interp.Engine.prop_hit_mono + s.Interp.Engine.prop_hit_poly) s.Interp.Engine.prop_miss
   in
+  (* typed-translation A/B: dataflow overlay on vs off, caches on in both.
+     The equivalence digest folds per-request results, printed output, step
+     counts AND the full serialized tier-1 profile (so probe streams and
+     telemetry must agree byte-for-byte, not just the final answers). *)
+  let typed_fingerprint ~typed n =
+    let counters = Jit_profile.Counters.create repo in
+    let engine =
+      Interp.Engine.create ~fuel:max_int
+        ~probes:(Jit_profile.Collector.probes counters)
+        ~typed repo (Mh_runtime.Heap.create repo layouts)
+    in
+    let rng = Js_util.Rng.create 7 in
+    let d = ref "" in
+    for _ = 1 to n do
+      let v = Workload.Request.invoke engine app (Workload.Request.sample rng mix) in
+      d := Digest.string (!d ^ Hhbc.Value.to_string v)
+    done;
+    let w = Js_util.Binio.Writer.create () in
+    Jit_profile.Counters.serialize counters w;
+    Digest.string
+      (!d ^ Interp.Engine.output engine
+      ^ string_of_int (Interp.Engine.steps engine)
+      ^ Js_util.Binio.Writer.contents w)
+  in
+  let typed_identical =
+    typed_fingerprint ~typed:true check_n = typed_fingerprint ~typed:false check_n
+  in
+  ignore (run ~typed:false ~inline_cache:true (max 1 (requests / 8)));
+  let eng_n, dt_n1, _ = run ~typed:false ~inline_cache:true requests in
+  let _, dt_n2, _ = run ~typed:false ~inline_cache:true requests in
+  let dt_n = min dt_n1 dt_n2 in
+  let steps_n = Interp.Engine.steps eng_n in
+  let typed_identical = typed_identical && steps_c = steps_n in
+  let sps_n = float_of_int steps_n /. dt_n in
+  (* eng_c ran with the overlay on (the default), so cached vs typed-off is
+     the overlay's own contribution on top of the caches *)
+  let typed_speedup = sps_c /. sps_n in
+  let tst = Interp.Engine.typed_stats eng_c in
   (* flush the engine's local counters into a telemetry sink, and export the
      sink's view — the same bridge the fleet simulation uses *)
   let tel = Js_telemetry.create () in
@@ -584,6 +623,13 @@ let perf () =
     s.Interp.Engine.meth_hit_mono s.Interp.Engine.meth_hit_poly s.Interp.Engine.meth_miss;
   Printf.printf "  property cache hit rate: %.4f (mono %d / poly %d / miss %d)\n" prop_rate
     s.Interp.Engine.prop_hit_mono s.Interp.Engine.prop_hit_poly s.Interp.Engine.prop_miss;
+  Printf.printf "  typed translation: on %.2fM / off %.2fM steps/s  speedup %.2fx  identical (results+output+steps+profile): %b\n"
+    (sps_c /. 1e6) (sps_n /. 1e6) typed_speedup typed_identical;
+  Printf.printf
+    "  typed rewrites: %d folds, %d consts, %d jumps, %d casts, %d dead stores, %d dead blocks, %d fused\n"
+    tst.Interp.Engine.typed_folds tst.Interp.Engine.typed_consts tst.Interp.Engine.typed_jumps
+    tst.Interp.Engine.typed_casts tst.Interp.Engine.typed_dead_stores
+    tst.Interp.Engine.typed_dead_blocks tst.Interp.Engine.typed_fused;
   (* core-algorithm micro-benches, fixed iteration counts *)
   let time_ops n f =
     Gc.full_major ();
@@ -684,6 +730,17 @@ let perf () =
   Printf.bprintf b "    \"outputs_identical\": %b,\n" identical;
   fld "meth_cache_hit_rate" "%.6f" meth_rate;
   fld ~last:true "prop_cache_hit_rate" "%.6f" prop_rate;
+  Printf.bprintf b "  },\n";
+  Printf.bprintf b "  \"typed_translation\": {\n";
+  Printf.bprintf b "    \"typed\": { \"steps_per_sec\": %.0f, \"seconds\": %.6f },\n" sps_c dt_c;
+  Printf.bprintf b "    \"untyped\": { \"steps_per_sec\": %.0f, \"seconds\": %.6f },\n" sps_n dt_n;
+  fld "speedup" "%.4f" typed_speedup;
+  Printf.bprintf b "    \"outputs_identical\": %b,\n" typed_identical;
+  let tcs = Interp.Engine.typed_counters eng_c in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.bprintf b "    %S: %d%s\n" name v (if i = List.length tcs - 1 then "" else ","))
+    tcs;
   Printf.bprintf b "  },\n";
   Printf.bprintf b "  \"micro\": {\n";
   fld "interp_fib_steps_per_sec" "%.0f" interp_sps;

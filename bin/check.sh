@@ -17,9 +17,21 @@ for f in examples/*.mh; do
 done
 dune exec bin/minihack_run.exe -- verify --codegen tiny > /dev/null
 
+# Dataflow analysis gate: the same corpus must come through the full
+# analysis (type state, constant propagation, liveness) with zero
+# error-severity A4xx/V1xx diagnostics (the analyze subcommand exits 3
+# otherwise; warnings are allowed).
+for f in examples/*.mh; do
+  dune exec bin/minihack_run.exe -- analyze "$f" > /dev/null
+done
+dune exec bin/minihack_run.exe -- analyze --codegen tiny > /dev/null
+
 dune exec bench/main.exe -- fig4b
 dune exec bench/main.exe -- perf --quick
 test -s BENCH_interp.quick.json
+# the typed-translation A/B must be present and byte-identical to untyped
+grep -q '"typed_translation"' BENCH_interp.quick.json
+grep -q '"outputs_identical": true' BENCH_interp.quick.json
 
 # Distribution-network smoke test: a push through a faulty delivery network
 # must finish with zero crashes and must actually exercise the fetch ladder

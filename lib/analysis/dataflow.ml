@@ -1,0 +1,820 @@
+(* Forward/backward dataflow over the per-function basic-block CFG.
+
+   Three concrete analyses share one worklist solver:
+
+   - type-state inference: an abstract value per operand-stack slot and per
+     local (Const < Tag < Any), joined at block entries, with branch
+     refinement on [JmpZ]/[JmpNZ] over values whose provenance is known
+     (a plain local load, or an [InstanceOf] test of a local);
+   - constant propagation + folding with feasible-edge reachability: branch
+     edges whose condition has a statically known truthiness are dead, and
+     blocks only reachable through dead edges are dead code;
+   - backward liveness of locals (over feasible edges), yielding per-pc
+     dead-store facts.
+
+   Soundness contract: every fact is an over-approximation of what the
+   interpreter can actually do.  Profiles are collected from real executions,
+   so the P32x package gates built on [feasible_succs]/[reach] must never
+   reject an honestly collected profile; the typed translation in
+   [Interp.Engine] relies on the same contract to stay byte-identical with
+   the untyped path.  Anything uncertain therefore widens to [Any] / "both
+   edges feasible". *)
+
+module I = Hhbc.Instr
+module F = Hhbc.Func
+module V = Hhbc.Value
+
+(* ---------------- abstract values ---------------- *)
+
+module Absval = struct
+  (* Const holds immutable scalars only (Null/Bool/Int/Float/Str): Vec, Dict
+     and Obj values are mutable or identity-bearing and never constant-fold.
+     [Tag TNull] is normalized to [Const Null] (the tag determines the
+     value), so truthiness of a null-tagged value is always known. *)
+  type t = Any | Tag of V.tag | Const of V.t
+
+  let of_value v =
+    match v with
+    | V.Vec _ | V.Dict _ | V.Obj _ -> Tag (V.tag v)
+    | V.Null | V.Bool _ | V.Int _ | V.Float _ | V.Str _ -> Const v
+
+  let of_tag = function V.TNull -> Const V.Null | t -> Tag t
+
+  (* Syntactic constant equality: deliberately stricter than [V.equal]
+     (which calls Int 1 and Float 1. equal) so a join never conflates values
+     with different runtime representations.  Floats compare by bits. *)
+  let const_eq a b =
+    match (a, b) with
+    | V.Null, V.Null -> true
+    | V.Bool x, V.Bool y -> x = y
+    | V.Int x, V.Int y -> x = y
+    | V.Float x, V.Float y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | V.Str x, V.Str y -> String.equal x y
+    | (V.Null | V.Bool _ | V.Int _ | V.Float _ | V.Str _ | V.Vec _ | V.Dict _ | V.Obj _), _
+      ->
+      false
+
+  let tag_of = function Any -> None | Tag t -> Some t | Const v -> Some (V.tag v)
+
+  let join a b =
+    match (a, b) with
+    | Any, _ | _, Any -> Any
+    | Const x, Const y when const_eq x y -> a
+    | _ -> (
+      match (tag_of a, tag_of b) with
+      | Some ta, Some tb when ta = tb -> of_tag ta
+      | _ -> Any)
+
+  let equal a b =
+    match (a, b) with
+    | Any, Any -> true
+    | Tag x, Tag y -> x = y
+    | Const x, Const y -> const_eq x y
+    | (Any | Tag _ | Const _), _ -> false
+
+  (* [Some b]: the value is statically known to be truthy/falsy.  Objects
+     are always truthy; null is normalized to [Const Null]. *)
+  let truthiness = function
+    | Const v -> Some (V.truthy v)
+    | Tag V.TObj -> Some true
+    | Tag _ | Any -> None
+
+  (* Casts to a scalar tag are the identity on values already of that tag
+     (the engine's [cast] rebuilds the same scalar). *)
+  let identity_cast tag av =
+    match tag_of av with
+    | Some t when t = tag -> (
+      match tag with
+      | V.TBool | V.TInt | V.TFloat | V.TStr -> true
+      | V.TNull | V.TVec | V.TDict | V.TObj -> false)
+    | Some _ | None -> false
+
+  let to_string = function
+    | Any -> "any"
+    | Tag t -> V.tag_to_string t
+    | Const V.Null -> "=null"
+    | Const (V.Bool b) -> if b then "=true" else "=false"
+    | Const (V.Int n) -> Printf.sprintf "=%d" n
+    | Const (V.Float f) -> Printf.sprintf "=%g" f
+    | Const (V.Str s) -> Printf.sprintf "=%S" s
+    | Const (V.Vec _ | V.Dict _ | V.Obj _) -> "any" (* unreachable by construction *)
+end
+
+(* ---------------- constant folding ---------------- *)
+
+(* Total mirrors of the engine's operator semantics: [Some v] only when the
+   engine is guaranteed to produce exactly [v] without raising; [None] on
+   any path that errors (division by zero, non-numeric arithmetic,
+   incomparable operands, unsupported casts). *)
+
+let fold_binop op a b =
+  let numeric = function V.Int _ | V.Float _ | V.Bool _ | V.Null -> true | _ -> false in
+  match op with
+  | I.Add | I.Sub | I.Mul | I.Div | I.Mod -> (
+    match (a, b) with
+    | V.Int x, V.Int y -> (
+      match op with
+      | I.Add -> Some (V.Int (x + y))
+      | I.Sub -> Some (V.Int (x - y))
+      | I.Mul -> Some (V.Int (x * y))
+      | I.Div -> if y = 0 then None else Some (V.Int (x / y))
+      | I.Mod -> if y = 0 then None else Some (V.Int (x mod y))
+      | _ -> None)
+    | _ when numeric a && numeric b -> (
+      let x = V.to_float a and y = V.to_float b in
+      match op with
+      | I.Add -> Some (V.Float (x +. y))
+      | I.Sub -> Some (V.Float (x -. y))
+      | I.Mul -> Some (V.Float (x *. y))
+      | I.Div -> if y = 0. then None else Some (V.Float (x /. y))
+      | _ -> None)
+    | _ -> None)
+  | I.BitAnd | I.BitOr | I.BitXor | I.Shl | I.Shr -> (
+    match (a, b) with
+    | V.Int x, V.Int y ->
+      Some
+        (V.Int
+           (match op with
+           | I.BitAnd -> x land y
+           | I.BitOr -> x lor y
+           | I.BitXor -> x lxor y
+           | I.Shl -> x lsl (y land 63)
+           | I.Shr -> x asr (y land 63)
+           | _ -> assert false))
+    | _ -> None)
+  | I.Concat -> Some (V.Str (V.to_string a ^ V.to_string b))
+  | I.Eq -> Some (V.Bool (V.equal a b))
+  | I.Ne -> Some (V.Bool (not (V.equal a b)))
+  | I.Lt | I.Le | I.Gt | I.Ge -> (
+    match (a, b) with
+    | V.Str _, V.Str _
+    | (V.Null | V.Bool _ | V.Int _ | V.Float _), (V.Null | V.Bool _ | V.Int _ | V.Float _)
+      ->
+      let c = V.compare_values a b in
+      Some
+        (V.Bool
+           (match op with
+           | I.Lt -> c < 0
+           | I.Le -> c <= 0
+           | I.Gt -> c > 0
+           | I.Ge -> c >= 0
+           | _ -> assert false))
+    | _ -> None)
+
+let fold_unop op v =
+  match (op, v) with
+  | I.Neg, V.Int n -> Some (V.Int (-n))
+  | I.Neg, V.Float f -> Some (V.Float (-.f))
+  | I.Neg, _ -> None
+  | I.Not, _ -> Some (V.Bool (not (V.truthy v)))
+  | I.BitNot, V.Int n -> Some (V.Int (lnot n))
+  | I.BitNot, _ -> None
+
+let fold_cast tag v =
+  match tag with
+  | V.TBool -> Some (V.Bool (V.truthy v))
+  | V.TStr -> Some (V.Str (V.to_string v))
+  | V.TInt -> (
+    match v with
+    | V.Str s ->
+      Some (V.Int (match int_of_string_opt (String.trim s) with Some n -> n | None -> 0))
+    | V.Int _ | V.Float _ | V.Bool _ | V.Null -> Some (V.Int (V.to_int v))
+    | V.Vec _ | V.Dict _ | V.Obj _ -> None)
+  | V.TFloat -> (
+    match v with
+    | V.Str s ->
+      Some
+        (V.Float (match float_of_string_opt (String.trim s) with Some f -> f | None -> 0.))
+    | V.Int _ | V.Float _ | V.Bool _ | V.Null -> Some (V.Float (V.to_float v))
+    | V.Vec _ | V.Dict _ | V.Obj _ -> None)
+  | V.TNull | V.TVec | V.TDict | V.TObj -> None
+
+(* How many values the instruction pushes (result-recording only; the
+   exhaustive transfer table is [step] below). *)
+let pushes_of = function
+  | I.Nop | I.StoreLoc _ | I.Pop | I.Jmp _ | I.JmpZ _ | I.JmpNZ _ | I.SetProp _
+  | I.VecSet | I.VecPush | I.DictSet | I.Print | I.Ret ->
+    0
+  | I.Dup -> 2
+  | _ -> 1
+
+let numeric_tag = function
+  | V.TInt | V.TFloat | V.TBool | V.TNull -> true
+  | V.TStr | V.TVec | V.TDict | V.TObj -> false
+
+(* Abstract result of a binop: constants fold (when the fold is total);
+   otherwise comparisons/Concat/bit-ops have fixed result tags and
+   arithmetic follows the int/float promotion of the engine. *)
+let binop_result op a b =
+  let tag_result () =
+    match op with
+    | I.Concat -> Absval.Tag V.TStr
+    | I.Eq | I.Ne | I.Lt | I.Le | I.Gt | I.Ge -> Absval.Tag V.TBool
+    | I.BitAnd | I.BitOr | I.BitXor | I.Shl | I.Shr -> Absval.Tag V.TInt
+    | I.Add | I.Sub | I.Mul | I.Div | I.Mod -> (
+      match (Absval.tag_of a, Absval.tag_of b) with
+      | Some V.TInt, Some V.TInt -> Absval.Tag V.TInt
+      | Some ta, Some tb when numeric_tag ta && numeric_tag tb -> Absval.Tag V.TFloat
+      | _ -> Absval.Any)
+  in
+  match (a, b) with
+  | Absval.Const x, Absval.Const y -> (
+    match fold_binop op x y with
+    | Some v -> Absval.of_value v
+    | None -> tag_result ())
+  | _ -> tag_result ()
+
+let unop_result op a =
+  let tag_result () =
+    match op with
+    | I.Not -> Absval.Tag V.TBool
+    | I.Neg -> (
+      match Absval.tag_of a with
+      | Some V.TInt -> Absval.Tag V.TInt
+      | Some V.TFloat -> Absval.Tag V.TFloat
+      | _ -> Absval.Any)
+    | I.BitNot -> Absval.Tag V.TInt
+  in
+  match a with
+  | Absval.Const x -> (
+    match fold_unop op x with Some v -> Absval.of_value v | None -> tag_result ())
+  | _ -> tag_result ()
+
+let cast_result tag a =
+  let tag_result () =
+    match tag with
+    | V.TBool -> Absval.Tag V.TBool
+    | V.TStr -> Absval.Tag V.TStr
+    | V.TInt -> (
+      match Absval.tag_of a with
+      | Some (V.TVec | V.TDict | V.TObj) -> Absval.Any
+      | _ -> Absval.Tag V.TInt)
+    | V.TFloat -> (
+      match Absval.tag_of a with
+      | Some (V.TVec | V.TDict | V.TObj) -> Absval.Any
+      | _ -> Absval.Tag V.TFloat)
+    | V.TNull | V.TVec | V.TDict | V.TObj -> Absval.Any
+  in
+  match a with
+  | Absval.Const x -> (
+    match fold_cast tag x with Some v -> Absval.of_value v | None -> tag_result ())
+  | _ -> tag_result ()
+
+(* ---------------- generic worklist solver ---------------- *)
+
+module Solver = struct
+  type stats = { iterations : int; converged : bool }
+
+  (* Forward solve: [transfer b fact] returns the out-fact per feasible
+     successor (edge-wise, so branch refinement and edge pruning are the
+     transfer function's business).  Block 0 is the entry.  [None] in the
+     result means the block was never reached through feasible edges.
+     Iterations are capped: the caller supplies a bound derived from the
+     lattice height, and [converged] reports whether the fixed point was
+     reached within it (every concrete lattice here is finite-height, so a
+     correctly-bounded call always converges). *)
+  let forward (type f) ~n_blocks ~(entry : f) ~(join : f -> f -> f)
+      ~(equal : f -> f -> bool) ~(transfer : int -> f -> (int * f) list) ~max_iters =
+    let inf : f option array = Array.make (max 1 n_blocks) None in
+    if n_blocks = 0 then (inf, { iterations = 0; converged = true })
+    else begin
+      let queued = Array.make n_blocks false in
+      let queue = Queue.create () in
+      let enqueue b =
+        if not queued.(b) then begin
+          queued.(b) <- true;
+          Queue.add b queue
+        end
+      in
+      inf.(0) <- Some entry;
+      enqueue 0;
+      let iters = ref 0 in
+      let converged = ref true in
+      while not (Queue.is_empty queue) do
+        let b = Queue.pop queue in
+        queued.(b) <- false;
+        if !iters >= max_iters then begin
+          converged := false;
+          Queue.clear queue
+        end
+        else begin
+          incr iters;
+          let fact = Option.get inf.(b) in
+          List.iter
+            (fun (s, out) ->
+              if s >= 0 && s < n_blocks then
+                match inf.(s) with
+                | None ->
+                  inf.(s) <- Some out;
+                  enqueue s
+                | Some cur ->
+                  let merged = join cur out in
+                  if not (equal merged cur) then begin
+                    inf.(s) <- Some merged;
+                    enqueue s
+                  end)
+            (transfer b fact)
+        end
+      done;
+      (inf, { iterations = !iters; converged = !converged })
+    end
+
+  (* Backward solve: [succs b] lists the (feasible) successors, [init b] the
+     fact joined into every out-fact (e.g. bottom; exit blocks have no
+     successors so their out-fact is exactly [init b]), and [transfer b out]
+     computes the block's in-fact.  Returns per-block in-facts. *)
+  let backward (type f) ~n_blocks ~(succs : int -> int list) ~(init : int -> f)
+      ~(join : f -> f -> f) ~(equal : f -> f -> bool) ~(transfer : int -> f -> f)
+      ~max_iters =
+    let inb : f array = Array.init (max 1 n_blocks) (fun b -> init b) in
+    if n_blocks = 0 then (inb, { iterations = 0; converged = true })
+    else begin
+      let preds = Array.make n_blocks [] in
+      for b = 0 to n_blocks - 1 do
+        List.iter
+          (fun s -> if s >= 0 && s < n_blocks then preds.(s) <- b :: preds.(s))
+          (succs b)
+      done;
+      let queued = Array.make n_blocks false in
+      let queue = Queue.create () in
+      let enqueue b =
+        if not queued.(b) then begin
+          queued.(b) <- true;
+          Queue.add b queue
+        end
+      in
+      for b = n_blocks - 1 downto 0 do
+        inb.(b) <- transfer b (init b);
+        enqueue b
+      done;
+      let iters = ref 0 in
+      let converged = ref true in
+      while not (Queue.is_empty queue) do
+        let b = Queue.pop queue in
+        queued.(b) <- false;
+        if !iters >= max_iters then begin
+          converged := false;
+          Queue.clear queue
+        end
+        else begin
+          incr iters;
+          let out = List.fold_left (fun acc s -> join acc inb.(s)) (init b) (succs b) in
+          let inb' = transfer b out in
+          if not (equal inb' inb.(b)) then begin
+            inb.(b) <- inb';
+            List.iter enqueue preds.(b)
+          end
+        end
+      done;
+      (inb, { iterations = !iters; converged = !converged })
+    end
+end
+
+(* ---------------- type-state over stack + locals ---------------- *)
+
+(* Provenance of a stack slot, for branch refinement: a slot loaded from a
+   local lets a JmpZ refine the local's abstract value on each edge; a slot
+   produced by [InstanceOf] on a local proves the local is an object on the
+   truthy edge.  Stores to the local invalidate the provenance. *)
+type src = Src_none | Src_local of int | Src_instance_of of int
+
+type slot = { av : Absval.t; src : src }
+
+type state = {
+  mutable stk : slot list;  (* operand stack, top first *)
+  locs : Absval.t array;
+  asg : bool array;  (* must-assigned (ANDed at joins over feasible edges) *)
+}
+
+let clone_state st = { stk = st.stk; locs = Array.copy st.locs; asg = Array.copy st.asg }
+
+let join_slot a b =
+  {
+    av = Absval.join a.av b.av;
+    src = (if a.src = b.src then a.src else Src_none);
+  }
+
+(* Stacks of different depth only arise on V103-broken bodies; tops align at
+   the list head, so truncating to the common prefix keeps the join total. *)
+let rec join_stack xs ys =
+  match (xs, ys) with
+  | x :: xs', y :: ys' -> join_slot x y :: join_stack xs' ys'
+  | _, _ -> []
+
+let join_state a b =
+  let locs = Array.mapi (fun i v -> Absval.join v b.locs.(i)) a.locs in
+  let asg = Array.mapi (fun i v -> v && b.asg.(i)) a.asg in
+  { stk = join_stack a.stk b.stk; locs; asg }
+
+let equal_state a b =
+  let rec eq_stk xs ys =
+    match (xs, ys) with
+    | [], [] -> true
+    | x :: xs', y :: ys' -> x.src = y.src && Absval.equal x.av y.av && eq_stk xs' ys'
+    | _, _ -> false
+  in
+  eq_stk a.stk b.stk
+  && Array.for_all2 (fun x y -> Absval.equal x y) a.locs b.locs
+  && a.asg = b.asg
+
+let any_slot = { av = Absval.Any; src = Src_none }
+
+let push st s = st.stk <- s :: st.stk
+
+(* Clamped pop: an underflowing body (V102) still gets total, harmless
+   facts — consumers gate real decisions on a clean verifier run. *)
+let pop st =
+  match st.stk with
+  | [] -> any_slot
+  | s :: tl ->
+    st.stk <- tl;
+    s
+
+let popn st n =
+  for _ = 1 to n do
+    ignore (pop st)
+  done
+
+let store_local st l av =
+  if l >= 0 && l < Array.length st.locs then begin
+    st.locs.(l) <- av;
+    st.asg.(l) <- true;
+    (* the local changed: stack slots derived from its old value no longer
+       speak for it *)
+    st.stk <-
+      List.map
+        (fun s ->
+          match s.src with
+          | Src_local l' | Src_instance_of l' ->
+            if l' = l then { s with src = Src_none } else s
+          | Src_none -> s)
+        st.stk
+  end
+
+(* The per-instruction abstract transfer.  Exhaustive on purpose (mirror of
+   [Verify.stack_effect]): adding an opcode without stating its dataflow
+   rule must fail this build.  Branch edge logic lives in [walk_block]; here
+   the jump arms only account for their stack effect. *)
+let step repo (f : F.t) st instr =
+  let n_strings = Hhbc.Repo.n_strings repo in
+  match instr with
+  | I.Nop -> ()
+  | I.LitInt n -> push st { av = Absval.Const (V.Int n); src = Src_none }
+  | I.LitFloat x -> push st { av = Absval.Const (V.Float x); src = Src_none }
+  | I.LitBool b -> push st { av = Absval.Const (V.Bool b); src = Src_none }
+  | I.LitNull -> push st { av = Absval.Const V.Null; src = Src_none }
+  | I.LitStr sid ->
+    let av =
+      if sid >= 0 && sid < n_strings then Absval.Const (V.Str (Hhbc.Repo.string repo sid))
+      else Absval.Any
+    in
+    push st { av; src = Src_none }
+  | I.LitArr _ -> push st { av = Absval.Tag V.TVec; src = Src_none }
+  | I.LoadLoc l ->
+    if l >= 0 && l < Array.length st.locs then
+      push st { av = st.locs.(l); src = Src_local l }
+    else push st any_slot
+  | I.StoreLoc l ->
+    let v = pop st in
+    store_local st l v.av
+  | I.Pop -> ignore (pop st)
+  | I.Dup ->
+    let s = pop st in
+    push st s;
+    push st s
+  | I.BinOp op ->
+    let b = pop st in
+    let a = pop st in
+    push st { av = binop_result op a.av b.av; src = Src_none }
+  | I.UnOp op ->
+    let a = pop st in
+    push st { av = unop_result op a.av; src = Src_none }
+  | I.Jmp _ -> ()
+  | I.JmpZ _ -> ignore (pop st)
+  | I.JmpNZ _ -> ignore (pop st)
+  | I.Call (_, n) ->
+    popn st n;
+    push st any_slot
+  | I.CallMethod (_, n) ->
+    popn st (n + 1);
+    push st any_slot
+  | I.New (_, n) ->
+    popn st n;
+    push st { av = Absval.Tag V.TObj; src = Src_none }
+  | I.GetThis -> push st { av = Absval.Tag V.TObj; src = Src_none }
+  | I.GetProp _ ->
+    ignore (pop st);
+    push st any_slot
+  | I.SetProp _ -> popn st 2
+  | I.NewVec n ->
+    popn st n;
+    push st { av = Absval.Tag V.TVec; src = Src_none }
+  | I.VecGet ->
+    popn st 2;
+    push st any_slot
+  | I.VecSet -> popn st 3
+  | I.VecPush -> popn st 2
+  | I.VecLen ->
+    ignore (pop st);
+    push st { av = Absval.Tag V.TInt; src = Src_none }
+  | I.NewDict n ->
+    popn st (2 * n);
+    push st { av = Absval.Tag V.TDict; src = Src_none }
+  | I.DictGet ->
+    popn st 2;
+    push st any_slot
+  | I.DictSet -> popn st 3
+  | I.DictHas ->
+    popn st 2;
+    push st { av = Absval.Tag V.TBool; src = Src_none }
+  | I.InstanceOf _ ->
+    let a = pop st in
+    let sl =
+      match Absval.tag_of a.av with
+      | Some t when t <> V.TObj ->
+        (* non-objects are never instances: the engine pushes [Bool false] *)
+        { av = Absval.Const (V.Bool false); src = Src_none }
+      | _ ->
+        let src =
+          match a.src with Src_local l -> Src_instance_of l | _ -> Src_none
+        in
+        { av = Absval.Tag V.TBool; src }
+    in
+    push st sl
+  | I.Cast tag ->
+    let a = pop st in
+    push st { av = cast_result tag a.av; src = Src_none }
+  | I.Print -> ignore (pop st)
+  | I.Ret -> ignore (pop st);
+  ignore f
+
+(* Refine the state along one branch edge given the truthiness of the
+   consumed condition and its provenance. *)
+let refine_edge st (cond : slot) ~truthy =
+  let st = clone_state st in
+  (match cond.src with
+  | Src_local l when l >= 0 && l < Array.length st.locs ->
+    let av = st.locs.(l) in
+    let av' =
+      if truthy then
+        match av with Absval.Tag V.TBool -> Absval.Const (V.Bool true) | other -> other
+      else
+        match av with
+        | Absval.Tag V.TBool -> Absval.Const (V.Bool false)
+        | Absval.Tag V.TInt -> Absval.Const (V.Int 0)
+        | Absval.Tag V.TStr -> Absval.Const (V.Str "")
+        | other -> other
+    in
+    st.locs.(l) <- av'
+  | Src_instance_of l when truthy && l >= 0 && l < Array.length st.locs ->
+    (* [InstanceOf] only answers true for objects *)
+    (match st.locs.(l) with
+    | Absval.Const _ -> ()
+    | Absval.Any | Absval.Tag _ -> st.locs.(l) <- Absval.Tag V.TObj)
+  | Src_none | Src_local _ | Src_instance_of _ -> ());
+  st
+
+(* Run one block from its in-state; returns the feasible successor edges
+   with their out-states.  [record_before pc st instr] fires with the state
+   at entry to each pc, [record_after pc st instr] right after its transfer. *)
+let walk_block repo (f : F.t) (blocks : F.block array) (bmap : int array) b st
+    ~record_before ~record_after =
+  let n = Array.length f.F.body in
+  let blk = blocks.(b) in
+  let stop = blk.F.start + blk.F.len in
+  let st = clone_state st in
+  for pc = blk.F.start to stop - 2 do
+    let instr = f.F.body.(pc) in
+    record_before pc st instr;
+    step repo f st instr;
+    record_after pc st instr
+  done;
+  let pc = stop - 1 in
+  let last = f.F.body.(pc) in
+  record_before pc st last;
+  let cond = match st.stk with s :: _ -> s | [] -> any_slot in
+  step repo f st last;
+  record_after pc st last;
+  let fall_edge () = if stop < n then [ (bmap.(stop), st) ] else [] in
+  let branch_edges target ~taken_when =
+    (* [taken_when]: the truthiness of the condition that takes the jump *)
+    let tgt = if target >= 0 && target < n then Some bmap.(target) else None in
+    match (tgt, Absval.truthiness cond.av) with
+    | None, _ -> fall_edge ()
+    | Some tb, Some t ->
+      if t = taken_when then [ (tb, st) ] else fall_edge ()
+    | Some tb, None ->
+      let taken_st = refine_edge st cond ~truthy:taken_when in
+      let fall_st = refine_edge st cond ~truthy:(not taken_when) in
+      (tb, taken_st) :: (if stop < n then [ (bmap.(stop), fall_st) ] else [])
+  in
+  match last with
+  | I.Jmp target ->
+    if target >= 0 && target < n then [ (bmap.(target), st) ] else []
+  | I.JmpZ target -> branch_edges target ~taken_when:false
+  | I.JmpNZ target -> branch_edges target ~taken_when:true
+  | I.Ret -> []
+  | _ -> fall_edge ()
+
+(* ---------------- per-function summary ---------------- *)
+
+type summary = {
+  blocks : F.block array;
+  reach : bool array;  (* per block: reachable over feasible edges *)
+  feasible_succs : int list array;
+      (* per block: CFG successors reachable along feasible edges; subset of
+         [blocks.(b).succs] (empty for unreachable blocks) *)
+  entry_top : Absval.t array;  (* per pc: abstract top-of-stack on entry *)
+  entry_snd : Absval.t array;  (* per pc: abstract second-of-stack on entry *)
+  pushed : Absval.t array;
+      (* per pc: abstract value pushed by the instruction (Any if it pushes
+         nothing or is unreachable) *)
+  undef_read : bool array;  (* per pc: LoadLoc of a possibly-unassigned local *)
+  dead_store : bool array;  (* per pc: StoreLoc whose local is dead after it *)
+  iterations : int;
+  converged : bool;
+}
+
+let trivial_summary (f : F.t) blocks =
+  let n = Array.length f.F.body in
+  {
+    blocks;
+    reach = Array.make (Array.length blocks) true;
+    feasible_succs = Array.map (fun (b : F.block) -> b.F.succs) blocks;
+    entry_top = Array.make (max 1 n) Absval.Any;
+    entry_snd = Array.make (max 1 n) Absval.Any;
+    pushed = Array.make (max 1 n) Absval.Any;
+    undef_read = Array.make (max 1 n) false;
+    dead_store = Array.make (max 1 n) false;
+    iterations = 0;
+    converged = false;
+  }
+
+let feasible_edge summary ~src ~dst =
+  src >= 0
+  && src < Array.length summary.feasible_succs
+  && List.mem dst summary.feasible_succs.(src)
+
+(* Iteration bound for the type-state solve.  A block re-runs only when its
+   in-fact strictly grows; each slot's chain is Const -> Tag -> Any (2
+   steps) plus one provenance collapse, each local adds the same plus the
+   must-assigned bit, and the stack holds at most [2n] slots (every
+   instruction pushes at most 2).  The bound below is that worst case with
+   generous slack; the qcheck property pins random CFGs far under it. *)
+let typestate_bound ~n_blocks ~body_len ~n_locals =
+  64 + (n_blocks * ((8 * body_len) + (4 * n_locals) + 16))
+
+let analyze_uncached repo (f : F.t) : summary =
+  let n = Array.length f.F.body in
+  let blocks = F.basic_blocks f in
+  let nb = Array.length blocks in
+  if n = 0 || nb = 0 then trivial_summary f blocks
+  else begin
+    let n_locals = max 1 f.F.n_locals in
+    let bmap = Array.make n 0 in
+    Array.iter
+      (fun (b : F.block) ->
+        for i = b.F.start to b.F.start + b.F.len - 1 do
+          bmap.(i) <- b.F.bb_id
+        done)
+      blocks;
+    let entry =
+      let locs = Array.make n_locals (Absval.Const V.Null) in
+      let asg = Array.make n_locals false in
+      (* parameters arrive with caller-controlled values; the remaining
+         locals start life as engine-zeroed null *)
+      for l = 0 to min f.F.n_params n_locals - 1 do
+        locs.(l) <- Absval.Any;
+        asg.(l) <- true
+      done;
+      { stk = []; locs; asg }
+    in
+    let nop3 _ _ _ = () in
+    let max_iters = typestate_bound ~n_blocks:nb ~body_len:n ~n_locals in
+    let inf, stats =
+      Solver.forward ~n_blocks:nb ~entry ~join:join_state ~equal:equal_state
+        ~transfer:(fun b fact ->
+          walk_block repo f blocks bmap b fact ~record_before:nop3 ~record_after:nop3)
+        ~max_iters
+    in
+    if not stats.Solver.converged then
+      { (trivial_summary f blocks) with iterations = stats.Solver.iterations }
+    else begin
+      let entry_top = Array.make n Absval.Any in
+      let entry_snd = Array.make n Absval.Any in
+      let pushed = Array.make n Absval.Any in
+      let undef_read = Array.make n false in
+      let dead_store = Array.make n false in
+      let reach = Array.map (fun o -> o <> None) inf in
+      let feasible_succs = Array.make nb [] in
+      for b = 0 to nb - 1 do
+        match inf.(b) with
+        | None -> ()
+        | Some fact ->
+          let edges =
+            walk_block repo f blocks bmap b fact
+              ~record_before:(fun pc st instr ->
+                (match st.stk with
+                | top :: rest -> (
+                  entry_top.(pc) <- top.av;
+                  match rest with s :: _ -> entry_snd.(pc) <- s.av | [] -> ())
+                | [] -> ());
+                match instr with
+                | I.LoadLoc l when l >= 0 && l < n_locals && not st.asg.(l) ->
+                  undef_read.(pc) <- true
+                | _ -> ())
+              ~record_after:(fun pc st instr ->
+                if pushes_of instr > 0 then
+                  match st.stk with top :: _ -> pushed.(pc) <- top.av | [] -> ())
+          in
+          let succs = List.map fst edges in
+          feasible_succs.(b) <-
+            List.filter (fun s -> List.mem s succs) blocks.(b).F.succs
+      done;
+      (* Backward liveness of locals over the feasible edges: a store to a
+         local that no feasible path reads again is dead. *)
+      let live_bound = 64 + (nb * ((2 * n_locals) + 4)) in
+      let live_in, _ =
+        Solver.backward ~n_blocks:nb
+          ~succs:(fun b -> feasible_succs.(b))
+          ~init:(fun _ -> Array.make n_locals false)
+          ~join:(fun a b -> Array.mapi (fun i v -> v || b.(i)) a)
+          ~equal:(fun a b -> a = b)
+          ~transfer:(fun b out ->
+            let live = Array.copy out in
+            let blk = blocks.(b) in
+            for pc = blk.F.start + blk.F.len - 1 downto blk.F.start do
+              match f.F.body.(pc) with
+              | I.StoreLoc l when l >= 0 && l < n_locals -> live.(l) <- false
+              | I.LoadLoc l when l >= 0 && l < n_locals -> live.(l) <- true
+              | _ -> ()
+            done;
+            live)
+          ~max_iters:live_bound
+      in
+      for b = 0 to nb - 1 do
+        if reach.(b) then begin
+          let out =
+            List.fold_left
+              (fun acc s -> Array.mapi (fun i v -> v || live_in.(s).(i)) acc)
+              (Array.make n_locals false) feasible_succs.(b)
+          in
+          let live = out in
+          let blk = blocks.(b) in
+          for pc = blk.F.start + blk.F.len - 1 downto blk.F.start do
+            match f.F.body.(pc) with
+            | I.StoreLoc l when l >= 0 && l < n_locals ->
+              if not live.(l) then dead_store.(pc) <- true;
+              live.(l) <- false
+            | I.LoadLoc l when l >= 0 && l < n_locals -> live.(l) <- true
+            | _ -> ()
+          done
+        end
+      done;
+      {
+        blocks;
+        reach;
+        feasible_succs;
+        entry_top;
+        entry_snd;
+        pushed;
+        undef_read;
+        dead_store;
+        iterations = stats.Solver.iterations;
+        converged = true;
+      }
+    end
+  end
+
+(* Memo: [analyze] is pure over immutable inputs, and several layers ask for
+   the same summaries (the verifier's V105 pass, the engine's typed
+   translation, lints, package gates) — often once per engine creation per
+   function.  Summaries are shared per repo by physical identity; bounded to
+   the most recent few repos (sims and benches juggle one or two at a time),
+   so qcheck loops generating many repos cannot accumulate memory. *)
+let memo : (Hhbc.Repo.t * summary option array) list ref = ref []
+
+let memo_cap = 8
+
+let analyze repo (f : F.t) : summary =
+  let fid = f.F.id in
+  if fid < 0 || fid >= Hhbc.Repo.n_funcs repo || not (Hhbc.Repo.func repo fid == f) then
+    analyze_uncached repo f
+  else begin
+    let slots =
+      match List.assq_opt repo !memo with
+      | Some slots -> slots
+      | None ->
+        let slots = Array.make (Hhbc.Repo.n_funcs repo) None in
+        memo := (repo, slots) :: !memo;
+        if List.length !memo > memo_cap then
+          memo := List.filteri (fun i _ -> i < memo_cap) !memo;
+        slots
+    in
+    match slots.(fid) with
+    | Some s -> s
+    | None ->
+      let s = analyze_uncached repo f in
+      slots.(fid) <- Some s;
+      s
+  end

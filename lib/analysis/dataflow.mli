@@ -1,0 +1,135 @@
+(** Forward/backward dataflow over the per-function basic-block CFG.
+
+    One generic worklist solver ({!Solver}) drives three concrete analyses,
+    exposed together as a per-function {!summary}:
+
+    - type-state inference: an abstract value ({!Absval.t}) per operand-stack
+      slot and per local, joined at block entries, with branch refinement on
+      [JmpZ]/[JmpNZ] of values whose provenance is known (a local load, or an
+      [InstanceOf] test of a local);
+    - constant propagation and folding with feasible-edge reachability;
+    - backward liveness of locals over feasible edges (dead-store facts).
+
+    Soundness contract: every fact over-approximates the interpreter.
+    Profiles come from real executions, so package gates built on
+    {!feasible_edge}/[reach] never reject an honestly collected profile, and
+    the typed translation in [Interp.Engine] built on [pushed]/[entry_top]
+    facts stays byte-identical with the untyped path. *)
+
+module Absval : sig
+  (** [Const] holds immutable scalars only (Null/Bool/Int/Float/Str);
+      [Tag TNull] is normalized to [Const Null]. *)
+  type t = Any | Tag of Hhbc.Value.tag | Const of Hhbc.Value.t
+
+  val of_value : Hhbc.Value.t -> t
+  val of_tag : Hhbc.Value.tag -> t
+
+  (** Syntactic constant equality — stricter than [Value.equal] (floats by
+      bits, no int/float cross-equality). *)
+  val const_eq : Hhbc.Value.t -> Hhbc.Value.t -> bool
+
+  val tag_of : t -> Hhbc.Value.tag option
+
+  (** Least upper bound: Const < Tag < Any. *)
+  val join : t -> t -> t
+
+  val equal : t -> t -> bool
+
+  (** [Some b] iff every concrete value described is truthy ([b = true]) or
+      falsy ([b = false]). *)
+  val truthiness : t -> bool option
+
+  (** [identity_cast tag av] — a [Cast tag] of a value described by [av] is
+      guaranteed to return the operand unchanged (scalar casts on values
+      already of that tag). *)
+  val identity_cast : Hhbc.Value.tag -> t -> bool
+
+  val to_string : t -> string
+end
+
+(** Total mirrors of the engine's operator semantics: [Some v] only when the
+    engine produces exactly [v] without raising; [None] on any path that can
+    error (division by zero, non-numeric arithmetic, incomparable operands,
+    unsupported casts). *)
+
+val fold_binop : Hhbc.Instr.binop -> Hhbc.Value.t -> Hhbc.Value.t -> Hhbc.Value.t option
+
+val fold_unop : Hhbc.Instr.unop -> Hhbc.Value.t -> Hhbc.Value.t option
+
+val fold_cast : Hhbc.Value.tag -> Hhbc.Value.t -> Hhbc.Value.t option
+
+(** Abstract operator results (fold when constant, result tag otherwise). *)
+
+val binop_result : Hhbc.Instr.binop -> Absval.t -> Absval.t -> Absval.t
+
+val unop_result : Hhbc.Instr.unop -> Absval.t -> Absval.t
+
+val cast_result : Hhbc.Value.tag -> Absval.t -> Absval.t
+
+(** The generic worklist solver.  Facts are an arbitrary join-semilattice;
+    the caller bounds iterations from the lattice height and [converged]
+    reports whether the fixed point was reached within the bound. *)
+module Solver : sig
+  type stats = { iterations : int; converged : bool }
+
+  (** [forward ~n_blocks ~entry ~join ~equal ~transfer ~max_iters] — block 0
+      is the entry; [transfer b fact] returns edge-wise out-facts per
+      feasible successor.  [None] in the result marks blocks never reached
+      through feasible edges. *)
+  val forward :
+    n_blocks:int ->
+    entry:'f ->
+    join:('f -> 'f -> 'f) ->
+    equal:('f -> 'f -> bool) ->
+    transfer:(int -> 'f -> (int * 'f) list) ->
+    max_iters:int ->
+    'f option array * stats
+
+  (** [backward ~n_blocks ~succs ~init ~join ~equal ~transfer ~max_iters] —
+      out(b) = [init b] joined with in(s) over [succs b]; [transfer b out]
+      computes the in-fact.  Returns per-block in-facts. *)
+  val backward :
+    n_blocks:int ->
+    succs:(int -> int list) ->
+    init:(int -> 'f) ->
+    join:('f -> 'f -> 'f) ->
+    equal:('f -> 'f -> bool) ->
+    transfer:(int -> 'f -> 'f) ->
+    max_iters:int ->
+    'f array * stats
+end
+
+(** Per-function analysis results.  All per-pc arrays are indexed by body
+    offset; facts at unreachable pcs are the conservative defaults ([Any] /
+    [false]). *)
+type summary = {
+  blocks : Hhbc.Func.block array;
+  reach : bool array;  (** per block: reachable over feasible edges *)
+  feasible_succs : int list array;
+      (** per block: subset of [blocks.(b).succs] reachable along feasible
+          edges (empty for unreachable blocks) *)
+  entry_top : Absval.t array;  (** per pc: abstract top-of-stack on entry *)
+  entry_snd : Absval.t array;  (** per pc: abstract second-of-stack on entry *)
+  pushed : Absval.t array;
+      (** per pc: abstract value the instruction pushes ([Any] if none) *)
+  undef_read : bool array;
+      (** per pc: [LoadLoc] of a possibly-unassigned local (params count as
+          assigned; other locals as engine-zeroed null but unassigned) *)
+  dead_store : bool array;
+      (** per pc: [StoreLoc] whose local is dead on every feasible path *)
+  iterations : int;
+  converged : bool;  (** [false] = bound hit, facts degraded to trivial *)
+}
+
+(** [feasible_edge s ~src ~dst] — the CFG edge src->dst survives
+    feasible-edge pruning.  Edges not in the CFG at all are infeasible. *)
+val feasible_edge : summary -> src:int -> dst:int -> bool
+
+(** Iteration bound used by {!analyze} (exposed for the qcheck property that
+    pins solver convergence under it). *)
+val typestate_bound : n_blocks:int -> body_len:int -> n_locals:int -> int
+
+(** [analyze repo f] runs all three analyses.  Total on arbitrary bodies
+    (clamped stack ops, range-guarded ids); results are only as meaningful
+    as the body is verifiable. *)
+val analyze : Hhbc.Repo.t -> Hhbc.Func.t -> summary

@@ -1,0 +1,109 @@
+(* Rendering for the [analyze] CLI subcommands: per-function dataflow facts
+   plus diagnostics, as stable text or JSON.  Both forms are deterministic
+   for a given repo (facts come from the deterministic analysis, diagnostics
+   arrive sorted), so golden tests can pin the output. *)
+
+module F = Hhbc.Func
+module I = Hhbc.Instr
+
+type func_row = {
+  fid : int;
+  name : string;
+  n_blocks : int;
+  n_reachable : int;
+  n_cfg_edges : int;
+  n_feasible_edges : int;
+  n_dead_stores : int;
+  n_const_facts : int;  (* pcs whose pushed value is a proven constant *)
+  iterations : int;
+  converged : bool;
+}
+
+let row repo (f : F.t) =
+  let s = Dataflow.analyze repo f in
+  let n_blocks = Array.length s.Dataflow.blocks in
+  let n_reachable = Array.fold_left (fun n r -> if r then n + 1 else n) 0 s.Dataflow.reach in
+  let n_cfg_edges =
+    Array.fold_left (fun n (b : F.block) -> n + List.length b.F.succs) 0 s.Dataflow.blocks
+  in
+  let n_feasible_edges =
+    Array.fold_left (fun n succs -> n + List.length succs) 0 s.Dataflow.feasible_succs
+  in
+  let n_dead_stores = Array.fold_left (fun n d -> if d then n + 1 else n) 0 s.Dataflow.dead_store in
+  let n_const_facts =
+    let n = ref 0 in
+    Array.iter (function Dataflow.Absval.Const _ -> incr n | _ -> ()) s.Dataflow.pushed;
+    !n
+  in
+  {
+    fid = f.F.id;
+    name = f.F.name;
+    n_blocks;
+    n_reachable;
+    n_cfg_edges;
+    n_feasible_edges;
+    n_dead_stores;
+    n_const_facts;
+    iterations = s.Dataflow.iterations;
+    converged = s.Dataflow.converged;
+  }
+
+let rows repo = Array.to_list (Array.map (row repo) repo.Hhbc.Repo.funcs)
+
+let text repo ~diags =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Printf.bprintf b "f%-3d %-24s %3d blocks (%d reachable)  %3d edges (%d feasible)  %2d dead stores  %3d const facts  %s\n"
+        r.fid r.name r.n_blocks r.n_reachable r.n_cfg_edges r.n_feasible_edges r.n_dead_stores
+        r.n_const_facts
+        (if r.converged then Printf.sprintf "converged in %d iterations" r.iterations
+         else "DID NOT CONVERGE"))
+    (rows repo);
+  List.iter (fun d -> Buffer.add_string b (Diag.to_string d); Buffer.add_char b '\n') diags;
+  let errors = List.length (Diag.errors diags) in
+  let warnings = List.length diags - errors in
+  Printf.bprintf b "analyzed %d functions: %d errors, %d warnings\n" (Hhbc.Repo.n_funcs repo)
+    errors warnings;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json repo ~diags =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n  \"functions\": [\n";
+  let rs = rows repo in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    { \"fid\": %d, \"name\": \"%s\", \"blocks\": %d, \"reachable\": %d, \"cfg_edges\": %d, \"feasible_edges\": %d, \"dead_stores\": %d, \"const_facts\": %d, \"iterations\": %d, \"converged\": %b }%s\n"
+        r.fid (json_escape r.name) r.n_blocks r.n_reachable r.n_cfg_edges r.n_feasible_edges
+        r.n_dead_stores r.n_const_facts r.iterations r.converged
+        (if i = List.length rs - 1 then "" else ","))
+    rs;
+  Printf.bprintf b "  ],\n  \"diagnostics\": [\n";
+  List.iteri
+    (fun i (d : Diag.t) ->
+      Printf.bprintf b "    { \"severity\": \"%s\", \"code\": \"%s\"%s%s, \"message\": \"%s\" }%s\n"
+        (match d.Diag.severity with Diag.Error -> "error" | Diag.Warning -> "warning")
+        d.Diag.code
+        (match d.Diag.fid with Some fid -> Printf.sprintf ", \"fid\": %d" fid | None -> "")
+        (match d.Diag.pc with Some pc -> Printf.sprintf ", \"pc\": %d" pc | None -> "")
+        (json_escape d.Diag.message)
+        (if i = List.length diags - 1 then "" else ","))
+    diags;
+  let errors = List.length (Diag.errors diags) in
+  Printf.bprintf b "  ],\n  \"errors\": %d,\n  \"warnings\": %d\n}\n" errors
+    (List.length diags - errors);
+  Buffer.contents b

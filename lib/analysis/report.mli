@@ -1,0 +1,27 @@
+(** Rendering for the [analyze] CLI subcommands: per-function dataflow facts
+    plus diagnostics, as stable text or JSON.  Deterministic for a given
+    repo, so golden tests can pin the output. *)
+
+type func_row = {
+  fid : int;
+  name : string;
+  n_blocks : int;
+  n_reachable : int;  (** blocks reachable over feasible edges *)
+  n_cfg_edges : int;
+  n_feasible_edges : int;
+  n_dead_stores : int;
+  n_const_facts : int;  (** pcs whose pushed value is a proven constant *)
+  iterations : int;
+  converged : bool;
+}
+
+val row : Hhbc.Repo.t -> Hhbc.Func.t -> func_row
+val rows : Hhbc.Repo.t -> func_row list
+
+(** [text repo ~diags] — one fact line per function, then the diagnostics,
+    then an ["analyzed N functions: E errors, W warnings"] trailer. *)
+val text : Hhbc.Repo.t -> diags:Diag.t list -> string
+
+(** [json repo ~diags] — the same data as a JSON document with [functions],
+    [diagnostics], [errors] and [warnings] fields. *)
+val json : Hhbc.Repo.t -> diags:Diag.t list -> string

@@ -42,20 +42,16 @@ let stack_effect : I.t -> int * int = function
   | I.Print -> (1, 0)
   | I.Ret -> (1, 0)
 
-(* Simulate one basic block from a known entry depth.  [defs] is mutated in
-   place ([StoreLoc] defines); [on_instr] fires before each instruction with
-   the depth on entry to it.  Depth is clamped at zero after an underflow so
-   the walk can continue deterministically. *)
-let sim_block (f : F.t) (blk : F.block) ~depth ~(defs : bool array) ~on_instr =
+(* Simulate one basic block from a known entry depth.  [on_instr] fires
+   before each instruction with the depth on entry to it.  Depth is clamped
+   at zero after an underflow so the walk can continue deterministically. *)
+let sim_block (f : F.t) (blk : F.block) ~depth ~on_instr =
   let d = ref depth in
   for pc = blk.F.start to blk.F.start + blk.F.len - 1 do
     let instr = f.F.body.(pc) in
     on_instr pc instr !d;
     let pops, pushes = stack_effect instr in
-    d := max 0 (!d - pops) + pushes;
-    match instr with
-    | I.StoreLoc l when l >= 0 && l < Array.length defs -> defs.(l) <- true
-    | _ -> ()
+    d := max 0 (!d - pops) + pushes
   done;
   !d
 
@@ -154,55 +150,32 @@ let check_func repo (f : F.t) =
     | _ ->
       err ~pc:(n - 1) "V104"
         (Printf.sprintf "function %s: execution can fall off the end of the body" name));
-    (* phase 3: CFG dataflow — must-equal stack depth, must-defined locals,
-       reachability.  Requires in-range jump targets (phase 1). *)
+    (* phase 3: CFG dataflow — must-equal stack depth and reachability.
+       Requires in-range jump targets (phase 1). *)
     if !jumps_ok then begin
       let blocks = F.basic_blocks f in
       let nb = Array.length blocks in
-      let n_locals = max 1 f.F.n_locals in
       let in_depth = Array.make nb (-1) in
-      let in_defs : bool array option array = Array.make nb None in
       let mismatch = Array.make nb false in
       let queue = Queue.create () in
-      let entry_defs = Array.make n_locals false in
-      for l = 0 to min f.F.n_params f.F.n_locals - 1 do
-        entry_defs.(l) <- true
-      done;
       in_depth.(0) <- 0;
-      in_defs.(0) <- Some entry_defs;
       Queue.add 0 queue;
       while not (Queue.is_empty queue) do
         let b = Queue.pop queue in
-        let defs = Array.copy (Option.get in_defs.(b)) in
-        let out =
-          sim_block f blocks.(b) ~depth:in_depth.(b) ~defs ~on_instr:(fun _ _ _ -> ())
-        in
+        let out = sim_block f blocks.(b) ~depth:in_depth.(b) ~on_instr:(fun _ _ _ -> ()) in
         List.iter
           (fun s ->
             if in_depth.(s) < 0 then begin
               in_depth.(s) <- out;
-              in_defs.(s) <- Some (Array.copy defs);
               Queue.add s queue
             end
-            else begin
-              if in_depth.(s) <> out && not mismatch.(s) then begin
-                mismatch.(s) <- true;
-                err ~pc:blocks.(s).F.start "V103"
-                  (Printf.sprintf
-                     "function %s: must-equal stack depth violated at join (block %d entered with \
-                      depth %d and %d)"
-                     name s in_depth.(s) out)
-              end;
-              let cur = Option.get in_defs.(s) in
-              let shrunk = ref false in
-              Array.iteri
-                (fun l v ->
-                  if cur.(l) && not v then begin
-                    cur.(l) <- false;
-                    shrunk := true
-                  end)
-                defs;
-              if !shrunk then Queue.add s queue
+            else if in_depth.(s) <> out && not mismatch.(s) then begin
+              mismatch.(s) <- true;
+              err ~pc:blocks.(s).F.start "V103"
+                (Printf.sprintf
+                   "function %s: must-equal stack depth violated at join (block %d entered with \
+                    depth %d and %d)"
+                   name s in_depth.(s) out)
             end)
           blocks.(b).F.succs
       done;
@@ -212,10 +185,9 @@ let check_func repo (f : F.t) =
           warn ~pc:blocks.(b).F.start "V109"
             (Printf.sprintf "function %s: unreachable block %d" name b)
         else begin
-          let defs = Array.copy (Option.get in_defs.(b)) in
           let underflowed = ref false in
           ignore
-            (sim_block f blocks.(b) ~depth:in_depth.(b) ~defs ~on_instr:(fun pc instr d ->
+            (sim_block f blocks.(b) ~depth:in_depth.(b) ~on_instr:(fun pc instr d ->
                  let pops, _ = stack_effect instr in
                  if d < pops && not !underflowed then begin
                    underflowed := true;
@@ -223,18 +195,30 @@ let check_func repo (f : F.t) =
                      (Printf.sprintf "function %s: stack underflow (depth %d, instruction pops %d)"
                         name d pops)
                  end;
-                 (match instr with
-                 | I.LoadLoc l when l >= 0 && l < n_locals && not defs.(l) ->
-                   warn ~pc "V105"
-                     (Printf.sprintf "function %s: local %d may be read before definition" name l)
-                 | _ -> ());
                  match instr with
                  | I.Ret when d <> 1 && not !underflowed ->
                    warn ~pc "V110"
                      (Printf.sprintf "function %s: stack depth %d at Ret (expected 1)" name d)
                  | _ -> ()))
         end
-      done
+      done;
+      (* V105 via the abstract interpreter (join- and feasibility-aware):
+         replaces the old path-insensitive must-defined heuristic, which
+         warned on locals defined on both arms of a branch and on
+         loop-carried definitions.  Only meaningful on error-free bodies. *)
+      if not (List.exists D.is_error !diags) then begin
+        let s = Dataflow.analyze repo f in
+        if s.Dataflow.converged then
+          Array.iteri
+            (fun pc flagged ->
+              if flagged then
+                match f.F.body.(pc) with
+                | I.LoadLoc l ->
+                  warn ~pc "V105"
+                    (Printf.sprintf "function %s: local %d may be read before definition" name l)
+                | _ -> ())
+            s.Dataflow.undef_read
+      end
     end;
     D.sort !diags
   end

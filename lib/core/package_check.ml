@@ -18,9 +18,23 @@ let check repo (pkg : Package.t) =
          (Printf.sprintf "counters sized for %d functions, repo has %d" (C.n_funcs pkg.counters)
             n_funcs));
   if C.n_funcs pkg.counters = n_funcs then begin
-    (* P301/P302/P303: bytecode block and arc counters per profiled func. *)
+    (* P301/P302/P303: bytecode block and arc counters per profiled func.
+       P320/P321: feasibility — dataflow facts over-approximate everything
+       the interpreter can do, so a profile claiming execution along a
+       statically infeasible edge (P320) or inside a dataflow-dead block
+       (P321) cannot have been honestly collected against this repo.  The
+       gate only consults converged analyses of verifier-clean bodies, so it
+       never rejects an honest profile. *)
     for fid = 0 to n_funcs - 1 do
       let blocks = lazy (blocks_of fid) in
+      let dfa =
+        lazy
+          (let f = Hhbc.Repo.func repo fid in
+           if Js_analysis.Diag.errors (Js_analysis.Verify.check_func repo f) <> [] then None
+           else
+             let s = Js_analysis.Dataflow.analyze repo f in
+             if s.Js_analysis.Dataflow.converged then Some s else None)
+      in
       (match C.block_counts pkg.counters fid with
       | None -> ()
       | Some counts ->
@@ -29,9 +43,22 @@ let check repo (pkg : Package.t) =
           add
             (D.error "P301" ~fid
                (Printf.sprintf "block counter vector has %d entries, function has %d blocks"
-                  (Array.length counts) n_blocks)));
+                  (Array.length counts) n_blocks))
+        else
+          match Lazy.force dfa with
+          | None -> ()
+          | Some s ->
+            Array.iteri
+              (fun b count ->
+                if count > 0 && not s.Js_analysis.Dataflow.reach.(b) then
+                  add
+                    (D.error "P321" ~fid ~pc:b
+                       (Printf.sprintf
+                          "profiled count %d on block b%d, which dataflow proves unreachable"
+                          count b)))
+              counts);
       List.iter
-        (fun (src, dst, _count) ->
+        (fun (src, dst, count) ->
           let blocks = Lazy.force blocks in
           let n_blocks = Array.length blocks in
           if src < 0 || src >= n_blocks || dst < 0 || dst >= n_blocks then
@@ -42,7 +69,17 @@ let check repo (pkg : Package.t) =
           else if not (List.mem dst blocks.(src).F.succs) then
             add
               (D.error "P303" ~fid ~pc:src
-                 (Printf.sprintf "profiled arc b%d->b%d is not a CFG edge" src dst)))
+                 (Printf.sprintf "profiled arc b%d->b%d is not a CFG edge" src dst))
+          else if count > 0 then
+            match Lazy.force dfa with
+            | None -> ()
+            | Some s ->
+              if not (Js_analysis.Dataflow.feasible_edge s ~src ~dst) then
+                add
+                  (D.error "P320" ~fid ~pc:src
+                     (Printf.sprintf
+                        "profiled arc b%d->b%d (count %d) is statically infeasible" src dst
+                        count)))
         (C.arc_counts pkg.counters fid)
     done;
     (* P304: call-target profiles must hang off call instructions. *)

@@ -23,7 +23,14 @@
     - [P309] entry/call-graph counter references an invalid function id
     - [P310] vasm profile references an invalid function id
     - [P311] vasm arc endpoint exceeds the function's own block vector
-    - [P313] package meta disagrees with its own counters (warning) *)
+    - [P313] package meta disagrees with its own counters (warning)
+
+    Dataflow feasibility gates ([P32x], backed by {!Js_analysis.Dataflow};
+    they only fire on converged analyses of verifier-clean bodies, so an
+    honestly collected profile can never trip them):
+    - [P320] profiled arc with a positive count rides a CFG edge the
+      analysis proves statically infeasible
+    - [P321] positive block count on a block dataflow proves unreachable *)
 
 val check : Hhbc.Repo.t -> Package.t -> Js_analysis.Diag.t list
 

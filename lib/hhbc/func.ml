@@ -64,6 +64,27 @@ let block_of_instr blocks idx =
 
 let bytecode_size f = Array.fold_left (fun acc i -> acc + Instr.byte_size i) 0 f.body
 
+(* Structural hash of one block: FNV-1a over the instructions with jump
+   targets rewritten relative to the block start, so the same code hashed at a
+   different body offset (after insertions elsewhere in the function) still
+   matches.  This is the matching key for BOLT-style stale-profile transfer:
+   counters follow blocks whose hashes survive a code push. *)
+let block_hash f (blk : block) =
+  let h = ref 0x4bf29ce484222325 in
+  let mix v = h := (!h lxor v) * 0x100000001b3 in
+  mix blk.len;
+  for pc = blk.start to blk.start + blk.len - 1 do
+    let instr = f.body.(pc) in
+    match instr with
+    | Instr.Jmp t -> mix (Hashtbl.hash (Instr.Jmp (t - blk.start)))
+    | Instr.JmpZ t -> mix (Hashtbl.hash (Instr.JmpZ (t - blk.start)))
+    | Instr.JmpNZ t -> mix (Hashtbl.hash (Instr.JmpNZ (t - blk.start)))
+    | _ -> mix (Hashtbl.hash instr)
+  done;
+  !h land max_int
+
+let block_hashes f = Array.map (block_hash f) (basic_blocks f)
+
 let validate f =
   let n = Array.length f.body in
   if n = 0 then Error (Printf.sprintf "function %s: empty body" f.name)

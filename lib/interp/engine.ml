@@ -83,6 +83,39 @@ type tinstr =
   | TLLBZ of int * int * I.binop * int  (* if !(a op b) jmp; w = 4 *)
   | TLVBZ of int * V.t * I.binop * int  (* if !(a op lit) jmp; w = 4 *)
   | TLRet of int  (* return local; w = 2 *)
+  (* analysis-driven forms, installed only by the typed overlay (dataflow
+     facts from [Js_analysis.Dataflow]); G = GetProp, T = GetThis, R = Ret *)
+  | TPushK of V.t * int  (* constant-folded segment of w instructions *)
+  | TPopJmp of int  (* statically-taken conditional jump: pop, jump; w = 1 *)
+  | TUnreachable  (* slot in a dataflow-dead block; executing it is a bug *)
+  | TVB of V.t * I.binop  (* stacktop op lit; w = 2 *)
+  | TBS of I.binop * int  (* stack binop, store; w = 2 *)
+  | TBR of I.binop  (* stack binop, return; w = 2 *)
+  | TGTGP of I.nid  (* this->prop; w = 2 *)
+  | TVBS of V.t * I.binop * int  (* c := stacktop op lit; w = 3 *)
+  | TVBZ of V.t * I.binop * int  (* if !(stacktop op lit) jmp; w = 3 *)
+  | TLVBR of int * V.t * I.binop  (* return (a op lit); w = 4 *)
+  | TLLGPBS of int * int * I.nid * I.binop * int  (* d := a op o->p; w = 5 *)
+  | TLLGPBLBS of int * int * I.nid * I.binop * int * I.binop * int
+      (* d := (a op1 o->p) op2 c; w = 7 *)
+  | TGTGPLVBBS of I.nid * int * V.t * I.binop * I.binop * int
+      (* d := this->p op2 (x op1 lit); w = 7 *)
+  | TLGTGPVBBR of int * I.nid * V.t * I.binop * I.binop
+      (* return a op2 (this->p op1 lit); w = 7 *)
+
+(* What the typed (dataflow-driven) overlay did at translation time.  These
+   are translation statistics only: they are deliberately NOT exported into
+   telemetry counters, so runs with the overlay on and off stay
+   telemetry-byte-identical (the bench's digest-neutrality gate). *)
+type typed_stats = {
+  mutable typed_folds : int;  (* constant segments collapsed to TPushK *)
+  mutable typed_consts : int;  (* LoadLoc of a proven-constant local *)
+  mutable typed_jumps : int;  (* statically resolved JmpZ/JmpNZ *)
+  mutable typed_casts : int;  (* identity casts dropped *)
+  mutable typed_dead_stores : int;  (* stores to dead locals demoted to pops *)
+  mutable typed_dead_blocks : int;  (* dataflow-dead blocks poisoned *)
+  mutable typed_fused : int;  (* analysis-era superinstructions installed *)
+}
 
 type cache_stats = {
   mutable meth_hit_mono : int;
@@ -118,12 +151,14 @@ type t = {
      checks *)
   block_limits : int array option array;
   inline_cache : bool;
+  typed : bool;
   (* per-function translations, same shape as the function body *)
   tcodes : tinstr array option array;
   (* per-function site-cache arrays, same shape as the function body *)
   site_caches : site array option array;
   mutable frames : frame array;  (* pool indexed by call depth *)
   stats : cache_stats;
+  tstats : typed_stats;
 }
 
 let max_depth = 2000
@@ -225,13 +260,203 @@ let translate t fid =
       | I.Ret -> TRet
     in
     let code = Array.init n single in
+    (* --- typed overlay (dataflow-driven) ---
+
+       When enabled, the abstract interpreter's per-pc facts rewrite slots
+       before fusion runs: constant-folded segments collapse to one push
+       that charges the segment's full step cost, statically-decided
+       conditionals lose their test, identity casts become no-ops, stores to
+       dead locals keep their pop but skip the write, and dataflow-dead
+       blocks are poisoned (executing one means the analysis was unsound —
+       the qcheck A/B hunts exactly that).  Every rewrite preserves results,
+       output, probe streams and step/fuel accounting exactly; [typed_head]
+       pins multi-slot rewrites so fusion does not overwrite their heads
+       (overlaps elsewhere are safe — both layers reproduce the source
+       semantics of the slots they cover, and tails keep 1:1 forms). *)
+    let typed_head = Array.make n false in
+    let ts = t.tstats in
+    let summary =
+      if t.typed then begin
+        let s = Js_analysis.Dataflow.analyze t.repo f in
+        if s.Js_analysis.Dataflow.converged then Some s else None
+      end
+      else None
+    in
+    (match summary with
+    | None -> ()
+    | Some s ->
+      let module Dfa = Js_analysis.Dataflow in
+      let bmap = block_map t fid in
+      let reach_pc pc = s.Dfa.reach.(bmap.(pc)) in
+      (* dead blocks *)
+      Array.iter
+        (fun (blk : Hhbc.Func.block) ->
+          if not s.Dfa.reach.(blk.Hhbc.Func.bb_id) then begin
+            ts.typed_dead_blocks <- ts.typed_dead_blocks + 1;
+            for pc = blk.Hhbc.Func.start to blk.Hhbc.Func.start + blk.Hhbc.Func.len - 1 do
+              code.(pc) <- TUnreachable;
+              typed_head.(pc) <- true
+            done
+          end)
+        s.Dfa.blocks;
+      (* constant-folded segments: a symbolic rescan of each live block finds
+         maximal contiguous runs of pure instructions (literals, local loads,
+         operators) whose net effect is pushing one proven constant; the run
+         head becomes [TPushK (v, w)] and the tail keeps its 1:1 forms (jump
+         targets cannot land inside a block, so the tail is unreachable). *)
+      let claimed = Array.make n false in
+      Array.iter
+        (fun (blk : Hhbc.Func.block) ->
+          if s.Dfa.reach.(blk.Hhbc.Func.bb_id) then begin
+            let stk = ref [] in
+            let spop () =
+              match !stk with [] -> None | x :: tl -> stk := tl; x
+            in
+            let candidates = ref [] in
+            for pc = blk.Hhbc.Func.start to blk.Hhbc.Func.start + blk.Hhbc.Func.len - 1 do
+              let instr = body.(pc) in
+              let pops, pushes = Js_analysis.Verify.stack_effect instr in
+              let tracked =
+                match instr with
+                | I.LitInt _ | I.LitFloat _ | I.LitBool _ | I.LitNull | I.LitStr _
+                | I.LoadLoc _ -> (
+                  match s.Dfa.pushed.(pc) with
+                  | Dfa.Absval.Const v -> Some (pc, v)
+                  | _ -> None)
+                | I.BinOp _ -> (
+                  let b = spop () in
+                  let a = spop () in
+                  match (s.Dfa.pushed.(pc), a, b) with
+                  | Dfa.Absval.Const v, Some (sa, _), Some _ -> Some (sa, v)
+                  | _ -> None)
+                | I.UnOp _ | I.Cast _ -> (
+                  let a = spop () in
+                  match (s.Dfa.pushed.(pc), a) with
+                  | Dfa.Absval.Const v, Some (sa, _) -> Some (sa, v)
+                  | _ -> None)
+                | _ ->
+                  for _ = 1 to pops do ignore (spop ()) done;
+                  None
+              in
+              (match instr with
+              | I.LitInt _ | I.LitFloat _ | I.LitBool _ | I.LitNull | I.LitStr _
+              | I.LoadLoc _ | I.BinOp _ | I.UnOp _ | I.Cast _ ->
+                stk := tracked :: !stk;
+                for _ = 2 to pushes do stk := None :: !stk done
+              | _ -> for _ = 1 to pushes do stk := None :: !stk done);
+              match tracked with
+              | Some (start, v) when pc > start -> candidates := (start, pc, v) :: !candidates
+              | _ -> ()
+            done;
+            (* candidates arrive latest-end first; larger runs subsume the
+               sub-runs they contain *)
+            List.iter
+              (fun (start, stop, v) ->
+                let free = ref true in
+                for pc = start to stop do
+                  if claimed.(pc) then free := false
+                done;
+                if !free then begin
+                  for pc = start to stop do
+                    claimed.(pc) <- true
+                  done;
+                  code.(start) <- TPushK (v, stop - start + 1);
+                  typed_head.(start) <- true;
+                  ts.typed_folds <- ts.typed_folds + 1
+                end)
+              !candidates
+          end)
+        s.Dfa.blocks;
+      (* per-slot rewrites on live, unclaimed slots *)
+      for pc = 0 to n - 1 do
+        if reach_pc pc && not claimed.(pc) then
+          match body.(pc) with
+          | I.JmpZ target -> (
+            match Dfa.Absval.truthiness s.Dfa.entry_top.(pc) with
+            | Some false ->
+              code.(pc) <- TPopJmp target;
+              ts.typed_jumps <- ts.typed_jumps + 1
+            | Some true ->
+              code.(pc) <- TPop;
+              ts.typed_jumps <- ts.typed_jumps + 1
+            | None -> ())
+          | I.JmpNZ target -> (
+            match Dfa.Absval.truthiness s.Dfa.entry_top.(pc) with
+            | Some true ->
+              code.(pc) <- TPopJmp target;
+              ts.typed_jumps <- ts.typed_jumps + 1
+            | Some false ->
+              code.(pc) <- TPop;
+              ts.typed_jumps <- ts.typed_jumps + 1
+            | None -> ())
+          | I.Cast tag when Js_analysis.Dataflow.Absval.identity_cast tag s.Dfa.entry_top.(pc)
+            ->
+            (* pop-then-push-the-same-scalar is a stack no-op *)
+            code.(pc) <- TNop;
+            ts.typed_casts <- ts.typed_casts + 1
+          | I.StoreLoc _ when s.Dfa.dead_store.(pc) ->
+            (* keep the pop and the step charge, skip the dead write *)
+            code.(pc) <- TPop;
+            ts.typed_dead_stores <- ts.typed_dead_stores + 1
+          | I.LoadLoc _ -> (
+            match s.Dfa.pushed.(pc) with
+            | Dfa.Absval.Const v ->
+              code.(pc) <- TPush v;
+              ts.typed_consts <- ts.typed_consts + 1
+            | _ -> ())
+          | _ -> ()
+      done);
     (* fusion: [in_blk i w] keeps a w-wide pattern inside instruction i's
        basic block; [loc l] proves the local index safe at translation time
-       so fused loads/stores cannot fault at run time *)
+       so fused loads/stores cannot fault at run time.  The typed overlay's
+       wide forms (property-reading and return-fusing sequences) only
+       install when the overlay is on, which is what the bench's
+       typed-on/typed-off A/B measures. *)
     let in_blk i w = i + w <= blim.(i) in
     let loc l = l >= 0 && l < n_locals in
+    let fused tinstr =
+      ts.typed_fused <- ts.typed_fused + 1;
+      Some tinstr
+    in
+    let install2 i tinstr =
+      ts.typed_fused <- ts.typed_fused + 1;
+      code.(i) <- tinstr
+    in
     for i = 0 to n - 1 do
+      if not typed_head.(i) then begin
       (match
+         if t.typed && in_blk i 7 && i + 6 < n then
+           match
+             ( body.(i), body.(i + 1), body.(i + 2), body.(i + 3), body.(i + 4),
+               body.(i + 5), body.(i + 6) )
+           with
+           | ( I.LoadLoc a, I.LoadLoc o, I.GetProp p, I.BinOp op1, I.LoadLoc c,
+               I.BinOp op2, I.StoreLoc d )
+             when loc a && loc o && loc c && loc d ->
+             fused (TLLGPBLBS (a, o, p, op1, c, op2, d))
+           | I.GetThis, I.GetProp p, I.LoadLoc x, l4, I.BinOp op1, I.BinOp op2, I.StoreLoc d
+             when loc x && loc d && lit l4 <> None ->
+             fused (TGTGPLVBBS (p, x, Option.get (lit l4), op1, op2, d))
+           | I.LoadLoc a, I.GetThis, I.GetProp p, l4, I.BinOp op1, I.BinOp op2, I.Ret
+             when loc a && lit l4 <> None ->
+             fused (TLGTGPVBBR (a, p, Option.get (lit l4), op1, op2))
+           | _ -> None
+         else None
+       with
+      | Some f5 -> code.(i) <- f5
+      | None ->
+      match
+        if t.typed && in_blk i 5 && i + 4 < n then
+          match (body.(i), body.(i + 1), body.(i + 2), body.(i + 3), body.(i + 4)) with
+          | I.LoadLoc a, I.LoadLoc o, I.GetProp p, I.BinOp op, I.StoreLoc d
+            when loc a && loc o && loc d ->
+            fused (TLLGPBS (a, o, p, op, d))
+          | _ -> None
+        else None
+      with
+      | Some f5 -> code.(i) <- f5
+      | None ->
+      match
          if in_blk i 4 && i + 3 < n then
            match (body.(i), body.(i + 1), body.(i + 2), body.(i + 3)) with
            | I.LoadLoc a, I.LoadLoc b, I.BinOp op, I.StoreLoc c
@@ -247,10 +472,12 @@ let translate t fid =
              Some (TLLBZ (a, b, op, target))
            | I.LoadLoc a, l2, I.BinOp op, I.JmpZ target when loc a && lit l2 <> None ->
              Some (TLVBZ (a, Option.get (lit l2), op, target))
+           | I.LoadLoc a, l2, I.BinOp op, I.Ret when t.typed && loc a && lit l2 <> None ->
+             fused (TLVBR (a, Option.get (lit l2), op))
            | _ -> None
          else None
        with
-      | Some fused -> code.(i) <- fused
+      | Some f4 -> code.(i) <- f4
       | None -> (
         match
           if in_blk i 3 && i + 2 < n then
@@ -261,25 +488,40 @@ let translate t fid =
               Some (TLVB (a, Option.get (lit l2), op))
             | l1, I.LoadLoc b, I.BinOp op when loc b && lit l1 <> None ->
               Some (TVLB (Option.get (lit l1), b, op))
+            | l1, I.BinOp op, I.StoreLoc d when t.typed && loc d && lit l1 <> None ->
+              fused (TVBS (Option.get (lit l1), op, d))
+            | l1, I.BinOp op, I.JmpZ target when t.typed && lit l1 <> None ->
+              fused (TVBZ (Option.get (lit l1), op, target))
             | _ -> None
           else None
         with
-        | Some fused -> code.(i) <- fused
+        | Some f3 -> code.(i) <- f3
         | None ->
           if in_blk i 2 && i + 1 < n then (
             match (body.(i), body.(i + 1)) with
             | I.LoadLoc a, I.Ret when loc a -> code.(i) <- TLRet a
+            | I.GetThis, I.GetProp p when t.typed -> install2 i (TGTGP p)
+            | l1, I.BinOp op when t.typed && lit l1 <> None ->
+              install2 i (TVB (Option.get (lit l1), op))
+            | I.BinOp op, I.StoreLoc d when t.typed && loc d -> install2 i (TBS (op, d))
+            | I.BinOp op, I.Ret when t.typed -> install2 i (TBR op)
             | _ -> ())))
+      end
     done;
     t.tcodes.(fid) <- Some code;
     code
 
 let default_inline_cache = ref true
 
-let create ?(probes = Probes.none) ?(fuel = 200_000_000) ?inline_cache repo heap =
+(* The typed (dataflow) overlay defaults on, like the cached translations:
+   both are semantics-preserving and the bench A/B toggles them explicitly. *)
+let default_typed = ref true
+
+let create ?(probes = Probes.none) ?(fuel = 200_000_000) ?inline_cache ?typed repo heap =
   let inline_cache =
     match inline_cache with Some b -> b | None -> !default_inline_cache
   in
+  let typed = match typed with Some b -> b | None -> !default_typed in
   let t =
     {
       repo;
@@ -293,6 +535,7 @@ let create ?(probes = Probes.none) ?(fuel = 200_000_000) ?inline_cache repo heap
       block_maps = Array.make (Hhbc.Repo.n_funcs repo) None;
       block_limits = Array.make (Hhbc.Repo.n_funcs repo) None;
       inline_cache;
+      typed;
       tcodes = Array.make (Hhbc.Repo.n_funcs repo) None;
       site_caches = Array.make (Hhbc.Repo.n_funcs repo) None;
       frames = [||];
@@ -306,6 +549,16 @@ let create ?(probes = Probes.none) ?(fuel = 200_000_000) ?inline_cache repo heap
           prop_miss = 0;
           frame_reuses = 0;
           frame_allocs = 0;
+        };
+      tstats =
+        {
+          typed_folds = 0;
+          typed_consts = 0;
+          typed_jumps = 0;
+          typed_casts = 0;
+          typed_dead_stores = 0;
+          typed_dead_blocks = 0;
+          typed_fused = 0;
         };
     }
   in
@@ -325,6 +578,7 @@ let func_steps t = t.func_steps
 let output t = Buffer.contents t.out
 let clear_output t = Buffer.clear t.out
 let cache_stats t = t.stats
+let typed_stats t = t.tstats
 
 let cache_counters t =
   let s = t.stats in
@@ -333,6 +587,17 @@ let cache_counters t =
     ("interp.cache.prop_hit_mono", s.prop_hit_mono);
     ("interp.cache.prop_hit_poly", s.prop_hit_poly); ("interp.cache.prop_miss", s.prop_miss);
     ("interp.frame.reuses", s.frame_reuses); ("interp.frame.allocs", s.frame_allocs)
+  ]
+
+(* Bench-only view of the typed overlay's translation work; intentionally a
+   separate accessor from [cache_counters] so it never lands in telemetry. *)
+let typed_counters t =
+  let s = t.tstats in
+  [ ("interp.typed.folds", s.typed_folds); ("interp.typed.consts", s.typed_consts);
+    ("interp.typed.jumps", s.typed_jumps); ("interp.typed.casts", s.typed_casts);
+    ("interp.typed.dead_stores", s.typed_dead_stores);
+    ("interp.typed.dead_blocks", s.typed_dead_blocks);
+    ("interp.typed.fused", s.typed_fused)
   ]
 
 let sites t fid body_len =
@@ -848,6 +1113,34 @@ let rec exec_fast t fid ~this args =
     t.func_steps.(fid) <- t.func_steps.(fid) + !acc;
     acc := 0
   in
+  (* one source instruction's worth of fuel/step accounting, exactly the
+     inner-loop header: the instruction that would exhaust the fuel is not
+     counted, an instruction that errors after passing the check is.  The
+     typed-overlay arms charge per component with this instead of the bulk
+     charge + rollback the older superinstructions use. *)
+  let charge1 () =
+    if !rem <= 0 then begin
+      flush ();
+      error "interpreter fuel exhausted"
+    end;
+    rem := !rem - 1;
+    acc := !acc + 1
+  in
+  (* property read off a known object, with the same site cache and
+     flush-before-probe ordering as the 1:1 TGetProp arm *)
+  let getprop_obj handle site nid =
+    let cid = Mh_runtime.Heap.class_of t.heap handle in
+    match resolve_slot_cached t site_arr site cid nid with
+    | None -> undefined_prop t cid nid
+    | Some slot ->
+      if has_probes then begin
+        flush ();
+        t.probes.Probes.on_prop_access cid nid
+          ~addr:(Mh_runtime.Heap.slot_addr t.heap handle slot)
+          ~write:false
+      end;
+      Mh_runtime.Heap.get_slot t.heap handle slot
+  in
   let pc = ref 0 in
   let prev_block = ref (-1) in
   let refire = ref false in
@@ -1222,6 +1515,135 @@ let rec exec_fast t fid ~this args =
            acc := !acc + 1;
            result := locals.(a);
            running := false
+         (* --- typed-overlay arms ---
+            These charge per source component with [charge1], which is
+            exactly equivalent to the bulk-charge scheme above: a component
+            that errors is charged, the component that would exhaust the
+            fuel is not. *)
+         | TPushK (v, w) ->
+           (* the analysis proved the whole segment pure and non-erroring,
+              so only the fuel checks remain observable *)
+           for _ = 2 to w do
+             charge1 ()
+           done;
+           pc := i + w;
+           push st v
+         | TPopJmp target ->
+           ignore (pop st);
+           pc := target;
+           if target < i then refire := true;
+           br := true
+         | TUnreachable ->
+           error "internal error: typed translation executed a dataflow-dead block"
+         | TVB (v, op) ->
+           charge1 ();
+           let a = pop st in
+           pc := i + 2;
+           push st (binop_fast op a v)
+         | TBS (op, d) ->
+           let b = pop st in
+           let a = pop st in
+           let r = binop_fast op a b in
+           charge1 ();
+           pc := i + 2;
+           locals.(d) <- r
+         | TBR op ->
+           let b = pop st in
+           let a = pop st in
+           let r = binop_fast op a b in
+           charge1 ();
+           result := r;
+           running := false
+         | TGTGP nid -> (
+           match this with
+           | None -> error "$this used outside of a method call"
+           | Some handle ->
+             charge1 ();
+             pc := i + 2;
+             push st (getprop_obj handle (i + 1) nid))
+         | TVBS (v, op, d) ->
+           charge1 ();
+           let a = pop st in
+           let r = binop_fast op a v in
+           charge1 ();
+           pc := i + 3;
+           locals.(d) <- r
+         | TVBZ (v, op, target) ->
+           charge1 ();
+           let a = pop st in
+           let r = binop_fast op a v in
+           charge1 ();
+           pc := i + 3;
+           if not (V.truthy r) then begin
+             pc := target;
+             (* the JmpZ lives at i + 2 *)
+             if target < i + 2 then refire := true;
+             br := true
+           end
+         | TLVBR (a, v, op) ->
+           charge1 ();
+           charge1 ();
+           let r = binop_fast op locals.(a) v in
+           charge1 ();
+           result := r;
+           running := false
+         | TLLGPBS (a, o, p, op, d) -> (
+           charge1 ();
+           charge1 ();
+           match locals.(o) with
+           | V.Obj handle ->
+             let pv = getprop_obj handle (i + 2) p in
+             charge1 ();
+             let r = binop_fast op locals.(a) pv in
+             charge1 ();
+             pc := i + 5;
+             locals.(d) <- r
+           | v -> error "property access on non-object (%s)" (V.tag_to_string (V.tag v)))
+         | TLLGPBLBS (a, o, p, op1, c, op2, d) -> (
+           charge1 ();
+           charge1 ();
+           match locals.(o) with
+           | V.Obj handle ->
+             let pv = getprop_obj handle (i + 2) p in
+             charge1 ();
+             let r1 = binop_fast op1 locals.(a) pv in
+             charge1 ();
+             charge1 ();
+             let r2 = binop_fast op2 r1 locals.(c) in
+             charge1 ();
+             pc := i + 7;
+             locals.(d) <- r2
+           | v -> error "property access on non-object (%s)" (V.tag_to_string (V.tag v)))
+         | TGTGPLVBBS (p, x, v, op1, op2, d) -> (
+           match this with
+           | None -> error "$this used outside of a method call"
+           | Some handle ->
+             charge1 ();
+             let pv = getprop_obj handle (i + 1) p in
+             charge1 ();
+             charge1 ();
+             charge1 ();
+             let r1 = binop_fast op1 locals.(x) v in
+             charge1 ();
+             let r2 = binop_fast op2 pv r1 in
+             charge1 ();
+             pc := i + 7;
+             locals.(d) <- r2)
+         | TLGTGPVBBR (a, p, v, op1, op2) -> (
+           charge1 ();
+           match this with
+           | None -> error "$this used outside of a method call"
+           | Some handle ->
+             charge1 ();
+             let pv = getprop_obj handle (i + 2) p in
+             charge1 ();
+             charge1 ();
+             let r1 = binop_fast op1 pv v in
+             charge1 ();
+             let r2 = binop_fast op2 locals.(a) r1 in
+             charge1 ();
+             result := r2;
+             running := false)
        done
      done
    with e ->

@@ -29,7 +29,24 @@ type cache_stats = {
   mutable frame_allocs : int;
 }
 
-(** [create ?probes ?fuel ?inline_cache repo heap] makes an interpreter.
+(** What the typed (dataflow-driven) translation overlay did at translation
+    time: constant segments folded, constant local loads rewritten,
+    conditionals statically resolved, identity casts dropped, dead stores
+    demoted to pops, dead blocks poisoned, analysis-era superinstructions
+    installed.  Translation statistics only — deliberately excluded from
+    telemetry so typed-on and typed-off runs stay telemetry-byte-identical. *)
+type typed_stats = {
+  mutable typed_folds : int;
+  mutable typed_consts : int;
+  mutable typed_jumps : int;
+  mutable typed_casts : int;
+  mutable typed_dead_stores : int;
+  mutable typed_dead_blocks : int;
+  mutable typed_fused : int;
+}
+
+(** [create ?probes ?fuel ?inline_cache ?typed repo heap] makes an
+    interpreter.
     [fuel] bounds the total number of executed instructions (default: 200
     million); exceeding it raises {!Runtime_error}, protecting tests and
     simulations against non-terminating generated programs.
@@ -41,9 +58,24 @@ type cache_stats = {
     stack reuse across invocations.  The caches memoize pure lookups over
     immutable repo/layout tables, so results, probe streams and step counts
     are identical with caching on or off — [~inline_cache:false] is the
-    [--no-inline-cache] escape hatch for A/B measurements. *)
+    [--no-inline-cache] escape hatch for A/B measurements.
+
+    [typed] (default [true]) additionally lets {!Js_analysis.Dataflow} facts
+    drive the translation: constant-folded segments collapse to a single
+    push, statically-decided conditionals lose their test, identity casts
+    become no-ops, provably dead stores skip the write, dataflow-dead blocks
+    are poisoned, and wider analysis-era superinstructions are fused.  Every
+    rewrite preserves results, output, probe streams and step/fuel
+    accounting exactly, so [~typed:false] is a pure-performance A/B knob
+    (the bench's [typed_translation] section). *)
 val create :
-  ?probes:Probes.t -> ?fuel:int -> ?inline_cache:bool -> Hhbc.Repo.t -> Mh_runtime.Heap.t -> t
+  ?probes:Probes.t ->
+  ?fuel:int ->
+  ?inline_cache:bool ->
+  ?typed:bool ->
+  Hhbc.Repo.t ->
+  Mh_runtime.Heap.t ->
+  t
 
 (** Process-wide default for {!create}'s [?inline_cache] (initially [true]).
     Layers that construct engines internally (cluster/fleet simulations)
@@ -51,6 +83,10 @@ val create :
     is byte-identical with caching on and off — only needs to flip this ref.
     The [--no-inline-cache] CLI flag sets it to [false]. *)
 val default_inline_cache : bool ref
+
+(** Process-wide default for {!create}'s [?typed] (initially [true]); the
+    typed-translation analogue of {!default_inline_cache}. *)
+val default_typed : bool ref
 
 val repo : t -> Hhbc.Repo.t
 val heap : t -> Mh_runtime.Heap.t
@@ -74,6 +110,15 @@ val cache_stats : t -> cache_stats
 (** The same counters as telemetry-ready [("interp.cache.*", value)] pairs,
     for {!Js_telemetry.import_counters}-style bulk export. *)
 val cache_counters : t -> (string * int) list
+
+(** The typed overlay's translation statistics (all zero with
+    [~typed:false]). *)
+val typed_stats : t -> typed_stats
+
+(** {!typed_stats} as [("interp.typed.*", value)] pairs.  Bench-report only:
+    these are intentionally NOT part of {!cache_counters}, so telemetry
+    stays byte-identical with the overlay on or off. *)
+val typed_counters : t -> (string * int) list
 
 (** [call t fid args] invokes a top-level function.
     @raise Runtime_error on dynamic errors. *)

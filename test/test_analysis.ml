@@ -378,6 +378,238 @@ let test_semantic_corruption_handled () =
     | JS.Consumer.Fell_back _ | JS.Consumer.Jump_started _ -> ()
   done
 
+(* --- dataflow framework: per-function facts --- *)
+
+module DF = Js_analysis.Dataflow
+module AV = Js_analysis.Dataflow.Absval
+
+let summary_of ?n_params ?n_locals body =
+  let repo = repo_of ?n_params ?n_locals body in
+  DF.analyze repo (Hhbc.Repo.func repo 0)
+
+let lint_body ?n_params ?n_locals body =
+  let repo = repo_of ?n_params ?n_locals body in
+  Js_analysis.Lint.check_func repo (Hhbc.Repo.func repo 0)
+
+let test_dataflow_const_fold () =
+  (* 2 + 3 folds; the fact propagates through the store/load *)
+  let s = summary_of [ I.LitInt 2; I.LitInt 3; I.BinOp I.Add; I.StoreLoc 0; I.LoadLoc 0; I.Ret ] in
+  Alcotest.(check bool) "binop folds to 5" true
+    (AV.equal s.DF.pushed.(2) (AV.Const (Hhbc.Value.Int 5)));
+  Alcotest.(check bool) "load sees the stored constant" true
+    (AV.equal s.DF.pushed.(4) (AV.Const (Hhbc.Value.Int 5)));
+  Alcotest.(check bool) "converged" true s.DF.converged;
+  (* folding mirrors engine semantics: paths that can raise never fold *)
+  Alcotest.(check bool) "div by zero does not fold" true
+    (DF.fold_binop I.Div (Hhbc.Value.Int 1) (Hhbc.Value.Int 0) = None);
+  Alcotest.(check bool) "mod by zero does not fold" true
+    (DF.fold_binop I.Mod (Hhbc.Value.Int 1) (Hhbc.Value.Int 0) = None)
+
+let test_dataflow_feasible_edges () =
+  (* blocks: b0=[0..1] b1=[2..3] b2=[4..5]; the branch condition is the
+     constant true, so the taken edge b0->b2 is statically infeasible *)
+  let s = summary_of [ I.LitBool true; I.JmpZ 4; I.LitInt 1; I.Ret; I.LitInt 2; I.Ret ] in
+  Alcotest.(check bool) "fallthrough edge feasible" true (DF.feasible_edge s ~src:0 ~dst:1);
+  Alcotest.(check bool) "taken edge infeasible" false (DF.feasible_edge s ~src:0 ~dst:2);
+  Alcotest.(check bool) "non-CFG edge infeasible" false (DF.feasible_edge s ~src:1 ~dst:2);
+  Alcotest.(check bool) "dead branch target unreachable" false s.DF.reach.(2);
+  Alcotest.(check bool) "live branch target reachable" true s.DF.reach.(1)
+
+let test_dataflow_dead_store () =
+  let s = summary_of [ I.LitInt 1; I.StoreLoc 0; I.LitInt 2; I.StoreLoc 0; I.LoadLoc 0; I.Ret ] in
+  Alcotest.(check bool) "overwritten store is dead" true s.DF.dead_store.(1);
+  Alcotest.(check bool) "read store is live" false s.DF.dead_store.(3)
+
+let test_lint_codes_pinned () =
+  expect_warning "dead store" "A401"
+    (lint_body [ I.LitInt 1; I.StoreLoc 0; I.LitInt 2; I.StoreLoc 0; I.LoadLoc 0; I.Ret ]);
+  expect_warning "always-null read" "A402"
+    (lint_body [ I.LitNull; I.StoreLoc 0; I.LoadLoc 0; I.Ret ]);
+  expect_warning "constant-foldable expression" "A403"
+    (lint_body [ I.LitInt 2; I.LitInt 3; I.BinOp I.Add; I.Ret ]);
+  expect_warning "dataflow-unreachable block" "A404"
+    (lint_body [ I.LitBool true; I.JmpZ 4; I.LitInt 1; I.Ret; I.LitInt 2; I.Ret ]);
+  (* lints never fire on verifier-broken bodies, and the output is a fixed
+     point of sorting (deterministic golden order) *)
+  let broken = lint_body [ I.Pop; I.LitNull; I.Ret ] in
+  Alcotest.(check bool) "no A4xx on verifier-broken body" false
+    (List.exists (fun d -> String.length d.D.code > 0 && d.D.code.[0] = 'A') broken);
+  let repo = compile_example "shapes.mh" shapes_src in
+  let a = Js_analysis.Lint.check repo and b = Js_analysis.Lint.check repo in
+  Alcotest.(check bool) "lint output deterministic" true (a = b);
+  Alcotest.(check bool) "lint output sorted" true (D.sort a = a)
+
+(* V105 precision: the old single-pass def-scan flagged reads whose local is
+   assigned on every feasible path; the dataflow-backed check must not. *)
+
+let test_v105_both_arms_defined () =
+  let diags =
+    check_body ~n_params:1 ~n_locals:2
+      [ I.LoadLoc 0; I.JmpZ 5; I.LitInt 1; I.StoreLoc 1; I.Jmp 7; I.LitInt 2; I.StoreLoc 1;
+        I.LoadLoc 1; I.Ret ]
+  in
+  Alcotest.(check bool) "def on both arms is clean" false (has_code "V105" diags)
+
+let test_v105_one_arm_defined () =
+  expect_warning "def on one arm only" "V105"
+    (check_body ~n_params:1 ~n_locals:2
+       [ I.LoadLoc 0; I.JmpZ 4; I.LitInt 1; I.StoreLoc 1; I.LoadLoc 1; I.Ret ])
+
+let test_v105_loop_carried_def () =
+  (* the def only happens inside the loop body; the first trip through the
+     exit edge can read it unassigned *)
+  expect_warning "loop-carried def" "V105"
+    (check_body ~n_params:1 ~n_locals:2
+       [ I.LoadLoc 0; I.JmpZ 5; I.LitInt 1; I.StoreLoc 1; I.Jmp 0; I.LoadLoc 1; I.Ret ])
+
+let test_v105_constant_guard_pruned () =
+  (* the skipping edge folds away, so the store dominates the load *)
+  let diags =
+    check_body ~n_locals:1 [ I.LitBool true; I.JmpZ 4; I.LitInt 7; I.StoreLoc 0; I.LoadLoc 0; I.Ret ]
+  in
+  Alcotest.(check bool) "constant-guarded def is clean" false (has_code "V105" diags)
+
+let test_solver_convergence_bound () =
+  (* a loop with a type-unstable local still converges within the bound *)
+  let body =
+    [ I.LitInt 0; I.StoreLoc 0; I.LoadLoc 0; I.JmpZ 8; I.LitFloat 1.5; I.StoreLoc 0; I.Jmp 2;
+      I.Nop; I.LitNull; I.Ret ]
+  in
+  let s = summary_of ~n_locals:1 body in
+  let bound =
+    DF.typestate_bound
+      ~n_blocks:(Array.length s.DF.blocks)
+      ~body_len:(List.length body) ~n_locals:1
+  in
+  Alcotest.(check bool) "converged" true s.DF.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations %d within bound %d" s.DF.iterations bound)
+    true (s.DF.iterations <= bound)
+
+(* --- dataflow feasibility gates on profiles (P320/P321) --- *)
+
+(* like [shapes_src] plus a function with a constant branch: the CFG edge
+   into the `0 - $n` arm exists but is statically infeasible, and its blocks
+   are dataflow-dead *)
+let gate_src =
+  {|class P { prop $x = 1; method get() { return $this->x; } }
+function gate($n) { if (1 < 2) { return $n; } return 0 - $n; }
+function work($n) {
+  $p = new P();
+  $acc = 0;
+  for ($i = 0; $i < $n; $i = $i + 1) { $acc = $acc + gate($p->get()); }
+  return $acc;
+}
+function main() { echo "v: " . work(25) . "\n"; return 0; }|}
+
+let find_func repo name =
+  let rec go fid =
+    if fid >= Hhbc.Repo.n_funcs repo then Alcotest.failf "no function %s" name
+    else if (Hhbc.Repo.func repo fid).F.name = name then fid
+    else go (fid + 1)
+  in
+  go 0
+
+(* the CFG edge of [fid] that feasible-edge pruning removes *)
+let infeasible_edge repo fid =
+  let f = Hhbc.Repo.func repo fid in
+  let s = DF.analyze repo f in
+  let found = ref None in
+  Array.iteri
+    (fun src (b : F.block) ->
+      List.iter
+        (fun dst ->
+          if s.DF.reach.(src) && not (DF.feasible_edge s ~src ~dst) && !found = None then
+            found := Some (src, dst))
+        b.F.succs)
+    s.DF.blocks;
+  match !found with
+  | Some e -> e
+  | None -> Alcotest.failf "function %d has no infeasible CFG edge" fid
+
+let unreachable_block repo fid =
+  let s = DF.analyze repo (Hhbc.Repo.func repo fid) in
+  let rec go b =
+    if b >= Array.length s.DF.reach then Alcotest.failf "function %d has no dead block" fid
+    else if not s.DF.reach.(b) then b
+    else go (b + 1)
+  in
+  go 0
+
+let test_feasibility_gate_codes () =
+  let repo = compile_example "gate.mh" gate_src in
+  let outcome = package_for repo in
+  let pkg = outcome.JS.Seeder.package in
+  (* the honest profile passes both gates (soundness: real executions only
+     ever take feasible edges) *)
+  Alcotest.(check bool) "honest package is consistent" true
+    (D.ok (JS.Package_check.check repo pkg));
+  let fid = find_func repo "gate" in
+  let src, dst = infeasible_edge repo fid in
+  let bad = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_arc bad.JS.Package.counters fid ~src ~dst;
+  let diags = JS.Package_check.check repo bad in
+  expect_error "arc on infeasible edge" "P320" diags;
+  Alcotest.(check bool) "P320 names the infeasibility" true
+    (List.exists
+       (fun d -> d.D.code = "P320" && contains ~affix:"statically infeasible" d.D.message)
+       diags);
+  let dead = unreachable_block repo fid in
+  let bad2 = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_block bad2.JS.Package.counters fid dead;
+  expect_error "count in dataflow-dead block" "P321" (JS.Package_check.check repo bad2)
+
+(* Acceptance: a profile claiming an execution the analysis proves impossible
+   is rejected at consumer boot with the stable P320 code — pinned telemetry
+   counters and events, and the consumer falls back to profiling from
+   scratch. *)
+let test_consumer_rejects_infeasible_arc () =
+  let repo = compile_example "gate.mh" gate_src in
+  let outcome = package_for repo in
+  let pkg = outcome.JS.Seeder.package in
+  let fid = find_func repo "gate" in
+  let src, dst = infeasible_edge repo fid in
+  let bad = { pkg with JS.Package.counters = Jit_profile.Counters.copy pkg.JS.Package.counters } in
+  Jit_profile.Counters.record_arc bad.JS.Package.counters fid ~src ~dst;
+  (* the stable code reaches the seeder/consumer result message *)
+  (match JS.Package_check.result repo bad with
+  | Ok () -> Alcotest.fail "consistency pass missed the infeasible arc"
+  | Error msg -> Alcotest.(check bool) "result names P320" true (contains ~affix:"P320" msg));
+  let bytes = JS.Package.to_bytes bad in
+  (match JS.Package.of_bytes repo bytes with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "infeasible-arc package must pass decode (the gap): %s" msg);
+  let store = JS.Store.create () in
+  JS.Store.publish store ~region:0 ~bucket:0 bytes bad.JS.Package.meta;
+  let tel = Js_telemetry.create () in
+  let options =
+    { JS.Options.default with JS.Options.min_coverage_funcs = 1; min_coverage_entries = 1 }
+  in
+  let fallback_traffic engine = ignore (Interp.Engine.run_main engine) in
+  (match
+     JS.Consumer.boot ~telemetry:tel repo options store (Js_util.Rng.create 1) ~region:0
+       ~bucket:0 ~fallback_traffic ()
+   with
+  | JS.Consumer.Fell_back (vm, _) ->
+    Alcotest.(check bool) "fell back without a package" true (vm.JS.Consumer.package = None)
+  | JS.Consumer.Jump_started _ -> Alcotest.fail "infeasible-arc package was jump-started");
+  Alcotest.(check int) "every attempt died in verify" options.JS.Options.max_boot_attempts
+    (Js_telemetry.counter tel "consumer.verify_failures");
+  Alcotest.(check int) "verify.package_rejects pinned" options.JS.Options.max_boot_attempts
+    (Js_telemetry.counter tel "verify.package_rejects");
+  Alcotest.(check int) "nothing reached compile" 0
+    (Js_telemetry.counter tel "consumer.compile_failures");
+  let verify_events =
+    List.filter
+      (fun (_, e) ->
+        match e with
+        | Js_telemetry.Validation_failed { stage; _ } -> stage = "consumer.verify"
+        | _ -> false)
+      (Js_telemetry.events tel)
+  in
+  Alcotest.(check int) "Validation_failed events recorded" options.JS.Options.max_boot_attempts
+    (List.length verify_events)
+
 let () =
   Alcotest.run "analysis"
     [ ( "negative corpus",
@@ -409,5 +641,21 @@ let () =
           Alcotest.test_case "seeder rejects inconsistent rebuild" `Quick
             test_seeder_rejects_inconsistent_rebuild;
           Alcotest.test_case "semantic corruption handled" `Quick test_semantic_corruption_handled
+        ] );
+      ( "dataflow",
+        [ Alcotest.test_case "constant folding facts" `Quick test_dataflow_const_fold;
+          Alcotest.test_case "feasible edges" `Quick test_dataflow_feasible_edges;
+          Alcotest.test_case "dead stores" `Quick test_dataflow_dead_store;
+          Alcotest.test_case "lint codes pinned" `Quick test_lint_codes_pinned;
+          Alcotest.test_case "V105 both arms defined" `Quick test_v105_both_arms_defined;
+          Alcotest.test_case "V105 one arm defined" `Quick test_v105_one_arm_defined;
+          Alcotest.test_case "V105 loop-carried def" `Quick test_v105_loop_carried_def;
+          Alcotest.test_case "V105 constant guard pruned" `Quick test_v105_constant_guard_pruned;
+          Alcotest.test_case "solver convergence bound" `Quick test_solver_convergence_bound
+        ] );
+      ( "feasibility gates",
+        [ Alcotest.test_case "P320/P321 codes pinned" `Quick test_feasibility_gate_codes;
+          Alcotest.test_case "consumer rejects infeasible arc" `Quick
+            test_consumer_rejects_infeasible_arc
         ] )
     ]

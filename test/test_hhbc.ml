@@ -65,8 +65,8 @@ let test_byte_sizes_positive () =
 
 (* --- functions / basic blocks --- *)
 
-let mk_func body =
-  { F.id = 0; name = "f"; unit_id = 0; class_id = None; n_params = 0; n_locals = 1; body }
+let mk_func ?(n_locals = 1) body =
+  { F.id = 0; name = "f"; unit_id = 0; class_id = None; n_params = 0; n_locals; body }
 
 let test_basic_blocks_straight_line () =
   let f = mk_func [| I.LitInt 1; I.StoreLoc 0; I.LitNull; I.Ret |] in
@@ -101,6 +101,25 @@ let test_block_of_instr () =
   Alcotest.(check int) "instr 0" 0 (F.block_of_instr blocks 0);
   Alcotest.(check int) "instr 1" 1 (F.block_of_instr blocks 1);
   Alcotest.(check int) "instr 2" 2 (F.block_of_instr blocks 2)
+
+let test_block_hash_offset_invariant () =
+  (* the same loop shifted by a Nop prologue: every block hashes
+     identically because jump targets are normalized to the block start *)
+  let a = mk_func [| I.JmpZ 3; I.Nop; I.Jmp 0; I.Ret |] in
+  let b = mk_func [| I.Nop; I.JmpZ 4; I.Nop; I.Jmp 1; I.Ret |] in
+  let ha = F.block_hashes a and hb = F.block_hashes b in
+  (* a: [0] [1-2] [3]; b: [0] [1] [2-3] [4] — b's block 0 is the prologue *)
+  Alcotest.(check int) "loop body hash survives the shift" ha.(1) hb.(2);
+  Alcotest.(check int) "exit block hash survives the shift" ha.(2) hb.(3)
+
+let test_block_hash_sensitivity () =
+  let base = mk_func [| I.LitInt 1; I.StoreLoc 0; I.LitNull; I.Ret |] in
+  let changed_op = mk_func [| I.LitInt 2; I.StoreLoc 0; I.LitNull; I.Ret |] in
+  let changed_local = mk_func ~n_locals:2 [| I.LitInt 1; I.StoreLoc 1; I.LitNull; I.Ret |] in
+  let h f = (F.block_hashes f).(0) in
+  Alcotest.(check bool) "operand change changes the hash" false (h base = h changed_op);
+  Alcotest.(check bool) "local change changes the hash" false (h base = h changed_local);
+  Alcotest.(check int) "hash is deterministic" (h base) (h base)
 
 let test_func_validate () =
   let ok = mk_func [| I.LitNull; I.Ret |] in
@@ -218,6 +237,8 @@ let () =
           Alcotest.test_case "diamond" `Quick test_basic_blocks_diamond;
           Alcotest.test_case "loop" `Quick test_basic_blocks_loop;
           Alcotest.test_case "block_of_instr" `Quick test_block_of_instr;
+          Alcotest.test_case "block hash offset-invariant" `Quick test_block_hash_offset_invariant;
+          Alcotest.test_case "block hash sensitivity" `Quick test_block_hash_sensitivity;
           Alcotest.test_case "validation" `Quick test_func_validate;
           Alcotest.test_case "bytecode size" `Quick test_bytecode_size
         ] );

@@ -313,6 +313,81 @@ let test_inline_cache_off_is_identical () =
     (s.Interp.Engine.meth_hit_mono + s.Interp.Engine.meth_hit_poly + s.Interp.Engine.meth_miss
     + s.Interp.Engine.prop_hit_mono + s.Interp.Engine.prop_hit_poly + s.Interp.Engine.prop_miss)
 
+(* --- typed translation (dataflow-backed rewrites) --- *)
+
+(* exercises every rewrite class: constant folding (segments -> TPushK),
+   constant-resolved branches with a dataflow-dead else arm, dead stores,
+   identity casts on a statically-boolean operand, and the analysis-era
+   superinstructions in the hot helper *)
+let typed_src =
+  {|class A { prop $x = 2; method get() { return $this->x; } }
+    function tag($n) { return boolval($n < 5); }
+    function main() {
+      $k = 2 + 3 * 4;
+      $dead = $k * 2;
+      $dead = 0;
+      if (1 < 2) { echo "then\n"; } else { echo "else\n"; }
+      $a = new A();
+      $s = 0;
+      for ($i = 0; $i < 6; $i = $i + 1) { $s = $s + $a->get() + $k; }
+      if (tag($s)) { $s = $s + 1; }
+      return $s;
+    }|}
+
+let observe ~typed src =
+  let repo, heap = setup src in
+  let engine = Interp.Engine.create ~typed repo heap in
+  let result = Interp.Engine.run_main engine in
+  ( engine,
+    ( result,
+      Interp.Engine.output engine,
+      Interp.Engine.steps engine,
+      Array.copy (Interp.Engine.func_steps engine) ) )
+
+let test_typed_off_is_identical () =
+  let on_engine, on = observe ~typed:true typed_src in
+  let off_engine, off = observe ~typed:false typed_src in
+  Alcotest.(check bool) "result/output/steps/func_steps identical" true (on = off);
+  let (result, _, _, _) = on in
+  Alcotest.(check bool) "computes the expected value" true (result = V.Int 96);
+  let s = Interp.Engine.typed_stats on_engine in
+  Alcotest.(check bool) "folded a constant segment" true (s.Interp.Engine.typed_folds >= 1);
+  Alcotest.(check bool) "resolved a constant branch" true (s.Interp.Engine.typed_jumps >= 1);
+  Alcotest.(check bool) "erased dataflow-dead blocks" true (s.Interp.Engine.typed_dead_blocks >= 1);
+  Alcotest.(check bool) "dropped a dead store" true (s.Interp.Engine.typed_dead_stores >= 1);
+  Alcotest.(check bool) "erased an identity cast" true (s.Interp.Engine.typed_casts >= 1);
+  Alcotest.(check bool) "fused superinstructions" true (s.Interp.Engine.typed_fused >= 1);
+  let z = Interp.Engine.typed_stats off_engine in
+  Alcotest.(check int) "typed-off engine rewrites nothing" 0
+    (z.Interp.Engine.typed_folds + z.Interp.Engine.typed_consts + z.Interp.Engine.typed_jumps
+    + z.Interp.Engine.typed_casts + z.Interp.Engine.typed_dead_stores
+    + z.Interp.Engine.typed_dead_blocks + z.Interp.Engine.typed_fused)
+
+(* Fuel parity: the typed overlay must charge step-for-step like the naive
+   loop, so truncating execution at every possible fuel level observes the
+   same boundary — same error/result, same partial output, same steps. *)
+let test_typed_fuel_parity () =
+  let run_fuel ~typed fuel =
+    let repo, heap = setup typed_src in
+    let engine = Interp.Engine.create ~typed ~fuel repo heap in
+    match Interp.Engine.run_main engine with
+    | result -> (Ok result, Interp.Engine.output engine, Interp.Engine.steps engine)
+    | exception Interp.Engine.Runtime_error msg ->
+      (Error msg, Interp.Engine.output engine, Interp.Engine.steps engine)
+  in
+  let full_steps =
+    match run_fuel ~typed:false 1_000_000 with
+    | Ok _, _, steps -> steps
+    | Error msg, _, _ -> Alcotest.failf "reference run died: %s" msg
+  in
+  for fuel = 1 to full_steps + 1 do
+    let on = run_fuel ~typed:true fuel and off = run_fuel ~typed:false fuel in
+    if on <> off then
+      Alcotest.failf "typed/untyped diverge at fuel %d (steps %d vs %d)" fuel
+        (match on with _, _, s -> s)
+        (match off with _, _, s -> s)
+  done
+
 let () =
   Alcotest.run "interp"
     [ ( "scalars",
@@ -354,5 +429,9 @@ let () =
           Alcotest.test_case "miss after install raises" `Quick
             test_undefined_method_after_cache_install;
           Alcotest.test_case "cache off identical" `Quick test_inline_cache_off_is_identical
+        ] );
+      ( "typed translation",
+        [ Alcotest.test_case "typed off identical" `Quick test_typed_off_is_identical;
+          Alcotest.test_case "fuel parity at every boundary" `Quick test_typed_fuel_parity
         ] )
     ]

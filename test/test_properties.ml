@@ -604,7 +604,7 @@ type probe_event =
   | Exit of int
   | Prop of int * int * int * bool
 
-let trace_requests app ~inline_cache ~seed ~n =
+let trace_requests ?(typed = true) app ~inline_cache ~seed ~n =
   let repo = app.Workload.Codegen.repo in
   let layouts = Mh_runtime.Class_layout.build repo ~reorder:false ~hotness:(fun _ _ -> 0) in
   let events = ref [] in
@@ -621,7 +621,7 @@ let trace_requests app ~inline_cache ~seed ~n =
     }
   in
   let engine =
-    Interp.Engine.create ~probes ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
+    Interp.Engine.create ~probes ~inline_cache ~typed repo (Mh_runtime.Heap.create repo layouts)
   in
   let rng = Js_util.Rng.create seed in
   let mix = Workload.Request.uniform_mix app in
@@ -642,6 +642,72 @@ let prop_inline_cache_transparent =
       let app = Workload.Codegen.generate spec in
       trace_requests app ~inline_cache:true ~seed ~n:5
       = trace_requests app ~inline_cache:false ~seed ~n:5)
+
+(* Same invariant for the dataflow-backed typed translation: the rewrites
+   (constant folds, resolved branches, erased casts/dead stores, fused
+   superinstructions) must be invisible to every observable — results, echo
+   output, step accounting, and the full ordered probe-event stream. *)
+let prop_typed_translation_transparent =
+  QCheck.Test.make ~name:"typed translation is observationally invisible" ~count:6
+    QCheck.(pair (int_range 1 500) small_nat)
+    (fun (app_seed, seed) ->
+      let spec = { Workload.App_spec.tiny with Workload.App_spec.seed = app_seed } in
+      let app = Workload.Codegen.generate spec in
+      trace_requests app ~typed:true ~inline_cache:true ~seed ~n:5
+      = trace_requests app ~typed:false ~inline_cache:true ~seed ~n:5)
+
+(* Solver termination: on random stack-balanced CFGs (loops included, with
+   type-unstable locals to force lattice climbing) the analysis reaches its
+   fixed point within the declared iteration bound. *)
+let prop_dataflow_fixed_point =
+  QCheck.Test.make ~name:"dataflow solver converges within bound" ~count:200 QCheck.small_nat
+    (fun seed ->
+      let module I = Hhbc.Instr in
+      let rng = Js_util.Rng.create (seed + 1) in
+      let n_locals = 2 in
+      let n_segs = 2 + Js_util.Rng.int rng 6 in
+      (* 4-instruction segments: a stack-neutral payload then a terminator
+         jumping to some segment start; the last segment returns *)
+      let seg s =
+        if s = n_segs - 1 then [ I.Nop; I.Nop; I.LitNull; I.Ret ]
+        else begin
+          let payload =
+            match Js_util.Rng.int rng 4 with
+            | 0 -> [ I.LitInt (Js_util.Rng.int rng 5); I.StoreLoc (Js_util.Rng.int rng n_locals) ]
+            | 1 -> [ I.LitFloat 1.5; I.StoreLoc (Js_util.Rng.int rng n_locals) ]
+            | 2 -> [ I.LitInt 7; I.Pop ]
+            | _ -> [ I.Nop; I.Nop ]
+          in
+          let target = 4 * Js_util.Rng.int rng n_segs in
+          let term =
+            match Js_util.Rng.int rng 3 with
+            | 0 -> [ I.Nop; I.Jmp target ]
+            | 1 -> [ I.LitBool (Js_util.Rng.int rng 2 = 0); I.JmpZ target ]
+            | _ -> [ I.LoadLoc (Js_util.Rng.int rng n_locals); I.JmpNZ target ]
+          in
+          payload @ term
+        end
+      in
+      let body = Array.of_list (List.concat (List.init n_segs seg)) in
+      let b = Hhbc.Repo.Builder.create () in
+      let fid =
+        Hhbc.Repo.Builder.add_func b
+          { Hhbc.Func.id = 0; name = "p"; unit_id = 0; class_id = None; n_params = 0; n_locals;
+            body }
+      in
+      ignore
+        (Hhbc.Repo.Builder.add_unit b
+           { Hhbc.Unit_def.id = 0; path = "p.mh"; funcs = [| fid |]; classes = [||];
+             main = Some fid; load_cost_bytes = 0 });
+      let repo = Hhbc.Repo.Builder.finish b in
+      let f = Hhbc.Repo.func repo fid in
+      let s = Js_analysis.Dataflow.analyze repo f in
+      let bound =
+        Js_analysis.Dataflow.typestate_bound
+          ~n_blocks:(Array.length s.Js_analysis.Dataflow.blocks)
+          ~body_len:(Array.length f.Hhbc.Func.body) ~n_locals
+      in
+      s.Js_analysis.Dataflow.converged && s.Js_analysis.Dataflow.iterations <= bound)
 
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
@@ -666,7 +732,8 @@ let () =
         q
           [ prop_probes_preserve_semantics; prop_reordered_layout_preserves_semantics;
             prop_counters_roundtrip; prop_pp_roundtrip_random_specs; prop_interp_deterministic;
-            prop_inline_cache_transparent; prop_compiler_output_verifies
+            prop_inline_cache_transparent; prop_typed_translation_transparent;
+            prop_dataflow_fixed_point; prop_compiler_output_verifies
           ] );
       ("reliability", q [ prop_all_corrupt_store_falls_back; prop_fleet_dist_partition ]);
       ("sim", q [ prop_push_sim_deterministic; prop_push_sim_dist_ladder ]);
