@@ -1214,6 +1214,235 @@ let bench_scale () =
     exit 1
   end
 
+(* ---------------------------------------------------------------- churn -- *)
+
+(* Stale-profile matching under code churn (paper §VI-B): seed a package on
+   build 0, churn the application at increasing rates (Workload.Churn), and
+   salvage the same package against each drifted build.  Micro side measures
+   the match itself (matched fraction, transferred counter mass, salvaged
+   boot through Consumer.boot_dist); macro side feeds the measured transfer
+   quality into the warmup model to get time-to-steady-state and capacity
+   loss vs churn, from which the profile half-life figure is interpolated.
+   Writes BENCH_churn.json (or .quick.json). *)
+let bench_churn () =
+  section "churn: stale-profile salvage across code pushes";
+  let quick = !quick_mode in
+  (* quick: the unit-test app; full: enough workers that even a 2% churn
+     rate touches a few declarations and the decay curve is smooth *)
+  let spec =
+    if quick then Workload.App_spec.tiny
+    else { Workload.App_spec.tiny with Workload.App_spec.n_workers = 120; n_endpoints = 8 }
+  in
+  let traffic_n = if quick then 150 else 400 in
+  let rates = if quick then [ 0.0; 0.1; 0.2; 0.4 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ] in
+  let churn_seed = 13 in
+  let module SM = Jit_profile.Stale_match in
+  let module JS = Jumpstart in
+  let app0 = Workload.Codegen.generate spec in
+  let traffic (a : Workload.Codegen.app) seed engine =
+    let mix = Workload.Request.mix a ~region:0 ~bucket:0 in
+    let rng = Js_util.Rng.create seed in
+    for _ = 1 to traffic_n do
+      ignore (Workload.Request.invoke engine a (Workload.Request.sample rng mix))
+    done
+  in
+  let options = { JS.Options.default with JS.Options.validate_packages = false } in
+  let outcome =
+    match
+      JS.Seeder.run app0.Workload.Codegen.repo options ~profile_traffic:(traffic app0 1)
+        ~optimized_traffic:(traffic app0 2) ~region:0 ~bucket:3 ~seeder_id:7 ()
+    with
+    | Ok o -> o
+    | Error msg ->
+      Printf.eprintf "bench churn: seeder failed: %s\n" msg;
+      exit 1
+  in
+  let bytes = outcome.JS.Seeder.bytes in
+  let meta = outcome.JS.Seeder.package.JS.Package.meta in
+  (* macro warmup baseline: no Jump-Start *)
+  let macro = Lazy.force macro_app in
+  let cfg = S.default_config in
+  let until = 600. in
+  let time_to_steady server =
+    let rps = S.rps_series server and peak = S.peak_rps server in
+    let rec scan t =
+      if t > until then until else if Series.value_at rps t >= 0.95 *. peak then t else scan (t +. 5.)
+    in
+    scan 0.
+  in
+  let capacity_loss server =
+    Series.capacity_loss (S.rps_series server) ~peak:(S.peak_rps server) ~until
+  in
+  let nojs = run_server ~discovery_seed:21 cfg macro S.No_jumpstart ~until in
+  let nojs_tts = time_to_steady nojs and nojs_loss = capacity_loss nojs in
+  Printf.printf "no-Jump-Start baseline: time-to-steady %.0fs, capacity loss %.1f%%\n\n" nojs_tts
+    (100. *. nojs_loss);
+  Printf.printf "%6s %9s %9s %9s %8s %9s %8s %8s %9s\n" "rate" "distance" "matched" "mass"
+    "salvaged" "booted" "tts(s)" "loss%" "match.f";
+  let rows =
+    List.map
+      (fun rate ->
+        let b, cstats = Workload.Churn.generate { Workload.Churn.seed = churn_seed; rate } spec in
+        let repo1 = b.Workload.Codegen.repo in
+        let pkg, mstats =
+          match JS.Package.of_bytes_stale repo1 bytes with
+          | Ok x -> x
+          | Error msg ->
+            Printf.eprintf "bench churn: salvage decode failed at rate %g: %s\n" rate msg;
+            exit 1
+        in
+        let digest_identical = rate = 0. && JS.Package.to_bytes pkg = bytes in
+        (* boot the churned build against the build-0 package through the
+           full distribution + salvage path *)
+        let store = JS.Store.create () in
+        JS.Store.publish store ~region:0 ~bucket:3 bytes meta;
+        let ds = JS.Dist_store.create ~repo:repo1 store in
+        let tel = Js_telemetry.create () in
+        let booted =
+          match
+            JS.Consumer.boot_dist ~telemetry:tel repo1 JS.Options.default ds
+              (Js_util.Rng.create 2) ~region:0 ~bucket:3
+              ~health_traffic:(traffic b 5) ~fallback_traffic:(traffic b 9) ()
+          with
+          | JS.Consumer.Jump_started _ -> true
+          | JS.Consumer.Fell_back _ -> false
+        in
+        let salvages = Js_telemetry.counter tel "consumer.salvages" in
+        let match_funcs = Js_telemetry.counter tel "match.funcs_matched" in
+        let match_blocks = Js_telemetry.counter tel "match.blocks_matched" in
+        let match_counters = Js_telemetry.counter tel "match.counters_transferred" in
+        (* macro: measured transfer quality drives the warmup curve *)
+        let q = SM.quality mstats in
+        let mpkg =
+          S.make_package cfg macro ~quality:q ~coverage_target:cfg.S.profile_request_target ()
+        in
+        let server = run_server ~discovery_seed:22 cfg macro (S.Consumer mpkg) ~until in
+        let tts = time_to_steady server and loss = capacity_loss server in
+        Printf.printf "%6.2f %9.3f %9.3f %9.3f %8b %9b %8.0f %8.1f %9d\n" rate
+          cstats.Workload.Churn.edit_distance (SM.matched_fraction mstats) q (salvages > 0)
+          booted tts (100. *. loss) match_funcs;
+        (rate, cstats, mstats, digest_identical, booted, salvages, match_funcs, match_blocks,
+         match_counters, tts, loss))
+      rates
+  in
+  (* profile half-life: the churn rate at which the warmup benefit over
+     no-Jump-Start halves, interpolated on the measured curve (linearly
+     extrapolated from the endpoints when the curve never crosses; -1 when
+     the benefit does not decay at all) *)
+  let half_life curve =
+    match curve with
+    | [] | [ _ ] -> -1.
+    | (r0, v0) :: _ ->
+      let target = v0 /. 2. in
+      let rec walk = function
+        | (ra, va) :: (rb, vb) :: rest ->
+          if (va >= target && vb <= target) || (va <= target && vb >= target) then
+            if va = vb then rb else ra +. ((rb -. ra) *. (va -. target) /. (va -. vb))
+          else walk ((rb, vb) :: rest)
+        | _ -> (
+          (* never crossed: extrapolate from endpoints *)
+          let rl, vl = List.nth curve (List.length curve - 1) in
+          let slope = (v0 -. vl) /. (rl -. r0) in
+          if slope <= 0. then -1. else r0 +. ((v0 -. target) /. slope))
+      in
+      walk curve
+  in
+  let benefit_curve =
+    List.map (fun (rate, _, _, _, _, _, _, _, _, _, loss) -> (rate, nojs_loss -. loss)) rows
+  in
+  let matched_curve =
+    List.map (fun (rate, _, mstats, _, _, _, _, _, _, _, _) -> (rate, SM.quality mstats)) rows
+  in
+  let hl_benefit = half_life benefit_curve in
+  let hl_matched = half_life matched_curve in
+  (* single-push decay compounds across pushes: after k pushes at rate r,
+     transferred mass ~ m(r)^k, so the half-life is log .5 / log m pushes *)
+  let hl_pushes m = if m >= 1. || m <= 0. then -1. else log 0.5 /. log m in
+  Printf.printf
+    "\nprofile half-life: warmup benefit halves at churn rate %.3f; transferred mass halves at \
+     %.3f\n"
+    hl_benefit hl_matched;
+  List.iter
+    (fun (rate, m) ->
+      if rate > 0. && m < 1. && m > 0. then
+        Printf.printf "  at churn rate %.2f per push, counter mass halves after %.0f pushes\n" rate
+          (hl_pushes m))
+    matched_curve;
+  (* acceptance criteria.  The salvage criteria key on the smallest rate
+     whose build actually drifted (salvage path taken): a low rate on a
+     small app can legitimately touch nothing, in which case the package is
+     delivered through the normal fingerprint-matched path. *)
+  let find_rate r = List.find (fun (rate, _, _, _, _, _, _, _, _, _, _) -> rate = r) rows in
+  let _, _, m0, digest0, booted0, _, _, _, _, _, _ = find_rate 0.0 in
+  let crit_digest = digest0 && booted0 in
+  let crit_full_match = SM.quality m0 = 1.0 && SM.matched_fraction m0 = 1.0 in
+  let crit_salvage, crit_beats_nojs =
+    match
+      List.find_opt (fun (_, _, _, _, _, salvages, _, _, _, _, _) -> salvages > 0) rows
+    with
+    | None -> (false, false)
+    | Some (_, _, _, _, booted_s, _, mf_s, _, _, tts_s, _) ->
+      (booted_s && mf_s > 0, tts_s < nojs_tts)
+  in
+  let crit_decay =
+    let _, _, ml, _, _, _, _, _, _, _, loss_l = List.nth rows (List.length rows - 1) in
+    SM.quality ml < 1.0 || loss_l > (let _, _, _, _, _, _, _, _, _, _, l0 = find_rate 0.0 in l0)
+  in
+  Printf.printf
+    "criteria: churn-0 byte-identical+booted: %b | churn-0 full match: %b |\n\
+    \          smallest-churn salvaged boot: %b | beats no-JS time-to-steady: %b | decay \
+     observed: %b\n"
+    crit_digest crit_full_match crit_salvage crit_beats_nojs crit_decay;
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-churn/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b
+    "  \"config\": { \"app_seed\": %d, \"churn_seed\": %d, \"traffic_requests\": %d, \
+     \"macro_until\": %.0f },\n"
+    spec.Workload.App_spec.seed churn_seed traffic_n until;
+  Printf.bprintf b
+    "  \"baseline\": { \"nojs_time_to_steady\": %.1f, \"nojs_capacity_loss\": %.4f },\n" nojs_tts
+    nojs_loss;
+  Printf.bprintf b "  \"rates\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i
+         ( rate, cstats, mstats, digest_identical, booted, salvages, match_funcs, match_blocks,
+           match_counters, tts, loss ) ->
+      Printf.bprintf b
+        "    { \"rate\": %.3f, \"edit_distance\": %.4f, \"decls_touched\": %d,\n\
+        \      \"matched_fraction\": %.4f, \"mass_fraction\": %.4f, \"funcs_matched\": %d, \
+         \"funcs_total\": %d,\n\
+        \      \"blocks_matched\": %d, \"arcs_dropped\": %d, \"digest_identical\": %b,\n\
+        \      \"booted\": %b, \"salvages\": %d, \"match_funcs\": %d, \"match_blocks\": %d, \
+         \"match_counters\": %d,\n\
+        \      \"time_to_steady\": %.1f, \"capacity_loss\": %.4f, \"half_life_pushes\": %.1f }%s\n"
+        rate cstats.Workload.Churn.edit_distance cstats.Workload.Churn.decls_touched
+        (SM.matched_fraction mstats) (SM.quality mstats) mstats.SM.funcs_matched
+        mstats.SM.funcs_total mstats.SM.blocks_matched mstats.SM.arcs_dropped digest_identical
+        booted salvages match_funcs match_blocks match_counters tts loss
+        (hl_pushes (SM.quality mstats))
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b
+    "  \"half_life\": { \"warmup_benefit\": %.4f, \"transferred_mass\": %.4f },\n" hl_benefit
+    hl_matched;
+  Printf.bprintf b
+    "  \"criteria\": { \"churn0_digest_identical\": %b, \"churn0_full_match\": %b, \
+     \"smallest_churn_salvaged\": %b, \"salvage_beats_nojs_tts\": %b, \"decay_observed\": %b }\n"
+    crit_digest crit_full_match crit_salvage crit_beats_nojs crit_decay;
+  Printf.bprintf b "}\n";
+  write_artifact ~tag:"churn"
+    ~default:(if quick then "BENCH_churn.quick.json" else "BENCH_churn.json")
+    (Buffer.contents b);
+  if not (crit_digest && crit_full_match && crit_salvage && crit_beats_nojs && crit_decay)
+  then begin
+    prerr_endline "bench churn: acceptance criteria failed";
+    exit 1
+  end
+
 (* ----------------------------------------------------------------- cli -- *)
 
 let experiments =
@@ -1222,7 +1451,7 @@ let experiments =
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
     ("micro", micro); ("perf", perf); ("dist", ablation_dist); ("push", bench_push);
-    ("scale", bench_scale)
+    ("scale", bench_scale); ("churn", bench_churn)
   ]
 
 let () =

@@ -117,6 +117,16 @@ if [ "$epoch_digest" != "$par_digest" ]; then
   exit 1
 fi
 
+# Churn smoke test: a package seeded on build 0 must be salvaged against a
+# churned build through the stale-profile matcher (nonzero match.* counters,
+# churn-0 byte-identical transfer, salvaged boot beating no-Jump-Start on
+# time-to-steady-state; the bench exits 1 if any criterion fails).
+dune exec bench/main.exe -- churn --quick
+test -s BENCH_churn.quick.json
+grep -q '"churn0_digest_identical": true' BENCH_churn.quick.json
+grep -q '"smallest_churn_salvaged": true' BENCH_churn.quick.json
+grep -q '"salvage_beats_nojs_tts": true' BENCH_churn.quick.json
+
 # Quick scale bench: flat engine must reproduce the closure engine's event
 # sequence faster, epoch-barrier multi-region runs must match merged AND
 # parallel runs byte-for-byte, and arrival batching must be digest-neutral;

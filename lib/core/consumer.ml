@@ -78,6 +78,8 @@ let health_check vm traffic =
    the no-Jump-Start fallback). *)
 type fetched =
   | Fetched of string * Package.meta
+  | Fetch_stale of string * string
+      (** fingerprint-mismatched payload worth salvaging: (bytes, gate reason) *)
   | Fetch_rejected of string
   | Fetch_unavailable of string
   | Fetch_none of string
@@ -121,29 +123,22 @@ let boot_via ?telemetry repo (options : Options.t) ~(fetch : unit -> fetched) ?j
           note_attempt k (stage ^ "_failed");
           attempt (k + 1) msg
         in
-        match fetch () with
-        | Fetch_none reason -> fall_back reason
-        | Fetch_unavailable reason -> fall_back reason
-        | Fetch_rejected msg -> fail "fetch" msg
-        | Fetched (bytes, _meta) -> (
+        (* Shared continuation once package bytes decoded (exact or salvaged):
+           verify -> coverage -> compile -> health check.  A salvaged package
+           goes through the very same gates — the transfer drops infeasible
+           counters precisely so it can. *)
+        let proceed package =
+          (* Profile-consistency verification (§VI-A): the package decoded,
+             but do its counters actually describe this repo's CFGs? *)
           match
-            timed "consumer.decode"
-              ~cost:(fun _ -> float_of_int (String.length bytes) /. 25.0e6)
-              (fun () -> Package.of_bytes repo bytes)
+            timed "consumer.verify"
+              ~cost:(fun _ -> float_of_int (Hhbc.Repo.n_funcs repo) *. 1e-7)
+              (fun () -> Package_check.result repo package)
           with
-          | Error msg -> fail "decode" msg
-          | Ok package -> (
-            (* Profile-consistency verification (§VI-A): the package decoded,
-               but do its counters actually describe this repo's CFGs? *)
-            match
-              timed "consumer.verify"
-                ~cost:(fun _ -> float_of_int (Hhbc.Repo.n_funcs repo) *. 1e-7)
-                (fun () -> Package_check.result repo package)
-            with
-            | Error msg ->
-              tel (fun t -> Js_telemetry.incr t "verify.package_rejects");
-              fail "verify" msg
-            | Ok () -> (
+          | Error msg ->
+            tel (fun t -> Js_telemetry.incr t "verify.package_rejects");
+            fail "verify" msg
+          | Ok () -> (
             match Package.check_coverage package options with
             | Error msg -> fail "coverage" msg
             | Ok () -> (
@@ -165,7 +160,52 @@ let boot_via ?telemetry repo (options : Options.t) ~(fetch : unit -> fetched) ?j
                   note_attempt k "jump_started";
                   tel (fun t -> Js_telemetry.incr t "consumer.jump_starts");
                   Jump_started vm
-                | _, Error msg -> fail "health_check" msg)))))
+                | _, Error msg -> fail "health_check" msg)))
+        in
+        match fetch () with
+        | Fetch_none reason -> fall_back reason
+        | Fetch_unavailable reason -> fall_back reason
+        | Fetch_rejected msg -> fail "fetch" msg
+        | Fetched (bytes, _meta) -> (
+          match
+            timed "consumer.decode"
+              ~cost:(fun _ -> float_of_int (String.length bytes) /. 25.0e6)
+              (fun () -> Package.of_bytes repo bytes)
+          with
+          | Error msg -> fail "decode" msg
+          | Ok package -> proceed package)
+        | Fetch_stale (bytes, gate_reason) -> (
+          (* Stale-profile salvage (§VI-B): the gate refused the package
+             because it was profiled on a different build — match it against
+             the live repo instead of discarding it.  Costed like a decode
+             plus a per-function matching pass. *)
+          match
+            timed "consumer.salvage"
+              ~cost:(fun _ ->
+                (float_of_int (String.length bytes) /. 25.0e6)
+                +. (float_of_int (Hhbc.Repo.n_funcs repo) *. 2e-7))
+              (fun () -> Package.of_bytes_stale repo bytes)
+          with
+          | Error msg -> fail "salvage" (gate_reason ^ "; salvage failed: " ^ msg)
+          | Ok (package, stats) ->
+            let q = Jit_profile.Stale_match.quality stats in
+            if stats.Jit_profile.Stale_match.funcs_matched = 0
+               || q < options.Options.salvage_min_match
+            then
+              fail "salvage"
+                (Format.asprintf "match quality %.2f below threshold %.2f (%a)" q
+                   options.Options.salvage_min_match Jit_profile.Stale_match.pp_stats stats)
+            else begin
+              tel (fun t ->
+                  Js_telemetry.incr t "consumer.salvages";
+                  Js_telemetry.incr t ~by:stats.Jit_profile.Stale_match.funcs_matched
+                    "match.funcs_matched";
+                  Js_telemetry.incr t ~by:stats.Jit_profile.Stale_match.blocks_matched
+                    "match.blocks_matched";
+                  Js_telemetry.incr t ~by:stats.Jit_profile.Stale_match.counters_transferred
+                    "match.counters_transferred");
+              proceed package
+            end)
     in
     attempt 0 "no attempts made"
   end
@@ -184,6 +224,9 @@ let boot_dist ?telemetry repo (options : Options.t) dist rng ?(now = 0.) ~region
   let fetch () =
     match Dist_store.fetch ?telemetry dist rng ~now ~region ~bucket with
     | Dist_store.Delivered { bytes; meta; _ } -> Fetched (bytes, meta)
+    | Dist_store.Rejected { kind = Dist_store.Fingerprint_mismatch; reason; bytes; _ }
+      when options.Options.salvage_stale ->
+      Fetch_stale (bytes, reason)
     | Dist_store.Rejected { reason; _ } -> Fetch_rejected reason
     | Dist_store.Unavailable { reason; _ } ->
       Fetch_unavailable ("package fetch failed: " ^ reason)

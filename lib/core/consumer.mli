@@ -81,11 +81,22 @@ val boot :
 
     - a {e delivered} package proceeds through decode → verify → coverage →
       compile → health-check exactly as in {!boot};
-    - a staleness-gate reject (fingerprint mismatch, TTL expiry, stale
-      replica) burns a boot attempt via the [Validation_failed] machinery
-      as the new stage [consumer.fetch] (counter
-      [consumer.fetch_failures]) — a fresh attempt re-runs the whole fetch
-      ladder and usually draws a different replica;
+    - a {e fingerprint-mismatched} package — profiled on a different build
+      of this application — is {e salvaged} when
+      [options.salvage_stale]: stage [consumer.salvage] decodes it
+      leniently ({!Package.of_bytes_stale}), matches it onto the live repo,
+      and, when {!Jit_profile.Stale_match.quality} clears
+      [options.salvage_min_match], proceeds through the normal verify →
+      coverage → compile → health-check chain (bumping
+      [consumer.salvages] and the [match.funcs_matched] /
+      [match.blocks_matched] / [match.counters_transferred] counters); a
+      failed or below-threshold salvage burns the attempt as stage
+      [consumer.salvage];
+    - any other staleness-gate reject (TTL expiry, stale replica — or a
+      fingerprint mismatch with salvage disabled) burns a boot attempt via
+      the [Validation_failed] machinery as the stage [consumer.fetch]
+      (counter [consumer.fetch_failures]) — a fresh attempt re-runs the
+      whole fetch ladder and usually draws a different replica;
     - an exhausted network (retries + cross-region fallback all failed)
       degrades gracefully to the no-Jump-Start fallback, like a store with
       no packages.

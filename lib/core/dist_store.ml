@@ -49,9 +49,26 @@ let create ?(network = default_network) ?(backoff = Backoff.default) ?(ttl_secon
 let store t = t.store
 let active t = network_active t.net
 
+type reject_kind = Stale_replica | Fingerprint_mismatch | Ttl_expired
+
+(* Per-kind reject counters: the salvage path treats a fingerprint mismatch
+   as recoverable (match the embedded shape against the live repo) while a
+   forced-stale replica or TTL expiry stays terminal, so lumping them into
+   one counter would hide exactly the split that matters. *)
+let reject_counter = function
+  | Stale_replica -> "dist.stale_replica"
+  | Fingerprint_mismatch -> "dist.fingerprint_mismatch"
+  | Ttl_expired -> "dist.ttl_expired"
+
 type fetch_result =
   | Delivered of { bytes : string; meta : Package.meta; region : int; delay : float }
-  | Rejected of { reason : string; delay : float }
+  | Rejected of {
+      kind : reject_kind;
+      reason : string;
+      bytes : string;
+      meta : Package.meta;
+      delay : float;
+    }
   | Unavailable of { reason : string; delay : float }
   | No_package
 
@@ -60,18 +77,20 @@ type fetch_result =
    has outlived its TTL.  Gate verdicts are deterministic; [forced_stale]
    models a replica that still serves the previous release's package. *)
 let gate t ~now ~forced_stale (meta : Package.meta) =
-  if forced_stale then Error "stale replica: package from a previous release"
+  if forced_stale then Error (Stale_replica, "stale replica: package from a previous release")
   else
     match t.expected_fingerprint with
     | Some fp when meta.Package.repo_fingerprint <> fp ->
       Error
-        (Printf.sprintf "repo fingerprint mismatch: package %x <> repo %x (stale release)"
-           (meta.Package.repo_fingerprint land 0xffffff)
-           (fp land 0xffffff))
+        ( Fingerprint_mismatch,
+          Printf.sprintf "repo fingerprint mismatch: package %x <> repo %x (stale release)"
+            (meta.Package.repo_fingerprint land 0xffffff)
+            (fp land 0xffffff) )
     | Some _ | None ->
       let age = now -. float_of_int meta.Package.published_at in
       if t.ttl_seconds > 0. && age > t.ttl_seconds then
-        Error (Printf.sprintf "package expired: age %.0fs > ttl %.0fs" age t.ttl_seconds)
+        Error
+          (Ttl_expired, Printf.sprintf "package expired: age %.0fs > ttl %.0fs" age t.ttl_seconds)
       else Ok ()
 
 let fetch ?telemetry t rng ~now ~region:home ~bucket =
@@ -119,9 +138,13 @@ let fetch ?telemetry t rng ~now ~region:home ~bucket =
             tel (fun s ->
                 Js_telemetry.observe s ~lo:0. ~hi:120. ~buckets:24 "dist.fetch_seconds" lat);
             `Delivered (bytes, meta, region)
-          | Error reason ->
-            tel (fun s -> Js_telemetry.incr s "dist.stale_rejects");
-            `Stale reason)
+          | Error (kind, reason) ->
+            tel (fun s ->
+                (* aggregate kept for dashboards/invariants; the split is
+                   what the salvage path keys on *)
+                Js_telemetry.incr s "dist.stale_rejects";
+                Js_telemetry.incr s (reject_counter kind));
+            `Stale (kind, reason, bytes, meta))
     end
   in
   (* The fetch ladder: bounded retries with backoff against the home region,
@@ -159,7 +182,7 @@ let fetch ?telemetry t rng ~now ~region:home ~bucket =
       end);
   match verdict with
   | `Delivered (bytes, meta, region) -> Delivered { bytes; meta; region; delay = !delay }
-  | `Stale reason -> Rejected { reason; delay = !delay }
+  | `Stale (kind, reason, bytes, meta) -> Rejected { kind; reason; bytes; meta; delay = !delay }
   | `Exhausted ->
     if (not !saw_package) && !failures = 0 && !timeouts = 0 then No_package
     else

@@ -28,7 +28,9 @@
     With [telemetry], attempts bump [dist.fetch_attempts] (plus
     [dist.cross_region] for foreign-region attempts), failures
     [dist.fetch_failures], timeouts [dist.timeouts], gate rejects
-    [dist.stale_rejects]; a delivery observes its latency in the
+    [dist.stale_rejects] plus the per-kind counter
+    ([dist.fingerprint_mismatch] / [dist.ttl_expired] /
+    [dist.stale_replica]); a delivery observes its latency in the
     [dist.fetch_seconds] histogram, and the accumulated wait (latencies,
     timeouts, backoff) advances the clock under a [dist.fetch_wait] span. *)
 
@@ -69,13 +71,26 @@ val create :
 val store : t -> Store.t
 val active : t -> bool
 
+(** Why the staleness gate refused a delivered package.  Only
+    [Fingerprint_mismatch] is salvageable: the payload is a well-formed
+    package for a {e different build} of this application, which the
+    stale-profile matcher can re-anchor; an expired or replica-served stale
+    package is simply old data. *)
+type reject_kind = Stale_replica | Fingerprint_mismatch | Ttl_expired
+
 type fetch_result =
   | Delivered of { bytes : string; meta : Package.meta; region : int; delay : float }
       (** a usable package, after [delay] seconds of fetch latency/retries *)
-  | Rejected of { reason : string; delay : float }
-      (** delivered but unusable: stale replica, fingerprint mismatch, or
-          TTL expiry — burns a consumer boot attempt (stage
-          [consumer.fetch]) *)
+  | Rejected of {
+      kind : reject_kind;
+      reason : string;
+      bytes : string;  (** the delivered payload — kept for the salvage path *)
+      meta : Package.meta;
+      delay : float;
+    }
+      (** delivered but refused by the staleness gate — burns a consumer
+          boot attempt (stage [consumer.fetch]) unless the consumer salvages
+          a [Fingerprint_mismatch] via {!Package.of_bytes_stale} *)
   | Unavailable of { reason : string; delay : float }
       (** retries and cross-region fallback exhausted — the consumer
           degrades gracefully to a no-Jump-Start boot *)

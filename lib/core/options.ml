@@ -7,6 +7,8 @@ type t = {
   min_coverage_funcs : int;
   min_coverage_entries : int;
   max_boot_attempts : int;
+  salvage_stale : bool;
+  salvage_min_match : float;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     min_coverage_funcs = 10;
     min_coverage_entries = 100;
     max_boot_attempts = 3;
+    salvage_stale = true;
+    salvage_min_match = 0.5;
   }
 
 let disabled = { default with enabled = false }
@@ -35,7 +39,9 @@ let to_string t =
       Printf.sprintf "jumpstart.validate_packages=%b" t.validate_packages;
       Printf.sprintf "jumpstart.min_coverage_funcs=%d" t.min_coverage_funcs;
       Printf.sprintf "jumpstart.min_coverage_entries=%d" t.min_coverage_entries;
-      Printf.sprintf "jumpstart.max_boot_attempts=%d" t.max_boot_attempts
+      Printf.sprintf "jumpstart.max_boot_attempts=%d" t.max_boot_attempts;
+      Printf.sprintf "jumpstart.salvage_stale=%b" t.salvage_stale;
+      Printf.sprintf "jumpstart.salvage_min_match=%g" t.salvage_min_match
     ]
 
 let of_string s =
@@ -48,6 +54,11 @@ let of_string s =
     match int_of_string_opt (String.trim v) with
     | Some n -> Ok n
     | None -> Error (Printf.sprintf "option %s: expected int, got %S" key v)
+  in
+  let parse_float key v =
+    match float_of_string_opt (String.trim v) with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "option %s: expected float, got %S" key v)
   in
   let lines =
     String.split_on_char '\n' s
@@ -78,5 +89,9 @@ let of_string s =
               Result.map (fun n -> { t with min_coverage_entries = n }) (parse_int key v)
             | "jumpstart.max_boot_attempts" ->
               Result.map (fun n -> { t with max_boot_attempts = n }) (parse_int key v)
+            | "jumpstart.salvage_stale" ->
+              Result.map (fun b -> { t with salvage_stale = b }) (parse_bool key v)
+            | "jumpstart.salvage_min_match" ->
+              Result.map (fun f -> { t with salvage_min_match = f }) (parse_float key v)
             | _ -> Error (Printf.sprintf "unknown option %S" key))))
     (Ok default) lines

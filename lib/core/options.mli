@@ -16,6 +16,12 @@ type t = {
   min_coverage_funcs : int;  (** §VI-B: coverage threshold before publish *)
   min_coverage_entries : int;  (** §VI-B: total profiled entries threshold *)
   max_boot_attempts : int;  (** §VI-A.3: retries before no-Jump-Start fallback *)
+  salvage_stale : bool;
+      (** §VI-B: salvage fingerprint-mismatched packages through the
+          stale-profile matcher instead of rejecting them *)
+  salvage_min_match : float;
+      (** minimum {!Jit_profile.Stale_match.quality} (fraction of counter
+          mass transferred) for a salvaged boot to proceed warm *)
 }
 
 (** Everything on, production-like thresholds. *)

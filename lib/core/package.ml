@@ -21,7 +21,7 @@ type t = {
 }
 
 let magic = "JSPK"
-let version = 3
+let version = 4
 
 (* The repo shape the seeder profiled against, embedded in every package
    (version 2).  A consumer running a different build of the application
@@ -60,6 +60,11 @@ let to_bytes t =
   W.varint w t.meta.repo_fingerprint;
   W.varint w t.meta.published_at;
   write_repo_shape w (Jit_profile.Counters.repo t.counters);
+  (* version 4: the stale-match table — qualified names + id-free structural
+     hashes of every function/block in the profiled build, so a consumer on
+     a drifted build can salvage the counters instead of discarding them *)
+  Jit_profile.Stale_match.write_shape w
+    (Jit_profile.Stale_match.shape_of_repo (Jit_profile.Counters.repo t.counters));
   W.array w (fun uid -> W.varint w uid) t.preload_units;
   W.array w (fun fid -> W.varint w fid) t.func_order;
   Jit_profile.Counters.serialize t.counters w;
@@ -78,6 +83,9 @@ let of_bytes repo data =
     let repo_fingerprint = Rd.varint r in
     let published_at = Rd.varint r in
     check_repo_shape r repo;
+    (* match table: carried for the salvage path ({!of_bytes_stale}); the
+       fast path has an exact repo and does not consult it *)
+    let (_ : Jit_profile.Stale_match.shape) = Jit_profile.Stale_match.read_shape r in
     let n_funcs = Hhbc.Repo.n_funcs repo in
     let n_units = Hhbc.Repo.n_units repo in
     let preload_units =
@@ -112,6 +120,67 @@ let of_bytes repo data =
         func_order;
         preload_units;
       }
+  with B.Corrupt msg -> Error ("corrupt package: " ^ msg)
+
+(* Salvage decode for a fingerprint-mismatched package (paper §VI-B: reuse
+   a profile across code pushes instead of cold-booting).  Nothing here is
+   validated against [repo] — the ids belong to the build the seeder ran —
+   so every section is read leniently and re-anchored through the embedded
+   match table by {!Jit_profile.Stale_match.transfer}.  The result is a
+   normal package against [repo]: exact-path invariants (fingerprint,
+   profiled-function count, entry total) are recomputed, so it passes
+   {!of_bytes} round-trips and the downstream P3xx gates. *)
+let of_bytes_stale repo data =
+  try
+    let payload = B.unframe ~magic ~expected_version:version data in
+    let r = Rd.of_string payload in
+    let region = Rd.varint r in
+    let bucket = Rd.varint r in
+    let seeder_id = Rd.varint r in
+    let (_ : int) = Rd.varint r (* n_profiled_funcs: stale build's *) in
+    let (_ : int) = Rd.varint r (* total_entries: stale build's *) in
+    let (_ : int) = Rd.varint r (* repo_fingerprint: known mismatched *) in
+    let published_at = Rd.varint r in
+    for _ = 1 to 6 do
+      ignore (Rd.varint r (* repo shape counts: stale build's *))
+    done;
+    let shape = Jit_profile.Stale_match.read_shape r in
+    let old_preload = Rd.array r (fun r -> Rd.varint r) in
+    let old_order = Rd.array r (fun r -> Rd.varint r) in
+    let raw = Jit_profile.Stale_match.read_raw_counters r in
+    let old_vasm = Jit.Vasm_profile.deserialize r in
+    Rd.expect_end r;
+    let tr = Jit_profile.Stale_match.transfer repo shape raw in
+    let n_old = Array.length tr.Jit_profile.Stale_match.fid_map in
+    (* vasm-level counts index blocks of the seeder's translations; they only
+       survive for functions whose bodies are strictly identical, where the
+       consumer re-lowers to the same shape (P310/P311 re-verify). *)
+    let vasm =
+      Jit.Vasm_profile.remap old_vasm ~f:(fun ofid ->
+          if ofid >= 0 && ofid < n_old && tr.Jit_profile.Stale_match.strict_match.(ofid) then
+            tr.Jit_profile.Stale_match.fid_map.(ofid)
+          else None)
+    in
+    let counters = tr.Jit_profile.Stale_match.counters in
+    let profiled = Jit_profile.Counters.profiled_funcs counters in
+    Ok
+      ( {
+          meta =
+            {
+              region;
+              bucket;
+              seeder_id;
+              n_profiled_funcs = List.length profiled;
+              total_entries = Jit_profile.Counters.total_entries counters;
+              repo_fingerprint = Hhbc.Repo.fingerprint repo;
+              published_at;
+            };
+          counters;
+          vasm;
+          func_order = tr.Jit_profile.Stale_match.func_order old_order;
+          preload_units = tr.Jit_profile.Stale_match.preload_units old_preload;
+        },
+        tr.Jit_profile.Stale_match.stats )
   with B.Corrupt msg -> Error ("corrupt package: " ^ msg)
 
 let check_coverage t (options : Options.t) =

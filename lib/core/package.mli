@@ -46,6 +46,17 @@ val to_bytes : t -> string
     magic/version/CRC or any id out of range for [repo]. *)
 val of_bytes : Hhbc.Repo.t -> string -> (t, string) result
 
+(** [of_bytes_stale repo data] — the §VI-B salvage path for a package whose
+    fingerprint does not match [repo] (profiled on a previous code push).
+    Decodes leniently, matches the embedded {!Jit_profile.Stale_match.shape}
+    against [repo], and rebuilds counters/order/preload/vasm with unmatched
+    or infeasible data dropped.  On a byte-identical build the result
+    re-serializes to exactly [data].  The caller decides, from the returned
+    match {!Jit_profile.Stale_match.stats}, whether quality clears
+    {!Options.t.salvage_min_match}. *)
+val of_bytes_stale :
+  Hhbc.Repo.t -> string -> (t * Jit_profile.Stale_match.stats, string) result
+
 (** [check_coverage t options] — the §VI-B publish gate: enough profiled
     functions and enough total requests behind them. *)
 val check_coverage : t -> Options.t -> (unit, string) result

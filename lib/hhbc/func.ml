@@ -70,20 +70,25 @@ let bytecode_size f = Array.fold_left (fun acc i -> acc + Instr.byte_size i) 0 f
    matches.  This is the matching key for BOLT-style stale-profile transfer:
    counters follow blocks whose hashes survive a code push. *)
 let block_hash f (blk : block) =
-  let h = ref 0x4bf29ce484222325 in
-  let mix v = h := (!h lxor v) * 0x100000001b3 in
-  mix blk.len;
+  let h = ref (Instr.fnv_mix Instr.fnv_basis blk.len) in
   for pc = blk.start to blk.start + blk.len - 1 do
-    let instr = f.body.(pc) in
-    match instr with
-    | Instr.Jmp t -> mix (Hashtbl.hash (Instr.Jmp (t - blk.start)))
-    | Instr.JmpZ t -> mix (Hashtbl.hash (Instr.JmpZ (t - blk.start)))
-    | Instr.JmpNZ t -> mix (Hashtbl.hash (Instr.JmpNZ (t - blk.start)))
-    | _ -> mix (Hashtbl.hash instr)
+    h := Instr.fnv_fold ~jump_base:blk.start !h f.body.(pc)
   done;
   !h land max_int
 
 let block_hashes f = Array.map (block_hash f) (basic_blocks f)
+
+(* Whole-body structural hash: every instruction with absolute jump targets,
+   plus the arity/locals shape.  Deliberately name-blind — it is the rename
+   detector for stale-profile matching (a renamed-but-unchanged function
+   keeps its struct_hash). *)
+let struct_hash f =
+  let h = ref Instr.fnv_basis in
+  h := Instr.fnv_mix !h f.n_params;
+  h := Instr.fnv_mix !h f.n_locals;
+  h := Instr.fnv_mix !h (Array.length f.body);
+  Array.iter (fun instr -> h := Instr.fnv_fold !h instr) f.body;
+  !h land max_int
 
 let validate f =
   let n = Array.length f.body in

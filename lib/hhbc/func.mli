@@ -44,6 +44,12 @@ val block_hash : t -> block -> int
     block id. *)
 val block_hashes : t -> int array
 
+(** [struct_hash f] is a stable FNV-1a hash of the whole body (absolute jump
+    targets) plus the arity/locals shape, deliberately blind to [name]: a
+    renamed-but-otherwise-unchanged function keeps its [struct_hash], which
+    is how the stale-profile matcher survives renames. *)
+val struct_hash : t -> int
+
 (** [validate f] checks structural invariants: jump targets in range, body
     non-empty, final instruction terminal, parameter/local counts coherent.
     Returns [Error msg] describing the first violation. *)

@@ -117,6 +117,96 @@ let is_terminal = function
   | InstanceOf _ | Cast _ | Print ->
     false
 
+(* --- stable structural hashing ----------------------------------------
+   FNV-1a 64-bit, truncated to OCaml's 63-bit int.  [Hashtbl.hash] is
+   explicitly NOT used anywhere in the hashing path: it caps traversal
+   depth/breadth (large payloads collide) and its value is not guaranteed
+   stable across OCaml versions, which would silently defeat both the
+   package staleness gate and stale-profile matching across builds. *)
+
+let fnv_basis = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+let fnv_mix h v = (h lxor v) * fnv_prime
+
+let fnv_string h s =
+  let h = ref (fnv_mix h (String.length s)) in
+  String.iter (fun c -> h := fnv_mix !h (Char.code c)) s;
+  !h
+
+(* Stable small integer per constructor — pinned; append-only. *)
+let opcode = function
+  | Nop -> 0
+  | LitInt _ -> 1
+  | LitFloat _ -> 2
+  | LitBool _ -> 3
+  | LitNull -> 4
+  | LitStr _ -> 5
+  | LitArr _ -> 6
+  | LoadLoc _ -> 7
+  | StoreLoc _ -> 8
+  | Pop -> 9
+  | Dup -> 10
+  | BinOp _ -> 11
+  | UnOp _ -> 12
+  | Jmp _ -> 13
+  | JmpZ _ -> 14
+  | JmpNZ _ -> 15
+  | Call _ -> 16
+  | CallMethod _ -> 17
+  | New _ -> 18
+  | GetThis -> 19
+  | GetProp _ -> 20
+  | SetProp _ -> 21
+  | NewVec _ -> 22
+  | VecGet -> 23
+  | VecSet -> 24
+  | VecPush -> 25
+  | VecLen -> 26
+  | NewDict _ -> 27
+  | DictGet -> 28
+  | DictSet -> 29
+  | DictHas -> 30
+  | InstanceOf _ -> 31
+  | Cast _ -> 32
+  | Print -> 33
+  | Ret -> 34
+
+let binop_index = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Mod -> 4 | Concat -> 5
+  | Lt -> 6 | Le -> 7 | Gt -> 8 | Ge -> 9 | Eq -> 10 | Ne -> 11
+  | BitAnd -> 12 | BitOr -> 13 | BitXor -> 14 | Shl -> 15 | Shr -> 16
+
+let fnv_float h f =
+  let bits = Int64.bits_of_float f in
+  let h = fnv_mix h (Int64.to_int (Int64.logand bits 0xffffffffL)) in
+  fnv_mix h (Int64.to_int (Int64.shift_right_logical bits 32))
+
+(* [fnv_fold ?jump_base h i] mixes instruction [i] into [h], field by field.
+   With [jump_base] the jump targets are rewritten relative to it, which is
+   what makes {!Func.block_hash} offset-invariant. *)
+let fnv_fold ?(jump_base = 0) h instr =
+  let h = fnv_mix h (opcode instr) in
+  match instr with
+  | Nop | LitNull | Pop | Dup | GetThis | VecGet | VecSet | VecPush | VecLen
+  | DictGet | DictSet | DictHas | Print | Ret ->
+    h
+  | LitInt n -> fnv_mix h n
+  | LitFloat f -> fnv_float h f
+  | LitBool b -> fnv_mix h (if b then 1 else 0)
+  | LitStr sid -> fnv_mix h sid
+  | LitArr aid -> fnv_mix h aid
+  | LoadLoc l | StoreLoc l -> fnv_mix h l
+  | BinOp op -> fnv_mix h (binop_index op)
+  | UnOp op -> fnv_mix h (match op with Neg -> 0 | Not -> 1 | BitNot -> 2)
+  | Jmp t | JmpZ t | JmpNZ t -> fnv_mix h (t - jump_base)
+  | Call (fid, n) -> fnv_mix (fnv_mix h fid) n
+  | CallMethod (nid, n) -> fnv_mix (fnv_mix h nid) n
+  | New (cid, n) -> fnv_mix (fnv_mix h cid) n
+  | GetProp nid | SetProp nid -> fnv_mix h nid
+  | NewVec n | NewDict n -> fnv_mix h n
+  | InstanceOf cid -> fnv_mix h cid
+  | Cast tg -> fnv_mix h (Value.tag_index tg)
+
 let binop_to_string = function
   | Add -> "Add"
   | Sub -> "Sub"

@@ -82,6 +82,37 @@ type t =
     code-size model (profiling/optimized translations scale from it). *)
 val byte_size : t -> int
 
+(** {2 Stable structural hashing}
+
+    FNV-1a 64-bit primitives (truncated to OCaml's 63-bit [int]) used by
+    {!Func.block_hash}, {!Repo.fingerprint} and the stale-profile matcher.
+    Deliberately independent of [Hashtbl.hash], which caps traversal
+    depth/breadth and is not stable across OCaml versions. *)
+
+(** FNV-1a 64-bit offset basis (63-bit truncated). *)
+val fnv_basis : int
+
+(** [fnv_mix h v] folds one integer into the running hash. *)
+val fnv_mix : int -> int -> int
+
+(** [fnv_string h s] folds [s]'s length and bytes into the running hash. *)
+val fnv_string : int -> string -> int
+
+(** [fnv_float h f] folds the IEEE-754 bits of [f] into the running hash. *)
+val fnv_float : int -> float -> int
+
+(** Stable small integer identifying the constructor; pinned, append-only. *)
+val opcode : t -> int
+
+(** Stable small integer per [binop]; pinned, append-only. *)
+val binop_index : binop -> int
+
+(** [fnv_fold ?jump_base h i] mixes [i] into [h] field by field: constructor
+    opcode then every immediate.  With [jump_base] the jump targets of
+    [Jmp]/[JmpZ]/[JmpNZ] are rewritten relative to it (block-offset
+    invariance for {!Func.block_hash}). *)
+val fnv_fold : ?jump_base:int -> int -> t -> int
+
 (** [branch_targets i] lists jump targets if [i] is a control transfer. *)
 val branch_targets : t -> int list
 

@@ -96,9 +96,13 @@ let total_bytecode_size t = Array.fold_left (fun acc f -> acc + Func.bytecode_si
    never collide, while re-loading the same build always agrees — which is
    all the package staleness gate needs (it is not a cryptographic hash). *)
 let fingerprint t =
-  (* FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit int *)
-  let h = ref 0x4bf29ce484222325 in
-  let mix v = h := (!h lxor v) * 0x100000001b3 in
+  (* Explicit per-field FNV-1a: every entity count, function name + body
+     (field-by-field via Instr.fnv_fold, never Hashtbl.hash — which caps
+     traversal and is not stable across OCaml versions), class names,
+     interned strings and names. *)
+  let h = ref Instr.fnv_basis in
+  let mix v = h := Instr.fnv_mix !h v in
+  let mix_s s = h := Instr.fnv_string !h s in
   mix (Array.length t.units);
   mix (Array.length t.funcs);
   mix (Array.length t.classes);
@@ -107,13 +111,13 @@ let fingerprint t =
   mix (Array.length t.names);
   Array.iter
     (fun (f : Func.t) ->
-      mix (Hashtbl.hash f.Func.name);
+      mix_s f.Func.name;
       mix (Array.length f.Func.body);
-      Array.iter (fun instr -> mix (Hashtbl.hash instr)) f.Func.body)
+      Array.iter (fun instr -> h := Instr.fnv_fold !h instr) f.Func.body)
     t.funcs;
-  Array.iter (fun (c : Class_def.t) -> mix (Hashtbl.hash c.Class_def.name)) t.classes;
-  Array.iter (fun s -> mix (Hashtbl.hash s)) t.strings;
-  Array.iter (fun s -> mix (Hashtbl.hash s)) t.names;
+  Array.iter (fun (c : Class_def.t) -> mix_s c.Class_def.name) t.classes;
+  Array.iter mix_s t.strings;
+  Array.iter mix_s t.names;
   (* varint-encodable: the package wire format carries it as a non-negative
      integer *)
   !h land max_int

@@ -89,6 +89,31 @@ let profiled_arcs t =
 let entry_counts t =
   Hashtbl.fold (fun fid c acc -> (fid, !c) :: acc) t.entries [] |> List.sort compare
 
+(* Stale-profile salvage: re-key every per-root-function table through the
+   old-fid -> new-fid map.  Entries whose root (or either call-graph
+   endpoint) does not map are dropped; block/arc indices are kept verbatim —
+   the caller only remaps strict-identical matches, whose translations
+   re-lower to the same shape, and Package_check's self-shape pass (P310/
+   P311) guards the rest. *)
+let remap t ~f =
+  let out = create () in
+  Hashtbl.iter
+    (fun fid a -> match f fid with Some n -> Hashtbl.replace out.blocks n a | None -> ())
+    t.blocks;
+  Hashtbl.iter
+    (fun fid tbl -> match f fid with Some n -> Hashtbl.replace out.arcs n tbl | None -> ())
+    t.arcs;
+  Hashtbl.iter
+    (fun (a, b) c ->
+      match (f a, f b) with
+      | Some na, Some nb -> Hashtbl.replace out.cg (na, nb) c
+      | _ -> ())
+    t.cg;
+  Hashtbl.iter
+    (fun fid c -> match f fid with Some n -> Hashtbl.replace out.entries n c | None -> ())
+    t.entries;
+  out
+
 module W = Js_util.Binio.Writer
 module Rd = Js_util.Binio.Reader
 

@@ -52,3 +52,10 @@ val entry_counts : t -> (int * int) list
 val serialize : t -> Js_util.Binio.Writer.t -> unit
 
 val deserialize : ?n_funcs:int -> Js_util.Binio.Reader.t -> t
+
+(** [remap t ~f] re-keys every root function id through [f], dropping
+    entries that map to [None] (stale-profile salvage: only strict-identical
+    function matches keep their vasm-level profile — block indices are
+    carried verbatim and P310/P311 re-check them against re-lowered
+    translations). *)
+val remap : t -> f:(int -> int option) -> t

@@ -145,6 +145,51 @@ let profiled_funcs t =
 let touched_units t = List.rev t.touched_units_rev
 let total_entries t = t.total_entries
 
+(* --- bulk import (stale-profile transfer) ---
+   Absolute-count setters used by {!Stale_match.transfer} when rebuilding a
+   counter set against a new repo from a matched stale profile.  They write
+   the exact serialized representation (replace for vectors, add for sparse
+   keys), so a lossless transfer round-trips byte-identically. *)
+
+let import_block_counts t fid counts =
+  let f = Hhbc.Repo.func t.repo fid in
+  let n = Array.length (Hhbc.Func.basic_blocks f) in
+  if Array.length counts <> n then invalid_arg "Counters.import_block_counts: arity mismatch";
+  t.blocks.(fid) <- Some counts
+
+let import_arc t fid ~src ~dst count =
+  match Hashtbl.find_opt t.arcs.(fid) (src, dst) with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.arcs.(fid) (src, dst) (ref count)
+
+let import_call t ~caller ~site ~callee count =
+  let key = (caller, site) in
+  let targets =
+    match Hashtbl.find_opt t.call_sites key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.add t.call_sites key tbl;
+      tbl
+  in
+  (match Hashtbl.find_opt targets callee with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add targets callee (ref count))
+
+let import_cg t ~caller ~callee count =
+  match Hashtbl.find_opt t.cg (caller, callee) with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.cg (caller, callee) (ref count)
+
+let import_entries t fid e =
+  t.total_entries <- t.total_entries - t.entries.(fid) + e;
+  t.entries.(fid) <- e
+
+let import_prop t cid nid count =
+  match Hashtbl.find_opt t.props (cid, nid) with
+  | Some r -> r := !r + count
+  | None -> Hashtbl.add t.props (cid, nid) (ref count)
+
 let copy_tbl tbl =
   let fresh = Hashtbl.create (Hashtbl.length tbl) in
   Hashtbl.iter (fun k v -> Hashtbl.add fresh k (ref !v)) tbl;

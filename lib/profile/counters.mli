@@ -25,6 +25,30 @@ val record_func_entry : t -> Hhbc.Instr.fid -> unit
 val record_prop_access : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> unit
 val record_unit_load : t -> int -> unit
 
+(* --- bulk import (stale-profile transfer) ---
+   Absolute-count setters used by {!Stale_match.transfer} to rebuild a
+   counter set against a new repo from a matched stale profile.  Vector
+   setters replace, sparse-key setters add. *)
+
+(** [import_block_counts t fid counts] adopts [counts] as the function's
+    block vector.  @raise Invalid_argument on arity mismatch. *)
+val import_block_counts : t -> Hhbc.Instr.fid -> int array -> unit
+
+val import_arc : t -> Hhbc.Instr.fid -> src:int -> dst:int -> int -> unit
+
+(** [import_call] adds to the per-site target table only; unlike
+    {!record_call} it does {e not} touch the call graph (the transfer moves
+    the call-graph section independently). *)
+val import_call :
+  t -> caller:Hhbc.Instr.fid -> site:int -> callee:Hhbc.Instr.fid -> int -> unit
+
+val import_cg : t -> caller:Hhbc.Instr.fid -> callee:Hhbc.Instr.fid -> int -> unit
+
+(** [import_entries t fid e] sets the entry counter (maintains the total). *)
+val import_entries : t -> Hhbc.Instr.fid -> int -> unit
+
+val import_prop : t -> Hhbc.Instr.cid -> Hhbc.Instr.nid -> int -> unit
+
 (* --- queries --- *)
 
 (** The repo these counters were recorded (or deserialized) against. *)

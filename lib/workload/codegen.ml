@@ -222,8 +222,7 @@ let source_of spec =
   let program, _ = build_ast spec in
   Minihack.Pp.to_source program
 
-let generate spec =
-  let program, hot = build_ast spec in
+let app_of_program (spec : App_spec.t) ~hot program =
   let builder = Hhbc.Repo.Builder.create () in
   ignore (Minihack.Compile.compile_program builder ~path:"synthetic/app.mh" program);
   let repo = Hhbc.Repo.Builder.finish builder in
@@ -245,3 +244,7 @@ let generate spec =
     | None -> failwith "Codegen.generate: Base class missing"
   in
   { spec; repo; endpoint_fids; endpoint_partition; base_class; hot_props = hot }
+
+let generate spec =
+  let program, hot = build_ast spec in
+  app_of_program spec ~hot program

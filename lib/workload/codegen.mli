@@ -30,6 +30,16 @@ type app = {
     generator bug, not an input condition). *)
 val generate : App_spec.t -> app
 
+(** [build_ast spec] — the program before compilation, plus the hot-property
+    indices.  Exposed so {!Churn} can mutate the source of a build and
+    recompile it into a drifted app. *)
+val build_ast : App_spec.t -> Minihack.Ast.program * int array
+
+(** [app_of_program spec ~hot program] — compile + validate an (optionally
+    mutated) program exactly as {!generate} does.
+    @raise Failure as {!generate}; churn must keep the app well-formed. *)
+val app_of_program : App_spec.t -> hot:int array -> Minihack.Ast.program -> app
+
 (** The generated program as minihack source text (for inspection and for
     the examples). *)
 val source_of : App_spec.t -> string

@@ -185,8 +185,9 @@ let test_boot_dist_degrades_gracefully () =
   | JS.Consumer.Jump_started _ -> Alcotest.fail "cannot jump-start without the network"
 
 let test_boot_dist_stale_burns_attempts () =
-  (* gate rejects feed the consumer's bounded-retry machinery: all attempts
-     burn on stale packages, then the boot falls back *)
+  (* with salvage disabled, gate rejects feed the consumer's bounded-retry
+     machinery: all attempts burn on stale packages, then the boot falls
+     back (the salvage-on behaviour is covered in test_churn.ml) *)
   let a = Lazy.force app in
   let other =
     Workload.Codegen.generate { Workload.App_spec.tiny with Workload.App_spec.seed = 43 }
@@ -194,16 +195,19 @@ let test_boot_dist_stale_burns_attempts () =
   let store = seeded_store () in
   let ds = DS.create ~repo:other.Workload.Codegen.repo store in
   let tel = Js_telemetry.create () in
+  let options = { JS.Options.default with JS.Options.salvage_stale = false } in
   match
-    JS.Consumer.boot_dist ~telemetry:tel a.Workload.Codegen.repo JS.Options.default ds
+    JS.Consumer.boot_dist ~telemetry:tel a.Workload.Codegen.repo options ds
       (R.create 2) ~region:0 ~bucket:3 ~fallback_traffic:(traffic ~seed:9 ()) ()
   with
   | JS.Consumer.Fell_back _ ->
-    Alcotest.(check int) "every boot attempt burned"
-      JS.Options.default.JS.Options.max_boot_attempts
+    Alcotest.(check int) "every boot attempt burned" options.JS.Options.max_boot_attempts
       (Js_telemetry.counter tel "consumer.boot_attempts");
     Alcotest.(check bool) "gate rejects counted" true
-      (Js_telemetry.counter tel "dist.stale_rejects" >= 1)
+      (Js_telemetry.counter tel "dist.stale_rejects" >= 1);
+    Alcotest.(check int) "split counter attributes the kind"
+      (Js_telemetry.counter tel "dist.stale_rejects")
+      (Js_telemetry.counter tel "dist.fingerprint_mismatch")
   | JS.Consumer.Jump_started _ -> Alcotest.fail "stale packages must not jump-start"
 
 (* --- macro: Dist_net --- *)

@@ -212,6 +212,29 @@ let test_repo_validate_catches_bad_refs () =
   let repo = Repo.Builder.finish b in
   Alcotest.(check bool) "undefined callee" true (Result.is_error (Repo.validate repo))
 
+let test_hash_goldens () =
+  (* Pinned FNV-1a values.  These must never move — across OCaml versions,
+     refactors or word sizes — because a silent change invalidates every
+     published package fingerprint and every stale-profile matching key.
+     (The old Hashtbl.hash-based mixing had exactly that failure mode.) *)
+  let loop = mk_func [| I.JmpZ 3; I.Nop; I.Jmp 0; I.Ret |] in
+  let straight = mk_func [| I.LitInt 1; I.StoreLoc 0; I.LitNull; I.Ret |] in
+  Alcotest.(check (list int)) "block_hashes golden"
+    [ 0x10819a18670a4fbf; 0x33115e6fb5ebfa4b; 0x082f0407b4e859ca ]
+    (Array.to_list (F.block_hashes loop));
+  Alcotest.(check int) "straight-line golden" 0x12219125b0384e43 (F.block_hashes straight).(0);
+  Alcotest.(check int) "struct_hash golden" 0x2c1e44a5834c31d2 (F.struct_hash straight);
+  let repo, _, _, _ = build_two_class_repo () in
+  Alcotest.(check int) "fingerprint golden" 0x32c61f3afec3fe1a (Repo.fingerprint repo)
+
+let test_struct_hash_name_blind () =
+  let f = mk_func [| I.LitInt 7; I.Ret |] in
+  let renamed = { f with F.name = "renamed" } in
+  Alcotest.(check int) "rename keeps struct_hash" (F.struct_hash f) (F.struct_hash renamed);
+  let edited = mk_func [| I.LitInt 8; I.Ret |] in
+  Alcotest.(check bool) "body edit moves struct_hash" false
+    (F.struct_hash f = F.struct_hash edited)
+
 let test_find_by_name () =
   let repo, _, _, _ = build_two_class_repo () in
   Alcotest.(check bool) "class by name" true (Repo.find_class_by_name repo "C" <> None);
@@ -239,6 +262,8 @@ let () =
           Alcotest.test_case "block_of_instr" `Quick test_block_of_instr;
           Alcotest.test_case "block hash offset-invariant" `Quick test_block_hash_offset_invariant;
           Alcotest.test_case "block hash sensitivity" `Quick test_block_hash_sensitivity;
+          Alcotest.test_case "hash goldens pinned" `Quick test_hash_goldens;
+          Alcotest.test_case "struct_hash is name-blind" `Quick test_struct_hash_name_blind;
           Alcotest.test_case "validation" `Quick test_func_validate;
           Alcotest.test_case "bytecode size" `Quick test_bytecode_size
         ] );
