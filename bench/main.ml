@@ -305,6 +305,17 @@ let fleet_base_cfg =
         }
     }
 
+(* --seed N overrides the base seed of whichever experiments run (each keeps
+   its own default so plain invocations reproduce the committed artifacts);
+   --seeds N sets the replicate count of the matrix benches (warmup, and the
+   paired significance gates of push).  Shared across all subcommands so any
+   artifact can be re-run with a fresh seed from the CLI. *)
+let seed_override = ref None
+let seeds_override = ref None
+
+let bench_seed default = match !seed_override with Some s -> s | None -> default
+let bench_seeds default = match !seeds_override with Some n -> n | None -> default
+
 let ablation_seeders () =
   section "Ablation: randomized multiple seeders bound the crash blast radius (§VI-A.2)";
   Printf.printf
@@ -325,7 +336,7 @@ let ablation_seeders () =
       let tel = Js_telemetry.create () in
       let stats =
         Cluster.Fleet.simulate_push ~telemetry:tel cfg ~force_bad_per_bucket:1
-          (Lazy.force fleet_app) ~seed:1000 ~bad_package_rate:0. ~thin_profile_rate:0.
+          (Lazy.force fleet_app) ~seed:(bench_seed 1000) ~bad_package_rate:0. ~thin_profile_rate:0.
           ~duration:900.
       in
       let blast =
@@ -347,8 +358,8 @@ let ablation_validation () =
       let cfg = { (Lazy.force fleet_base_cfg) with Cluster.Fleet.validation_catch_rate = rate } in
       let tel = Js_telemetry.create () in
       let stats =
-        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app) ~seed:77
-          ~bad_package_rate:0.3 ~thin_profile_rate:0. ~duration:600.
+        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app)
+          ~seed:(bench_seed 77) ~bad_package_rate:0.3 ~thin_profile_rate:0. ~duration:600.
       in
       Printf.printf "%12.2f %14d %12d %12d\n" rate stats.Cluster.Fleet.bad_packages_published
         (Js_telemetry.counter tel "fleet.crashes")
@@ -370,8 +381,8 @@ let ablation_fallback () =
       in
       let tel = Js_telemetry.create () in
       let stats =
-        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app) ~seed:5
-          ~bad_package_rate:1.0 ~thin_profile_rate:0. ~duration:1_500.
+        Cluster.Fleet.simulate_push ~telemetry:tel cfg (Lazy.force fleet_app)
+          ~seed:(bench_seed 5) ~bad_package_rate:1.0 ~thin_profile_rate:0. ~duration:1_500.
       in
       let total_crashes = List.fold_left (fun acc (_, n) -> acc + n) 0 stats.Cluster.Fleet.crashes in
       Printf.printf "%10b %12d %12d %16.0f\n" fallback total_crashes stats.Cluster.Fleet.fallbacks
@@ -523,7 +534,7 @@ let perf () =
       Interp.Engine.create ~fuel:max_int ~inline_cache ~typed repo
         (Mh_runtime.Heap.create repo layouts)
     in
-    let rng = Js_util.Rng.create 7 in
+    let rng = Js_util.Rng.create (bench_seed 7) in
     Gc.full_major ();
     let w0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
@@ -540,7 +551,7 @@ let perf () =
     let engine =
       Interp.Engine.create ~fuel:max_int ~inline_cache repo (Mh_runtime.Heap.create repo layouts)
     in
-    let rng = Js_util.Rng.create 7 in
+    let rng = Js_util.Rng.create (bench_seed 7) in
     let d = ref "" in
     for _ = 1 to n do
       let v = Workload.Request.invoke engine app (Workload.Request.sample rng mix) in
@@ -582,7 +593,7 @@ let perf () =
         ~probes:(Jit_profile.Collector.probes counters)
         ~typed repo (Mh_runtime.Heap.create repo layouts)
     in
-    let rng = Js_util.Rng.create 7 in
+    let rng = Js_util.Rng.create (bench_seed 7) in
     let d = ref "" in
     for _ = 1 to n do
       let v = Workload.Request.invoke engine app (Workload.Request.sample rng mix) in
@@ -803,7 +814,8 @@ let ablation_dist () =
           { (Lazy.force fleet_base_cfg) with Cluster.Fleet.n_servers; dist }
         in
         let stats =
-          Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:424 ~bad_package_rate:0.
+          Cluster.Fleet.simulate_push cfg (Lazy.force fleet_app) ~seed:(bench_seed 424)
+            ~bad_package_rate:0.
             ~thin_profile_rate:0. ~duration
         in
         let c =
@@ -851,10 +863,13 @@ let ablation_dist () =
 
 (* Discrete-event rolling-push comparison (Fig. 1's capacity story at
    request granularity): Jump-Start vs no-Jump-Start pushes under random
-   and warmup-aware routing.  Acceptance: Jump-Start beats no-Jump-Start on
-   the capacity-loss integral and time-to-full-capacity, and warmup-aware
-   routing is no worse than random on p99 latency during the push.  Writes
-   BENCH_push.json (BENCH_push.quick.json under --quick). *)
+   and warmup-aware routing.  Acceptance: over several paired replicate
+   seeds, Jump-Start's capacity-loss integral and time-to-full-capacity
+   are not statistically significantly worse than an env-tunable fraction
+   of no-Jump-Start's (Exp.Gate significance tests, JS_BENCH_PUSH_ env
+   thresholds), and
+   warmup-aware routing is no worse than random on p99 latency during the
+   push.  Writes BENCH_push.json (BENCH_push.quick.json under --quick). *)
 let bench_push () =
   section "push: discrete-event rolling deployment (js_sim)";
   let quick = !quick_mode in
@@ -892,7 +907,7 @@ let bench_push () =
     ]
   in
   let app = Lazy.force fleet_app in
-  let seed = 42 in
+  let seed = bench_seed 42 in
   Printf.printf "%12s %12s %10s %10s %10s %10s\n" "scenario" "cap-loss" "ttfc(s)" "p99(s)"
     "p99push(s)" "shed";
   let rows =
@@ -913,25 +928,62 @@ let bench_push () =
       scenarios
   in
   let find name = match List.find (fun (n, _, _) -> n = name) rows with _, s, _ -> s in
-  let nojs_r = find "nojs-random" and js_r = find "js-random" and js_a = find "js-aware" in
+  let js_r = find "js-random" and js_a = find "js-aware" in
   let ttfc_or s = if s.Js_sim.Push.time_to_full_capacity >= 0. then s.Js_sim.Push.time_to_full_capacity else duration in
-  let crit_loss =
-    js_r.Js_sim.Push.capacity_loss_integral < nojs_r.Js_sim.Push.capacity_loss_integral
+  (* The capacity-loss and ttfc gates are significance tests (Exp.Gate)
+     instead of single-seed point asserts: run the js/nojs pair over
+     [n_pairs] replicate seeds (same seed on both sides — paired), and
+     compare js against a recorded expectation of [ratio * nojs] per seed.
+     The gate fails only when js is *statistically significantly* worse than
+     that expectation (the whole bootstrap CI beyond +min_effect); both
+     ratios and the CI band are env-tunable. *)
+  let n_pairs = bench_seeds (if quick then 3 else 5) in
+  let pair_seeds = Js_exp.Harness.derive_seeds ~seed ~n:n_pairs in
+  let pairs =
+    Array.map
+      (fun seed ->
+        let nojs =
+          Js_sim.Push.run
+            { base with Js_sim.Push.jumpstart = false; policy = Js_sim.Balancer.Random }
+            app ~seed
+        in
+        let js = Js_sim.Push.run { base with Js_sim.Push.policy = Js_sim.Balancer.Random } app ~seed in
+        (nojs, js))
+      pair_seeds
   in
-  let crit_ttfc = ttfc_or js_r < ttfc_or nojs_r in
+  let gate metric ~ratio f =
+    Js_exp.Gate.compare_paired
+      ~metric:(Printf.sprintf "%s_vs_%.2fx_nojs" metric ratio)
+      ~baseline:(Array.map (fun (nojs, _) -> ratio *. f nojs) pairs)
+      ~candidate:(Array.map (fun (_, js) -> f js) pairs)
+      ()
+  in
+  let gate_loss =
+    gate "capacity_loss"
+      ~ratio:(Js_exp.Gate.threshold "JS_BENCH_PUSH_LOSS_RATIO" ~default:0.75)
+      (fun s -> s.Js_sim.Push.capacity_loss_integral)
+  in
+  let gate_ttfc =
+    gate "ttfc" ~ratio:(Js_exp.Gate.threshold "JS_BENCH_PUSH_TTFC_RATIO" ~default:0.75) ttfc_or
+  in
+  let crit_loss = Js_exp.Gate.pass gate_loss in
+  let crit_ttfc = Js_exp.Gate.pass gate_ttfc in
   let p99_push s = Js_util.Stats.Quantile.quantile s.Js_sim.Push.latency_push 0.99 in
   (* the DDSketch is 1%-relative-accurate; allow that much slack *)
   let crit_p99 = p99_push js_a <= p99_push js_r *. 1.02 in
   (* determinism: an identical re-run must produce an identical digest *)
   let rerun = Js_sim.Push.run (List.assoc "js-aware" scenarios) app ~seed in
   let deterministic = Js_sim.Push.digest rerun = Js_sim.Push.digest js_a in
+  Printf.printf "\nsignificance gates (%d paired seeds):\n  %s\n  %s\n" n_pairs
+    (Format.asprintf "%a" Js_exp.Gate.pp gate_loss)
+    (Format.asprintf "%a" Js_exp.Gate.pp gate_ttfc);
   Printf.printf
-    "\ncriteria: js beats nojs on capacity loss: %b | on time-to-full-capacity: %b |\n\
+    "\ncriteria: js not significantly worse than expected capacity loss: %b | expected ttfc: %b |\n\
     \          aware <= random p99 during push: %b | same-seed deterministic: %b\n"
     crit_loss crit_ttfc crit_p99 deterministic;
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n";
-  Printf.bprintf b "  \"schema\": \"jumpstart-bench-push/1\",\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-push/2\",\n";
   Printf.bprintf b "  \"quick\": %b,\n" quick;
   Printf.bprintf b
     "  \"config\": { \"servers\": %d, \"warm_rps\": %.0f, \"utilization\": 0.7, \
@@ -969,8 +1021,26 @@ let bench_push () =
         (if i = n - 1 then "" else ","))
     rows;
   Printf.bprintf b "  ],\n";
+  let bprintf_gate last g =
+    let lo, hi = g.Js_exp.Gate.ci in
+    Printf.bprintf b
+      "    { \"metric\": %S, \"n\": %d, \"baseline_mean\": %.6f, \
+       \"candidate_mean\": %.6f,\n\
+      \      \"effect\": %.6f, \"ci\": [%.6f, %.6f], \"min_effect\": %.6f, \
+       \"verdict\": %S }%s\n"
+      g.Js_exp.Gate.metric g.Js_exp.Gate.n g.Js_exp.Gate.baseline_mean
+      g.Js_exp.Gate.candidate_mean g.Js_exp.Gate.effect lo hi
+      g.Js_exp.Gate.min_effect
+      (Js_exp.Gate.verdict_to_string g.Js_exp.Gate.verdict)
+      (if last then "" else ",")
+  in
+  Printf.bprintf b "  \"gates\": [\n";
+  bprintf_gate false gate_loss;
+  bprintf_gate true gate_ttfc;
+  Printf.bprintf b "  ],\n";
   Printf.bprintf b
-    "  \"criteria\": { \"js_beats_nojs_capacity_loss\": %b, \"js_beats_nojs_ttfc\": %b, \
+    "  \"criteria\": { \"js_capacity_loss_not_significantly_regressed\": %b, \
+     \"js_ttfc_not_significantly_regressed\": %b, \
      \"aware_no_worse_p99_during_push\": %b, \"same_seed_deterministic\": %b }\n"
     crit_loss crit_ttfc crit_p99 deterministic;
   Printf.bprintf b "}\n";
@@ -1085,7 +1155,7 @@ let bench_scale () =
   let timed_run mode g =
     Gc.full_major ();
     let t0 = Unix.gettimeofday () in
-    let gs = Js_sim.Region.run_global ~mode g app ~seed:42 in
+    let gs = Js_sim.Region.run_global ~mode g app ~seed:(bench_seed 42) in
     (gs, Unix.gettimeofday () -. t0)
   in
   let gs, wall = timed_run `Epoch gcfg in
@@ -1235,7 +1305,7 @@ let bench_churn () =
   in
   let traffic_n = if quick then 150 else 400 in
   let rates = if quick then [ 0.0; 0.1; 0.2; 0.4 ] else [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ] in
-  let churn_seed = 13 in
+  let churn_seed = bench_seed 13 in
   let module SM = Jit_profile.Stale_match in
   let module JS = Jumpstart in
   let app0 = Workload.Codegen.generate spec in
@@ -1443,6 +1513,226 @@ let bench_churn () =
     exit 1
   end
 
+(* ------------------------------------------- warmup statistics bench -- *)
+
+(* Warmup statistics done right (Barrett et al. / krun): an N-seeds x
+   2-configs matrix of rolling pushes with per-server latency recording,
+   every server's binned latency series segmented with PELT changepoints
+   and classified (warmup / flat / slowdown / cyclic / no steady state),
+   then aggregated into fleet-level time-to-steady-state distributions
+   with bootstrap CIs.  The run window deliberately closes shortly after
+   the push: without Jump-Start servers are still re-warming when the
+   window ends, so their final ("steady") segment is the elevated one and
+   the classifier calls the run a slowdown or denies steady state; with
+   Jump-Start the fleet recovers inside the window and the same seeds
+   classify as warmup or flat.  Acceptance: classification is
+   deterministic across a full matrix rerun, Jump-Start eliminates at
+   least one pathological class (slowdown / no-steady-state) the baseline
+   exhibits, and fleet mean time-to-steady improves with a CI clearing the
+   JS_BENCH_WARMUP_MIN_EFFECT band (verdict "improved", not merely
+   not-regressed).  Writes BENCH_warmup.json (BENCH_warmup.quick.json
+   under --quick). *)
+let bench_warmup () =
+  section "warmup: changepoint segmentation + warmup-taxonomy classification (js_exp)";
+  let module H = Js_exp.Harness in
+  let module C = Js_exp.Classify in
+  let module G = Js_exp.Gate in
+  let quick = !quick_mode in
+  let n_servers = if quick then 12 else 24 in
+  let warm_rps = 50. in
+  let push_at = 60. in
+  (* long enough that Jump-Started servers' steady onset lands well before
+     the no-steady-state half-span mark, short enough that cold-restarted
+     servers' does not *)
+  let duration = 600. in
+  let drain_cap = max 2 (n_servers / 6) in
+  let bin = 5. in
+  let base_fleet = Lazy.force fleet_base_cfg in
+  let fleet =
+    { base_fleet with
+      Cluster.Fleet.n_servers;
+      n_buckets = 4;
+      seeders_per_bucket = 3;
+      (* stretch the cold-boot path (sequential init + traffic ramp) so the
+         no-Jump-Start recovery is unambiguously slower than the
+         Jump-Started one: the class separation should rest on the modeled
+         cold-start cost, not on a marginal span fraction *)
+      server =
+        { base_fleet.Cluster.Fleet.server with
+          S.init_seconds_sequential = 60.;
+          traffic_ramp_seconds = 150.
+        }
+    }
+  in
+  let base =
+    { Js_sim.Push.default_config with
+      Js_sim.Push.fleet;
+      warm_rps;
+      arrival =
+        { Js_sim.Arrival.default_config with
+          Js_sim.Arrival.base_rps = float_of_int n_servers *. warm_rps *. 0.7
+        };
+      push_at;
+      drain_cap;
+      duration;
+      policy = Js_sim.Balancer.Random
+    }
+  in
+  let nojs_cfg = { base with Js_sim.Push.jumpstart = false } in
+  let app = Lazy.force fleet_app in
+  let base_seed = bench_seed 1007 in
+  let n_seeds = bench_seeds (if quick then 3 else 5) in
+  let seeds = H.derive_seeds ~seed:base_seed ~n:n_seeds in
+  let configs = [ ("nojs", H.of_push nojs_cfg app); ("js", H.of_push base app) ] in
+  (* 8% equivalence band: the DES latency noise between load levels runs a
+     shade over the default 5%, which would turn marginal warm segments
+     into spurious late steady onsets.  Penalty factor 8 (double the
+     default) and a 6-bin (30 s) minimum segment: a 15 s queueing blip
+     carved out late in an otherwise-steady run — or worse, sitting at the
+     very end and redefining the "steady" level — would deny steady state,
+     so a level must persist 30 s to count as a segment; the genuine
+     warmup/cold segments here span minutes and clear both bars by orders
+     of magnitude. *)
+  let classify =
+    {
+      C.changepoint = { Js_exp.Changepoint.penalty_factor = 8.0; min_segment = 6 };
+      tolerance = 0.08;
+      steady_frac = C.default_config.C.steady_frac
+    }
+  in
+  let run_matrix () = H.run ~bin ~classify ~configs ~seeds () in
+  let results = run_matrix () in
+  (* classification determinism: the whole matrix, rerun, must classify
+     byte-identically (run_result is all immutable scalars, so structural
+     equality is exact) *)
+  let deterministic = results = run_matrix () in
+  let summaries = H.summarize results in
+  let summ name = List.find (fun s -> s.H.s_config = name) summaries in
+  let s_nojs = summ "nojs" and s_js = summ "js" in
+  Printf.printf "matrix: %d seeds x 2 configs, %d classified server runs\n\n" n_seeds
+    (List.length results);
+  Printf.printf "%8s %6s %6s %8s %8s %6s %10s %22s %12s\n" "config" "warmup" "flat" "slowdown"
+    "cyclic" "nss" "tts-mean" "tts-CI95" "steady-mean";
+  List.iter
+    (fun s ->
+      let cnt c = List.assoc c s.H.counts in
+      let lo, hi = s.H.tts_ci in
+      Printf.printf "%8s %6d %6d %8d %8d %6d %10.1f %10.1f..%9.1f %12.4f\n" s.H.s_config
+        (cnt C.Warmup) (cnt C.Flat) (cnt C.Slowdown) (cnt C.Cyclic) (cnt C.No_steady_state)
+        s.H.tts_mean lo hi s.H.steady_mean)
+    summaries;
+  (* one line per pathological run so a failing criterion is diagnosable
+     from the bench log alone *)
+  List.iter
+    (fun r ->
+      match r.H.result.C.cls with
+      | C.Slowdown | C.No_steady_state ->
+        Printf.printf "  pathological: %s seed=%d server=%d %s tts=%.0f segments=[%s]\n"
+          r.H.config r.H.seed r.H.server
+          (C.cls_to_string r.H.result.C.cls)
+          r.H.result.C.tts
+          (String.concat "; "
+             (List.map
+                (fun (s : Js_exp.Changepoint.segment) ->
+                  Printf.sprintf "%d..%d m=%.4f" s.Js_exp.Changepoint.start
+                    s.Js_exp.Changepoint.stop s.Js_exp.Changepoint.mean)
+                r.H.result.C.segments))
+      | _ -> ())
+    results;
+  (* which pathological classes does the baseline exhibit that Jump-Start
+     eliminates outright? *)
+  let count s cls = List.assoc cls s.H.counts in
+  let eliminated =
+    List.filter
+      (fun cls -> count s_nojs cls > 0 && count s_js cls = 0)
+      [ C.Slowdown; C.No_steady_state ]
+  in
+  let crit_class_change = eliminated <> [] in
+  (* CI-gated win: per-seed fleet mean time-to-steady, paired across the
+     same replicate seeds.  All classified runs count — a run denied steady
+     state carries its honestly-late steady onset, not an exclusion. *)
+  let per_seed_mean_tts config =
+    Array.map
+      (fun seed ->
+        let ts =
+          List.filter_map
+            (fun r ->
+              if r.H.config = config && r.H.seed = seed then Some r.H.result.C.tts else None)
+            results
+        in
+        Js_util.Stats.mean (Array.of_list ts))
+      seeds
+  in
+  let gate_tts =
+    G.compare_paired ~metric:"fleet_mean_time_to_steady"
+      ~min_effect:(G.threshold "JS_BENCH_WARMUP_MIN_EFFECT" ~default:0.05)
+      ~baseline:(per_seed_mean_tts "nojs") ~candidate:(per_seed_mean_tts "js") ()
+  in
+  let crit_tts_win = gate_tts.G.verdict = G.Improved in
+  Printf.printf "\nsignificance gate (win required, not just no-regression):\n  %s\n"
+    (Format.asprintf "%a" G.pp gate_tts);
+  Printf.printf
+    "\ncriteria: classification deterministic: %b | js eliminates pathology (%s): %b |\n\
+    \          js tts CI win: %b\n"
+    deterministic
+    (if eliminated = [] then "none"
+     else String.concat "," (List.map C.cls_to_string eliminated))
+    crit_class_change crit_tts_win;
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"schema\": \"jumpstart-bench-warmup/1\",\n";
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b
+    "  \"config\": { \"servers\": %d, \"warm_rps\": %.0f, \"utilization\": 0.7, \
+     \"duration\": %.0f, \"push_at\": %.0f, \"drain_cap\": %d, \"bin\": %.0f, \"seed\": %d, \
+     \"seeds\": %d },\n"
+    n_servers warm_rps duration push_at drain_cap bin base_seed n_seeds;
+  Printf.bprintf b "  \"replicate_seeds\": [%s],\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int seeds)));
+  Printf.bprintf b "  \"configs\": [\n";
+  let n_cfg = List.length summaries in
+  List.iteri
+    (fun i s ->
+      let tlo, thi = s.H.tts_ci and slo, shi = s.H.steady_ci in
+      Printf.bprintf b
+        "    { \"name\": %S, \"runs\": %d,\n\
+        \      \"classes\": { %s },\n\
+        \      \"tts_mean\": %.3f, \"tts_ci\": [%.3f, %.3f],\n\
+        \      \"steady_mean\": %.6f, \"steady_ci\": [%.6f, %.6f] }%s\n"
+        s.H.s_config s.H.runs
+        (String.concat ", "
+           (List.map
+              (fun (c, n) -> Printf.sprintf "\"%s\": %d" (C.cls_to_string c) n)
+              s.H.counts))
+        s.H.tts_mean tlo thi s.H.steady_mean slo shi
+        (if i = n_cfg - 1 then "" else ","))
+    summaries;
+  Printf.bprintf b "  ],\n";
+  let glo, ghi = gate_tts.G.ci in
+  Printf.bprintf b
+    "  \"gate\": { \"metric\": %S, \"n\": %d, \"baseline_mean\": %.3f, \
+     \"candidate_mean\": %.3f,\n\
+    \            \"effect\": %.6f, \"ci\": [%.6f, %.6f], \"min_effect\": %.6f, \
+     \"verdict\": %S },\n"
+    gate_tts.G.metric gate_tts.G.n gate_tts.G.baseline_mean gate_tts.G.candidate_mean
+    gate_tts.G.effect glo ghi gate_tts.G.min_effect
+    (G.verdict_to_string gate_tts.G.verdict);
+  Printf.bprintf b "  \"eliminated_classes\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun c -> Printf.sprintf "%S" (C.cls_to_string c)) eliminated));
+  Printf.bprintf b
+    "  \"criteria\": { \"classification_deterministic\": %b, \"js_eliminates_pathology\": %b, \
+     \"js_tts_ci_win\": %b }\n"
+    deterministic crit_class_change crit_tts_win;
+  Printf.bprintf b "}\n";
+  write_artifact ~tag:"warmup"
+    ~default:(if quick then "BENCH_warmup.quick.json" else "BENCH_warmup.json")
+    (Buffer.contents b);
+  if not (deterministic && crit_class_change && crit_tts_win) then begin
+    prerr_endline "bench warmup: acceptance criteria failed";
+    exit 1
+  end
+
 (* ----------------------------------------------------------------- cli -- *)
 
 let experiments =
@@ -1451,7 +1741,7 @@ let experiments =
     ("fig6", fig6); ("ablation-layout", ablation_layout); ("ablation-seeders", ablation_seeders);
     ("ablation-validation", ablation_validation); ("ablation-fallback", ablation_fallback);
     ("micro", micro); ("perf", perf); ("dist", ablation_dist); ("push", bench_push);
-    ("scale", bench_scale); ("churn", bench_churn)
+    ("warmup", bench_warmup); ("scale", bench_scale); ("churn", bench_churn)
   ]
 
 let () =
@@ -1469,6 +1759,20 @@ let () =
       | Some d when d >= 1 -> par_domains := d
       | _ ->
         Printf.eprintf "--domains expects a positive integer, got %S\n" n;
+        exit 1);
+      strip_flags acc rest
+    | "--seed" :: s :: rest ->
+      (match int_of_string_opt s with
+      | Some v -> seed_override := Some v
+      | None ->
+        Printf.eprintf "--seed expects an integer, got %S\n" s;
+        exit 1);
+      strip_flags acc rest
+    | "--seeds" :: s :: rest ->
+      (match int_of_string_opt s with
+      | Some v when v >= 1 -> seeds_override := Some v
+      | _ ->
+        Printf.eprintf "--seeds expects a positive integer, got %S\n" s;
         exit 1);
       strip_flags acc rest
     | a :: rest -> strip_flags (a :: acc) rest

@@ -67,10 +67,27 @@ fi
 rm -f /tmp/push_smoke.json
 
 # Quick push A/B (Jump-Start vs baseline, warmup-aware vs random routing);
-# validates its own JSON and fails if Jump-Start loses on capacity loss,
-# time-to-full-capacity or push-window p99.
+# validates its own JSON and fails if Jump-Start is statistically
+# significantly worse than the recorded expectation on capacity loss or
+# time-to-full-capacity (Exp.Gate paired significance tests over replicate
+# seeds), or loses on push-window p99.
 dune exec bench/main.exe -- push --quick
 test -s BENCH_push.quick.json
+grep -q '"gates"' BENCH_push.quick.json
+grep -q '"js_capacity_loss_not_significantly_regressed": true' BENCH_push.quick.json
+
+# Warmup-statistics bench: changepoint segmentation + warmup-taxonomy
+# classification over a seeds x {nojs, js} matrix.  The criteria grepped
+# here are the tentpole claims: classification is deterministic across a
+# full matrix rerun, Jump-Start eliminates a pathological classification
+# (slowdown / no-steady-state) that the baseline exhibits, and the fleet
+# time-to-steady win clears its bootstrap CI gate (verdict "improved").
+dune exec bench/main.exe -- warmup --quick
+test -s BENCH_warmup.quick.json
+grep -q '"classification_deterministic": true' BENCH_warmup.quick.json
+grep -q '"js_eliminates_pathology": true' BENCH_warmup.quick.json
+grep -q '"js_tts_ci_win": true' BENCH_warmup.quick.json
+grep -q '"verdict": "improved"' BENCH_warmup.quick.json
 
 # Multi-region disaster smoke test: a 3-region global fleet loses one whole
 # region mid-push.  The loss must drain via generation bumps (zero crashes)

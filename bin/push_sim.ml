@@ -2,12 +2,14 @@
 
      dune exec bin/push_sim.exe -- [--servers N] [--policy P] [--no-jumpstart]
          [--push-at SEC] [--duration SEC] [--bad-rate P] [--fetch-fail-rate P]
-         [--telemetry text|json] ...
+         [--telemetry text|json] [--classify --seeds N] ...
 
    Simulates an open-loop Poisson request stream over a warm fleet, then a
    staged rolling push (C2 seeding gates -> distribution network -> batched
    consumer restarts) and reports shed/latency/capacity statistics.  With
-   `--telemetry json` the JSON document is the only output. *)
+   `--telemetry json` the JSON document is the only output.  With
+   `--classify` the run is repeated over `--seeds` replicate seeds and
+   reported as per-server warmup classifications (Js_exp) instead. *)
 
 open Cmdliner
 module S = Cluster.Server
@@ -87,12 +89,49 @@ let report_global ?(show_digest = false) gs =
     Printf.printf "\nglobal digest: %s\n"
       (Digest.to_hex (Digest.string (Js_sim.Region.global_digest gs)))
 
+(* --classify: instead of one run's raw stats, run the config over --seeds
+   replicate seeds with per-server latency recording and report the
+   warmup-statistics view (Js_exp): every server's binned series segmented
+   by changepoints and classified warmup/flat/slowdown/cyclic/nss, plus the
+   fleet time-to-steady and steady-latency distributions with bootstrap
+   CIs. *)
+let report_classified cfg app ~seed ~n_seeds =
+  let module H = Js_exp.Harness in
+  let module C = Js_exp.Classify in
+  let seeds = H.derive_seeds ~seed ~n:n_seeds in
+  let results = H.run ~configs:[ ("push", H.of_push cfg app) ] ~seeds () in
+  let s = List.hd (H.summarize results) in
+  Printf.printf "classified %d server runs over %d seed(s) (root seed %d)\n\n"
+    s.H.runs n_seeds seed;
+  Printf.printf "  %-16s %6s\n" "class" "runs";
+  List.iter
+    (fun (c, n) -> Printf.printf "  %-16s %6d\n" (C.cls_to_string c) n)
+    s.H.counts;
+  if s.H.tts_mean >= 0. then begin
+    let lo, hi = s.H.tts_ci in
+    Printf.printf "\ntime-to-steady over %d steady runs: mean %.1fs CI95 [%.1f, %.1f]\n"
+      (Array.length s.H.tts) s.H.tts_mean lo hi
+  end
+  else Printf.printf "\ntime-to-steady: no run reached steady state\n";
+  let lo, hi = s.H.steady_ci in
+  Printf.printf "steady-state latency: mean %.4fs CI95 [%.4f, %.4f]\n" s.H.steady_mean lo hi;
+  List.iter
+    (fun r ->
+      match r.H.result.C.cls with
+      | C.Slowdown | C.Cyclic | C.No_steady_state ->
+        Printf.printf "  pathological: seed=%d server=%d %s tts=%.0fs steady=%.4f\n" r.H.seed
+          r.H.server
+          (C.cls_to_string r.H.result.C.cls)
+          r.H.result.C.tts r.H.result.C.steady_mean
+      | C.Warmup | C.Flat -> ())
+    results
+
 let main servers buckets seeders warm_rps concurrency queue timeout utilization diurnal_amp
     diurnal_period policy no_jumpstart push_at drain_cap duration bad_rate thin_rate validation
     verifier abort_window abort_threshold fetch_fail fetch_timeout fetch_latency stale_rate
     cross_region regions region_phase push_stagger spillover spill_latency spill_threshold
     epoch mode domains no_batch lose_region lose_at partition_region partition_at
-    partition_duration seeder_outage seed show_digest telemetry_fmt =
+    partition_duration seeder_outage seed n_seeds classify show_digest telemetry_fmt =
   let dist =
     let latency_mean =
       match fetch_latency with
@@ -144,7 +183,14 @@ let main servers buckets seeders warm_rps concurrency queue timeout utilization 
     }
   in
   let tel = match telemetry_fmt with None -> None | Some _ -> Some (Js_telemetry.create ()) in
-  if regions <= 1 then begin
+  if classify then begin
+    if regions > 1 then begin
+      prerr_endline "push_sim: --classify is single-region only (drop --regions)";
+      exit 2
+    end;
+    report_classified cfg (Lazy.force app) ~seed ~n_seeds
+  end
+  else if regions <= 1 then begin
     let stats = Js_sim.Push.run ?telemetry:tel cfg (Lazy.force app) ~seed in
     match (telemetry_fmt, tel) with
     | Some `Json, Some t ->
@@ -355,6 +401,19 @@ let () =
         ~doc:"disaster: region 0's replica store goes down at SEC"
   in
   let seed = value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"simulation seed" in
+  let n_seeds =
+    value & opt int 3
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"replicate seeds for $(b,--classify), derived from $(b,--seed)"
+  in
+  let classify =
+    value & flag
+    & info [ "classify" ]
+        ~doc:
+          "report per-server warmup classifications (changepoint segmentation, \
+           warmup/flat/slowdown/cyclic/no-steady-state) over $(b,--seeds) replicates instead \
+           of raw run stats (single-region only)"
+  in
   let show_digest =
     value & flag & info [ "digest" ] ~doc:"print a hash of the canonical stats digest"
   in
@@ -366,7 +425,8 @@ let () =
       $ abort_threshold $ fetch_fail $ fetch_timeout $ fetch_latency $ stale_rate $ cross_region
       $ regions $ region_phase $ push_stagger $ spillover $ spill_latency $ spill_threshold
       $ epoch $ mode $ domains $ no_batch $ lose_region $ lose_at $ partition_region
-      $ partition_at $ partition_duration $ seeder_outage $ seed $ show_digest $ telemetry_arg)
+      $ partition_at $ partition_duration $ seeder_outage $ seed $ n_seeds $ classify
+      $ show_digest $ telemetry_arg)
   in
   let info =
     Cmd.info "push_sim"

@@ -1,0 +1,93 @@
+module Stats = Js_util.Stats
+
+type config = { penalty_factor : float; min_segment : int }
+
+let default_config = { penalty_factor = 4.0; min_segment = 3 }
+
+type segment = { start : int; stop : int; mean : float }
+
+let changepoints segs =
+  match segs with
+  | [] -> []
+  | _ :: rest -> List.map (fun s -> s.start) rest
+
+(* Robust noise-scale estimate from first differences: inside a
+   piecewise-constant segment x(i+1) - x(i) is pure noise with variance
+   2*sigma^2, and the handful of differences that straddle a true jump
+   cannot move the median.  0.6745 is the normal quantile that turns a
+   median absolute deviation into a standard deviation. *)
+let noise_sigma xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else begin
+    let diffs = Array.init (n - 1) (fun i -> Float.abs (xs.(i + 1) -. xs.(i))) in
+    Stats.median diffs /. (0.6745 *. sqrt 2.)
+  end
+
+let detect ?(config = default_config) xs =
+  let n = Array.length xs in
+  if config.min_segment < 1 then invalid_arg "Changepoint.detect: min_segment";
+  if config.penalty_factor <= 0. then invalid_arg "Changepoint.detect: penalty_factor";
+  if n = 0 then []
+  else begin
+    let s1 = Array.make (n + 1) 0. and s2 = Array.make (n + 1) 0. in
+    for i = 0 to n - 1 do
+      s1.(i + 1) <- s1.(i) +. xs.(i);
+      s2.(i + 1) <- s2.(i) +. (xs.(i) *. xs.(i))
+    done;
+    let seg_mean i j = (s1.(j) -. s1.(i)) /. float_of_int (j - i) in
+    (* Sum of squared errors of the best (mean) fit over [i, j). *)
+    let cost i j =
+      let len = float_of_int (j - i) in
+      let su = s1.(j) -. s1.(i) in
+      Float.max 0. (s2.(j) -. s2.(i) -. (su *. su /. len))
+    in
+    let msl = config.min_segment in
+    if n < 2 * msl then [ { start = 0; stop = n; mean = seg_mean 0 n } ]
+    else begin
+      let sigma = noise_sigma xs in
+      let beta =
+        if sigma > 0. then
+          config.penalty_factor *. sigma *. sigma *. log (float_of_int n)
+        else
+          (* Noiseless series: any true jump buys a strictly positive SSE
+             reduction, while splitting a constant stretch buys exactly 0 —
+             a scale-relative epsilon keeps the latter unprofitable. *)
+          1e-9 *. Float.max 1. (s2.(n) /. float_of_int n)
+      in
+      (* PELT: f.(t) is the optimal penalized cost of xs[0..t); a candidate
+         last-changepoint s is pruned once f(s) + cost(s,t) > f(t), which for
+         an SSE cost can never become optimal again (Killick et al. 2012). *)
+      let f = Array.make (n + 1) infinity in
+      let prev = Array.make (n + 1) 0 in
+      f.(0) <- -.beta;
+      let cands = ref [ 0 ] in
+      for t = msl to n do
+        let best = ref infinity and barg = ref 0 in
+        List.iter
+          (fun s ->
+            if t - s >= msl then begin
+              let v = f.(s) +. cost s t +. beta in
+              if v < !best then begin
+                best := v;
+                barg := s
+              end
+            end)
+          !cands;
+        f.(t) <- !best;
+        prev.(t) <- !barg;
+        cands :=
+          t
+          :: List.filter
+               (fun s -> t - s < msl || f.(s) +. cost s t <= f.(t))
+               !cands
+      done;
+      let rec collect t acc =
+        if t = 0 then acc
+        else
+          let s = prev.(t) in
+          collect s ({ start = s; stop = t; mean = seg_mean s t } :: acc)
+      in
+      collect n []
+    end
+  end

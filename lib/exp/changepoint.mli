@@ -1,0 +1,46 @@
+(** PELT-style penalized changepoint detection over piecewise-constant
+    means (Killick, Fearnhead & Eckley 2012), the segmentation step of the
+    Barrett et al. warmup methodology ("VM Warmup Blows Hot and Cold").
+
+    The model: a series is a concatenation of segments, each with a constant
+    mean plus noise.  {!detect} minimizes
+
+    {v sum over segments of SSE(segment)  +  beta * (#segments - 1) v}
+
+    exactly, by dynamic programming with PELT pruning (linear time in
+    practice).  The penalty is [beta = penalty_factor * sigma^2 * log n]
+    with [sigma] a robust noise estimate from median absolute first
+    differences — immune to the jumps themselves, so a series with large
+    level shifts is not blinded by its own global variance.  Detection is a
+    pure function of the input: deterministic, no RNG. *)
+
+type config = {
+  penalty_factor : float;
+      (** multiplier on [sigma^2 * log n]; 2.0 is the BIC penalty, the
+          default 4.0 is deliberately conservative.  Note that because the
+          penalty scales with the estimated noise variance, the
+          false-positive rate on pure noise depends only on the noise
+          {e shape}, not its amplitude, and is nonzero for any finite
+          penalty — the property-tested guarantee is the weaker one the
+          taxonomy needs: spurious segments on stationary noise stay inside
+          {!Classify}'s equivalence band, so such runs still classify flat *)
+  min_segment : int;  (** minimum samples per segment, >= 1 *)
+}
+
+(** [penalty_factor = 4.0], [min_segment = 3]. *)
+val default_config : config
+
+(** Half-open sample range [\[start, stop)] with its fitted mean. *)
+type segment = { start : int; stop : int; mean : float }
+
+(** [detect ?config xs] returns the optimal segmentation as consecutive
+    segments covering [\[0, length xs)]; [\[\]] only for an empty input, a
+    single segment when no changepoint pays for its penalty (or the series
+    is shorter than two minimum segments).
+    @raise Invalid_argument on a non-positive [min_segment] or
+    [penalty_factor]. *)
+val detect : ?config:config -> float array -> segment list
+
+(** Interior segment boundaries (each interior segment's [start]) — the
+    changepoint indices; [\[\]] for a single-segment result. *)
+val changepoints : segment list -> int list

@@ -1,0 +1,74 @@
+type cls = Warmup | Flat | Slowdown | Cyclic | No_steady_state
+
+let cls_to_string = function
+  | Warmup -> "warmup"
+  | Flat -> "flat"
+  | Slowdown -> "slowdown"
+  | Cyclic -> "cyclic"
+  | No_steady_state -> "no_steady_state"
+
+let all_classes = [ Warmup; Flat; Slowdown; Cyclic; No_steady_state ]
+
+type config = {
+  changepoint : Changepoint.config;
+  tolerance : float;
+  steady_frac : float;
+}
+
+let default_config =
+  { changepoint = Changepoint.default_config; tolerance = 0.05; steady_frac = 0.5 }
+
+type result = {
+  cls : cls;
+  segments : Changepoint.segment list;
+  steady_mean : float;
+  tts : float;
+}
+
+let classify ?(config = default_config) samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Classify.classify: empty series";
+  if config.tolerance <= 0. then invalid_arg "Classify.classify: tolerance";
+  if config.steady_frac <= 0. || config.steady_frac > 1. then
+    invalid_arg "Classify.classify: steady_frac out of (0, 1]";
+  let values = Array.map snd samples in
+  let t0 = fst samples.(0) and t_end = fst samples.(n - 1) in
+  let segments = Changepoint.detect ~config:config.changepoint values in
+  let segs = Array.of_list segments in
+  let k = Array.length segs in
+  (* The final segment defines the steady level; a segment is equivalent to
+     it when its mean sits inside a relative tolerance band. *)
+  let steady_mean = segs.(k - 1).Changepoint.mean in
+  let equivalent m =
+    Float.abs (m -. steady_mean) <= config.tolerance *. Float.max (Float.abs steady_mean) 1e-9
+  in
+  (* Steady state begins at the earliest suffix of segments all equivalent
+     to the final mean. *)
+  let first_steady = ref (k - 1) in
+  while !first_steady > 0 && equivalent segs.(!first_steady - 1).Changepoint.mean do
+    decr first_steady
+  done;
+  let steady_start_ix = segs.(!first_steady).Changepoint.start in
+  let tts = if !first_steady = 0 then 0. else fst samples.(steady_start_ix) -. t0 in
+  let span = Float.max (t_end -. t0) 1e-9 in
+  (* Significant pre-steady deviations, in order, as +1 (above steady:
+     warmup-like) / -1 (below steady: slowdown-like). *)
+  let signs = ref [] in
+  for i = !first_steady - 1 downto 0 do
+    let m = segs.(i).Changepoint.mean in
+    if not (equivalent m) then signs := (if m > steady_mean then 1 else -1) :: !signs
+  done;
+  let signs = !signs in
+  let alternations =
+    match signs with
+    | [] | [ _ ] -> 0
+    | s0 :: rest -> snd (List.fold_left (fun (p, a) s -> (s, if s <> p then a + 1 else a)) (s0, 0) rest)
+  in
+  let cls =
+    if !first_steady > 0 && tts /. span > config.steady_frac then No_steady_state
+    else if alternations >= 2 then Cyclic
+    else if List.exists (fun s -> s < 0) signs then Slowdown
+    else if List.exists (fun s -> s > 0) signs then Warmup
+    else Flat
+  in
+  { cls; segments; steady_mean; tts }

@@ -1,0 +1,50 @@
+(** Warmup-behavior classification per Barrett et al. ("Virtual Machine
+    Warmup Blows Hot and Cold"): segment a per-server latency series with
+    {!Changepoint.detect}, take the {e final} segment's mean as the steady
+    level, and classify the run by how the earlier segments relate to it.
+
+    Latency semantics (lower is better): a significant early segment
+    {e above} the steady mean is warmup evidence, one {e below} it means the
+    server got worse over the run — a slowdown.  Precedence, most to least
+    severe: {!No_steady_state} (the steady suffix starts later than
+    [steady_frac] of the observed time span), {!Cyclic} (the significant
+    deviations alternate sign at least twice), {!Slowdown}, {!Warmup},
+    {!Flat} (every segment equivalent to the steady mean).  Classification
+    is deterministic — a pure function of the samples. *)
+
+type cls = Warmup | Flat | Slowdown | Cyclic | No_steady_state
+
+val cls_to_string : cls -> string
+
+(** In a fixed order convenient for stable per-class count reports. *)
+val all_classes : cls list
+
+type config = {
+  changepoint : Changepoint.config;
+  tolerance : float;
+      (** relative equivalence band around the steady mean (0.05 = 5%) *)
+  steady_frac : float;
+      (** fraction of the time span the steady suffix must start within,
+          in (0, 1] *)
+}
+
+(** Default changepoint config, 5% tolerance, steady required within the
+    first half of the run. *)
+val default_config : config
+
+type result = {
+  cls : cls;
+  segments : Changepoint.segment list;
+  steady_mean : float;  (** the final segment's mean *)
+  tts : float;
+      (** time to steady state: seconds from the first sample until the
+          steady suffix begins; 0 when steady from the start.  Meaningful
+          for {!No_steady_state} too (it is what made it late). *)
+}
+
+(** [classify ?config samples] over time-ordered [(time, value)] samples
+    (typically binned means of a server's latency stream).  The time axis
+    only scales [tts] and the [steady_frac] test; segmentation sees the
+    values.  @raise Invalid_argument on an empty series or an invalid
+    config. *)
+val classify : ?config:config -> (float * float) array -> result

@@ -19,6 +19,7 @@ type config = Region.config = {
   duration : float;
   curve_horizon : float;
   tick : float;
+  record_latency : bool;
 }
 
 let default_config = Region.default_config
@@ -54,6 +55,7 @@ type stats = Region.stats = {
   latency_push : Js_util.Stats.Quantile.t;
   capacity_series : Js_util.Stats.Series.t;
   served_series : Js_util.Stats.Series.t;
+  server_latency : Js_util.Stats.Series.t array;
   events_dispatched : int;
   dist : Cluster.Dist_net.counters option;
 }

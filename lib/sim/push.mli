@@ -50,6 +50,9 @@ type config = Region.config = {
   duration : float;  (** total simulated seconds *)
   curve_horizon : float;  (** reference-run length for warmup curves *)
   tick : float;  (** capacity/served sampling period *)
+  record_latency : bool;
+      (** record per-server (time, latency) samples into
+          [stats.server_latency]; digest-neutral, off by default *)
 }
 
 (** 24 servers x 50 rps at 70% utilization, warmup-aware routing, push at
@@ -95,6 +98,9 @@ type stats = Region.stats = {
       (** completions between push start and capacity recovery *)
   capacity_series : Js_util.Stats.Series.t;  (** estimated capacity per tick *)
   served_series : Js_util.Stats.Series.t;  (** completion rate per tick *)
+  server_latency : Js_util.Stats.Series.t array;
+      (** per-server (completion time, latency) streams; empty unless
+          [record_latency] was set.  Excluded from {!digest}. *)
   events_dispatched : int;
   dist : Cluster.Dist_net.counters option;  (** [None] if network inactive *)
 }

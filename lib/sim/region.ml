@@ -22,6 +22,7 @@ type config = {
   duration : float;
   curve_horizon : float;
   tick : float;
+  record_latency : bool;
 }
 
 let default_config =
@@ -43,6 +44,7 @@ let default_config =
     duration = 900.;
     curve_horizon = 1800.;
     tick = 1.;
+    record_latency = false;
   }
 
 type disaster =
@@ -108,6 +110,7 @@ type stats = {
   latency_push : Stats.Quantile.t;
   capacity_series : Stats.Series.t;
   served_series : Stats.Series.t;
+  server_latency : Stats.Series.t array;
   events_dispatched : int;
   dist : Dist_net.counters option;
 }
@@ -194,6 +197,10 @@ type region = {
   r_latency_push : Stats.Quantile.t;
   r_capacity_series : Stats.Series.t;
   r_served_series : Stats.Series.t;
+  (* Per-server (completion time, latency) samples, length n_servers when
+     [record_latency] is set and [| |] otherwise.  Recording draws no RNG and
+     the field is excluded from {!digest}, so it is digest-neutral. *)
+  r_server_latency : Stats.Series.t array;
   (* This region's telemetry sink.  In epoch/merged mode every region shares
      the caller's registry; in parallel mode each region owns a private shard
      (with its own clock — no cross-domain clock pushes) that is merged into
@@ -332,6 +339,8 @@ let complete g reg srv ~arrived =
   let l = now -. arrived in
   Stats.Quantile.add reg.r_latency l;
   if in_push_window reg then Stats.Quantile.add reg.r_latency_push l;
+  if reg.r_server_latency <> [||] then
+    Stats.Series.add reg.r_server_latency.(srv.six) ~time:now ~value:l;
   (* lazy timeout shedding: expired waiters are dropped at dequeue time *)
   let continue = ref true in
   while
@@ -736,6 +745,7 @@ let stats_of_region g reg : stats =
     latency_push = reg.r_latency_push;
     capacity_series = reg.r_capacity_series;
     served_series = reg.r_served_series;
+    server_latency = reg.r_server_latency;
     events_dispatched = reg.events;
     dist =
       (if reg.rix = 0 && Dist_net.active (Dist_net.config g.net) then
@@ -882,6 +892,10 @@ let run_global ?telemetry ?(mode = `Epoch) gcfg app ~seed =
           r_latency_push = Stats.Quantile.create ();
           r_capacity_series = Stats.Series.create ();
           r_served_series = Stats.Series.create ();
+          r_server_latency =
+            (if cfg.record_latency then
+               Array.init n_servers (fun _ -> Stats.Series.create ())
+             else [||]);
           r_tel;
           outbox = Array.init n_regions (fun _ -> Js_util.Par.Mailbox.create ());
         })

@@ -80,6 +80,10 @@ type config = {
   duration : float;
   curve_horizon : float;
   tick : float;
+  record_latency : bool;
+      (** record per-server (time, latency) samples into
+          [stats.server_latency].  Off by default; turning it on draws no RNG
+          and changes no digest — it only spends memory. *)
 }
 
 val default_config : config
@@ -145,6 +149,10 @@ type stats = {
   latency_push : Js_util.Stats.Quantile.t;
   capacity_series : Js_util.Stats.Series.t;
   served_series : Js_util.Stats.Series.t;
+  server_latency : Js_util.Stats.Series.t array;
+      (** per-server (completion time, latency) sample streams, indexed by
+          server; length [fleet.n_servers] when [config.record_latency] was
+          set and [| |] otherwise.  Excluded from {!digest}. *)
   events_dispatched : int;
   dist : Cluster.Dist_net.counters option;
 }

@@ -4,6 +4,7 @@ let mean xs =
   Array.fold_left ( +. ) 0. xs /. float_of_int n
 
 let stddev xs =
+  if Array.length xs = 0 then invalid_arg "Stats.stddev: empty";
   let m = mean xs in
   let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
   sqrt (acc /. float_of_int (Array.length xs))
@@ -25,6 +26,8 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
+let median xs = percentile xs 50.
+
 let geomean xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.geomean: empty";
@@ -36,6 +39,29 @@ let geomean xs =
       0. xs
   in
   exp (acc /. float_of_int n)
+
+(* Percentile-bootstrap confidence interval of an arbitrary statistic:
+   resample [xs] with replacement [replicates] times, evaluate [stat] on each
+   resample, and return the (alpha/2, 1 - alpha/2) percentiles of the
+   replicate distribution.  Deterministic: the resampling stream is a fresh
+   SplitMix64 generator from [seed], so equal inputs give equal intervals. *)
+let ci_bootstrap ?(replicates = 1000) ?(confidence = 0.95) ~seed xs stat =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.ci_bootstrap: empty";
+  if replicates <= 0 then invalid_arg "Stats.ci_bootstrap: replicates must be positive";
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Stats.ci_bootstrap: confidence out of range";
+  let rng = Rng.create seed in
+  let resample = Array.make n 0. in
+  let reps =
+    Array.init replicates (fun _ ->
+        for i = 0 to n - 1 do
+          resample.(i) <- xs.(Rng.int rng n)
+        done;
+        stat resample)
+  in
+  let alpha = (1. -. confidence) /. 2. in
+  (percentile reps (100. *. alpha), percentile reps (100. *. (1. -. alpha)))
 
 module Series = struct
   type t = { mutable times : float array; mutable values : float array; mutable len : int }

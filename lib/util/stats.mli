@@ -1,20 +1,45 @@
 (** Small statistics helpers used by the simulators and benches. *)
 
-(** [mean xs] is the arithmetic mean. @raise Invalid_argument on empty. *)
+(** [mean xs] is the arithmetic mean.  A single-element array returns that
+    element.  @raise Invalid_argument on empty. *)
 val mean : float array -> float
 
-(** [stddev xs] is the population standard deviation. *)
+(** [stddev xs] is the population standard deviation.  A single-element
+    array (and any constant array) returns [0.].
+    @raise Invalid_argument on empty. *)
 val stddev : float array -> float
 
 (** [percentile xs p] returns the [p]-th percentile ([p] in [\[0,100\]]) using
     linear interpolation between closest ranks.  Does not mutate [xs].
-    Sorts with [Float.compare]; [-inf]/[+inf] order correctly.
+    Sorts with [Float.compare]; [-inf]/[+inf] order correctly.  A
+    single-element array returns that element for every [p].
     @raise Invalid_argument on empty input or if any sample is NaN (a NaN
     would otherwise silently poison the sort order). *)
 val percentile : float array -> float -> float
 
+(** [median xs] is [percentile xs 50.]. *)
+val median : float array -> float
+
 (** [geomean xs] is the geometric mean (all values must be positive). *)
 val geomean : float array -> float
+
+(** [ci_bootstrap ?replicates ?confidence ~seed xs stat] is a percentile
+    bootstrap confidence interval [(lo, hi)] for [stat] over [xs]: resample
+    [xs] with replacement [replicates] times (default 1000), evaluate [stat]
+    on each resample, and take the [(1-confidence)/2] and [(1+confidence)/2]
+    percentiles of the replicate distribution (default [confidence] 0.95).
+    Deterministic for a given [seed] (the resampling stream is its own
+    SplitMix64 generator), so bench gates built on it are reproducible.  A
+    single-element input yields the degenerate interval [(stat xs, stat xs)].
+    @raise Invalid_argument on empty input, [replicates <= 0] or a
+    confidence outside (0, 1). *)
+val ci_bootstrap :
+  ?replicates:int ->
+  ?confidence:float ->
+  seed:int ->
+  float array ->
+  (float array -> float) ->
+  float * float
 
 (** Accumulates a time series of (time, value) samples and answers
     integral-style queries; used for RPS/latency-over-uptime curves and

@@ -426,6 +426,32 @@ let test_push_deterministic () =
   let c = Push.run cfg app ~seed:4 in
   Alcotest.(check bool) "different seed differs" true (Push.digest a <> Push.digest c)
 
+let test_push_record_latency_digest_neutral () =
+  let cfg = Lazy.force push_cfg in
+  let app = Lazy.force small_app in
+  let off = Push.run cfg app ~seed:3 in
+  let on_ = Push.run { cfg with Push.record_latency = true } app ~seed:3 in
+  (* recording draws no randomness and is excluded from the digest: the
+     simulation must be bit-for-bit unchanged *)
+  Alcotest.(check string) "same digest with recording on" (Push.digest off) (Push.digest on_);
+  Alcotest.(check int) "off: no per-server series" 0 (Array.length off.Push.server_latency);
+  Alcotest.(check int) "on: one series per server" 8 (Array.length on_.Push.server_latency);
+  let total =
+    Array.fold_left
+      (fun acc s -> acc + Js_util.Stats.Series.length s)
+      0 on_.Push.server_latency
+  in
+  Alcotest.(check int) "per-server samples cover every completion" on_.Push.completed total;
+  Array.iter
+    (fun s ->
+      let a = Js_util.Stats.Series.to_array s in
+      Array.iter
+        (fun (t, l) ->
+          if t < 0. || t > 240. || l <= 0. then
+            Alcotest.failf "sample out of range: t=%g latency=%g" t l)
+        a)
+    on_.Push.server_latency
+
 let test_push_bad_packages_crash_and_guardrail () =
   let cfg = Lazy.force push_cfg in
   let app = Lazy.force small_app in
@@ -593,6 +619,8 @@ let () =
           Alcotest.test_case "jump-start beats baseline" `Quick
             test_push_jumpstart_beats_baseline;
           Alcotest.test_case "deterministic" `Quick test_push_deterministic;
+          Alcotest.test_case "latency recording digest-neutral" `Quick
+            test_push_record_latency_digest_neutral;
           Alcotest.test_case "bad packages + guardrail" `Quick
             test_push_bad_packages_crash_and_guardrail;
           Alcotest.test_case "telemetry" `Quick test_push_telemetry

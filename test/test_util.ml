@@ -120,6 +120,48 @@ let test_stats_percentile_nan_rejected () =
 let test_stats_geomean () =
   check_float "geomean" 2. (Stats.geomean [| 1.; 4. |])
 
+let test_stats_empty_and_singleton () =
+  Alcotest.check_raises "mean of empty raises" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "stddev of empty raises" (Invalid_argument "Stats.stddev: empty")
+    (fun () -> ignore (Stats.stddev [||]));
+  Alcotest.check_raises "percentile of empty raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile [||] 50.));
+  Alcotest.check_raises "median of empty raises" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.median [||]));
+  (* a single element is every percentile and has zero spread *)
+  check_float "singleton mean" 7. (Stats.mean [| 7. |]);
+  check_float "singleton stddev" 0. (Stats.stddev [| 7. |]);
+  check_float "singleton p0" 7. (Stats.percentile [| 7. |] 0.);
+  check_float "singleton p100" 7. (Stats.percentile [| 7. |] 100.);
+  check_float "singleton median" 7. (Stats.median [| 7. |])
+
+let test_stats_median () =
+  check_float "odd length" 3. (Stats.median [| 5.; 1.; 3. |]);
+  check_float "even length interpolates" 2.5 (Stats.median [| 4.; 1.; 3.; 2. |]);
+  check_float "matches p50" (Stats.percentile [| 9.; 2.; 7.; 4. |] 50.)
+    (Stats.median [| 9.; 2.; 7.; 4. |])
+
+let test_stats_ci_bootstrap () =
+  let xs = Array.init 40 (fun i -> float_of_int (i mod 7)) in
+  let lo, hi = Stats.ci_bootstrap ~seed:11 xs Stats.mean in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "CI ordered" true (lo <= hi);
+  Alcotest.(check bool) "CI brackets the sample mean" true (lo <= m && m <= hi);
+  Alcotest.(check bool) "CI is non-degenerate on spread data" true (hi > lo);
+  (* same seed, same interval; different seed, (almost surely) different *)
+  let lo', hi' = Stats.ci_bootstrap ~seed:11 xs Stats.mean in
+  check_float "deterministic lo" lo lo';
+  check_float "deterministic hi" hi hi';
+  let wlo, whi = Stats.ci_bootstrap ~seed:11 ~confidence:0.5 xs Stats.mean in
+  Alcotest.(check bool) "narrower confidence narrows the interval" true
+    (whi -. wlo < hi -. lo);
+  (* constant data: the interval collapses onto the point *)
+  let clo, chi = Stats.ci_bootstrap ~seed:3 (Array.make 10 4.) Stats.mean in
+  check_float "constant lo" 4. clo;
+  check_float "constant hi" 4. chi
+
 let test_series_basics () =
   let s = Stats.Series.create () in
   Stats.Series.add s ~time:0. ~value:0.;
@@ -641,6 +683,9 @@ let () =
           Alcotest.test_case "series integral flat tail" `Quick
             test_series_integral_flat_tail;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "empty/singleton edges" `Quick test_stats_empty_and_singleton;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "bootstrap CI" `Quick test_stats_ci_bootstrap;
           Alcotest.test_case "series basics" `Quick test_series_basics;
           Alcotest.test_case "series partial integral" `Quick test_series_partial_integral;
           Alcotest.test_case "series time order" `Quick test_series_out_of_order;
